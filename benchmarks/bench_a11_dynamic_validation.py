@@ -1,0 +1,109 @@
+"""A11 — validation: static §2 predictions vs dynamically observed
+conflicts.
+
+Not a single paper table, but the paper's own methodology ("we are
+measuring how often this occurs in Lisp programs", §2.1) applied to the
+conflict analysis: instrument the *original* functions, run them
+sequentially, attribute every memory event to its invocation, and
+compare the observed conflict distances with the static predictions.
+
+Shapes: for every workload the static minimum distance is ≤ every
+observed distance (soundness), and for the exercising workloads it is
+*equal* to the observed minimum (precision — the analysis is not just
+sound but tight on these shapes).
+"""
+
+from repro.analysis.conflicts import analyze_function
+from repro.analysis.dynamic import (
+    cross_check,
+    instrument_function,
+    measure_dynamic_conflicts,
+)
+from repro.harness.report import format_table, shape_check
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+
+WORKLOADS = [
+    (
+        "fig4 (write 1 ahead)",
+        """(defun f (l) (when l (if (consp (cdr l)) (setf (cadr l) (car l))) (f (cdr l))))""",
+    ),
+    (
+        "fig5 (running sum)",
+        """(defun f (l)
+             (cond ((null l) nil)
+                   ((null (cdr l)) (f (cdr l)))
+                   (t (setf (cadr l) (+ (car l) (cadr l))) (f (cdr l)))))""",
+    ),
+    (
+        "write 2 ahead",
+        """(defun f (l)
+             (when l
+               (if (consp (cddr l)) (setf (car (cddr l)) (car l)))
+               (f (cdr l))))""",
+    ),
+    (
+        "write 3 ahead",
+        """(defun f (l)
+             (when l
+               (if (consp (cdddr l)) (setf (car (cdddr l)) (car l)))
+               (f (cdr l))))""",
+    ),
+    (
+        "tail write-behind",
+        """(defun f (l) (when l (f (cdr l)) (setf (car l) (cadr l))))""",
+    ),
+    (
+        "conflict-free printer",
+        """(defun f (l) (when l (print (car l)) (f (cdr l))))""",
+    ),
+]
+
+DEPTH = 10
+
+
+def measure():
+    rows = []
+    all_sound = True
+    tight = True
+    for label, src in WORKLOADS:
+        interp = Interpreter()
+        runner = SequentialRunner(interp)
+        runner.eval_text(src)
+        dyn_name = instrument_function(interp, "f")
+        items = " ".join(str(i) for i in range(1, DEPTH + 1))
+        runner.eval_text(f"(setq d (list {items}))")
+        report = measure_dynamic_conflicts(interp, "f", f"({dyn_name} d)", runner)
+        static = analyze_function(interp, interp.intern("f"), assume_sapp=True)
+        static_min = static.min_distance()
+        dyn_min = report.min_distance()
+        check = cross_check(static, report)
+        all_sound &= check.ok
+        if dyn_min is not None:
+            tight &= static_min == dyn_min
+        rows.append(
+            (label,
+             "∞" if static_min is None else static_min,
+             "∞" if dyn_min is None else dyn_min,
+             dict(sorted(report.distance_histogram.items())),
+             "sound" if check.ok else "UNSOUND")
+        )
+    return rows, all_sound, tight
+
+
+def test_a11_dynamic_validation(benchmark, record_table):
+    rows, all_sound, tight = benchmark(measure)
+    table = format_table(
+        ["workload", "static min d", "observed min d",
+         "observed histogram", "verdict"],
+        [(l, s, d, str(h), v) for l, s, d, h, v in rows],
+    )
+    checks = [
+        shape_check("static ≤ observed on every workload (soundness)",
+                    all_sound),
+        shape_check("static = observed minimum where exercised (precision)",
+                    tight),
+    ]
+    record_table("a11_dynamic_validation", table + "\n" + "\n".join(checks))
+    assert all_sound
+    assert tight

@@ -1,0 +1,89 @@
+"""A9 — §1.2: processes are not "a free and infinite resource".
+
+"Lisp process creation, deletion, and context-switching are noticeably
+more expensive than function invocation ... programmers and program
+transformation systems cannot treat processes as a free and infinite
+resource (cf. Halstead's Multilisp)."
+
+Regenerated artifact: speedup of the CRI-transformed function over the
+sequential original across a spawn-cost sweep, for light and heavy
+per-invocation work.  Shapes: with free processes both workloads speed
+up; as spawn cost rises, the light workload crosses below 1.0 (the
+transformation *hurts*) while the heavy workload keeps most of its gain
+— the granularity rule the paper's cost assumption implies.
+"""
+
+from repro.harness.report import format_table, shape_check
+from repro.harness.workloads import make_int_list, make_synthetic
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+from repro.runtime.clock import CostModel
+from repro.runtime.machine import Machine
+from repro.transform.pipeline import Curare
+
+DEPTH = 16
+SPAWN_COSTS = (0, 20, 80, 320)
+
+
+def sequential_time(source: str) -> int:
+    interp = Interpreter()
+    runner = SequentialRunner(interp)
+    runner.eval_text(source)
+    runner.eval_text(make_int_list(DEPTH))
+    t0 = runner.time
+    runner.eval_text("(f data)")
+    return runner.time - t0
+
+
+def measure():
+    rows = []
+    for label, head, tail in (("light", 2, 10), ("heavy", 10, 120)):
+        work = make_synthetic(head, tail, name="f")
+        seq = sequential_time(work.source)
+        for spawn in SPAWN_COSTS:
+            interp = Interpreter()
+            curare = Curare(interp, assume_sapp=True)
+            curare.load_program(work.source)
+            curare.transform("f")
+            curare.runner.eval_text(make_int_list(DEPTH))
+            machine = Machine(
+                interp, processors=8,
+                cost_model=CostModel(spawn=spawn, context_switch=spawn // 2),
+            )
+            machine.spawn_text("(f-cc data)")
+            stats = machine.run()
+            rows.append(
+                (label, spawn, seq, stats.total_time,
+                 round(seq / stats.total_time, 2))
+            )
+    return rows
+
+
+def test_a9_process_cost(benchmark, record_table):
+    rows = benchmark(measure)
+    table = format_table(
+        ["workload", "spawn cost", "sequential", "concurrent", "speedup"],
+        rows,
+    )
+    by_key = {(r[0], r[1]): r[4] for r in rows}
+    light_degrades = (
+        by_key[("light", 0)] > by_key[("light", 320)]
+    )
+    light_crosses = by_key[("light", 320)] < 1.0
+    heavy_retains = by_key[("heavy", 320)] > 1.0
+    heavy_beats_light = all(
+        by_key[("heavy", s)] >= by_key[("light", s)] for s in SPAWN_COSTS[1:]
+    )
+    checks = [
+        shape_check("speedup degrades with spawn cost (light workload)",
+                    light_degrades),
+        shape_check("light workload crosses below 1.0 at high spawn cost "
+                    "(the transformation hurts)", light_crosses),
+        shape_check("heavy workload keeps speedup > 1.0 even at 320",
+                    heavy_retains),
+        shape_check("granularity rule: heavier invocations tolerate "
+                    "costlier processes", heavy_beats_light),
+    ]
+    record_table("a9_process_cost", table + "\n" + "\n".join(checks))
+    assert light_degrades and light_crosses
+    assert heavy_retains and heavy_beats_light

@@ -1,0 +1,58 @@
+"""F5 — Figure 5 / §2.2: the running-sum function's conflict set.
+
+Paper: accessors A1=cdr, A2=cdr.car (modify), A3=car; τ=cdr.
+"A2 does not conflict with A1 since cdr⁺.car can never be a prefix of
+cdr.  However, A2 ⊙ A3 since cdr.car ≤ cdr⁺.car."
+
+Regenerated artifact: the analyzer's complete conflict list for the
+function, which must be exactly {A2 ⊙ A3 at distance 1} — plus the
+end-to-end check that the transformed function still computes prefix
+sums on the simulated machine.
+"""
+
+from repro.analysis.conflicts import analyze_function
+from repro.harness.report import format_table, shape_check
+from repro.harness.workloads import fig5_source, make_int_list
+from repro.lisp.interpreter import Interpreter
+from repro.runtime.machine import Machine
+from repro.sexpr.printer import write_str
+from repro.transform.pipeline import Curare
+
+
+def analyze_fig5():
+    interp = Interpreter()
+    curare = Curare(interp, assume_sapp=True)
+    curare.load_program(fig5_source())
+    analysis = curare.analyze("f5")
+    result = curare.transform("f5")
+    curare.runner.eval_text(make_int_list(12))
+    machine = Machine(interp, processors=4)
+    machine.spawn_text("(f5-cc data)")
+    machine.run()
+    final = write_str(curare.runner.eval_text("data"))
+    return analysis, result, final, machine.stats
+
+
+def test_fig05_complex_conflict(benchmark, record_table):
+    analysis, result, final, stats = benchmark(analyze_fig5)
+    active = analysis.active_conflicts()
+    rows = [
+        (c.kind, str(c.earlier.accessor), str(c.later.accessor), c.distance)
+        for c in active
+    ]
+    table = format_table(["kind", "ref A", "ref B", "distance"], rows)
+    words = {str(active[0].earlier.accessor), str(active[0].later.accessor)} if active else set()
+    expected_sums = "(" + " ".join(str(sum(range(1, k + 1))) for k in range(1, 13)) + ")"
+    checks = [
+        shape_check("exactly one unresolved conflict", len(active) == 1),
+        shape_check("it is A2 ⊙ A3 (car vs cdr.car)", words == {"car", "cdr.car"}),
+        shape_check("at distance 1", bool(active) and active[0].distance == 1),
+        shape_check("A1 (cdr) appears in no conflict",
+                    all("'cdr'," not in repr(r) for r in rows)),
+        shape_check("2 locks inserted (read + write sides)", result.lock_count == 2),
+        shape_check("machine result is the prefix sums", final == expected_sums),
+    ]
+    record_table("fig05_complex_conflict", table + "\n" + "\n".join(checks))
+    assert len(active) == 1 and active[0].distance == 1
+    assert words == {"car", "cdr.car"}
+    assert final == expected_sums

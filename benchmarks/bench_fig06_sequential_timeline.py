@@ -1,0 +1,62 @@
+"""F6 — Figure 6: the sequential execution timeline.
+
+"In the normal course of recursion, invocations I0..Id execute
+statements from the head of f followed by a phase of executing
+statements from the tail of f as the recursion unwinds."
+
+Regenerated artifact: per-invocation head/tail phase boundaries measured
+from the sequential trace of a head+tail workload — the descend/unwind
+staircase of Figure 6: heads strictly in invocation order, tails
+strictly in *reverse* order, and every tail after every head.
+"""
+
+from repro.harness.report import format_table, shape_check
+from repro.harness.workloads import make_int_list, make_synthetic
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+
+DEPTH = 8
+
+
+def run_sequential_trace():
+    work = make_synthetic(head_work=5, tail_work=5, name="f")
+    # Tag phases with prints: head prints (h i), tail prints (t i).
+    src = """
+    (defun burn (n) (let ((i 0)) (while (< i n) (setq i (1+ i))) i))
+    (defun f (l i)
+      (when l
+        (burn 5)
+        (print (cons 'h i))
+        (f (cdr l) (1+ i))
+        (burn 5)
+        (print (cons 'tl i))))
+    """
+    interp = Interpreter()
+    runner = SequentialRunner(interp)
+    runner.eval_text(src)
+    runner.eval_text(make_int_list(DEPTH))
+    runner.eval_text("(f data 0)")
+    events = [(o.car.name, o.cdr) for o in runner.outputs]
+    return events, runner.time
+
+
+def test_fig06_sequential_timeline(benchmark, record_table):
+    events, total = benchmark(run_sequential_trace)
+    heads = [i for kind, i in events if kind == "h"]
+    tails = [i for kind, i in events if kind == "tl"]
+    first_tail_pos = next(k for k, (kind, _) in enumerate(events) if kind == "tl")
+    rows = [(k, kind, inv) for k, (kind, inv) in enumerate(events)]
+    table = format_table(["step", "phase", "invocation"], rows)
+    checks = [
+        shape_check("heads run in invocation order (descend)",
+                    heads == sorted(heads)),
+        shape_check("tails run in reverse order (unwind)",
+                    tails == sorted(tails, reverse=True)),
+        shape_check("every tail phase follows every head phase",
+                    all(kind == "h" for kind, _ in events[:first_tail_pos])
+                    and all(kind == "tl" for kind, _ in events[first_tail_pos:])),
+    ]
+    record_table("fig06_sequential_timeline",
+                 table + f"\ntotal time: {total}\n" + "\n".join(checks))
+    assert heads == sorted(heads)
+    assert tails == sorted(tails, reverse=True)

@@ -1,0 +1,79 @@
+"""F7 / A1 — Figure 7 and the §3.1 concurrency formula (|H|+|T|)/|H|.
+
+"The number of processes that execute simultaneously — the concurrency
+of the system — is given by (|H_f|+|T_f|)/|H_f|."
+
+Regenerated artifact: a (head, tail) grid comparing the analytic
+concurrency (with h, t measured *dynamically* in interpreter cost units,
+the same unit the machine charges) against the machine's measured mean
+concurrency with synchronization costs zeroed (FREE_SYNC isolates the
+model).  Shapes: tail-recursive rows (t≈0) pin near 1; measured grows
+with (h+t)/h; measured stays within a generous band of predicted
+(finite depth, spawn placement, and processor count blur the ideal).
+"""
+
+from repro.harness.report import format_table, shape_check
+from repro.harness.workloads import burn_cost, make_int_list, make_synthetic
+from repro.lisp.interpreter import Interpreter
+from repro.model.concurrency import cri_concurrency
+from repro.runtime.clock import FREE_SYNC
+from repro.runtime.machine import Machine
+from repro.transform.pipeline import Curare
+
+GRID = [(30, 0), (30, 30), (30, 90), (15, 105), (10, 110)]
+DEPTH = 24
+PROCESSORS = 16
+#: Fixed per-invocation overhead beyond the burn loops (call, test,
+#: let, spawn bookkeeping) — calibrated once below.
+def measure_grid():
+    rows = []
+    # Calibrate the dynamic cost of one burn unit.
+    base = burn_cost(0)
+    per_unit = (burn_cost(100) - base) / 100.0
+    overhead = 14  # measured once: call+when+let+spawn skeleton
+
+    for head, tail in GRID:
+        work = make_synthetic(head, tail, name="f")
+        interp = Interpreter()
+        curare = Curare(interp, assume_sapp=True)
+        curare.load_program(work.source)
+        curare.transform("f")
+        h_dyn = base + per_unit * head + overhead
+        t_dyn = base + per_unit * tail
+        predicted = cri_concurrency(h_dyn, t_dyn)
+        curare.runner.eval_text(make_int_list(DEPTH))
+        machine = Machine(interp, processors=PROCESSORS, cost_model=FREE_SYNC)
+        machine.spawn_text("(f-cc data)")
+        stats = machine.run()
+        rows.append(
+            (head, tail, round(h_dyn), round(t_dyn),
+             round(predicted, 2), round(stats.mean_concurrency, 2))
+        )
+    return rows
+
+
+def test_fig07_cri_concurrency(benchmark, record_table):
+    rows = benchmark(measure_grid)
+    table = format_table(
+        ["head work", "tail work", "h (dyn)", "t (dyn)",
+         "predicted (h+t)/h", "measured"],
+        rows,
+    )
+    predictions = [r[4] for r in rows]
+    measured = [r[5] for r in rows]
+    pairs = sorted(zip(predictions, measured))
+    monotone = all(m2 >= m1 - 0.2 for (_, m1), (_, m2) in zip(pairs, pairs[1:]))
+    in_band = all(
+        p / 2.0 - 0.5 <= m <= p * 1.5 + 0.5
+        for p, m in zip(predictions, measured)
+    )
+    checks = [
+        shape_check("tail-recursive (t≈0) measured concurrency ≈ 1",
+                    measured[0] < 1.6),
+        shape_check("measured grows with predicted (monotone)", monotone),
+        shape_check("measured within band of predicted", in_band),
+    ]
+    record_table("fig07_cri_concurrency", table + "\n" + "\n".join(checks))
+    assert measured[0] < 1.6
+    assert monotone
+    assert in_band

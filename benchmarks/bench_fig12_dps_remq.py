@@ -1,0 +1,99 @@
+"""F12 — Figures 12/13 and §5: remq → remq-d (destination-passing style).
+
+"Although these functions can execute concurrently with the aid of
+futures, their transformed versions need not incur the overhead of
+these devices."
+
+Regenerated artifact: remq over growing inputs in three forms —
+sequential original, future-based CRI (prefer_dps=False), and DPS CRI —
+with correctness checks and the paper's overhead claim measured as
+*device counts*: the future variant allocates one future per invocation
+(and synchronizes through them), the DPS variant allocates none.
+Absolute times also show §1.2's caveat: with tiny per-invocation work,
+per-process spawn cost dominates and neither concurrent variant beats
+sequential — concurrency pays off only when invocations carry real work
+(bench F7/A1 shows that side).
+"""
+
+from repro.harness.report import format_table, shape_check
+from repro.harness.workloads import remq_source
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+from repro.runtime.machine import Machine
+from repro.sexpr.printer import write_str
+from repro.transform.pipeline import Curare
+
+SIZES = (8, 16, 32)
+
+
+def list_with_ones(n: int) -> str:
+    items = " ".join("1" if i % 2 == 0 else str(i) for i in range(n))
+    return f"(setq src (list {items}))"
+
+
+def expected(n: int) -> str:
+    kept = [str(i) for i in range(n) if i % 2 != 0 and i != 1]
+    return "(" + " ".join(kept) + ")" if kept else "nil"
+
+
+def run_all():
+    rows = []
+    for n in SIZES:
+        # Sequential baseline.
+        interp = Interpreter()
+        runner = SequentialRunner(interp)
+        runner.eval_text(remq_source())
+        runner.eval_text(list_with_ones(n))
+        t0 = runner.time
+        runner.eval_text("(setq out (remq 1 src))")
+        seq_time = runner.time - t0
+        ref = write_str(runner.eval_text("out"))
+
+        results = {"seq": (seq_time, ref, 0)}
+        for label, prefer in (("future", False), ("dps", True)):
+            i2 = Interpreter()
+            curare = Curare(i2, assume_sapp=True)
+            curare.load_program(remq_source())
+            curare.transform("remq", prefer_dps=prefer)
+            curare.runner.eval_text(list_with_ones(n))
+            machine = Machine(i2, processors=4)
+            machine.spawn_text("(setq out (remq-cc 1 src))")
+            stats = machine.run()
+            got = write_str(curare.runner.eval_text("out"))
+            futures = sum(
+                1 for p in machine.processes.values() if p.label == "future"
+            )
+            results[label] = (stats.total_time, got, futures)
+        rows.append((n, ref, results))
+    return rows
+
+
+def test_fig12_dps_remq(benchmark, record_table):
+    rows = benchmark(run_all)
+    table_rows = []
+    all_correct = True
+    device_free = True
+    for n, ref, results in rows:
+        seq_t, _, _ = results["seq"]
+        fut_t, fut_out, fut_devices = results["future"]
+        dps_t, dps_out, dps_devices = results["dps"]
+        all_correct &= fut_out == ref == expected(n) and dps_out == ref
+        device_free &= dps_devices == 0 and fut_devices >= n // 2
+        table_rows.append((n, seq_t, fut_t, dps_t, fut_devices, dps_devices))
+    table = format_table(
+        ["n", "sequential", "future CRI", "DPS CRI",
+         "futures allocated (future)", "futures allocated (DPS)"],
+        table_rows,
+    )
+    checks = [
+        shape_check("every variant returns the exact sequential result",
+                    all_correct),
+        shape_check(
+            "DPS incurs zero future devices; the future variant pays one "
+            "per surviving invocation (§5's overhead claim)",
+            device_free,
+        ),
+    ]
+    record_table("fig12_dps_remq", table + "\n" + "\n".join(checks))
+    assert all_correct
+    assert device_free

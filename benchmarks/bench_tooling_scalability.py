@@ -1,0 +1,98 @@
+"""Engineering benchmark (not a paper artifact): tool scalability.
+
+Curare is a compiler; its own cost matters.  This bench tracks how the
+analyzer scales with function size and how the simulated machine scales
+with recursion depth — guarding against accidental quadratic blowups in
+the conflict pairing or the scheduler.
+"""
+
+import time
+
+from repro.harness.report import format_table, shape_check
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+from repro.runtime.machine import Machine
+from repro.transform.pipeline import Curare
+
+
+def synth_function(statements: int) -> str:
+    body = "\n    ".join(
+        f"(setf (car l) (+ (car l) {k}))" for k in range(statements)
+    )
+    return f"""
+(defun f (l)
+  (when l
+    {body}
+    (f (cdr l))))
+"""
+
+
+def analyzer_scaling():
+    rows = []
+    for statements in (4, 8, 16, 32):
+        interp = Interpreter()
+        SequentialRunner(interp).eval_text(synth_function(statements))
+        curare = Curare(interp, assume_sapp=True)
+        start = time.perf_counter()
+        analysis = curare.analyze("f")
+        elapsed = time.perf_counter() - start
+        rows.append((statements, len(analysis.heap_refs),
+                     len(analysis.conflicts), round(elapsed * 1000, 1)))
+    return rows
+
+
+def machine_scaling():
+    rows = []
+    for depth in (16, 32, 64, 128):
+        interp = Interpreter()
+        curare = Curare(interp, assume_sapp=True)
+        curare.load_program(
+            "(defun w (l) (when l (setf (car l) 0) (w (cdr l))))"
+        )
+        curare.transform("w")
+        items = " ".join(["1"] * depth)
+        curare.runner.eval_text(f"(setq d (list {items}))")
+        machine = Machine(interp, processors=4)
+        machine.spawn_text("(w-cc d)")
+        start = time.perf_counter()
+        machine.run()
+        elapsed = time.perf_counter() - start
+        rows.append((depth, machine.stats.total_time,
+                     round(elapsed * 1000, 1)))
+    return rows
+
+
+def test_tooling_scalability(benchmark, record_table):
+    analyzer_rows, machine_rows = benchmark(
+        lambda: (analyzer_scaling(), machine_scaling())
+    )
+    table_a = format_table(
+        ["body statements", "heap refs", "conflict pairs", "analyze ms"],
+        analyzer_rows,
+    )
+    table_m = format_table(
+        ["recursion depth", "simulated steps", "wall ms"], machine_rows
+    )
+    # Growth guards: 8x statements → well under 64x·margin analyzer time
+    # (the pairing is quadratic in refs but refs are linear in size);
+    # 8x depth → roughly linear machine time.
+    a_small, a_big = analyzer_rows[0][3] or 0.1, analyzer_rows[-1][3]
+    m_small, m_big = machine_rows[0][2] or 0.1, machine_rows[-1][2]
+    checks = [
+        shape_check(
+            f"analyzer growth bounded (x{round(a_big / a_small, 1)} for "
+            "8x statements, quadratic pairing budget 120x)",
+            a_big / a_small < 120,
+        ),
+        shape_check(
+            f"machine growth near-linear (x{round(m_big / m_small, 1)} "
+            "for 8x depth, budget 24x)",
+            m_big / m_small < 24,
+        ),
+    ]
+    record_table(
+        "tooling_scalability",
+        table_a + "\n\n" + table_m + "\n" + "\n".join(checks),
+    )
+    assert a_big / a_small < 120
+    assert m_big / m_small < 24

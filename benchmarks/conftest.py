@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (figure or analytic
+result — see DESIGN.md's experiment index), writes its table to
+``benchmarks/results/<name>.txt``, and asserts the paper's *shape*
+claims.  ``pytest benchmarks/ --benchmark-only`` runs them all;
+EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Write a named result table to benchmarks/results/ and echo it."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _write
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Concatenate every per-experiment result into SUMMARY.txt and print
+    it, so a captured bench run ends with all regenerated artifacts."""
+    if not RESULTS_DIR.is_dir():
+        return
+    parts = []
+    for path in sorted(RESULTS_DIR.glob("*.txt")):
+        if path.name == "SUMMARY.txt":
+            continue
+        parts.append(f"=== {path.stem} ===\n{path.read_text().rstrip()}")
+    if not parts:
+        return
+    summary = "\n\n".join(parts) + "\n"
+    (RESULTS_DIR / "SUMMARY.txt").write_text(summary)
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is not None:
+        terminal.write_line("")
+        terminal.write_line("regenerated paper artifacts (benchmarks/results/):")
+        for line in summary.splitlines():
+            terminal.write_line(line)

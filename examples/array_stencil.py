@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Arrays: the FORTRAN techniques applied to Lisp arrays (§2).
+
+A prefix-sum stencil (``a[i+1] += a[i]``) has a loop-carried dependence
+at distance 1; a relaxation stencil writing two ahead carries it at
+distance 2; a gather (``b[i] = f(a[i])``) carries none.  Curare's
+constant-offset dependence test classifies each, inserts element locks
+where needed, and the machine shows concurrency pinned at exactly the
+dependence distance — with the independent gather running at full
+width.
+
+Also shown: the paper's footnote-1 case ``a[a[i]]`` (double
+indirection), which defeats the FORTRAN techniques and degrades to the
+conservative answer.
+
+Run:  python examples/array_stencil.py
+"""
+
+from repro import Curare, Interpreter, Machine
+from repro.declare import DeclarationRegistry, NoAliasDecl
+from repro.harness import format_table
+from repro.runtime.clock import FREE_SYNC
+
+N = 24
+
+KERNELS = {
+    "prefix-sum (dist 1)": """
+        (defun k (v i n)
+          (when (< i n)
+            (setf (aref v (1+ i)) (+ (aref v (1+ i)) (aref v i)))
+            (k v (1+ i) n)
+            (burn 25)))
+    """,
+    "relax-2 (dist 2)": """
+        (defun k (v i n)
+          (when (< i n)
+            (setf (aref v (+ i 2)) (+ (aref v (+ i 2)) (aref v i)))
+            (k v (1+ i) n)
+            (burn 25)))
+    """,
+    "gather (independent)": """
+        (defun k (v out i n)
+          (when (< i n)
+            (setf (aref out i) (* 2 (aref v i)))
+            (k v out (1+ i) n)
+            (burn 25)))
+    """,
+    "a[a[i]] (footnote 1)": """
+        (defun k (v i n)
+          (when (< i n)
+            (setf (aref v (aref v i)) 0)
+            (k v (1+ i) n)
+            (burn 25)))
+    """,
+}
+
+BURN = "(declaim (pure burn))" \
+    "(defun burn (m) (let ((j 0)) (while (< j m) (setq j (1+ j))) j))"
+
+
+def main() -> None:
+    rows = []
+    for label, kernel in KERNELS.items():
+        interp = Interpreter()
+        decls = DeclarationRegistry([NoAliasDecl("k")])
+        curare = Curare(interp, decls=decls, assume_sapp=True)
+        curare.load_program(BURN + kernel)
+        result = curare.transform("k")
+        analysis = result.analysis
+        distance = analysis.min_distance()
+        gather = "out" in kernel
+        curare.runner.eval_text(f"(setq v (make-array {N + 4} 1))")
+        call = f"(k-cc v 0 {N})"
+        if gather:
+            curare.runner.eval_text(f"(setq out (make-array {N + 4} 0))")
+            call = f"(k-cc v out 0 {N})"
+        machine = Machine(interp, processors=8, cost_model=FREE_SYNC)
+        machine.spawn_text(call)
+        stats = machine.run()
+        rows.append(
+            (label, "∞" if distance is None else distance,
+             result.lock_count, round(stats.mean_concurrency, 2))
+        )
+        print(f";; {label}")
+        for c in analysis.active_conflicts():
+            print(f";;   {c.describe()}")
+        if not analysis.active_conflicts():
+            print(";;   no conflicts")
+    print()
+    print(format_table(
+        ["kernel", "dependence distance", "locks", "measured concurrency"],
+        rows,
+    ))
+    print()
+    print(";; concurrency pins at the dependence distance — the FORTRAN")
+    print(";; rule, running on Lisp arrays.")
+
+
+if __name__ == "__main__":
+    main()

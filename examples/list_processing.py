@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""List processing: the remq story (paper §5, Figures 12 and 13).
+
+``remq`` builds a fresh list — its recursive calls return values that
+are only *stored*, never inspected.  Curare offers two routes to
+concurrency:
+
+* futures (Multilisp): each recursive call becomes ``(future ...)``;
+  transparent on read, but one future allocated per invocation;
+* destination-passing style: the recursion writes into a destination
+  cell passed down, so there is no return value at all — and the stores
+  are conflict-free by provenance (each destination is freshly consed).
+
+This example runs both, prints the generated code, and compares device
+overhead — then shows a workload with per-element work where the DPS
+version actually overlaps invocations.
+
+Run:  python examples/list_processing.py
+"""
+
+from repro import Curare, Interpreter, Machine
+from repro.runtime.clock import FREE_SYNC
+from repro.sexpr import pretty_str, write_str
+
+REMQ = """
+(defun remq (obj lst)
+  (cond ((null lst) nil)
+        ((eq obj (car lst)) (remq obj (cdr lst)))
+        (t (cons (car lst) (remq obj (cdr lst))))))
+"""
+
+# A filtering map with per-element work: enough tail computation that
+# concurrent invocations overlap.
+HEAVY = """
+(declaim (pure slow-square))
+(defun slow-square (x)
+  (let ((i 0)) (while (< i 30) (setq i (1+ i))) (* x x)))
+(defun square-list (lst)
+  (if (null lst)
+      nil
+      (cons (slow-square (car lst)) (square-list (cdr lst)))))
+"""
+
+
+def run_variant(label: str, prefer_dps: bool) -> None:
+    interp = Interpreter()
+    curare = Curare(interp, assume_sapp=True)
+    curare.load_program(REMQ)
+    result = curare.transform("remq", prefer_dps=prefer_dps)
+    print(f";; --- {label} ---")
+    print(pretty_str(result.final_form))
+    for form in result.extra_forms:
+        print(pretty_str(form))
+    curare.runner.eval_text("(setq src (list 1 2 1 3 1 4 1 5))")
+    machine = Machine(interp, processors=4)
+    machine.spawn_text("(setq out (remq-cc 1 src))")
+    stats = machine.run()
+    futures = sum(1 for p in machine.processes.values() if p.label == "future")
+    print(f";; result: {write_str(curare.runner.eval_text('out'))}")
+    print(
+        f";; {stats.total_time} steps, {stats.processes} processes, "
+        f"{futures} future device(s)"
+    )
+    print()
+
+
+def run_heavy() -> None:
+    print(";; --- DPS with real per-element work: measurable overlap ---")
+    interp = Interpreter()
+    curare = Curare(interp, assume_sapp=True)
+    curare.load_program(HEAVY)
+    curare.transform("square-list")
+
+    # Sequential time.
+    curare.runner.eval_text("(setq src (list 1 2 3 4 5 6 7 8 9 10 11 12))")
+    start = curare.runner.time
+    curare.runner.eval_text("(setq ref (square-list src))")
+    seq_time = curare.runner.time - start
+
+    # Concurrent time (sync costs zeroed to show the algorithmic overlap).
+    machine = Machine(interp, processors=6, cost_model=FREE_SYNC)
+    machine.spawn_text("(setq out (square-list-cc src))")
+    stats = machine.run()
+    got = write_str(curare.runner.eval_text("out"))
+    expected = write_str(curare.runner.eval_text("ref"))
+    assert got == expected, (got, expected)
+    print(f";; result:             {got}")
+    print(f";; sequential:         {seq_time} steps")
+    print(f";; concurrent (6 cpu): {stats.total_time} steps "
+          f"(speedup {seq_time / stats.total_time:.2f}x, "
+          f"concurrency {stats.mean_concurrency:.2f})")
+
+
+def main() -> None:
+    run_variant("future-based CRI (prefer_dps=False)", prefer_dps=False)
+    run_variant("destination-passing CRI (prefer_dps=True)", prefer_dps=True)
+    run_heavy()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: Curare end to end on the paper's Figure 5 function.
+
+Takes the running-sum recursion through the whole pipeline:
+analyze → report conflicts → transform (spawns + locks) → run on the
+simulated multiprocessor → verify against the sequential result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Curare, Interpreter, Machine
+from repro.runtime import check_conflict_order
+from repro.sexpr import pretty_str, write_str
+
+PROGRAM = """
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+"""
+
+
+def main() -> None:
+    interp = Interpreter()
+    curare = Curare(interp, assume_sapp=True)
+    curare.load_program(PROGRAM)
+
+    # 1. Analyze and transform.  The report is the §6 feedback channel:
+    #    it shows the A2 ⊙ A3 conflict at distance 1 and the locks that
+    #    resolve it.
+    result = curare.transform("f5")
+    print(result.report())
+    print()
+    print(";; transformed source:")
+    print(pretty_str(result.final_form))
+    print()
+
+    # 2. Sequential reference.
+    curare.runner.eval_text("(setq reference (list 1 2 3 4 5 6 7 8))")
+    curare.runner.eval_text("(f5 reference)")
+    expected = write_str(curare.runner.eval_text("reference"))
+    print(f";; sequential result:  {expected}")
+
+    # 3. Concurrent run on a 4-processor machine.
+    curare.runner.eval_text("(setq data (list 1 2 3 4 5 6 7 8))")
+    machine = Machine(interp, processors=4)
+    machine.spawn_text("(f5-cc data)")
+    stats = machine.run()
+    got = write_str(curare.runner.eval_text("data"))
+    print(f";; concurrent result: {got}")
+    print(
+        f";; machine: {stats.total_time} steps, {stats.processes} processes, "
+        f"mean concurrency {stats.mean_concurrency:.2f}"
+    )
+
+    # 4. Verify the §3.1.1 criterion.
+    assert got == expected, "sequentializability violated!"
+    order = check_conflict_order(machine.trace)
+    assert order.ok, order.violations
+    print(";; conflict order matches invocation order — sequentializable ✓")
+    print()
+    print(
+        ";; Note the concurrency ≈ 1: the distance-1 conflict serializes\n"
+        ";; the invocations, exactly as min(dᵢ) predicts (§3.2.1).  See\n"
+        ";; examples/list_processing.py for a workload that actually\n"
+        ";; speeds up."
+    )
+
+
+if __name__ == "__main__":
+    main()

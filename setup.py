@@ -1,0 +1,20 @@
+"""Setup shim.
+
+The execution environment is offline with an older setuptools and no
+``wheel`` package, so PEP-660 editable installs are unavailable; this
+legacy ``setup.py`` keeps ``pip install -e .`` working there.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Curare reproduction: restructuring Lisp programs for concurrent "
+        "execution (Larus, 1987/88)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

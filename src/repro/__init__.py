@@ -1,0 +1,57 @@
+"""repro — a reproduction of Curare: Restructuring Lisp Programs for
+Concurrent Execution (James R. Larus, UCB/CSD 87/344; PPEALS/PPOPP 1988).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sexpr`     — S-expression reader/printer and datum model
+* :mod:`repro.lisp`      — mini-Lisp interpreter (effect-generator style)
+* :mod:`repro.ir`        — typed IR, CFG, dominators
+* :mod:`repro.paths`     — §2 access-path formalism (accessor regexes,
+  transfer functions, conflict distances, SAPP)
+* :mod:`repro.analysis`  — recursion / head-tail / conflict analysis
+* :mod:`repro.declare`   — §6 declarations
+* :mod:`repro.transform` — CRI, locking, delay, reorder, iteration, DPS
+* :mod:`repro.runtime`   — simulated multiprocessor, server pools,
+  sequentializability checking
+* :mod:`repro.model`     — the paper's closed-form performance model
+* :mod:`repro.harness`   — workload generators and experiment helpers
+
+Quickstart::
+
+    from repro import Curare, Interpreter, Machine
+
+    interp = Interpreter()
+    curare = Curare(interp, assume_sapp=True)
+    curare.load_program('''
+        (defun f (l)
+          (cond ((null l) nil)
+                ((null (cdr l)) (f (cdr l)))
+                (t (setf (cadr l) (+ (car l) (cadr l)))
+                   (f (cdr l)))))
+    ''')
+    result = curare.transform("f")
+    print(result.report())
+
+    curare.runner.eval_text("(setq data (list 1 2 3 4))")
+    machine = Machine(interp, processors=4)
+    machine.spawn_text("(f-cc data)")
+    machine.run()
+"""
+
+from repro.lisp import Interpreter, SequentialRunner
+from repro.runtime import CostModel, Machine, run_server_pool
+from repro.transform import Curare
+from repro.declare import DeclarationRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "Curare",
+    "DeclarationRegistry",
+    "Interpreter",
+    "Machine",
+    "SequentialRunner",
+    "run_server_pool",
+    "__version__",
+]

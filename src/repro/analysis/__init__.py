@@ -1,0 +1,58 @@
+"""Program analysis: recursion structure, head/tail partition, transfer
+functions, and conflict detection (paper §2 and §3.1).
+
+The main entry point is :func:`~repro.analysis.conflicts.analyze_function`,
+which produces a :class:`~repro.analysis.conflicts.FunctionAnalysis`
+bundling everything the transformer needs: the function's self-calls and
+their classification, the head/tail partition with |H|/|T| measures,
+per-parameter transfer functions, and the conflict list with distances.
+"""
+
+from repro.analysis.recursion import (
+    CallClassification,
+    RecursionInfo,
+    analyze_recursion,
+    value_contexts,
+)
+from repro.analysis.headtail import HeadTail, partition_head_tail, static_cost
+from repro.analysis.variables import VariableInfo, parameter_transfers
+from repro.analysis.conflicts import (
+    Conflict,
+    FunctionAnalysis,
+    MemoryRef,
+    analyze_function,
+    collect_memory_refs,
+)
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.dynamic import (
+    DynamicReport,
+    cross_check,
+    instrument_function,
+    measure_dynamic_conflicts,
+)
+from repro.analysis.report import FeedbackReport, explain
+
+__all__ = [
+    "CallClassification",
+    "CallGraph",
+    "Conflict",
+    "DynamicReport",
+    "FeedbackReport",
+    "FunctionAnalysis",
+    "HeadTail",
+    "MemoryRef",
+    "RecursionInfo",
+    "VariableInfo",
+    "analyze_function",
+    "analyze_recursion",
+    "build_call_graph",
+    "collect_memory_refs",
+    "cross_check",
+    "instrument_function",
+    "measure_dynamic_conflicts",
+    "explain",
+    "parameter_transfers",
+    "partition_head_tail",
+    "static_cost",
+    "value_contexts",
+]

@@ -1,0 +1,218 @@
+"""Array dependence analysis (paper §2, second paragraph).
+
+"The FORTRAN-restructuring literature contains an extensive discussion
+of the techniques for detecting conflicts among accesses to arrays ...
+The techniques developed for FORTRAN can be applied to Lisp arrays
+also."
+
+This module is that application, for the subscript class those
+techniques handle exactly: *constant-offset* subscripts ``i + c`` of an
+induction parameter ``i`` that steps by a constant per invocation
+(``(f v (+ i s))``).  A write ``a[i+c1]`` in one invocation and an
+access ``a[i+c2]`` in an invocation d later touch the same element iff
+
+    c1 = d·s + c2      ⇒      d = (c1 − c2) / s
+
+— a one-equation Banerjee/GCD test.  Subscripts outside the class
+(``a[a[i]]``, the double indirection the paper calls out as what
+"most FORTRAN transformation systems will not work on") degrade to an
+unknown-index reference that conflicts at every distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir import nodes as N
+from repro.sexpr.datum import Symbol
+
+
+@dataclass
+class NumericStep:
+    """Induction info for a parameter: new = old + step each invocation."""
+
+    step: int
+
+
+@dataclass
+class ArrayRef:
+    """One static array element reference.
+
+    ``array`` is the (parameter) variable holding the vector; the index
+    is ``index_var + offset`` when resolvable, else ``unknown_index``.
+    """
+
+    node: N.Node
+    array: Symbol
+    is_write: bool
+    index_var: Optional[Symbol] = None
+    offset: int = 0
+    unknown_index: bool = False
+
+    def describe(self) -> str:
+        rw = "write" if self.is_write else "read"
+        if self.unknown_index:
+            return f"{rw} {self.array}[?]"
+        sign = f"+{self.offset}" if self.offset >= 0 else str(self.offset)
+        return f"{rw} {self.array}[{self.index_var}{sign if self.offset else ''}]"
+
+
+def resolve_index(expr: N.Node) -> Optional[tuple[Symbol, int]]:
+    """Match ``i``, ``(+ i c)``, ``(+ c i)``, ``(- i c)``, ``(1+ i)``,
+    ``(1- i)`` — the constant-offset subscript class."""
+    if isinstance(expr, N.Var):
+        return (expr.name, 0)
+    if isinstance(expr, N.Call):
+        name = expr.fn.name
+        args = expr.args
+        if name == "1+" and len(args) == 1 and isinstance(args[0], N.Var):
+            return (args[0].name, 1)
+        if name == "1-" and len(args) == 1 and isinstance(args[0], N.Var):
+            return (args[0].name, -1)
+        if name in ("+", "-") and len(args) == 2:
+            a, b = args
+            if isinstance(a, N.Var) and isinstance(b, N.Const) and isinstance(b.value, int):
+                return (a.name, b.value if name == "+" else -b.value)
+            if (
+                name == "+"
+                and isinstance(b, N.Var)
+                and isinstance(a, N.Const)
+                and isinstance(a.value, int)
+            ):
+                return (b.name, a.value)
+    return None
+
+
+def numeric_steps(func: N.FuncDef) -> dict[Symbol, Optional[NumericStep]]:
+    """Per-parameter numeric induction step, merged over self-call sites.
+
+    None means the parameter is not a constant-step induction variable
+    (different steps at different sites also yield None — the
+    flow-insensitive merge, as with accessor transfers).
+    """
+    out: dict[Symbol, Optional[NumericStep]] = {}
+    calls = func.self_calls()
+    if not calls:
+        return {p: None for p in func.params}
+    for position, param in enumerate(func.params):
+        steps: set[int] = set()
+        ok = True
+        for call in calls:
+            if position >= len(call.args):
+                ok = False
+                break
+            resolved = resolve_index(call.args[position])
+            if resolved is None or resolved[0] is not param:
+                ok = False
+                break
+            steps.add(resolved[1])
+        if ok and len(steps) == 1:
+            out[param] = NumericStep(steps.pop())
+        else:
+            out[param] = None
+    return out
+
+
+def collect_array_refs(func: N.FuncDef, params: set[Symbol]) -> list[ArrayRef]:
+    """All aref/aset references whose array is a parameter."""
+    refs: list[ArrayRef] = []
+    for node in func.walk():
+        if not isinstance(node, N.Call):
+            continue
+        if node.fn.name == "aref" and len(node.args) == 2:
+            is_write = False
+        elif node.fn.name == "aset" and len(node.args) == 3:
+            is_write = True
+        else:
+            continue
+        base = node.args[0]
+        if not (isinstance(base, N.Var) and base.name in params):
+            continue  # non-parameter arrays handled by the general layer
+        resolved = resolve_index(node.args[1])
+        if resolved is None:
+            refs.append(
+                ArrayRef(node, base.name, is_write, unknown_index=True)
+            )
+        else:
+            refs.append(
+                ArrayRef(node, base.name, is_write,
+                         index_var=resolved[0], offset=resolved[1])
+            )
+    return refs
+
+
+@dataclass
+class ArrayConflict:
+    earlier: ArrayRef
+    later: ArrayRef
+    kind: str  # flow | anti | output
+    distance: Optional[int]  # None = every distance (unknown index/step)
+
+    def describe(self) -> str:
+        d = self.distance if self.distance is not None else "any"
+        return (
+            f"array {self.kind}: {self.earlier.describe()} ⊙ "
+            f"{self.later.describe()} at distance {d}"
+        )
+
+
+def _kind(a: ArrayRef, b: ArrayRef) -> str:
+    if a.is_write and b.is_write:
+        return "output"
+    return "flow" if a.is_write else "anti"
+
+
+def array_conflicts(
+    refs: list[ArrayRef],
+    steps: dict[Symbol, Optional[NumericStep]],
+) -> list[ArrayConflict]:
+    """Pairwise constant-offset dependence test.
+
+    For refs a (earlier invocation) and b (d invocations later) on the
+    same array with subscripts i+c_a and i+c_b and induction step s:
+    the same element is touched iff c_a = d·s + c_b.
+    """
+    out: list[ArrayConflict] = []
+    n = len(refs)
+    for x in range(n):
+        for y in range(n):
+            a, b = refs[x], refs[y]
+            if x >= y and a is b and not a.is_write:
+                continue
+            if x > y:
+                continue  # ordered pairs once; both directions below
+            if a.array is not b.array:
+                continue  # cross-array aliasing is the no-alias layer's job
+            if not (a.is_write or b.is_write):
+                continue
+            if a.unknown_index or b.unknown_index:
+                out.append(ArrayConflict(a, b, _kind(a, b), None))
+                continue
+            if a.index_var is not b.index_var:
+                out.append(ArrayConflict(a, b, _kind(a, b), None))
+                continue
+            step_info = steps.get(a.index_var)
+            if step_info is None or step_info.step == 0:
+                # Not an induction variable (or a constant index): same
+                # element every invocation → distance 1 conflict, unless
+                # offsets literally differ on a zero step.
+                if step_info is not None and a.offset != b.offset:
+                    continue
+                out.append(ArrayConflict(a, b, _kind(a, b),
+                                         1 if step_info is not None else None))
+                continue
+            s = step_info.step
+            best: Optional[int] = None
+            # Direction 1: a in the earlier invocation.
+            delta = a.offset - b.offset
+            if delta % s == 0 and delta // s >= 1:
+                best = delta // s
+            # Direction 2: b in the earlier invocation.
+            delta2 = b.offset - a.offset
+            if delta2 % s == 0 and delta2 // s >= 1:
+                d2 = delta2 // s
+                best = d2 if best is None else min(best, d2)
+            if best is not None:
+                out.append(ArrayConflict(a, b, _kind(a, b), best))
+    return out

@@ -1,0 +1,96 @@
+"""Call graph over the functions defined in an interpreter (§4.1's
+"program generally contains many recursive functions, some of which
+invoke each other")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.ir import nodes as N
+from repro.ir.lower import lower_function
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.values import Closure
+from repro.sexpr.datum import Symbol
+
+
+@dataclass
+class CallGraph:
+    """callers/callees among user-defined functions."""
+
+    callees: dict[Symbol, set[Symbol]] = field(default_factory=dict)
+    callers: dict[Symbol, set[Symbol]] = field(default_factory=dict)
+    functions: dict[Symbol, N.FuncDef] = field(default_factory=dict)
+
+    def add_edge(self, caller: Symbol, callee: Symbol) -> None:
+        self.callees.setdefault(caller, set()).add(callee)
+        self.callers.setdefault(callee, set()).add(caller)
+
+    def directly_recursive(self) -> set[Symbol]:
+        return {f for f, cs in self.callees.items() if f in cs}
+
+    def strongly_connected_components(self) -> list[set[Symbol]]:
+        """Tarjan SCCs — mutual-recursion groups."""
+        index: dict[Symbol, int] = {}
+        low: dict[Symbol, int] = {}
+        on_stack: set[Symbol] = set()
+        stack: list[Symbol] = []
+        out: list[set[Symbol]] = []
+        counter = [0]
+
+        def strongconnect(v: Symbol) -> None:
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in self.callees.get(v, ()):
+                if w not in self.functions:
+                    continue
+                if w not in index:
+                    strongconnect(w)
+                    low[v] = min(low[v], low[w])
+                elif w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if low[v] == index[v]:
+                comp: set[Symbol] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.add(w)
+                    if w is v:
+                        break
+                out.append(comp)
+
+        for v in self.functions:
+            if v not in index:
+                strongconnect(v)
+        return out
+
+    def mutually_recursive_groups(self) -> list[set[Symbol]]:
+        """SCCs of size > 1, or size 1 with a self-loop."""
+        return [
+            c
+            for c in self.strongly_connected_components()
+            if len(c) > 1 or next(iter(c)) in self.callees.get(next(iter(c)), set())
+        ]
+
+
+def build_call_graph(
+    interp: Interpreter, names: Optional[Iterable[Symbol]] = None
+) -> CallGraph:
+    """Lower every named (default: all user-defined) function and record
+    its static call edges."""
+    graph = CallGraph()
+    if names is None:
+        names = [
+            name
+            for name, fn in interp.functions.items()
+            if isinstance(fn, Closure) and name in interp.source_forms
+        ]
+    for name in names:
+        func = lower_function(interp, name)
+        graph.functions[name] = func
+        for node in func.walk():
+            if isinstance(node, N.Call):
+                graph.add_edge(name, node.fn)
+    return graph

@@ -1,0 +1,121 @@
+"""Head/tail partition and the |H|, |T| measures (paper §3.1).
+
+Definition: a statement is in the **tail** T_f iff it is not a recursive
+call and is dominated by a recursive call; everything else (including
+every recursive call) is the **head** H_f.  The head is "all statements
+that might execute before a recursive call".
+
+|H| and |T| are "some measure of the execution time spent in each set"
+(the paper defers to Sarkar & Hennessy); here they are static instruction
+counts under a per-node-kind cost table, the same unit the simulated
+machine charges, so the analytic concurrency (|H|+|T|)/|H| and measured
+machine concurrency are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir import nodes as N
+from repro.ir.cfg import CFG, ENTRY, EXIT, build_cfg
+from repro.ir.dominators import compute_dominators
+
+
+#: Static cost of evaluating one IR node, mirroring the interpreter's
+#: Tick charges (one unit per dispatch; memory touches charged where the
+#: interpreter charges them).
+DEFAULT_NODE_COSTS: dict[type, int] = {
+    N.Const: 0,
+    N.Quote: 0,
+    N.Var: 1,
+    N.FunctionRef: 1,
+    N.FieldAccess: 0,  # plus 1 per field, see static_cost
+    N.Setf: 1,
+    N.If: 1,
+    N.Progn: 0,
+    N.Let: 1,
+    N.While: 1,
+    N.And: 1,
+    N.Or: 1,
+    N.Call: 2,
+    N.Lambda: 1,
+    N.Spawn: 1,
+    N.FutureExpr: 1,
+}
+
+
+def static_cost(node: N.Node, costs: Optional[dict[type, int]] = None) -> int:
+    """Cost of evaluating this single node (not its subtree)."""
+    table = costs if costs is not None else DEFAULT_NODE_COSTS
+    base = table.get(type(node), 1)
+    if isinstance(node, N.FieldAccess):
+        base += len(node.fields)
+    if isinstance(node, N.Setf) and isinstance(node.place, N.FieldPlace):
+        base += len(node.place.fields)
+    return base
+
+
+@dataclass
+class HeadTail:
+    """The partition plus its measures."""
+
+    func: N.FuncDef
+    cfg: CFG
+    head_ids: set[int] = field(default_factory=set)
+    tail_ids: set[int] = field(default_factory=set)
+    h_size: int = 0
+    t_size: int = 0
+
+    @property
+    def concurrency(self) -> float:
+        """(|H|+|T|)/|H| — the CRI model's potential concurrency (§3.1)."""
+        if self.h_size <= 0:
+            return float(self.h_size + self.t_size) if self.t_size else 1.0
+        return (self.h_size + self.t_size) / self.h_size
+
+    def in_tail(self, node: N.Node) -> bool:
+        return node.node_id in self.tail_ids
+
+    def in_head(self, node: N.Node) -> bool:
+        return node.node_id in self.head_ids
+
+
+def partition_head_tail(
+    func: N.FuncDef,
+    cfg: Optional[CFG] = None,
+    costs: Optional[dict[type, int]] = None,
+) -> HeadTail:
+    """Partition ``func``'s CFG vertices into head and tail."""
+    if cfg is None:
+        cfg = build_cfg(func)
+    dom = compute_dominators(cfg)
+    call_ids = {
+        n.node_id
+        for n in cfg.nodes.values()
+        if isinstance(n, N.Call) and n.is_self_call
+    }
+    # Spawn wrappers of self-calls count as the call vertex too.
+    spawn_ids = {
+        n.node_id
+        for n in cfg.nodes.values()
+        if isinstance(n, N.Spawn) and n.call.is_self_call
+    }
+    recursive_vertices = call_ids | spawn_ids
+
+    result = HeadTail(func, cfg)
+    for vid, node in cfg.nodes.items():
+        if vid in recursive_vertices:
+            result.head_ids.add(vid)
+            continue
+        doms = dom.get(vid)
+        if doms is not None and (doms & recursive_vertices) - {vid}:
+            result.tail_ids.add(vid)
+        else:
+            result.head_ids.add(vid)
+
+    for vid in result.head_ids:
+        result.h_size += static_cost(cfg.nodes[vid], costs)
+    for vid in result.tail_ids:
+        result.t_size += static_cost(cfg.nodes[vid], costs)
+    return result

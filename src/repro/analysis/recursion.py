@@ -1,0 +1,169 @@
+"""Recursion-structure analysis (paper §3.1).
+
+For a function f with self-calls C1..Cn:
+
+* a call is **free** if f does not use its result;
+* f is **tail-recursive** if every self-call's value is returned
+  unchanged (and nothing executes after it on its path);
+* a call is **stored** if its value flows only into a constructor or a
+  heap store — the non-strict case where a Multilisp future suffices;
+* otherwise the call is **strict**: f inspects the value, which
+  precludes concurrent execution until transformed (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.ir import nodes as N
+
+# Functions that merely *store* their arguments without inspecting them.
+# A self-call result flowing only into these positions can be a future.
+_CONSTRUCTORS = frozenset({"cons", "list"})
+
+
+class ValueContext(Enum):
+    """How the value of an expression node is consumed."""
+
+    RETURNED = "returned"  # becomes (part of) f's return value
+    DISCARDED = "discarded"  # evaluated for effect only
+    USED = "used"  # inspected by an operator or test
+    STORED = "stored"  # stored without inspection (cons/list/setf value)
+
+
+def value_contexts(func: N.FuncDef) -> dict[int, ValueContext]:
+    """Map node_id → consumption context for every node in ``func``."""
+    out: dict[int, ValueContext] = {}
+
+    def visit(node: N.Node, ctx: ValueContext) -> None:
+        out[node.node_id] = ctx
+        if isinstance(node, (N.Const, N.Quote, N.Var, N.FunctionRef)):
+            return
+        if isinstance(node, N.FieldAccess):
+            visit(node.base, ValueContext.USED)
+            return
+        if isinstance(node, N.Setf):
+            if isinstance(node.place, N.FieldPlace):
+                visit(node.place.base, ValueContext.USED)
+                visit(node.value, ValueContext.STORED)
+            else:
+                # A variable assignment: whether this is a "store" in the
+                # future-able sense depends on later reads; be
+                # conservative and call it USED.
+                visit(node.value, ValueContext.USED)
+            return
+        if isinstance(node, N.If):
+            visit(node.test, ValueContext.USED)
+            visit(node.then, ctx)
+            if node.els is not None:
+                visit(node.els, ctx)
+            return
+        if isinstance(node, N.Progn):
+            for sub in node.body[:-1]:
+                visit(sub, ValueContext.DISCARDED)
+            if node.body:
+                visit(node.body[-1], ctx)
+            return
+        if isinstance(node, N.Let):
+            for _name, init in node.bindings:
+                visit(init, ValueContext.USED)
+            for sub in node.body[:-1]:
+                visit(sub, ValueContext.DISCARDED)
+            if node.body:
+                visit(node.body[-1], ctx)
+            return
+        if isinstance(node, N.While):
+            visit(node.test, ValueContext.USED)
+            for sub in node.body:
+                visit(sub, ValueContext.DISCARDED)
+            return
+        if isinstance(node, (N.And, N.Or)):
+            for sub in node.args[:-1]:
+                visit(sub, ValueContext.USED)
+            if node.args:
+                visit(node.args[-1], ctx)
+            return
+        if isinstance(node, N.Call):
+            arg_ctx = (
+                ValueContext.STORED
+                if node.fn.name in _CONSTRUCTORS
+                else ValueContext.USED
+            )
+            for arg in node.args:
+                visit(arg, arg_ctx)
+            return
+        if isinstance(node, N.Lambda):
+            for sub in node.body[:-1]:
+                visit(sub, ValueContext.DISCARDED)
+            if node.body:
+                visit(node.body[-1], ValueContext.RETURNED)
+            return
+        if isinstance(node, N.Spawn):
+            for arg in node.call.args:
+                visit(arg, ValueContext.USED)
+            out[node.call.node_id] = ValueContext.DISCARDED
+            return
+        if isinstance(node, N.FutureExpr):
+            visit(node.expr, ValueContext.STORED)
+            return
+        raise TypeError(f"value_contexts: unknown node {node!r}")
+
+    for sub in func.body[:-1]:
+        visit(sub, ValueContext.DISCARDED)
+    if func.body:
+        visit(func.body[-1], ValueContext.RETURNED)
+    return out
+
+
+class CallClassification(Enum):
+    FREE = "free"  # result unused — spawnable as-is
+    TAIL = "tail"  # result returned unchanged — tail call
+    STORED = "stored"  # result stored, not inspected — future-able
+    STRICT = "strict"  # result inspected — blocks concurrency
+
+
+@dataclass
+class RecursionInfo:
+    """Everything about f's self-recursion."""
+
+    func: N.FuncDef
+    self_calls: list[N.Call] = field(default_factory=list)
+    classifications: dict[int, CallClassification] = field(default_factory=dict)
+    is_recursive: bool = False
+    is_tail_recursive: bool = False
+    has_strict_call: bool = False
+
+    def classification(self, call: N.Call) -> CallClassification:
+        return self.classifications[call.node_id]
+
+    def call_sites(self) -> int:
+        return len(self.self_calls)
+
+
+def analyze_recursion(func: N.FuncDef) -> RecursionInfo:
+    """Classify every self-call of ``func``."""
+    info = RecursionInfo(func)
+    contexts = value_contexts(func)
+    info.self_calls = func.self_calls()
+    info.is_recursive = bool(info.self_calls)
+    for call in info.self_calls:
+        ctx = contexts[call.node_id]
+        if ctx is ValueContext.DISCARDED:
+            cls = CallClassification.FREE
+        elif ctx is ValueContext.RETURNED:
+            cls = CallClassification.TAIL
+        elif ctx is ValueContext.STORED:
+            cls = CallClassification.STORED
+        else:
+            cls = CallClassification.STRICT
+        info.classifications[call.node_id] = cls
+    if info.self_calls:
+        info.is_tail_recursive = all(
+            c is CallClassification.TAIL for c in info.classifications.values()
+        )
+        info.has_strict_call = any(
+            c is CallClassification.STRICT for c in info.classifications.values()
+        )
+    return info

@@ -1,0 +1,187 @@
+"""Variable analysis: transfer functions for recursive parameters (§2.1).
+
+For a parameter v of a recursive function f, each self-call supplies an
+actual argument; when that argument is an accessor chain over v itself
+(the overwhelmingly common shape — ``(f (cdr l))``), the one-invocation
+step transfer is that accessor word.  Multiple call sites merge
+flow-insensitively into a disjunction, so the step transfer is
+``a1|a2|...|am`` and the paper's any-distance transfer is its Kleene
+plus (τ_I = cdr⁺ for Figure 3).
+
+When an argument is anything else — another parameter, a computed value,
+a call — the transfer is *unknown* and the analysis must assume the
+worst (§1.3: "the most conservative assumptions about any relationship
+it cannot deduce").  Unknown is represented by ``None``.
+
+Local ``let`` bindings to accessor chains of parameters are resolved so
+that ``(let ((x (cdr l))) (car x))`` is seen as the access ``cdr.car``
+on ``l`` (a *derived accessor*); rebinding a variable to two different
+shapes degrades it to unknown, keeping the analysis flow-insensitive as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.recursion import RecursionInfo
+from repro.ir import nodes as N
+from repro.paths.accessor import Accessor
+from repro.paths.regex import Alt, Regex, word_regex
+from repro.paths.transfer import TransferFunction
+from repro.sexpr.datum import Symbol
+
+
+@dataclass
+class VariableInfo:
+    """Per-parameter results.
+
+    ``step``: the one-invocation transfer (regex), or None when unknown.
+    ``tau``:  TransferFunction wrapping ``step`` (None when unknown).
+    ``derived``: map of local variables to (parameter, accessor) pairs —
+    variables that always hold an accessor-chain of a parameter.
+    """
+
+    params: list[Symbol]
+    step: dict[Symbol, Optional[Regex]] = field(default_factory=dict)
+    tau: dict[Symbol, Optional[TransferFunction]] = field(default_factory=dict)
+    derived: dict[Symbol, tuple[Symbol, Accessor]] = field(default_factory=dict)
+    unknown_reasons: dict[Symbol, str] = field(default_factory=dict)
+
+    def transfer(self, param: Symbol) -> Optional[TransferFunction]:
+        return self.tau.get(param)
+
+    def resolve(self, var: Symbol) -> Optional[tuple[Symbol, Accessor]]:
+        """Resolve ``var`` to (parameter, accessor-prefix).
+
+        A parameter resolves to itself with the empty accessor.
+        """
+        if var in self.derived:
+            return self.derived[var]
+        if var in self.params:
+            return (var, Accessor(()))
+        return None
+
+
+def _accessor_of(node: N.Node) -> Optional[tuple[Symbol, Accessor]]:
+    """If ``node`` is Var(v) or FieldAccess(Var(v), fields), return
+    (v, word); else None."""
+    if isinstance(node, N.Var):
+        return (node.name, Accessor(()))
+    if isinstance(node, N.FieldAccess) and isinstance(node.base, N.Var):
+        return (node.base.name, Accessor(node.fields))
+    return None
+
+
+def _collect_derived(func: N.FuncDef, params: set[Symbol]) -> dict[Symbol, tuple[Symbol, Accessor]]:
+    """Flow-insensitive resolution of let/setq-bound accessor aliases."""
+    candidates: dict[Symbol, set[tuple[Symbol, tuple[str, ...]]]] = {}
+
+    def note(name: Symbol, init: N.Node) -> None:
+        acc = _accessor_of(init)
+        entry = candidates.setdefault(name, set())
+        if acc is None:
+            entry.add((name, ("⊤",)))  # poison: non-accessor binding
+        else:
+            entry.add((acc[0], acc[1].fields))
+
+    for node in func.walk():
+        if isinstance(node, N.Let):
+            for name, init in node.bindings:
+                note(name, init)
+        elif isinstance(node, N.Setf) and isinstance(node.place, N.VarPlace):
+            if node.place.name not in params:
+                note(node.place.name, node.value)
+
+    # Resolve chains: x -> (l, cdr), y -> (x, car) becomes y -> (l, cdr.car).
+    resolved: dict[Symbol, tuple[Symbol, Accessor]] = {}
+    changed = True
+    iterations = 0
+    while changed and iterations < len(candidates) + 2:
+        changed = False
+        iterations += 1
+        for name, entries in candidates.items():
+            if name in resolved or len(entries) != 1:
+                continue
+            (base, fields) = next(iter(entries))
+            if "⊤" in fields:
+                continue
+            if base in params:
+                resolved[name] = (base, Accessor(fields))
+                changed = True
+            elif base in resolved:
+                parent, prefix = resolved[base]
+                resolved[name] = (parent, prefix.compose(Accessor(fields)))
+                changed = True
+    return resolved
+
+
+def parameter_transfers(
+    func: N.FuncDef, recursion: Optional[RecursionInfo] = None
+) -> VariableInfo:
+    """Compute the step transfer function of every parameter of ``func``."""
+    if recursion is None:
+        from repro.analysis.recursion import analyze_recursion
+
+        recursion = analyze_recursion(func)
+    params = list(func.params)
+    param_set = set(params)
+    info = VariableInfo(params)
+    info.derived = _collect_derived(func, param_set)
+
+    for index, param in enumerate(params):
+        words: list[Regex] = []
+        unknown: Optional[str] = None
+        assigned = _param_assigned(func, param)
+        if assigned:
+            unknown = f"parameter {param} is assigned within the body"
+        for call in recursion.self_calls:
+            if unknown:
+                break
+            if index >= len(call.args):
+                unknown = f"self-call passes too few arguments for {param}"
+                break
+            arg = call.args[index]
+            acc = _accessor_of(arg)
+            if acc is None and isinstance(arg, N.Var):
+                acc = info.resolve(arg.name)
+            elif acc is not None and acc[0] not in param_set:
+                resolved = info.resolve(acc[0])
+                if resolved is not None:
+                    acc = (resolved[0], resolved[1].compose(acc[1]))
+                else:
+                    acc = None
+            if acc is None or acc[0] is not param:
+                # Constant arguments (e.g. a threaded accumulator seed or
+                # an unchanged environment value) are handled in the
+                # conflict layer; here any non-self accessor is unknown.
+                unknown = (
+                    f"argument for {param} at a self-call is not an "
+                    f"accessor chain over {param}"
+                )
+                break
+            words.append(word_regex(acc[1].fields))
+        if unknown or not recursion.self_calls:
+            info.step[param] = None
+            info.tau[param] = None
+            info.unknown_reasons[param] = unknown or "function is not recursive"
+            continue
+        step: Regex = words[0]
+        for w in words[1:]:
+            if w != step:
+                step = Alt(step, w)
+        info.step[param] = step
+        info.tau[param] = TransferFunction(step)
+    return info
+
+
+def _param_assigned(func: N.FuncDef, param: Symbol) -> bool:
+    for node in func.walk():
+        if (
+            isinstance(node, N.Setf)
+            and isinstance(node.place, N.VarPlace)
+            and node.place.name is param
+        ):
+            return True
+    return False

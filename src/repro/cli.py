@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``analyze FILE -f NAME``    — run the §2/§3 analysis, print the
+  feedback report (conflicts, distances, suggested declarations).
+* ``transform FILE -f NAME``  — restructure one function and print the
+  transformed source (plus wrapper forms).
+* ``run FILE -e EXPR``        — evaluate the program and an expression
+  on the simulated machine; prints the value and machine statistics.
+
+Every command reads ``(declaim ...)`` forms from the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.lisp.interpreter import Interpreter
+from repro.runtime.clock import CostModel, FREE_SYNC
+from repro.runtime.machine import Machine
+from repro.sexpr.printer import pretty_str, write_str
+from repro.transform.pipeline import Curare
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Curare: restructure Lisp programs for concurrent execution",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("file", help="Lisp source file (with declaim forms)")
+    common.add_argument(
+        "--assume-sapp", action="store_true",
+        help="treat every parameter as SAPP-declared (experiment mode)",
+    )
+
+    p_analyze = sub.add_parser(
+        "analyze", parents=[common], help="report conflicts for a function"
+    )
+    p_analyze.add_argument("-f", "--function", required=True)
+
+    p_transform = sub.add_parser(
+        "transform", parents=[common], help="restructure a function"
+    )
+    p_transform.add_argument("-f", "--function", required=True)
+    p_transform.add_argument(
+        "--mode", choices=["spawn", "enqueue"], default="spawn"
+    )
+    p_transform.add_argument("--suffix", default="-cc")
+    p_transform.add_argument("--early-release", action="store_true")
+    p_transform.add_argument("--use-delay", action="store_true")
+    p_transform.add_argument(
+        "--no-dps", action="store_true",
+        help="use futures instead of destination-passing for stored calls",
+    )
+    p_transform.add_argument(
+        "--whole-program", action="store_true",
+        help="transform every eligible function and retarget callers",
+    )
+
+    p_run = sub.add_parser(
+        "run", parents=[common],
+        help="evaluate an expression on the simulated machine",
+    )
+    p_run.add_argument("-e", "--expr", required=True)
+    p_run.add_argument("-p", "--processors", type=int, default=4)
+    p_run.add_argument(
+        "--transform", metavar="NAME", action="append", default=[],
+        help="transform these functions first (repeatable)",
+    )
+    p_run.add_argument("--free-sync", action="store_true",
+                       help="zero all synchronization costs")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="random scheduling with this seed")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="print the occupancy sparkline and process gantt")
+
+    return parser
+
+
+def _load(path: str, assume_sapp: bool) -> Curare:
+    interp = Interpreter()
+    curare = Curare(interp, assume_sapp=assume_sapp)
+    with open(path) as handle:
+        curare.load_program(handle.read())
+    return curare
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.report import explain
+
+    curare = _load(args.file, args.assume_sapp)
+    analysis = curare.analyze(args.function)
+    print(explain(analysis).render())
+    return 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    curare = _load(args.file, args.assume_sapp)
+    if args.whole_program:
+        from repro.transform.program import transform_program
+
+        program_result = transform_program(
+            curare,
+            suffix=args.suffix,
+            mode=args.mode,
+            early_release=args.early_release,
+            use_delay=args.use_delay,
+            prefer_dps=not args.no_dps,
+        )
+        print(program_result.report())
+        for outcome in program_result.transformed.values():
+            print()
+            print(pretty_str(outcome.final_form))
+            for form in outcome.extra_forms:
+                print(pretty_str(form))
+        return 0
+    result = curare.transform(
+        args.function,
+        suffix=args.suffix,
+        mode=args.mode,
+        early_release=args.early_release,
+        use_delay=args.use_delay,
+        prefer_dps=not args.no_dps,
+    )
+    print(result.report())
+    if result.transformed:
+        print()
+        print(pretty_str(result.final_form))
+        for form in result.extra_forms:
+            print(pretty_str(form))
+        return 0
+    return 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    curare = _load(args.file, args.assume_sapp)
+    for name in args.transform:
+        outcome = curare.transform(name)
+        if not outcome.transformed:
+            print(f";; could not transform {name}: {outcome.reason}",
+                  file=sys.stderr)
+            return 1
+    cost = FREE_SYNC if args.free_sync else CostModel()
+    machine = Machine(
+        curare.interp,
+        processors=args.processors,
+        cost_model=cost,
+        policy="random" if args.seed is not None else "fifo",
+        seed=args.seed,
+    )
+    main = machine.spawn_text(args.expr)
+    stats = machine.run()
+    print(f";; value: {write_str(main.result)}")
+    for output in machine.outputs:
+        print(f";; output: {write_str(output)}")
+    print(
+        f";; machine: {stats.total_time} steps, {stats.processes} "
+        f"process(es), mean concurrency {stats.mean_concurrency:.2f}, "
+        f"utilization {stats.utilization:.2f}"
+    )
+    if args.timeline:
+        from repro.harness.timeline import occupancy_sparkline, process_gantt
+
+        print(occupancy_sparkline(stats, processors=args.processors))
+        print(process_gantt(machine))
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "analyze": cmd_analyze,
+        "transform": cmd_transform,
+        "run": cmd_run,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Programmer declarations (paper §6).
+
+Curare "relies upon a programmer for a wide variety of information that
+it cannot collect by analyzing a program".  This package defines the
+declaration vocabulary, a registry the analyses query, and a reader for
+``(declaim ...)`` forms embedded in program text.
+
+Declared facts are *trusted*: a wrong declaration yields a wrong
+program, exactly as in the paper.  The absence of declarations never
+yields a wrong program — only a slow one (§6's closing guarantee) —
+because every query defaults to the conservative answer.
+"""
+
+from repro.declare.decls import (
+    AssociativeDecl,
+    Declaration,
+    DeclarationError,
+    InverseFieldsDecl,
+    NoAliasDecl,
+    AnyResultDecl,
+    PointerFieldsDecl,
+    PureDecl,
+    ReorderableDecl,
+    SappDecl,
+    ParallelizeDecl,
+    UnorderedWritesDecl,
+)
+from repro.declare.registry import DeclarationRegistry
+from repro.declare.parser import parse_declaim, extract_declarations
+
+__all__ = [
+    "AnyResultDecl",
+    "AssociativeDecl",
+    "Declaration",
+    "DeclarationError",
+    "DeclarationRegistry",
+    "InverseFieldsDecl",
+    "NoAliasDecl",
+    "ParallelizeDecl",
+    "PointerFieldsDecl",
+    "PureDecl",
+    "ReorderableDecl",
+    "SappDecl",
+    "UnorderedWritesDecl",
+    "extract_declarations",
+    "parse_declaim",
+]

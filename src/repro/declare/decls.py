@@ -1,0 +1,125 @@
+"""Declaration kinds.
+
+Each class mirrors one bullet of the paper's §6 list:
+
+* ``PointerFieldsDecl``  — "whether a structure field points to other
+  structures";
+* ``SappDecl``           — constraint on data structures: an argument
+  satisfies the single-access-path property;
+* ``NoAliasDecl``        — the type/aliasing of actual arguments;
+* ``InverseFieldsDecl``  — "the canonicalization function for a
+  structure";
+* ``ParallelizeDecl``    — "whether to restructure a function";
+* ``ReorderableDecl``    — "whether an operation has characteristics
+  necessary for reordering" (atomic + commutative + associative, §3.2.3
+  category 1);
+* ``UnorderedWritesDecl``— §3.2.3 category 2: inserts into unordered
+  collections;
+* ``AnyResultDecl``      — §3.2.3 category 3: searches that may return
+  any acceptable result;
+* ``PureDecl``           — a callee has no side effects (lets the
+  analyzer keep a function analyzable despite calls out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class DeclarationError(Exception):
+    pass
+
+
+class Declaration:
+    """Base class; concrete declarations are frozen dataclasses."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PointerFieldsDecl(Declaration):
+    """Fields of ``struct_name`` that point to instances of the same
+    structure; all other fields are data (paper §2.1's f1..fr split)."""
+
+    struct_name: str
+    fields: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SappDecl(Declaration):
+    """Argument ``param`` of ``function`` has the single-access-path
+    property (the structure it roots is a tree under canonicalization)."""
+
+    function: str
+    param: str
+
+
+@dataclass(frozen=True)
+class NoAliasDecl(Declaration):
+    """Parameters of ``function`` never reference overlapping structure.
+
+    With ``params=None`` the declaration covers every parameter pair.
+    """
+
+    function: str
+    params: Optional[tuple[str, str]] = None
+
+
+@dataclass(frozen=True)
+class InverseFieldsDecl(Declaration):
+    """``first`` and ``second`` are inverse pointers (succ/pred); adjacent
+    pairs cancel during path canonicalization."""
+
+    struct_name: str
+    first: str
+    second: str
+
+
+@dataclass(frozen=True)
+class ParallelizeDecl(Declaration):
+    """Restructure ``function`` (enable=False forbids it)."""
+
+    function: str
+    enable: bool = True
+
+
+@dataclass(frozen=True)
+class ReorderableDecl(Declaration):
+    """``operation`` is atomic, commutative, and associative — conflicts
+    among its applications to the same location impose no ordering
+    (Figure 8's (setq a (+ a 1)) / (setq a (+ a 2)))."""
+
+    operation: str
+
+
+@dataclass(frozen=True)
+class AssociativeDecl(Declaration):
+    """``operation`` is associative (enables Huet-Lang accumulator
+    introduction, §5 — weaker than full reorderability)."""
+
+    operation: str
+
+
+@dataclass(frozen=True)
+class UnorderedWritesDecl(Declaration):
+    """``operation`` inserts into an unordered collection; insert order
+    is unobservable, so write/write conflicts through it are ignorable."""
+
+    operation: str
+
+
+@dataclass(frozen=True)
+class AnyResultDecl(Declaration):
+    """Calls to ``function`` may return any result satisfying the search
+    criterion; result-order constraints are unnecessary."""
+
+    function: str
+
+
+@dataclass(frozen=True)
+class PureDecl(Declaration):
+    """``function`` neither reads nor writes heap state observable by
+    callers (beyond its arguments' values)."""
+
+    function: str

@@ -1,0 +1,124 @@
+"""Reading ``(declaim ...)`` forms from program text.
+
+Syntax (one clause per declaim; several clauses may share a declaim)::
+
+    (declaim (pointer-fields node next prev)
+             (inverse-fields node succ pred)
+             (sapp f l)
+             (no-alias f)             ; all parameter pairs
+             (no-alias f a b)         ; one pair
+             (parallelize f)          ; or (parallelize f nil)
+             (reorderable +)
+             (unordered-writes puthash)
+             (any-result find-any)
+             (pure helper))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.declare.decls import (
+    AnyResultDecl,
+    AssociativeDecl,
+    Declaration,
+    DeclarationError,
+    InverseFieldsDecl,
+    NoAliasDecl,
+    ParallelizeDecl,
+    PointerFieldsDecl,
+    PureDecl,
+    ReorderableDecl,
+    SappDecl,
+    UnorderedWritesDecl,
+)
+from repro.sexpr.datum import Cons, Symbol, list_to_pylist
+
+
+def _names(parts: list[Any], clause: Any) -> list[str]:
+    out = []
+    for p in parts:
+        if not isinstance(p, Symbol):
+            raise DeclarationError(f"expected symbols in declaim clause: {clause!r}")
+        out.append(p.name)
+    return out
+
+
+def parse_declaim(form: Any) -> list[Declaration]:
+    """Parse one ``(declaim clause...)`` form."""
+    parts = list_to_pylist(form)
+    if not parts or not isinstance(parts[0], Symbol) or parts[0].name != "declaim":
+        raise DeclarationError(f"not a declaim form: {form!r}")
+    out: list[Declaration] = []
+    for clause in parts[1:]:
+        if not isinstance(clause, Cons):
+            raise DeclarationError(f"malformed declaim clause: {clause!r}")
+        items = list_to_pylist(clause)
+        if not items or not isinstance(items[0], Symbol):
+            raise DeclarationError(f"malformed declaim clause: {clause!r}")
+        kind = items[0].name
+        rest = items[1:]
+        if kind == "pointer-fields":
+            names = _names(rest, clause)
+            if len(names) < 1:
+                raise DeclarationError("pointer-fields needs a struct name")
+            out.append(PointerFieldsDecl(names[0], tuple(names[1:])))
+        elif kind == "inverse-fields":
+            names = _names(rest, clause)
+            if len(names) != 3:
+                raise DeclarationError("inverse-fields needs struct f1 f2")
+            out.append(InverseFieldsDecl(names[0], names[1], names[2]))
+        elif kind == "sapp":
+            names = _names(rest, clause)
+            if len(names) != 2:
+                raise DeclarationError("sapp needs function and parameter")
+            out.append(SappDecl(names[0], names[1]))
+        elif kind == "no-alias":
+            names = _names(rest, clause)
+            if len(names) == 1:
+                out.append(NoAliasDecl(names[0]))
+            elif len(names) == 3:
+                out.append(NoAliasDecl(names[0], (names[1], names[2])))
+            else:
+                raise DeclarationError("no-alias needs f or f a b")
+        elif kind == "parallelize":
+            if len(rest) == 1 and isinstance(rest[0], Symbol):
+                out.append(ParallelizeDecl(rest[0].name, True))
+            elif len(rest) == 2 and isinstance(rest[0], Symbol):
+                out.append(ParallelizeDecl(rest[0].name, rest[1] is not None))
+            else:
+                raise DeclarationError("parallelize needs f [bool]")
+        elif kind == "reorderable":
+            for name in _names(rest, clause):
+                out.append(ReorderableDecl(name))
+        elif kind == "associative":
+            for name in _names(rest, clause):
+                out.append(AssociativeDecl(name))
+        elif kind == "unordered-writes":
+            for name in _names(rest, clause):
+                out.append(UnorderedWritesDecl(name))
+        elif kind == "any-result":
+            for name in _names(rest, clause):
+                out.append(AnyResultDecl(name))
+        elif kind == "pure":
+            for name in _names(rest, clause):
+                out.append(PureDecl(name))
+        else:
+            raise DeclarationError(f"unknown declaration kind: {kind}")
+    return out
+
+
+def extract_declarations(forms: Iterable[Any]) -> tuple[list[Declaration], list[Any]]:
+    """Split a program into (declarations, remaining forms)."""
+    decls: list[Declaration] = []
+    rest: list[Any] = []
+    for form in forms:
+        if (
+            isinstance(form, Cons)
+            and isinstance(form.car, Symbol)
+            and form.car.name == "declaim"
+        ):
+            decls.extend(parse_declaim(form))
+        else:
+            rest.append(form)
+    return decls, rest

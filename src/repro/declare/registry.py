@@ -1,0 +1,135 @@
+"""The declaration registry: what the analyses query.
+
+All queries default to the conservative answer (may alias, not SAPP,
+not reorderable, impure), so an empty registry reproduces the paper's
+"pessimistic assumptions ... produce correct programs — only slow ones".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.declare.decls import (
+    AnyResultDecl,
+    AssociativeDecl,
+    Declaration,
+    DeclarationError,
+    InverseFieldsDecl,
+    NoAliasDecl,
+    ParallelizeDecl,
+    PointerFieldsDecl,
+    PureDecl,
+    ReorderableDecl,
+    SappDecl,
+    UnorderedWritesDecl,
+)
+from repro.paths.canonical import Canonicalizer, InversePair
+
+
+class DeclarationRegistry:
+    def __init__(self, declarations: Iterable[Declaration] = ()):
+        self._decls: list[Declaration] = []
+        self._pointer_fields: dict[str, tuple[str, ...]] = {}
+        self._sapp: set[tuple[str, str]] = set()
+        self._noalias_all: set[str] = set()
+        self._noalias_pairs: set[tuple[str, str, str]] = set()
+        self._inverse: dict[str, list[InversePair]] = {}
+        self._parallelize: dict[str, bool] = {}
+        self._reorderable: set[str] = set()
+        self._associative: set[str] = set()
+        self._unordered: set[str] = set()
+        self._any_result: set[str] = set()
+        self._pure: set[str] = set()
+        for d in declarations:
+            self.add(d)
+
+    def add(self, decl: Declaration) -> None:
+        self._decls.append(decl)
+        if isinstance(decl, PointerFieldsDecl):
+            self._pointer_fields[decl.struct_name] = decl.fields
+        elif isinstance(decl, SappDecl):
+            self._sapp.add((decl.function, decl.param))
+        elif isinstance(decl, NoAliasDecl):
+            if decl.params is None:
+                self._noalias_all.add(decl.function)
+            else:
+                a, b = decl.params
+                self._noalias_pairs.add((decl.function, a, b))
+                self._noalias_pairs.add((decl.function, b, a))
+        elif isinstance(decl, InverseFieldsDecl):
+            self._inverse.setdefault(decl.struct_name, []).append(
+                InversePair(decl.first, decl.second)
+            )
+        elif isinstance(decl, ParallelizeDecl):
+            self._parallelize[decl.function] = decl.enable
+        elif isinstance(decl, ReorderableDecl):
+            self._reorderable.add(decl.operation)
+            self._associative.add(decl.operation)  # reorderable ⊃ associative
+        elif isinstance(decl, AssociativeDecl):
+            self._associative.add(decl.operation)
+        elif isinstance(decl, UnorderedWritesDecl):
+            self._unordered.add(decl.operation)
+        elif isinstance(decl, AnyResultDecl):
+            self._any_result.add(decl.function)
+        elif isinstance(decl, PureDecl):
+            self._pure.add(decl.function)
+        else:
+            raise DeclarationError(f"unknown declaration {decl!r}")
+
+    def extend(self, decls: Iterable[Declaration]) -> None:
+        for d in decls:
+            self.add(d)
+
+    def __len__(self) -> int:
+        return len(self._decls)
+
+    def __iter__(self):
+        return iter(self._decls)
+
+    # -- queries (conservative defaults) ------------------------------------
+
+    def pointer_fields(self, struct_name: str) -> Optional[tuple[str, ...]]:
+        """Declared pointer fields, or None (undeclared → all fields)."""
+        return self._pointer_fields.get(struct_name)
+
+    def has_sapp(self, function: str, param: str) -> bool:
+        return (function, param) in self._sapp
+
+    def no_alias(self, function: str, a: str, b: str) -> bool:
+        return (
+            function in self._noalias_all
+            or (function, a, b) in self._noalias_pairs
+        )
+
+    def canonicalizer(self, struct_name: str = "") -> Canonicalizer:
+        """Canonicalizer from the declared inverse pairs.
+
+        With no struct name, merges every declared pair (field names are
+        unique across accessors in the analyzed subset).
+        """
+        if struct_name:
+            return Canonicalizer(self._inverse.get(struct_name, []))
+        pairs: list[InversePair] = []
+        for ps in self._inverse.values():
+            pairs.extend(ps)
+        return Canonicalizer(pairs)
+
+    def may_parallelize(self, function: str) -> bool:
+        """Default True: restructuring is Curare's purpose; the §6
+        declaration exists to *forbid* it for a function."""
+        return self._parallelize.get(function, True)
+
+    def is_reorderable(self, operation: str) -> bool:
+        return operation in self._reorderable
+
+    def is_associative(self, operation: str) -> bool:
+        return operation in self._associative
+
+    def is_unordered_write(self, operation: str) -> bool:
+        return operation in self._unordered
+
+    def is_any_result(self, function: str) -> bool:
+        return function in self._any_result
+
+    def is_pure(self, function: str) -> bool:
+        return function in self._pure

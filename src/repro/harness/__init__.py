@@ -1,0 +1,38 @@
+"""Experiment harness: workload generators and run helpers shared by the
+benchmarks and the examples."""
+
+from repro.harness.workloads import (
+    SyntheticRecursion,
+    fig3_source,
+    fig5_source,
+    make_int_list,
+    make_synthetic,
+    remq_source,
+    tree_sum_source,
+)
+from repro.harness.runner import (
+    ExperimentRun,
+    run_concurrent,
+    run_sequential,
+    run_transformed,
+)
+from repro.harness.report import format_table, shape_check
+from repro.harness.timeline import occupancy_sparkline, process_gantt
+
+__all__ = [
+    "ExperimentRun",
+    "SyntheticRecursion",
+    "fig3_source",
+    "fig5_source",
+    "format_table",
+    "make_int_list",
+    "occupancy_sparkline",
+    "process_gantt",
+    "make_synthetic",
+    "remq_source",
+    "run_concurrent",
+    "run_sequential",
+    "run_transformed",
+    "shape_check",
+    "tree_sum_source",
+]

@@ -1,0 +1,35 @@
+"""Tiny reporting helpers for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render an aligned text table (the benches print these so the
+    bench output reads like the paper's tables)."""
+    rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def shape_check(name: str, condition: bool, detail: str = "") -> str:
+    """A pass/fail line for the paper-shape assertions benches print."""
+    mark = "PASS" if condition else "FAIL"
+    suffix = f" — {detail}" if detail else ""
+    return f"[{mark}] {name}{suffix}"

@@ -1,0 +1,111 @@
+"""Run helpers: sequential baseline, Curare transform, machine run —
+the three-step recipe every experiment repeats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.declare.registry import DeclarationRegistry
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+from repro.runtime.clock import CostModel
+from repro.runtime.machine import Machine, MachineStats
+from repro.sexpr.printer import write_str
+from repro.transform.pipeline import Curare, CurareResult
+
+
+@dataclass
+class ExperimentRun:
+    """One execution's observables."""
+
+    result_text: str
+    time: int
+    stats: Optional[MachineStats] = None
+    curare: Optional[CurareResult] = None
+    interp: Optional[Interpreter] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def mean_concurrency(self) -> float:
+        return self.stats.mean_concurrency if self.stats else 1.0
+
+
+def run_sequential(
+    program: str, setup: str, call: str, read_back: Optional[str] = None
+) -> ExperimentRun:
+    """Sequential reference run.  ``call`` and ``read_back`` are Lisp text."""
+    interp = Interpreter()
+    runner = SequentialRunner(interp)
+    runner.eval_text(program)
+    runner.eval_text(setup)
+    start = runner.time
+    value = runner.eval_text(call)
+    elapsed = runner.time - start
+    shown = runner.eval_text(read_back) if read_back else value
+    return ExperimentRun(write_str(shown), elapsed, interp=interp)
+
+
+def run_transformed(
+    program: str,
+    fname: str,
+    setup: str,
+    call: str,
+    read_back: Optional[str] = None,
+    processors: int = 4,
+    cost_model: Optional[CostModel] = None,
+    decls: Optional[DeclarationRegistry] = None,
+    assume_sapp: bool = True,
+    policy: str = "fifo",
+    seed: Optional[int] = None,
+    transform_kwargs: Optional[dict] = None,
+) -> ExperimentRun:
+    """Transform ``fname`` with Curare and run ``call`` on the machine.
+
+    ``call`` should reference the transformed name (``<fname>-cc``).
+    """
+    interp = Interpreter()
+    curare = Curare(interp, decls=decls, assume_sapp=assume_sapp)
+    curare.load_program(program)
+    curare_result = curare.transform(fname, **(transform_kwargs or {}))
+    curare.runner.eval_text(setup)
+    machine = Machine(
+        interp, processors=processors, cost_model=cost_model,
+        policy=policy, seed=seed,
+    )
+    main = machine.spawn_text(call)
+    stats = machine.run()
+    shown = (
+        SequentialRunner(interp).eval_text(read_back) if read_back else main.result
+    )
+    return ExperimentRun(
+        write_str(shown), stats.total_time, stats=stats,
+        curare=curare_result, interp=interp,
+    )
+
+
+def run_concurrent(
+    program: str,
+    setup: str,
+    call: str,
+    read_back: Optional[str] = None,
+    processors: int = 4,
+    cost_model: Optional[CostModel] = None,
+    policy: str = "fifo",
+    seed: Optional[int] = None,
+) -> ExperimentRun:
+    """Run an (already concurrent) program directly on the machine."""
+    interp = Interpreter()
+    runner = SequentialRunner(interp)
+    runner.eval_text(program)
+    runner.eval_text(setup)
+    machine = Machine(
+        interp, processors=processors, cost_model=cost_model,
+        policy=policy, seed=seed,
+    )
+    main = machine.spawn_text(call)
+    stats = machine.run()
+    shown = SequentialRunner(interp).eval_text(read_back) if read_back else main.result
+    return ExperimentRun(
+        write_str(shown), stats.total_time, stats=stats, interp=interp
+    )

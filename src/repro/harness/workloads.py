@@ -1,0 +1,175 @@
+"""Workload generators.
+
+The paper's evaluation is analytic over abstract (h, t) functions plus
+its worked examples; this module provides both:
+
+* the literal figure sources (``fig3_source``, ``fig5_source``,
+  ``remq_source``, ...), and
+* :func:`make_synthetic` — a recursive list walker with *tunable*
+  |H| and |T| (busy-loops before and after the recursive call), the
+  knob every analytic experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def fig3_source() -> str:
+    """Figure 3: the simple recursive list printer (τ_l = cdr⁺)."""
+    return """
+(defun f3 (l)
+  (when l
+    (print (car l))
+    (f3 (cdr l))))
+"""
+
+
+def fig4_source() -> str:
+    """Figure 4: conflict between invocations at distance 1."""
+    return """
+(defun f4 (l)
+  (when l
+    (setf (cadr l) (car l))
+    (f4 (cdr l))))
+"""
+
+
+def fig5_source() -> str:
+    """Figure 5: the running-sum function; A2 ⊙ A3 at distance 1."""
+    return """
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+"""
+
+
+def fig8_source() -> str:
+    """Figure 8's reorderable accumulator, embedded in a recursion."""
+    return """
+(defun f8 (l)
+  (when l
+    (setq a (+ a (car l)))
+    (f8 (cdr l))))
+"""
+
+
+def remq_source() -> str:
+    """Figure 12: remq."""
+    return """
+(defun remq (obj lst)
+  (cond ((null lst) nil)
+        ((eq obj (car lst)) (remq obj (cdr lst)))
+        (t (cons (car lst) (remq obj (cdr lst))))))
+"""
+
+
+def remq_d_source() -> str:
+    """Figure 13: remq-d, the hand-written destination-passing version."""
+    return """
+(defun remq-d (dest obj lst)
+  (cond ((null lst)
+         (setf (cdr dest) nil))
+        ((eq obj (car lst))
+         (remq-d dest obj (cdr lst)))
+        (t
+         (let ((cell (cons (car lst) nil)))
+           (remq-d cell obj (cdr lst))
+           (setf (cdr dest) cell)))))
+"""
+
+
+def tree_sum_source() -> str:
+    """A two-call-site (tree) recursion over cons trees, for the §4.1
+    multiple-call-site experiments."""
+    return """
+(defun tree-scale (tr)
+  (when tr
+    (if (consp (car tr))
+        (tree-scale (car tr))
+        (setf (car tr) (* 2 (car tr))))
+    (if (consp (cdr tr))
+        (tree-scale (cdr tr)))))
+"""
+
+
+@dataclass
+class SyntheticRecursion:
+    """A list walker with tunable head and tail work.
+
+    ``head_work`` busy iterations run before the recursive call,
+    ``tail_work`` after — so |H| ≈ head_work·c and |T| ≈ tail_work·c in
+    interpreter cost units.  ``name`` is the defun'd function.
+    """
+
+    name: str
+    head_work: int
+    tail_work: int
+    source: str
+
+
+def make_synthetic(
+    head_work: int, tail_work: int, name: str = "synth", mutate: bool = False
+) -> SyntheticRecursion:
+    """Build a synthetic (h, t) recursion.
+
+    The head work *produces the recursive argument* (``slow-cdr``), so
+    the spawn cannot legally hoist past it — head cost is structural,
+    exactly as in the paper's model.  The tail work follows the call.
+    ``burn``/``slow-cdr`` are declared pure so the analyzer sees through
+    them.
+
+    ``mutate=True`` adds the Figure 5 conflict (a distance-1 write) so
+    the lock-concurrency experiments have a conflicting variant.
+    """
+    conflict = "(setf (cadr l) (+ (car l) 1))" if mutate else ""
+    source = f"""
+(declaim (pure burn) (pure slow-cdr))
+(defun burn (n) (let ((i 0)) (while (< i n) (setq i (1+ i))) i))
+(defun slow-cdr (l) (burn {head_work}) (cdr l))
+(defun {name} (l)
+  (when l
+    (let ((nxt (slow-cdr l)))
+      {conflict}
+      ({name} nxt)
+      (burn {tail_work}))))
+"""
+    return SyntheticRecursion(name, head_work, tail_work, source)
+
+
+def burn_cost(n: int) -> int:
+    """Sequential interpreter cost of ``(burn n)`` — the dynamic unit
+    behind ``make_synthetic``'s head/tail knobs (for calibrating the
+    analytic model)."""
+    from repro.lisp.interpreter import Interpreter
+    from repro.lisp.runner import SequentialRunner
+
+    interp = Interpreter()
+    runner = SequentialRunner(interp)
+    runner.eval_text("(defun burn (n) (let ((i 0)) (while (< i n) (setq i (1+ i))) i))")
+    start = runner.time
+    runner.eval_text(f"(burn {n})")
+    return runner.time - start
+
+
+def make_int_list(n: int, start: int = 1) -> str:
+    """Lisp text building ``(setq data (list start start+1 ...))``."""
+    items = " ".join(str(start + i) for i in range(n))
+    return f"(setq data (list {items}))"
+
+
+def make_tree(depth: int) -> str:
+    """Lisp text for a complete cons tree of the given depth with integer
+    leaves: ``(setq tree ...)``."""
+
+    def build(d: int, counter: list[int]) -> str:
+        if d == 0:
+            counter[0] += 1
+            return str(counter[0])
+        left = build(d - 1, counter)
+        right = build(d - 1, counter)
+        return f"(cons {left} {right})"
+
+    return f"(setq tree {build(depth, [0])})"

@@ -1,0 +1,75 @@
+"""Intermediate representation of Lisp functions.
+
+Curare is a source-to-source transformer; this IR is its working form.
+Lowering (:mod:`repro.ir.lower`) macroexpands and converts S-expressions
+into typed nodes — crucially turning every ``car``/``cdr``/struct-accessor
+chain into an explicit :class:`~repro.ir.nodes.FieldAccess` with its
+accessor word, which is what the §2 path analysis consumes.  Unparsing
+(:mod:`repro.ir.unparse`) emits runnable Lisp back out.
+
+The CFG (:mod:`repro.ir.cfg`) and dominator analysis
+(:mod:`repro.ir.dominators`) implement the paper's head/tail partition:
+a statement is in the *tail* of a function iff it is dominated by a
+recursive call (§3.1).
+"""
+
+from repro.ir.nodes import (
+    And,
+    Call,
+    Const,
+    FieldAccess,
+    FieldPlace,
+    FuncDef,
+    FunctionRef,
+    If,
+    Lambda,
+    Let,
+    Node,
+    Or,
+    Progn,
+    Quote,
+    Setf,
+    Setq,
+    Spawn,
+    FutureExpr,
+    Var,
+    VarPlace,
+    While,
+)
+from repro.ir.lower import LowerError, lower_function, lower_expr
+from repro.ir.unparse import unparse, unparse_function
+from repro.ir.cfg import CFG, build_cfg
+from repro.ir.dominators import compute_dominators, dominated_by_any
+
+__all__ = [
+    "And",
+    "CFG",
+    "Call",
+    "Const",
+    "FieldAccess",
+    "FieldPlace",
+    "FuncDef",
+    "FunctionRef",
+    "FutureExpr",
+    "If",
+    "Lambda",
+    "Let",
+    "LowerError",
+    "Node",
+    "Or",
+    "Progn",
+    "Quote",
+    "Setf",
+    "Setq",
+    "Spawn",
+    "Var",
+    "VarPlace",
+    "While",
+    "build_cfg",
+    "compute_dominators",
+    "dominated_by_any",
+    "lower_expr",
+    "lower_function",
+    "unparse",
+    "unparse_function",
+]

@@ -1,0 +1,240 @@
+"""Control-flow graph over IR nodes.
+
+The CFG is at *expression* granularity: every IR node is a CFG vertex,
+with edges in evaluation order and branches at ``if``/``while``/``and``/
+``or``.  Two synthetic vertices ``ENTRY`` and ``EXIT`` bracket the
+function body.
+
+This granularity makes the paper's head/tail definition (§3.1) direct:
+a node is in the tail iff every path from ENTRY to it passes through a
+recursive-call vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.ir import nodes as N
+
+ENTRY = "entry"
+EXIT = "exit"
+
+
+class CFG:
+    """preds/succs over node ids, plus the id→node map."""
+
+    def __init__(self) -> None:
+        self.succs: dict[object, set[object]] = {ENTRY: set(), EXIT: set()}
+        self.preds: dict[object, set[object]] = {ENTRY: set(), EXIT: set()}
+        self.nodes: dict[int, N.Node] = {}
+
+    def add_node(self, node: N.Node) -> int:
+        self.nodes[node.node_id] = node
+        self.succs.setdefault(node.node_id, set())
+        self.preds.setdefault(node.node_id, set())
+        return node.node_id
+
+    def add_edge(self, src: object, dst: object) -> None:
+        self.succs.setdefault(src, set()).add(dst)
+        self.preds.setdefault(dst, set()).add(src)
+
+    def vertices(self) -> list[object]:
+        return list(self.succs.keys())
+
+    def reverse_postorder(self) -> list[object]:
+        """RPO from ENTRY (unreachable vertices appended at the end)."""
+        visited: set[object] = set()
+        order: list[object] = []
+
+        def dfs(v: object) -> None:
+            stack = [(v, iter(sorted(self.succs.get(v, ()), key=str)))]
+            visited.add(v)
+            while stack:
+                vertex, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append((succ, iter(sorted(self.succs.get(succ, ()), key=str))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(vertex)
+                    stack.pop()
+
+        dfs(ENTRY)
+        order.reverse()
+        for v in self.vertices():
+            if v not in visited:
+                order.append(v)
+        return order
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+
+    def build(self, body: list[N.Node]) -> CFG:
+        lasts = self._sequence(body, {ENTRY})
+        for last in lasts:
+            self.cfg.add_edge(last, EXIT)
+        return self.cfg
+
+    def _sequence(self, body: Iterable[N.Node], preds: set[object]) -> set[object]:
+        current = set(preds)
+        for node in body:
+            current = self._node(node, current)
+        return current
+
+    def _link(self, preds: set[object], vertex: object) -> None:
+        for p in preds:
+            self.cfg.add_edge(p, vertex)
+
+    def _node(self, node: N.Node, preds: set[object]) -> set[object]:
+        """Wire ``node``'s subgraph after ``preds``; return its exits."""
+        nid = self.cfg.add_node(node)
+
+        if isinstance(node, (N.Const, N.Quote, N.Var, N.FunctionRef, N.Lambda, N.FutureExpr)):
+            # Atomic in the parent's flow (lambda/future bodies execute
+            # elsewhere).
+            self._link(preds, nid)
+            return {nid}
+
+        if isinstance(node, N.FieldAccess):
+            exits = self._node(node.base, preds)
+            self._link(exits, nid)
+            return {nid}
+
+        if isinstance(node, N.Setf):
+            current = preds
+            if isinstance(node.place, N.FieldPlace):
+                current = self._node(node.place.base, current)
+            current = self._node(node.value, current)
+            self._link(current, nid)
+            return {nid}
+
+        if isinstance(node, N.If):
+            test_exits = self._node(node.test, preds)
+            self._link(test_exits, nid)
+            then_exits = self._node(node.then, {nid})
+            if node.els is not None:
+                else_exits = self._node(node.els, {nid})
+                return then_exits | else_exits
+            return then_exits | {nid}
+
+        if isinstance(node, N.Progn):
+            if not node.body:
+                self._link(preds, nid)
+                return {nid}
+            exits = self._sequence(node.body, preds)
+            self._link(exits, nid)
+            return {nid}
+
+        if isinstance(node, N.Let):
+            current = preds
+            for _name, init in node.bindings:
+                current = self._node(init, current)
+            self._link(current, nid)
+            if not node.body:
+                return {nid}
+            return self._sequence(node.body, {nid})
+
+        if isinstance(node, N.While):
+            # nid is the loop-branch point, evaluated after the test.
+            test_exits = self._node(node.test, preds)
+            self._link(test_exits, nid)
+            body_exits = self._sequence(node.body, {nid})
+            # Loop back: body exits re-evaluate the test.
+            for e in body_exits:
+                for t in _first_vertices(self, node.test):
+                    self.cfg.add_edge(e, t)
+            return {nid}
+
+        if isinstance(node, (N.And, N.Or)):
+            exits: set[object] = set()
+            current = preds
+            for arg in node.args:
+                arg_exits = self._node(arg, current)
+                exits |= arg_exits  # short-circuit exit from every arg
+                current = arg_exits
+            self._link(exits if node.args else preds, nid)
+            return {nid}
+
+        if isinstance(node, N.Call):
+            current = preds
+            for arg in node.args:
+                current = self._node(arg, current)
+            self._link(current, nid)
+            return {nid}
+
+        if isinstance(node, N.Spawn):
+            # Arguments evaluate in the parent; the call itself is the
+            # spawn point (the callee's body is elsewhere).
+            current = preds
+            for arg in node.call.args:
+                current = self._node(arg, current)
+            call_id = self.cfg.add_node(node.call)
+            self._link(current, call_id)
+            self._link({call_id}, nid)
+            return {nid}
+
+        raise TypeError(f"cfg: unknown node {node!r}")
+
+
+def _first_vertices(builder: _Builder, node: N.Node) -> set[object]:
+    """The vertex where evaluation of ``node`` begins (for loop back edges).
+
+    For compound nodes this is the entry of their first sub-computation;
+    by construction every node subgraph was already added, so we descend
+    the same way the builder wires preds.
+    """
+    current = node
+    while True:
+        if isinstance(current, (N.Const, N.Quote, N.Var, N.FunctionRef, N.Lambda, N.FutureExpr)):
+            return {current.node_id}
+        if isinstance(current, N.FieldAccess):
+            current = current.base
+            continue
+        if isinstance(current, N.Setf):
+            if isinstance(current.place, N.FieldPlace):
+                current = current.place.base
+            else:
+                current = current.value
+            continue
+        if isinstance(current, N.If):
+            current = current.test
+            continue
+        if isinstance(current, N.Progn):
+            if current.body:
+                current = current.body[0]
+                continue
+            return {current.node_id}
+        if isinstance(current, N.Let):
+            if current.bindings:
+                current = current.bindings[0][1]
+                continue
+            return {current.node_id}
+        if isinstance(current, N.While):
+            current = current.test
+            continue
+        if isinstance(current, (N.And, N.Or)):
+            if current.args:
+                current = current.args[0]
+                continue
+            return {current.node_id}
+        if isinstance(current, N.Call):
+            if current.args:
+                current = current.args[0]
+                continue
+            return {current.node_id}
+        if isinstance(current, N.Spawn):
+            if current.call.args:
+                current = current.call.args[0]
+                continue
+            return {current.call.node_id}
+        raise TypeError(f"cfg: unknown node {current!r}")
+
+
+def build_cfg(func: N.FuncDef) -> CFG:
+    """Build the expression-level CFG of ``func``'s body."""
+    return _Builder().build(func.body)

@@ -1,0 +1,70 @@
+"""Dominator analysis over the expression-level CFG.
+
+Classic iterative dataflow (Cooper-Harvey-Kennedy style, but with full
+dominator *sets* since our CFGs are small): ``dom(n)`` is the set of
+vertices on every ENTRY→n path.  Head/tail partitioning (paper §3.1)
+asks: is this node dominated by a recursive-call vertex?
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.cfg import CFG, ENTRY
+
+
+def compute_dominators(cfg: CFG) -> dict[object, set[object]]:
+    """Map each reachable vertex to its dominator set (including itself)."""
+    order = cfg.reverse_postorder()
+    reachable = _reachable(cfg)
+    vertices = [v for v in order if v in reachable]
+    all_vs = set(vertices)
+    dom: dict[object, set[object]] = {v: set(all_vs) for v in vertices}
+    dom[ENTRY] = {ENTRY}
+    changed = True
+    while changed:
+        changed = False
+        for v in vertices:
+            if v == ENTRY:
+                continue
+            preds = [p for p in cfg.preds.get(v, ()) if p in reachable]
+            if preds:
+                new = set(dom[preds[0]])
+                for p in preds[1:]:
+                    new &= dom[p]
+            else:
+                new = set()
+            new.add(v)
+            if new != dom[v]:
+                dom[v] = new
+                changed = True
+    return dom
+
+
+def _reachable(cfg: CFG) -> set[object]:
+    seen = {ENTRY}
+    stack = [ENTRY]
+    while stack:
+        v = stack.pop()
+        for s in cfg.succs.get(v, ()):
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return seen
+
+
+def dominated_by_any(
+    dom: dict[object, set[object]], vertices: Iterable[object], targets: Iterable[object]
+) -> set[object]:
+    """Vertices whose dominator set intersects ``targets`` (excluding the
+    case where the vertex *is* the only such target itself)."""
+    target_set = set(targets)
+    out: set[object] = set()
+    for v in vertices:
+        doms = dom.get(v)
+        if doms is None:
+            continue
+        hit = doms & target_set
+        if hit - {v}:
+            out.add(v)
+    return out

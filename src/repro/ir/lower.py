@@ -1,0 +1,399 @@
+"""Lowering: macroexpanded S-expressions → IR.
+
+The lowering pass is bound to an :class:`~repro.lisp.interpreter.Interpreter`
+for three things: macro expansion, the struct-accessor table (so
+``(node-next x)`` becomes a :class:`FieldAccess` with field ``next``),
+and gensyms for loop rewriting.
+
+``cond``, ``when``, ``unless``, and ``dolist`` are normalized away here
+(to ``if``/``let``/``while``), so downstream analyses see a small core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.ir import nodes as N
+from repro.lisp.interpreter import Interpreter, cxr_ops, _is_cxr
+from repro.sexpr.datum import Cons, Symbol, list_to_pylist
+
+
+class LowerError(Exception):
+    def __init__(self, message: str, form: Any = None):
+        if form is not None:
+            from repro.sexpr.printer import write_str
+
+            message = f"{message}: {write_str(form, max_depth=5)}"
+        super().__init__(message)
+        self.form = form
+
+
+class Lowerer:
+    def __init__(self, interp: Interpreter):
+        self.interp = interp
+
+    # -- entry points -----------------------------------------------------
+
+    def lower_function(self, defun_form: Any) -> N.FuncDef:
+        """Lower a ``(defun name (params) body...)`` form."""
+        form = self.interp.macroexpand_all(defun_form)
+        parts = list_to_pylist(form)
+        if len(parts) < 3 or not isinstance(parts[0], Symbol) or parts[0].name != "defun":
+            raise LowerError("not a defun form", defun_form)
+        name = parts[1]
+        if not isinstance(name, Symbol):
+            raise LowerError("defun name must be a symbol", defun_form)
+        params = list_to_pylist(parts[2]) if parts[2] is not None else []
+        for p in params:
+            if not isinstance(p, Symbol):
+                raise LowerError("parameter must be a symbol", defun_form)
+        body = [self.lower(f) for f in parts[3:] if not _is_declare(f)]
+        func = N.FuncDef(name, params, body, source=defun_form)
+        self._mark_self_calls(func)
+        return func
+
+    def lower(self, form: Any) -> N.Node:
+        """Lower one expression form."""
+        form = self.interp.macroexpand_all(form)
+        return self._lower(form)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _lower(self, form: Any) -> N.Node:
+        if isinstance(form, Symbol):
+            return N.Var(form, source=form)
+        if not isinstance(form, Cons):
+            return N.Const(form, source=form)
+        head = form.car
+        if not isinstance(head, Symbol):
+            if isinstance(head, Cons) and isinstance(head.car, Symbol) and head.car.name == "lambda":
+                # ((lambda ...) args) — lower as a call through funcall.
+                fn = self._lower(head)
+                args = [self._lower(a) for a in list_to_pylist(form.cdr)]
+                call = N.Call(self.interp.intern("funcall"), [fn] + args, source=form)
+                return call
+            raise LowerError("illegal function position", form)
+
+        handler = getattr(self, f"_lower_{head.name.replace('*', '_star').replace('-', '_')}", None)
+        special = _LOWER_DISPATCH.get(head.name)
+        if special is not None:
+            return special(self, form)
+        return self._lower_call(form)
+
+    def _parts(self, form: Cons) -> list[Any]:
+        return list_to_pylist(form.cdr)
+
+    # -- special forms -----------------------------------------------------
+
+    def _lower_quote(self, form: Cons) -> N.Node:
+        (datum,) = self._parts(form)
+        return N.Quote(datum, source=form)
+
+    def _lower_function(self, form: Cons) -> N.Node:
+        (target,) = self._parts(form)
+        if isinstance(target, Symbol):
+            return N.FunctionRef(target, source=form)
+        if isinstance(target, Cons):
+            return self._lower(target)
+        raise LowerError("bad function form", form)
+
+    def _lower_if(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if len(parts) not in (2, 3):
+            raise LowerError("if takes 2 or 3 arguments", form)
+        els = self._lower(parts[2]) if len(parts) == 3 else None
+        return N.If(self._lower(parts[0]), self._lower(parts[1]), els, source=form)
+
+    def _lower_cond(self, form: Cons) -> N.Node:
+        clauses = self._parts(form)
+        result: Optional[N.Node] = None
+        for clause in reversed(clauses):
+            if not isinstance(clause, Cons):
+                raise LowerError("malformed cond clause", form)
+            parts = list_to_pylist(clause)
+            test_form = parts[0]
+            is_t = test_form is True or (isinstance(test_form, Symbol) and test_form.name == "t")
+            if is_t:
+                body = [self._lower(f) for f in parts[1:]]
+                result = _body_node(body, form) if body else N.Const(True, source=form)
+                continue
+            test = self._lower(test_form)
+            if len(parts) == 1:
+                # (test) clause: value is the test itself.
+                tmp = self.interp.symbols.gensym("cond")
+                result = N.Let(
+                    [(tmp, test)],
+                    [N.If(N.Var(tmp), N.Var(tmp), result, source=form)],
+                    source=form,
+                )
+            else:
+                body = [self._lower(f) for f in parts[1:]]
+                result = N.If(test, _body_node(body, form), result, source=form)
+        return result if result is not None else N.Const(None, source=form)
+
+    def _lower_when(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if not parts:
+            raise LowerError("when needs a test", form)
+        body = [self._lower(f) for f in parts[1:]]
+        return N.If(self._lower(parts[0]), _body_node(body, form), None, source=form)
+
+    def _lower_unless(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if not parts:
+            raise LowerError("unless needs a test", form)
+        body = [self._lower(f) for f in parts[1:]]
+        not_sym = self.interp.intern("not")
+        return N.If(
+            N.Call(not_sym, [self._lower(parts[0])], source=form),
+            _body_node(body, form),
+            None,
+            source=form,
+        )
+
+    def _lower_progn(self, form: Cons) -> N.Node:
+        body = [self._lower(f) for f in self._parts(form)]
+        return N.Progn(body, source=form)
+
+    def _lower_let(self, form: Cons, sequential: bool = False) -> N.Node:
+        parts = self._parts(form)
+        if not parts:
+            raise LowerError("let needs bindings", form)
+        raw = list_to_pylist(parts[0]) if parts[0] is not None else []
+        bindings: list[tuple[Symbol, N.Node]] = []
+        for b in raw:
+            if isinstance(b, Symbol):
+                bindings.append((b, N.Const(None, source=b)))
+            elif isinstance(b, Cons):
+                pair = list_to_pylist(b)
+                if len(pair) == 1:
+                    bindings.append((pair[0], N.Const(None, source=b)))
+                elif len(pair) == 2 and isinstance(pair[0], Symbol):
+                    bindings.append((pair[0], self._lower(pair[1])))
+                else:
+                    raise LowerError("malformed let binding", form)
+            else:
+                raise LowerError("malformed let binding", form)
+        body = [self._lower(f) for f in parts[1:] if not _is_declare(f)]
+        return N.Let(bindings, body, sequential=sequential, source=form)
+
+    def _lower_let_star(self, form: Cons) -> N.Node:
+        return self._lower_let(form, sequential=True)
+
+    def _lower_setq(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if not parts or len(parts) % 2 != 0:
+            raise LowerError("setq needs name/value pairs", form)
+        assigns: list[N.Node] = []
+        for i in range(0, len(parts), 2):
+            name = parts[i]
+            if not isinstance(name, Symbol):
+                raise LowerError("setq name must be a symbol", form)
+            assigns.append(N.Setf(N.VarPlace(name), self._lower(parts[i + 1]), source=form))
+        return assigns[0] if len(assigns) == 1 else N.Progn(assigns, source=form)
+
+    def _lower_setf(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if not parts or len(parts) % 2 != 0:
+            raise LowerError("setf needs place/value pairs", form)
+        assigns: list[N.Node] = []
+        for i in range(0, len(parts), 2):
+            assigns.append(self._lower_setf_one(parts[i], parts[i + 1], form))
+        return assigns[0] if len(assigns) == 1 else N.Progn(assigns, source=form)
+
+    def _lower_setf_one(self, place: Any, value_form: Any, form: Any) -> N.Node:
+        value = self._lower(value_form)
+        if isinstance(place, Symbol):
+            return N.Setf(N.VarPlace(place), value, source=form)
+        if not (isinstance(place, Cons) and isinstance(place.car, Symbol)):
+            raise LowerError("unsupported setf place", form)
+        op = place.car.name
+        place_args = list_to_pylist(place.cdr)
+        if op in ("car", "cdr") or _is_cxr(op):
+            if len(place_args) != 1:
+                raise LowerError(f"({op} ...) place takes one subform", form)
+            base = self._lower(place_args[0])
+            fields = tuple(cxr_ops(op)) if _is_cxr(op) else (op,)
+            base, fields, names = self._merge_access(base, fields, fields)
+            return N.Setf(N.FieldPlace(base, fields, names), value, source=form)
+        if op in self.interp.struct_accessors:
+            if len(place_args) != 1:
+                raise LowerError(f"({op} ...) place takes one subform", form)
+            _stype, field = self.interp.struct_accessors[op]
+            base = self._lower(place_args[0])
+            base, fields, names = self._merge_access(base, (field,), (op,))
+            return N.Setf(N.FieldPlace(base, fields, names), value, source=form)
+        if op == "aref":
+            if len(place_args) != 2:
+                raise LowerError("(aref array index) place takes two subforms", form)
+            vec = self._lower(place_args[0])
+            index = self._lower(place_args[1])
+            return N.Call(self.interp.intern("aset"), [vec, index, value], source=form)
+        if op == "gethash":
+            if len(place_args) != 2:
+                raise LowerError("(gethash key table) place takes two subforms", form)
+            key = self._lower(place_args[0])
+            table = self._lower(place_args[1])
+            return N.Call(self.interp.intern("puthash"), [key, table, value], source=form)
+        raise LowerError(f"unsupported setf place ({op} ...)", form)
+
+    def _lower_while(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if not parts:
+            raise LowerError("while needs a test", form)
+        return N.While(self._lower(parts[0]), [self._lower(f) for f in parts[1:]], source=form)
+
+    def _lower_dolist(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if not parts or not isinstance(parts[0], Cons):
+            raise LowerError("dolist needs (var list-form)", form)
+        spec = list_to_pylist(parts[0])
+        if len(spec) not in (2, 3) or not isinstance(spec[0], Symbol):
+            raise LowerError("dolist needs (var list-form [result])", form)
+        var = spec[0]
+        cursor = self.interp.symbols.gensym("dolist")
+        lst = self._lower(spec[1])
+        body = [self._lower(f) for f in parts[1:]]
+        # (let ((cursor lst)) (while cursor (let ((var (car cursor))) body...)
+        #                                   (setq cursor (cdr cursor))) [result])
+        loop = N.While(
+            N.Var(cursor),
+            [
+                N.Let(
+                    [(var, N.FieldAccess(N.Var(cursor), ("car",), source=form))],
+                    body,
+                    source=form,
+                ),
+                N.Setf(
+                    N.VarPlace(cursor),
+                    N.FieldAccess(N.Var(cursor), ("cdr",), source=form),
+                    source=form,
+                ),
+            ],
+            source=form,
+        )
+        outer_body: list[N.Node] = [loop]
+        if len(spec) == 3:
+            outer_body.append(self._lower(spec[2]))
+        return N.Let([(cursor, lst)], outer_body, source=form)
+
+    def _lower_and(self, form: Cons) -> N.Node:
+        return N.And([self._lower(f) for f in self._parts(form)], source=form)
+
+    def _lower_or(self, form: Cons) -> N.Node:
+        return N.Or([self._lower(f) for f in self._parts(form)], source=form)
+
+    def _lower_lambda(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if not parts:
+            raise LowerError("lambda needs a lambda list", form)
+        params = list_to_pylist(parts[0]) if parts[0] is not None else []
+        body = [self._lower(f) for f in parts[1:] if not _is_declare(f)]
+        return N.Lambda(params, body, source=form)
+
+    def _lower_spawn(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if len(parts) != 1 or not isinstance(parts[0], Cons):
+            raise LowerError("spawn takes one call form", form)
+        inner = self._lower(parts[0])
+        if not isinstance(inner, N.Call):
+            raise LowerError("spawn body must be a simple call", form)
+        return N.Spawn(inner, source=form)
+
+    def _lower_future(self, form: Cons) -> N.Node:
+        parts = self._parts(form)
+        if len(parts) != 1:
+            raise LowerError("future takes one expression", form)
+        return N.FutureExpr(self._lower(parts[0]), source=form)
+
+    # -- calls and accessors -------------------------------------------------
+
+    def _merge_access(
+        self, base: N.Node, fields: tuple[str, ...], names: tuple[str, ...]
+    ) -> tuple[N.Node, tuple[str, ...], tuple[str, ...]]:
+        """Flatten FieldAccess-of-FieldAccess into one accessor word."""
+        if isinstance(base, N.FieldAccess):
+            return (
+                base.base,
+                base.fields + fields,
+                base.accessor_names + names,
+            )
+        return base, fields, names
+
+    def _lower_call(self, form: Cons) -> N.Node:
+        head: Symbol = form.car
+        args = [self._lower(a) for a in self._parts(form)]
+        name = head.name
+        if (name in ("car", "cdr") or _is_cxr(name)) and len(args) == 1:
+            fields = tuple(cxr_ops(name)) if _is_cxr(name) else (name,)
+            base, fields, acc = self._merge_access(args[0], fields, fields)
+            return N.FieldAccess(base, fields, source=form, accessor_names=acc)
+        if name in self.interp.struct_accessors and len(args) == 1:
+            _stype, field = self.interp.struct_accessors[name]
+            base, fields, acc = self._merge_access(args[0], (field,), (name,))
+            return N.FieldAccess(base, fields, source=form, accessor_names=acc)
+        return N.Call(head, args, source=form)
+
+    # -- post passes -----------------------------------------------------------
+
+    def _mark_self_calls(self, func: N.FuncDef) -> None:
+        index = 0
+        for node in func.walk():
+            if isinstance(node, N.Call) and node.fn is func.name:
+                node.is_self_call = True
+                node.callsite_index = index
+                index += 1
+            elif isinstance(node, N.Spawn) and node.call.fn is func.name:
+                node.call.is_self_call = True
+                node.call.callsite_index = index
+                index += 1
+
+
+def _body_node(body: list[N.Node], form: Any) -> N.Node:
+    if len(body) == 1:
+        return body[0]
+    return N.Progn(body, source=form)
+
+
+def _is_declare(form: Any) -> bool:
+    return (
+        isinstance(form, Cons)
+        and isinstance(form.car, Symbol)
+        and form.car.name == "declare"
+    )
+
+
+_LOWER_DISPATCH = {
+    "quote": Lowerer._lower_quote,
+    "function": Lowerer._lower_function,
+    "if": Lowerer._lower_if,
+    "cond": Lowerer._lower_cond,
+    "when": Lowerer._lower_when,
+    "unless": Lowerer._lower_unless,
+    "progn": Lowerer._lower_progn,
+    "let": Lowerer._lower_let,
+    "let*": Lowerer._lower_let_star,
+    "setq": Lowerer._lower_setq,
+    "setf": Lowerer._lower_setf,
+    "while": Lowerer._lower_while,
+    "dolist": Lowerer._lower_dolist,
+    "and": Lowerer._lower_and,
+    "or": Lowerer._lower_or,
+    "lambda": Lowerer._lower_lambda,
+    "spawn": Lowerer._lower_spawn,
+    "future": Lowerer._lower_future,
+}
+
+
+def lower_function(interp: Interpreter, defun_form: Any) -> N.FuncDef:
+    """Lower a defun form (or the source of an already-defined function)."""
+    if isinstance(defun_form, Symbol):
+        source = interp.source_forms.get(defun_form)
+        if source is None:
+            raise LowerError(f"no source recorded for function {defun_form}")
+        defun_form = source
+    return Lowerer(interp).lower_function(defun_form)
+
+
+def lower_expr(interp: Interpreter, form: Any) -> N.Node:
+    return Lowerer(interp).lower(form)

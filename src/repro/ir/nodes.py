@@ -1,0 +1,347 @@
+"""IR node classes.
+
+Nodes are small mutable objects with integer ids (unique per process) so
+analyses can key maps by node.  Each carries ``source``, the original
+S-expression it was lowered from, for error messages and faithful
+unparsing.
+
+Design notes:
+
+* ``FieldAccess`` makes accessor paths *explicit*: ``(cadr l)`` lowers to
+  ``FieldAccess(Var(l), ('cdr', 'car'))`` — fields in application order.
+  The §2 conflict analysis is a computation over these words.
+* ``Setf`` writes through a ``Place``; ``FieldPlace`` mirrors
+  ``FieldAccess`` (all but the last field are reads, the last is the
+  written location).
+* ``Spawn`` and ``FutureExpr`` never come from user source; transforms
+  introduce them (Figure 7's process-spawning recursive call).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional
+
+from repro.sexpr.datum import Symbol
+
+_node_ids = itertools.count(1)
+
+
+class Node:
+    """Base IR node."""
+
+    __slots__ = ("node_id", "source")
+
+    def __init__(self, source: Any = None):
+        self.node_id = next(_node_ids)
+        self.source = source
+
+    def children(self) -> Iterator["Node"]:
+        """Direct sub-nodes in evaluation order."""
+        return iter(())
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        from repro.ir.unparse import unparse
+        from repro.sexpr.printer import write_str
+
+        try:
+            return f"<{type(self).__name__}#{self.node_id} {write_str(unparse(self), max_depth=4)}>"
+        except Exception:
+            return f"<{type(self).__name__}#{self.node_id}>"
+
+
+class Const(Node):
+    """Self-evaluating constant (number, string, nil, t)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any, source: Any = None):
+        super().__init__(source)
+        self.value = value
+
+
+class Quote(Node):
+    """A quoted datum."""
+
+    __slots__ = ("datum",)
+
+    def __init__(self, datum: Any, source: Any = None):
+        super().__init__(source)
+        self.datum = datum
+
+
+class Var(Node):
+    """Variable reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: Symbol, source: Any = None):
+        super().__init__(source)
+        self.name = name
+
+
+class FunctionRef(Node):
+    """``#'name`` — reference to a function."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: Symbol, source: Any = None):
+        super().__init__(source)
+        self.name = name
+
+
+class FieldAccess(Node):
+    """Read through an accessor chain: base.f1.f2...fk.
+
+    ``fields`` are in application order (first applied first), so
+    ``(cadr l)`` is ``fields=('cdr','car')``.
+
+    ``accessor_names`` (parallel to ``fields``) remembers the Lisp
+    accessor function for each step so unparsing regenerates source:
+    ``'cdr'`` for cons fields, ``'node-next'`` for struct fields.
+    """
+
+    __slots__ = ("base", "fields", "accessor_names")
+
+    def __init__(
+        self,
+        base: Node,
+        fields: tuple[str, ...],
+        source: Any = None,
+        accessor_names: Optional[tuple[str, ...]] = None,
+    ):
+        super().__init__(source)
+        self.base = base
+        self.fields = fields
+        self.accessor_names = accessor_names if accessor_names is not None else fields
+
+    def children(self) -> Iterator[Node]:
+        yield self.base
+
+
+class Place:
+    """Base class for setf places."""
+
+    __slots__ = ()
+
+
+class VarPlace(Place):
+    __slots__ = ("name",)
+
+    def __init__(self, name: Symbol):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"VarPlace({self.name})"
+
+
+class FieldPlace(Place):
+    """A heap location: base.f1...f(k-1) read, then field fk written."""
+
+    __slots__ = ("base", "fields", "accessor_names")
+
+    def __init__(
+        self,
+        base: Node,
+        fields: tuple[str, ...],
+        accessor_names: Optional[tuple[str, ...]] = None,
+    ):
+        self.base = base
+        self.fields = fields
+        self.accessor_names = accessor_names if accessor_names is not None else fields
+
+    def __repr__(self) -> str:
+        return f"FieldPlace({self.base!r}, {self.fields})"
+
+
+class Setf(Node):
+    """Assignment through a place.  ``setq`` lowers to a VarPlace setf."""
+
+    __slots__ = ("place", "value")
+
+    def __init__(self, place: Place, value: Node, source: Any = None):
+        super().__init__(source)
+        self.place = place
+        self.value = value
+
+    def children(self) -> Iterator[Node]:
+        if isinstance(self.place, FieldPlace):
+            yield self.place.base
+        yield self.value
+
+
+# Keep the name Setq importable for readability at call sites that build
+# variable assignments; it is the same node shape.
+def Setq(name: Symbol, value: Node, source: Any = None) -> Setf:
+    return Setf(VarPlace(name), value, source)
+
+
+class If(Node):
+    __slots__ = ("test", "then", "els")
+
+    def __init__(self, test: Node, then: Node, els: Optional[Node], source: Any = None):
+        super().__init__(source)
+        self.test = test
+        self.then = then
+        self.els = els
+
+    def children(self) -> Iterator[Node]:
+        yield self.test
+        yield self.then
+        if self.els is not None:
+            yield self.els
+
+
+class Progn(Node):
+    __slots__ = ("body",)
+
+    def __init__(self, body: list[Node], source: Any = None):
+        super().__init__(source)
+        self.body = body
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.body)
+
+
+class Let(Node):
+    """``let`` / ``let*`` (``sequential`` distinguishes them)."""
+
+    __slots__ = ("bindings", "body", "sequential")
+
+    def __init__(
+        self,
+        bindings: list[tuple[Symbol, Node]],
+        body: list[Node],
+        sequential: bool = False,
+        source: Any = None,
+    ):
+        super().__init__(source)
+        self.bindings = bindings
+        self.body = body
+        self.sequential = sequential
+
+    def children(self) -> Iterator[Node]:
+        for _name, init in self.bindings:
+            yield init
+        yield from self.body
+
+    def bound_names(self) -> set[Symbol]:
+        return {name for name, _ in self.bindings}
+
+
+class While(Node):
+    __slots__ = ("test", "body")
+
+    def __init__(self, test: Node, body: list[Node], source: Any = None):
+        super().__init__(source)
+        self.test = test
+        self.body = body
+
+    def children(self) -> Iterator[Node]:
+        yield self.test
+        yield from self.body
+
+
+class And(Node):
+    __slots__ = ("args",)
+
+    def __init__(self, args: list[Node], source: Any = None):
+        super().__init__(source)
+        self.args = args
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.args)
+
+
+class Or(Node):
+    __slots__ = ("args",)
+
+    def __init__(self, args: list[Node], source: Any = None):
+        super().__init__(source)
+        self.args = args
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.args)
+
+
+class Call(Node):
+    """Named function call.  ``is_self_call`` is stamped by recursion
+    analysis when the callee is the enclosing function."""
+
+    __slots__ = ("fn", "args", "is_self_call", "callsite_index")
+
+    def __init__(self, fn: Symbol, args: list[Node], source: Any = None):
+        super().__init__(source)
+        self.fn = fn
+        self.args = args
+        self.is_self_call = False
+        self.callsite_index: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.args)
+
+
+class Lambda(Node):
+    __slots__ = ("params", "body")
+
+    def __init__(self, params: list[Symbol], body: list[Node], source: Any = None):
+        super().__init__(source)
+        self.params = params
+        self.body = body
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.body)
+
+
+class Spawn(Node):
+    """Asynchronous call: the transformed recursive invocation (Fig 7)."""
+
+    __slots__ = ("call",)
+
+    def __init__(self, call: Call, source: Any = None):
+        super().__init__(source)
+        self.call = call
+
+    def children(self) -> Iterator[Node]:
+        yield self.call
+
+
+class FutureExpr(Node):
+    """``(future expr)`` — spawn with a future for the result."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Node, source: Any = None):
+        super().__init__(source)
+        self.expr = expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.expr
+
+
+class FuncDef:
+    """A lowered function definition."""
+
+    __slots__ = ("name", "params", "body", "source")
+
+    def __init__(self, name: Symbol, params: list[Symbol], body: list[Node], source: Any = None):
+        self.name = name
+        self.params = params
+        self.body = body
+        self.source = source
+
+    def walk(self) -> Iterator[Node]:
+        for node in self.body:
+            yield from node.walk()
+
+    def self_calls(self) -> list[Call]:
+        return [n for n in self.walk() if isinstance(n, Call) and n.is_self_call]
+
+    def __repr__(self) -> str:
+        return f"<FuncDef {self.name} ({' '.join(p.name for p in self.params)})>"

@@ -1,0 +1,118 @@
+"""Unparsing: IR → S-expressions.
+
+The inverse of lowering, used by the code generator stage ("Curare is a
+program transformer that can accommodate a wide variety of target
+language features simply by changing its final, code-generator stage",
+§4).  Round-tripping a lowered function yields an equivalent — not
+textually identical — program: ``cond``/``when``/``dolist`` come back as
+``if``/``let``/``while``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.ir import nodes as N
+from repro.sexpr.datum import Cons, Symbol, intern, lisp_list
+
+
+def _sym(name: str) -> Symbol:
+    return intern(name)
+
+
+def _access_form(base_form: Any, fields: tuple[str, ...], names: tuple[str, ...]) -> Any:
+    """Emit accessor applications over ``base_form``.
+
+    Runs of car/cdr compress into c[ad]{2,4}r words; struct accessors
+    emit by their recorded accessor names.
+    """
+    i = 0
+    form = base_form
+    while i < len(fields):
+        if fields[i] in ("car", "cdr"):
+            j = i
+            while j < len(fields) and fields[j] in ("car", "cdr") and j - i < 4:
+                j += 1
+            letters = "".join("a" if f == "car" else "d" for f in fields[i:j])
+            # Accessor words apply right-to-left: innermost field is the
+            # rightmost letter.
+            name = "c" + letters[::-1] + "r" if j - i > 1 else fields[i]
+            form = lisp_list(_sym(name), form)
+            i = j
+        else:
+            form = lisp_list(_sym(names[i]), form)
+            i += 1
+    return form
+
+
+def unparse(node: N.Node) -> Any:
+    """Convert one IR node back to an S-expression."""
+    if isinstance(node, N.Const):
+        value = node.value
+        if isinstance(value, (int, float, str)) or value is None or value is True:
+            return value
+        return lisp_list(_sym("quote"), value)
+    if isinstance(node, N.Quote):
+        datum = node.datum
+        if isinstance(datum, (int, float, str)) or datum is None or datum is True:
+            return datum
+        return lisp_list(_sym("quote"), datum)
+    if isinstance(node, N.Var):
+        return node.name
+    if isinstance(node, N.FunctionRef):
+        return lisp_list(_sym("function"), node.name)
+    if isinstance(node, N.FieldAccess):
+        return _access_form(unparse(node.base), node.fields, node.accessor_names)
+    if isinstance(node, N.Setf):
+        place = node.place
+        value = unparse(node.value)
+        if isinstance(place, N.VarPlace):
+            return lisp_list(_sym("setq"), place.name, value)
+        assert isinstance(place, N.FieldPlace)
+        place_form = _access_form(unparse(place.base), place.fields, place.accessor_names)
+        return lisp_list(_sym("setf"), place_form, value)
+    if isinstance(node, N.If):
+        if node.els is None:
+            return lisp_list(_sym("if"), unparse(node.test), unparse(node.then))
+        return lisp_list(
+            _sym("if"), unparse(node.test), unparse(node.then), unparse(node.els)
+        )
+    if isinstance(node, N.Progn):
+        return lisp_list(_sym("progn"), *[unparse(n) for n in node.body])
+    if isinstance(node, N.Let):
+        head = "let*" if node.sequential else "let"
+        bindings = lisp_list(
+            *[lisp_list(name, unparse(init)) for name, init in node.bindings]
+        )
+        return lisp_list(_sym(head), bindings, *[unparse(n) for n in node.body])
+    if isinstance(node, N.While):
+        return lisp_list(
+            _sym("while"), unparse(node.test), *[unparse(n) for n in node.body]
+        )
+    if isinstance(node, N.And):
+        return lisp_list(_sym("and"), *[unparse(n) for n in node.args])
+    if isinstance(node, N.Or):
+        return lisp_list(_sym("or"), *[unparse(n) for n in node.args])
+    if isinstance(node, N.Call):
+        return lisp_list(node.fn, *[unparse(a) for a in node.args])
+    if isinstance(node, N.Lambda):
+        return lisp_list(
+            _sym("lambda"),
+            lisp_list(*node.params),
+            *[unparse(n) for n in node.body],
+        )
+    if isinstance(node, N.Spawn):
+        return lisp_list(_sym("spawn"), unparse(node.call))
+    if isinstance(node, N.FutureExpr):
+        return lisp_list(_sym("future"), unparse(node.expr))
+    raise TypeError(f"cannot unparse {node!r}")
+
+
+def unparse_function(func: N.FuncDef) -> Any:
+    """Emit a full ``(defun ...)`` form for a lowered function."""
+    return lisp_list(
+        _sym("defun"),
+        func.name,
+        lisp_list(*func.params),
+        *[unparse(n) for n in func.body],
+    )

@@ -1,0 +1,149 @@
+"""IR traversal and rewriting utilities shared by analyses and transforms."""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Optional
+
+from repro.ir import nodes as N
+from repro.sexpr.datum import Symbol
+
+
+def free_variables(node: N.Node, bound: Optional[frozenset[Symbol]] = None) -> set[Symbol]:
+    """Variables read by ``node`` that are not bound within it."""
+    bound = bound if bound is not None else frozenset()
+    out: set[Symbol] = set()
+    _free(node, bound, out)
+    return out
+
+
+def _free(node: N.Node, bound: frozenset[Symbol], out: set[Symbol]) -> None:
+    if isinstance(node, N.Var):
+        if node.name not in bound:
+            out.add(node.name)
+        return
+    if isinstance(node, N.Setf):
+        if isinstance(node.place, N.VarPlace):
+            if node.place.name not in bound:
+                out.add(node.place.name)  # a setq both reads the frame and writes
+        else:
+            _free(node.place.base, bound, out)
+        _free(node.value, bound, out)
+        return
+    if isinstance(node, N.Let):
+        inner = bound
+        for name, init in node.bindings:
+            _free(init, bound if not node.sequential else inner, out)
+            inner = inner | {name}
+        for sub in node.body:
+            _free(sub, inner, out)
+        return
+    if isinstance(node, N.Lambda):
+        inner = bound | set(node.params)
+        for sub in node.body:
+            _free(sub, inner, out)
+        return
+    for child in node.children():
+        _free(child, bound, out)
+
+
+def assigned_variables(node: N.Node) -> set[Symbol]:
+    """Variables assigned (setq'd) anywhere inside ``node``."""
+    out: set[Symbol] = set()
+    for sub in node.walk():
+        if isinstance(sub, N.Setf) and isinstance(sub.place, N.VarPlace):
+            out.add(sub.place.name)
+    return out
+
+
+def copy_node(node: N.Node) -> N.Node:
+    """Deep-copy an IR subtree with *fresh node ids*."""
+    new = copy.copy(node)
+    new.node_id = next(N._node_ids)
+    if isinstance(node, N.FieldAccess):
+        new.base = copy_node(node.base)
+    elif isinstance(node, N.Setf):
+        if isinstance(node.place, N.FieldPlace):
+            new.place = N.FieldPlace(
+                copy_node(node.place.base), node.place.fields, node.place.accessor_names
+            )
+        node_value = copy_node(node.value)
+        new.value = node_value
+    elif isinstance(node, N.If):
+        new.test = copy_node(node.test)
+        new.then = copy_node(node.then)
+        new.els = copy_node(node.els) if node.els is not None else None
+    elif isinstance(node, N.Progn):
+        new.body = [copy_node(n) for n in node.body]
+    elif isinstance(node, N.Let):
+        new.bindings = [(name, copy_node(init)) for name, init in node.bindings]
+        new.body = [copy_node(n) for n in node.body]
+    elif isinstance(node, N.While):
+        new.test = copy_node(node.test)
+        new.body = [copy_node(n) for n in node.body]
+    elif isinstance(node, (N.And, N.Or)):
+        new.args = [copy_node(n) for n in node.args]
+    elif isinstance(node, N.Call):
+        new.args = [copy_node(n) for n in node.args]
+    elif isinstance(node, N.Lambda):
+        new.body = [copy_node(n) for n in node.body]
+    elif isinstance(node, N.Spawn):
+        new.call = copy_node(node.call)
+    elif isinstance(node, N.FutureExpr):
+        new.expr = copy_node(node.expr)
+    return new
+
+
+def copy_function(func: N.FuncDef) -> N.FuncDef:
+    return N.FuncDef(
+        func.name, list(func.params), [copy_node(n) for n in func.body], func.source
+    )
+
+
+Rewriter = Callable[[N.Node], Optional[N.Node]]
+
+
+def rewrite(node: N.Node, fn: Rewriter) -> N.Node:
+    """Bottom-up rewriting: ``fn`` returns a replacement or None to keep.
+
+    Children are rewritten first, then ``fn`` is offered the (possibly
+    updated) node.  The input tree is mutated in place for child slots;
+    callers who need the original should :func:`copy_node` first.
+    """
+    if isinstance(node, N.FieldAccess):
+        node.base = rewrite(node.base, fn)
+    elif isinstance(node, N.Setf):
+        if isinstance(node.place, N.FieldPlace):
+            node.place.base = rewrite(node.place.base, fn)
+        node.value = rewrite(node.value, fn)
+    elif isinstance(node, N.If):
+        node.test = rewrite(node.test, fn)
+        node.then = rewrite(node.then, fn)
+        if node.els is not None:
+            node.els = rewrite(node.els, fn)
+    elif isinstance(node, N.Progn):
+        node.body = [rewrite(n, fn) for n in node.body]
+    elif isinstance(node, N.Let):
+        node.bindings = [(name, rewrite(init, fn)) for name, init in node.bindings]
+        node.body = [rewrite(n, fn) for n in node.body]
+    elif isinstance(node, N.While):
+        node.test = rewrite(node.test, fn)
+        node.body = [rewrite(n, fn) for n in node.body]
+    elif isinstance(node, (N.And, N.Or)):
+        node.args = [rewrite(n, fn) for n in node.args]
+    elif isinstance(node, N.Call):
+        node.args = [rewrite(n, fn) for n in node.args]
+    elif isinstance(node, N.Lambda):
+        node.body = [rewrite(n, fn) for n in node.body]
+    elif isinstance(node, N.Spawn):
+        new_call = rewrite(node.call, fn)
+        if isinstance(new_call, N.Call):
+            node.call = new_call
+    elif isinstance(node, N.FutureExpr):
+        node.expr = rewrite(node.expr, fn)
+    replacement = fn(node)
+    return replacement if replacement is not None else node
+
+
+def count_nodes(func: N.FuncDef) -> int:
+    return sum(1 for _ in func.walk())

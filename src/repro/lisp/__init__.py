@@ -1,0 +1,48 @@
+"""Mini-Lisp substrate: the language Curare analyzes, transforms, and runs.
+
+The evaluator (:mod:`repro.lisp.interpreter`) is written in *generator
+style*: evaluating a form yields a stream of
+:class:`~repro.lisp.effects.Effect` objects (time ticks, memory reads and
+writes, lock operations, process spawns) and finally returns a value.
+That single evaluator therefore serves two masters:
+
+* :class:`~repro.lisp.runner.SequentialRunner` drains the stream in
+  order — ordinary uniprocessor Lisp execution with a cost count and a
+  memory trace;
+* the simulated multiprocessor (:mod:`repro.runtime.machine`)
+  interleaves many such streams, charging each effect to a processor's
+  clock and blocking on locks, futures, and queues.
+
+Running the *same* evaluator under both drivers is what makes the
+equivalence claims testable: a transformed program's machine run must
+produce the sequential run's result (final-state sequentializability,
+paper §3.1.1).
+"""
+
+from repro.lisp.errors import (
+    ArityError,
+    EvalError,
+    LispError,
+    UnboundVariable,
+    UndefinedFunction,
+    WrongType,
+)
+from repro.lisp.env import Environment
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner, run_program
+from repro.lisp.structs import StructInstance, StructType
+
+__all__ = [
+    "ArityError",
+    "Environment",
+    "EvalError",
+    "Interpreter",
+    "LispError",
+    "SequentialRunner",
+    "StructInstance",
+    "StructType",
+    "UnboundVariable",
+    "UndefinedFunction",
+    "WrongType",
+    "run_program",
+]

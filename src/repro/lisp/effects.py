@@ -1,0 +1,172 @@
+"""Effects yielded by the generator-style evaluator.
+
+Every observable step of evaluation is an :class:`Effect`.  The driver
+(sequential runner or simulated machine) receives effects one at a time
+and may answer value-producing effects through ``generator.send``.
+
+Effect costs follow the paper's cost assumptions (§1.2): ordinary
+operations cost one time step; process creation and context switches are
+"noticeably more expensive than function invocation" — the machine
+charges :class:`SpawnProcess` and rescheduling from its
+:class:`~repro.runtime.clock.CostModel`, not from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class Effect:
+    """Base class; drivers dispatch on the concrete type."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Tick(Effect):
+    """Consume ``cost`` simulated time units doing ``op``."""
+
+    cost: int = 1
+    op: str = "step"
+
+
+@dataclass(frozen=True)
+class MemRead(Effect):
+    """Read ``field`` of ``cell`` (a Cons or StructInstance)."""
+
+    cell: Any
+    field: str
+
+
+@dataclass(frozen=True)
+class MemWrite(Effect):
+    """Write ``field`` of ``cell``.  The store itself is performed by the
+    evaluator *after* the driver lets this effect through; the driver can
+    therefore order conflicting writes by delaying its reply."""
+
+    cell: Any
+    field: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class VarRead(Effect):
+    """Read of a free (non-local) variable — used by escape analysis."""
+
+    name: Any
+
+
+@dataclass(frozen=True)
+class VarWrite(Effect):
+    name: Any
+    value: Any
+
+
+@dataclass(frozen=True)
+class LockAcquire(Effect):
+    """Block until the lock named ``key`` is held.
+
+    ``key`` is a hashable location name, conventionally
+    ``(cell_id, field)`` for fine-grained location locks (paper §3.2.1).
+    ``shared`` requests the read side of a read-write lock.
+    """
+
+    key: Any
+    shared: bool = False
+
+
+@dataclass(frozen=True)
+class LockRelease(Effect):
+    key: Any
+    shared: bool = False
+    #: Release only if this process holds the lock (no error otherwise).
+    #: Used by early-release locking (§3.2.1's "as soon as they finish
+    #: with a location"): a branch may have released already.
+    if_held: bool = False
+
+
+@dataclass
+class SpawnProcess(Effect):
+    """Create a process evaluating ``thunk`` (a 0-arg generator factory).
+
+    If ``future`` is not None the process's result resolves it.  The
+    driver replies with the future (or the result, sequentially).
+    """
+
+    thunk: Callable[[], Any]
+    future: Optional[Any] = None
+    label: str = "child"
+
+
+@dataclass
+class WaitFuture(Effect):
+    """Block until ``future`` is resolved; reply is its value."""
+
+    future: Any
+
+
+@dataclass
+class WaitChildren(Effect):
+    """Block until every process spawned (transitively) by this process
+    has finished — a Cilk-style join.  The DPS wrapper uses it so a
+    caller sees the completed structure; sequentially it is a no-op
+    because spawns run depth-first to completion."""
+
+
+@dataclass
+class QueuePut(Effect):
+    """Append ``item`` to the task queue named ``queue``."""
+
+    queue: Any
+    item: Any
+
+
+@dataclass
+class QueueGet(Effect):
+    """Block for the next item of ``queue``; reply is the item.
+
+    ``poison_ok``: if True, a closed queue replies with
+    :data:`QUEUE_CLOSED` instead of erroring — servers use this to
+    terminate (paper §4.1's kill tokens).
+    """
+
+    queue: Any
+    poison_ok: bool = True
+
+
+@dataclass
+class QueueGetAny(Effect):
+    """Block for an item from the lowest-indexed nonempty queue.
+
+    The §4.1 multiple-queue discipline: one queue per call site, earlier
+    call sites preferred — rendered as a priority dequeue rather than the
+    paper's drain-then-advance (which deadlocks when a later queue's work
+    creates items for an earlier queue, as tree recursion does).  Replies
+    :data:`QUEUE_CLOSED` when every queue is closed and drained.
+    """
+
+    queues: list
+
+
+@dataclass
+class QueueClose(Effect):
+    queue: Any
+
+
+QUEUE_CLOSED = object()
+
+
+@dataclass
+class Output(Effect):
+    """A ``print`` — collected by the driver in sequential order of emission."""
+
+    value: Any
+
+
+@dataclass
+class Annotate(Effect):
+    """Out-of-band marker for traces (head/tail boundaries, invocation ids)."""
+
+    kind: str
+    data: dict = field(default_factory=dict)

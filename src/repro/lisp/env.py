@@ -1,0 +1,82 @@
+"""Lexical environments.
+
+A chain of frames, each a dict from :class:`Symbol` to value.  ``setq``
+mutates the innermost frame that binds the name (defining globally if
+none does, as in traditional Lisps).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.lisp.errors import UnboundVariable
+from repro.sexpr.datum import Symbol
+
+_MISSING = object()
+
+
+class Environment:
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, parent: Optional["Environment"] = None):
+        self.bindings: dict[Symbol, Any] = {}
+        self.parent = parent
+
+    def child(self) -> "Environment":
+        """A new innermost frame."""
+        return Environment(self)
+
+    def lookup(self, name: Symbol) -> Any:
+        env: Optional[Environment] = self
+        while env is not None:
+            value = env.bindings.get(name, _MISSING)
+            if value is not _MISSING:
+                return value
+            env = env.parent
+        raise UnboundVariable(name)
+
+    def is_bound(self, name: Symbol) -> bool:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.bindings:
+                return True
+            env = env.parent
+        return False
+
+    def define(self, name: Symbol, value: Any) -> None:
+        """Bind ``name`` in this frame (shadowing outer bindings)."""
+        self.bindings[name] = value
+
+    def assign(self, name: Symbol, value: Any) -> None:
+        """``setq`` semantics: mutate the binding frame, else define globally."""
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.bindings:
+                env.bindings[name] = value
+                return
+            env = env.parent
+        # Unbound: create at the global (outermost) frame.
+        top: Environment = self
+        while top.parent is not None:
+            top = top.parent
+        top.bindings[name] = value
+
+    def global_env(self) -> "Environment":
+        env: Environment = self
+        while env.parent is not None:
+            env = env.parent
+        return env
+
+    def frames(self) -> Iterator[dict[Symbol, Any]]:
+        env: Optional[Environment] = self
+        while env is not None:
+            yield env.bindings
+            env = env.parent
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flattened view, innermost bindings winning — for debugging."""
+        out: dict[str, Any] = {}
+        for frame in reversed(list(self.frames())):
+            for key, value in frame.items():
+                out[key.name] = value
+        return out

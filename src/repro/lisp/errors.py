@@ -1,0 +1,55 @@
+"""Error hierarchy for the mini-Lisp."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class LispError(Exception):
+    """Base class for all errors signalled by the Lisp layer."""
+
+
+class UnboundVariable(LispError):
+    def __init__(self, name: Any):
+        super().__init__(f"unbound variable: {name}")
+        self.name = name
+
+
+class UndefinedFunction(LispError):
+    def __init__(self, name: Any):
+        super().__init__(f"undefined function: {name}")
+        self.name = name
+
+
+class WrongType(LispError):
+    def __init__(self, expected: str, got: Any, context: str = ""):
+        where = f" in {context}" if context else ""
+        super().__init__(f"wrong type{where}: expected {expected}, got {got!r}")
+        self.expected = expected
+        self.got = got
+
+
+class ArityError(LispError):
+    def __init__(self, name: Any, expected: str, got: int):
+        super().__init__(f"{name}: expected {expected} argument(s), got {got}")
+        self.name = name
+
+
+class EvalError(LispError):
+    """A general evaluation error, carrying the offending form."""
+
+    def __init__(self, message: str, form: Any = None):
+        if form is not None:
+            from repro.sexpr.printer import write_str
+
+            message = f"{message} (while evaluating {write_str(form, max_depth=4)})"
+        super().__init__(message)
+        self.form = form
+
+
+class DeadlockError(LispError):
+    """Raised by the sequential runner or machine when progress is impossible."""
+
+
+class SetfError(LispError):
+    """Raised for unsupported setf places."""

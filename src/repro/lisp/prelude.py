@@ -1,0 +1,92 @@
+"""The Lisp prelude: convenience macros defined *in* the mini-Lisp.
+
+Loaded into every interpreter at construction.  Everything here expands
+to core forms before analysis (``macroexpand_all``), so the IR and the
+conflict detector never see these names.
+
+Also defines the §2 escape hatches ``set`` and ``eval`` — "only the most
+general features of Lisp, such as the set and eval functions, frustrate
+this analysis ... a program analyzer can reasonably assume the worst
+about their side-effects."  They work at runtime; the analyzer treats a
+function that calls them as fully opaque (serialization fallback).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+PRELUDE = """
+(defmacro incf (place &rest delta)
+  `(setf ,place (+ ,place ,(if delta (car delta) 1))))
+
+(defmacro decf (place &rest delta)
+  `(setf ,place (- ,place ,(if delta (car delta) 1))))
+
+(defmacro push (item place)
+  `(setf ,place (cons ,item ,place)))
+
+(defmacro pop (place)
+  `(let ((#:head (car ,place)))
+     (setf ,place (cdr ,place))
+     #:head))
+
+(defmacro dotimes (spec &rest body)
+  `(let ((,(car spec) 0))
+     (while (< ,(car spec) ,(cadr spec))
+       ,@body
+       (setq ,(car spec) (1+ ,(car spec))))
+     ,(if (cddr spec) (caddr spec) nil)))
+
+(defmacro second (l) `(cadr ,l))
+(defmacro third (l) `(caddr ,l))
+(defmacro first (l) `(car ,l))
+(defmacro rest (l) `(cdr ,l))
+"""
+
+
+def install_prelude(interp: Any) -> None:
+    """Evaluate the prelude macros and define set/eval builtins."""
+    from repro.lisp.effects import Tick, VarWrite
+    from repro.lisp.errors import WrongType
+    from repro.lisp.values import Builtin
+    from repro.sexpr.datum import Symbol
+
+    # Macros: drain the definition effects directly (defmacro only ticks).
+    from repro.lisp.interpreter import _drain
+
+    for form in interp.load(PRELUDE):
+        _drain(interp.eval_gen(form, interp.globals))
+
+    def _gb_set(interp_: Any, name: Any, value: Any):
+        """(set 'sym value) — assign through a computed symbol (§2's
+        analysis frustrator: the target is data, not syntax)."""
+        if not isinstance(name, Symbol):
+            raise WrongType("a symbol", name, "set")
+        yield VarWrite(name, value)
+        yield Tick(1, "set")
+        interp_.globals.define(name, value)
+        return value
+
+    def _gb_symbol_value(interp_: Any, name: Any):
+        if not isinstance(name, Symbol):
+            raise WrongType("a symbol", name, "symbol-value")
+        yield Tick(1, "symbol-value")
+        return interp_.globals.lookup(name)
+
+    def _gb_eval(interp_: Any, form: Any):
+        """(eval datum) — full evaluation of data as code (the other §2
+        frustrator)."""
+        yield Tick(2, "eval")
+        return (yield from interp_.eval_gen(form, interp_.globals))
+
+    interp.define_builtin(
+        Builtin("set", _gb_set, is_generator=True, writes_memory=True)
+    )
+    interp.define_builtin(
+        Builtin("symbol-value", _gb_symbol_value, is_generator=True,
+                reads_memory=True)
+    )
+    interp.define_builtin(
+        Builtin("eval", _gb_eval, is_generator=True,
+                reads_memory=True, writes_memory=True)
+    )

@@ -1,0 +1,91 @@
+"""Execution traces.
+
+A trace is the ordered record of what an execution *did* to shared
+memory: reads, writes, lock transitions, spawns, and annotations.  Both
+drivers produce the same trace format, which is what lets the
+serializability checker (:mod:`repro.runtime.serializability`) compare a
+concurrent execution against the sequential one (paper §3.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable step.
+
+    ``seq``   — global order of occurrence (commit order for writes);
+    ``time``  — simulated clock when it happened;
+    ``proc``  — process id (0 for sequential execution);
+    ``kind``  — 'read' | 'write' | 'lock' | 'unlock' | 'spawn' | 'output'
+                | 'annotate';
+    ``loc``   — location key ``(cell_id, field)`` for memory events,
+                lock key for lock events, None otherwise;
+    ``detail``— event-specific payload.
+    """
+
+    seq: int
+    time: int
+    proc: int
+    kind: str
+    loc: Optional[tuple] = None
+    detail: Any = None
+
+
+class Trace:
+    """An append-only event log with query helpers."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._seq = 0
+
+    def record(
+        self,
+        time: int,
+        proc: int,
+        kind: str,
+        loc: Optional[tuple] = None,
+        detail: Any = None,
+    ) -> TraceEvent:
+        event = TraceEvent(self._seq, time, proc, kind, loc, detail)
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def memory_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind in ("read", "write")]
+
+    def writes(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "write"]
+
+    def reads(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "read"]
+
+    def outputs(self) -> list[Any]:
+        return [e.detail for e in self.events if e.kind == "output"]
+
+    def locations(self) -> set[tuple]:
+        return {e.loc for e in self.memory_events() if e.loc is not None}
+
+    def events_at(self, loc: tuple) -> list[TraceEvent]:
+        return [e for e in self.memory_events() if e.loc == loc]
+
+    def by_proc(self) -> dict[int, list[TraceEvent]]:
+        out: dict[int, list[TraceEvent]] = {}
+        for e in self.events:
+            out.setdefault(e.proc, []).append(e)
+        return out
+
+
+def location_of(cell: Any, field_name: str) -> tuple:
+    """Canonical trace location for ``cell.field``: ``(cell_id, field)``."""
+    return (cell.cell_id, field_name)

@@ -1,0 +1,34 @@
+"""The paper's closed-form performance model (§3.1, §3.2.1, §4.1).
+
+Every formula in the evaluation is here, so the benchmarks can print
+analytic-vs-measured side by side:
+
+* potential concurrency      (|H|+|T|)/|H|                        (§3.1)
+* lock-limited concurrency   min(d₁..d_u)                          (§3.2.1)
+* pool execution time        (⌈d/S⌉−1)(h+t) + (Sh+t)              (§4.1)
+* optimal server count       S* = √(d(h+t)/h), capped by c_f and d (§4.1)
+"""
+
+from repro.model.concurrency import (
+    cri_concurrency,
+    effective_concurrency,
+    lock_limited_concurrency,
+)
+from repro.model.allocation import (
+    execution_time,
+    execution_time_naive,
+    optimal_servers,
+    optimal_servers_unclamped,
+    predicted_speedup,
+)
+
+__all__ = [
+    "cri_concurrency",
+    "effective_concurrency",
+    "execution_time",
+    "execution_time_naive",
+    "lock_limited_concurrency",
+    "optimal_servers",
+    "optimal_servers_unclamped",
+    "predicted_speedup",
+]

@@ -1,0 +1,74 @@
+"""Server allocation model (§4.1, Figure 10).
+
+The paper's derivation: d invocations divide into ⌈d/S⌉ groups of S;
+the first approximation charges (Sh+t) per group (Figure 10), refined by
+overlapping groups — the second group starts when a first-group server
+has run h+t steps:
+
+    T(S) = (⌈d/S⌉ − 1)(h+t) + (Sh+t)          for S ≤ d
+
+Minimizing over real S:  dT/dS = 0  at  S* = √(d(h+t)/h).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def execution_time_naive(d: int, s: int, h: float, t: float) -> float:
+    """Figure 10's first approximation: ⌈d/S⌉ · (Sh + t)."""
+    _validate(d, s, h, t)
+    return math.ceil(d / s) * (s * h + t)
+
+
+def execution_time(d: int, s: int, h: float, t: float) -> float:
+    """The refined §4.1 formula: (⌈d/S⌉−1)(h+t) + (Sh+t), for S ≤ d."""
+    _validate(d, s, h, t)
+    if s > d:
+        s = d  # more servers than invocations adds nothing
+    return (math.ceil(d / s) - 1) * (h + t) + (s * h + t)
+
+
+def optimal_servers_unclamped(d: int, h: float, t: float) -> float:
+    """S* = √(d(h+t)/h) — the real-valued minimizer of T(S)."""
+    if d < 1:
+        raise ValueError("need at least one invocation")
+    if h <= 0 or t < 0:
+        raise ValueError("h must be positive and t non-negative")
+    return math.sqrt(d * (h + t) / h)
+
+
+def optimal_servers(
+    d: int, h: float, t: float, cf: Optional[float] = None
+) -> int:
+    """The integer server count to use: S* rounded to the better integer
+    neighbour, capped by the invocation count d and by c_f — "the value
+    of S calculated above has to be balanced against c_f ... use the
+    minimum of these two values" (§4.1)."""
+    star = optimal_servers_unclamped(d, h, t)
+    lo = max(1, math.floor(star))
+    hi = lo + 1
+    best = lo if execution_time(d, lo, h, t) <= execution_time(d, hi, h, t) else hi
+    best = min(best, d)
+    if cf is not None:
+        best = min(best, max(1, int(cf)))
+    return best
+
+
+def predicted_speedup(d: int, s: int, h: float, t: float) -> float:
+    """Sequential time d(h+t) over pooled time T(S)."""
+    seq = d * (h + t)
+    par = execution_time(d, s, h, t)
+    return seq / par if par > 0 else float("inf")
+
+
+def _validate(d: int, s: int, h: float, t: float) -> None:
+    if d < 1:
+        raise ValueError("need at least one invocation")
+    if s < 1:
+        raise ValueError("need at least one server")
+    if h <= 0:
+        raise ValueError("head size must be positive")
+    if t < 0:
+        raise ValueError("tail size must be non-negative")

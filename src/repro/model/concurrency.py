@@ -1,0 +1,41 @@
+"""Concurrency formulas (§3.1, §3.2.1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+def cri_concurrency(h: float, t: float) -> float:
+    """(|H|+|T|)/|H| — processes executing simultaneously under CRI.
+
+    Proof sketch from the paper: during the |H|+|T| steps of one
+    invocation, a new process is spawned every |H| steps.
+    """
+    if h <= 0:
+        raise ValueError("head size must be positive (the spawn itself is in the head)")
+    if t < 0:
+        raise ValueError("tail size must be non-negative")
+    return (h + t) / h
+
+
+def lock_limited_concurrency(distances: Iterable[int]) -> Optional[int]:
+    """min(d₁..d_u): with invocations conflicting at these distances and
+    locks released at invocation end, at most min(dᵢ) invocations overlap
+    (§3.2.1).  None (no conflicts) means unbounded."""
+    ds = [d for d in distances]
+    if not ds:
+        return None
+    if any(d < 1 for d in ds):
+        raise ValueError("conflict distances are at least 1")
+    return min(ds)
+
+
+def effective_concurrency(
+    h: float, t: float, distances: Iterable[int] = ()
+) -> float:
+    """c_f = min((|H|+|T|)/|H|, min dᵢ) — what a function can keep busy."""
+    c = cri_concurrency(h, t)
+    bound = lock_limited_concurrency(distances)
+    if bound is not None:
+        c = min(c, float(bound))
+    return c

@@ -1,0 +1,81 @@
+"""The paper's §2 access-path formalism.
+
+Vocabulary (paper §2.1):
+
+* an **accessor** is a word over field names — ``cdr.car`` reads the
+  ``car`` of the ``cdr``;
+* a **transfer function** τ_v describes how a variable's value changes
+  between two references, as a regular expression over accessors
+  (``cdr+`` for the parameter of a list-walking recursion, Figure 3);
+* two references **conflict** when the location written by one is a
+  prefix of the (transfer-composed) path read by the other:
+  ``A1 ≤ τ^d ∘ A2`` — conflict *at distance d*.
+
+This package implements the machinery: accessor words
+(:mod:`~repro.paths.accessor`), regular expressions and Thompson NFAs
+over the accessor alphabet (:mod:`~repro.paths.regex`,
+:mod:`~repro.paths.automata`), transfer functions and the distance
+computation (:mod:`~repro.paths.transfer`), concrete heap links/paths
+(:mod:`~repro.paths.links`), canonicalization of benign aliasing
+(:mod:`~repro.paths.canonical`), and the single-access-path-property
+checker (:mod:`~repro.paths.sapp`).
+"""
+
+from repro.paths.accessor import Accessor, parse_accessor
+from repro.paths.regex import (
+    Alt,
+    Cat,
+    Empty,
+    Eps,
+    Plus,
+    Regex,
+    RegexSyntaxError,
+    Star,
+    Sym,
+    parse_regex,
+    word_regex,
+)
+from repro.paths.automata import NFA, build_nfa, matches, prefix_of_language, language_empty
+from repro.paths.transfer import (
+    TransferFunction,
+    conflict_distances,
+    conflicts_at_distance,
+    min_conflict_distance,
+)
+from repro.paths.links import Link, Path, accessible, links_from, path_accessor
+from repro.paths.canonical import Canonicalizer, InversePair
+from repro.paths.sapp import SAPPViolation, check_sapp
+
+__all__ = [
+    "Accessor",
+    "Alt",
+    "Canonicalizer",
+    "Cat",
+    "Empty",
+    "Eps",
+    "InversePair",
+    "Link",
+    "NFA",
+    "Path",
+    "Plus",
+    "Regex",
+    "RegexSyntaxError",
+    "SAPPViolation",
+    "Star",
+    "Sym",
+    "TransferFunction",
+    "accessible",
+    "build_nfa",
+    "check_sapp",
+    "conflict_distances",
+    "conflicts_at_distance",
+    "language_empty",
+    "links_from",
+    "matches",
+    "min_conflict_distance",
+    "parse_accessor",
+    "parse_regex",
+    "path_accessor",
+    "prefix_of_language",
+    "word_regex",
+]

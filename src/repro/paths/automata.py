@@ -1,0 +1,254 @@
+"""Thompson NFA construction and the prefix-language test.
+
+The conflict predicate (paper §2.1) is ``A1 ≤ t1...tp·A2`` "as long as
+the prefix operation matches a string against a regular expression".
+Concretely: *is the concrete word A1 a prefix of some word in L(R)?*
+That is :func:`prefix_of_language`, implemented by NFA simulation plus a
+precomputed can-reach-accept relation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.paths.regex import Alt, Cat, Empty, Eps, Regex, Star, Sym, _Empty, _Eps
+
+
+class NFA:
+    """A Thompson NFA.
+
+    ``transitions``: state → field → set of states;
+    ``epsilon``: state → set of states; single ``start``; single ``accept``.
+    """
+
+    def __init__(self) -> None:
+        self.transitions: list[dict[str, set[int]]] = []
+        self.epsilon: list[set[int]] = []
+        self.start = 0
+        self.accept = 0
+        self._reach_accept: Optional[list[bool]] = None
+        self._reach_accept_step: Optional[list[bool]] = None
+
+    def new_state(self) -> int:
+        self.transitions.append({})
+        self.epsilon.append(set())
+        return len(self.transitions) - 1
+
+    def add_transition(self, src: int, field: str, dst: int) -> None:
+        self.transitions[src].setdefault(field, set()).add(dst)
+        self._reach_accept = None
+        self._reach_accept_step = None
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilon[src].add(dst)
+        self._reach_accept = None
+        self._reach_accept_step = None
+
+    # -- simulation ---------------------------------------------------------
+
+    def eps_closure(self, states: Iterable[int]) -> frozenset[int]:
+        out = set(states)
+        stack = list(out)
+        while stack:
+            s = stack.pop()
+            for t in self.epsilon[s]:
+                if t not in out:
+                    out.add(t)
+                    stack.append(t)
+        return frozenset(out)
+
+    def step(self, states: frozenset[int], field: str) -> frozenset[int]:
+        nxt: set[int] = set()
+        for s in states:
+            nxt |= self.transitions[s].get(field, set())
+        return self.eps_closure(nxt)
+
+    def initial(self) -> frozenset[int]:
+        return self.eps_closure({self.start})
+
+    def accepts_in(self, states: frozenset[int]) -> bool:
+        return self.accept in states
+
+    def run(self, word: Iterable[str]) -> frozenset[int]:
+        states = self.initial()
+        for field in word:
+            if not states:
+                break
+            states = self.step(states, field)
+        return states
+
+    # -- reachability -----------------------------------------------------
+
+    def can_reach_accept(self) -> list[bool]:
+        """Per-state: can the accept state be reached (via any path)?"""
+        if self._reach_accept is None:
+            self._reach_accept = self._compute_reach(require_symbol=False)
+        return self._reach_accept
+
+    def can_reach_accept_with_symbol(self) -> list[bool]:
+        """Per-state: can accept be reached consuming at least one symbol?"""
+        if self._reach_accept_step is None:
+            self._reach_accept_step = self._compute_reach(require_symbol=True)
+        return self._reach_accept_step
+
+    def _compute_reach(self, require_symbol: bool) -> list[bool]:
+        n = len(self.transitions)
+        # reach0[s]: accept reachable via ε only from s (or s is accept).
+        reach0 = [False] * n
+        reach0[self.accept] = True
+        changed = True
+        while changed:
+            changed = False
+            for s in range(n):
+                if not reach0[s] and any(reach0[t] for t in self.epsilon[s]):
+                    reach0[s] = True
+                    changed = True
+        # reach1[s]: accept reachable from s along a path with ≥1 symbol.
+        reach_any = list(reach0)
+        reach1 = [False] * n
+        changed = True
+        while changed:
+            changed = False
+            for s in range(n):
+                for _field, dsts in self.transitions[s].items():
+                    if any(reach_any[d] or reach1[d] for d in dsts):
+                        if not reach1[s]:
+                            reach1[s] = True
+                            changed = True
+                for t in self.epsilon[s]:
+                    if reach1[t] and not reach1[s]:
+                        reach1[s] = True
+                        changed = True
+            # reach_any grows as reach1 grows (any = 0 or ≥1 symbols).
+            for s in range(n):
+                if reach1[s] and not reach_any[s]:
+                    reach_any[s] = True
+                    changed = True
+        return reach1 if require_symbol else reach_any
+
+    def __repr__(self) -> str:
+        return f"<NFA {len(self.transitions)} states>"
+
+
+def build_nfa(regex: Regex) -> NFA:
+    """Thompson construction."""
+    nfa = NFA()
+
+    def build(r: Regex) -> tuple[int, int]:
+        if isinstance(r, _Empty):
+            s, t = nfa.new_state(), nfa.new_state()
+            return s, t  # no connection: empty language
+        if isinstance(r, _Eps):
+            s, t = nfa.new_state(), nfa.new_state()
+            nfa.add_epsilon(s, t)
+            return s, t
+        if isinstance(r, Sym):
+            s, t = nfa.new_state(), nfa.new_state()
+            nfa.add_transition(s, r.field, t)
+            return s, t
+        if isinstance(r, Cat):
+            s1, t1 = build(r.left)
+            s2, t2 = build(r.right)
+            nfa.add_epsilon(t1, s2)
+            return s1, t2
+        if isinstance(r, Alt):
+            s, t = nfa.new_state(), nfa.new_state()
+            s1, t1 = build(r.left)
+            s2, t2 = build(r.right)
+            nfa.add_epsilon(s, s1)
+            nfa.add_epsilon(s, s2)
+            nfa.add_epsilon(t1, t)
+            nfa.add_epsilon(t2, t)
+            return s, t
+        if isinstance(r, Star):
+            s, t = nfa.new_state(), nfa.new_state()
+            s1, t1 = build(r.inner)
+            nfa.add_epsilon(s, s1)
+            nfa.add_epsilon(s, t)
+            nfa.add_epsilon(t1, s1)
+            nfa.add_epsilon(t1, t)
+            return s, t
+        raise TypeError(f"unknown regex node {r!r}")
+
+    start, accept = build(regex)
+    nfa.start = start
+    nfa.accept = accept
+    return nfa
+
+
+def matches(regex: Regex, word: Iterable[str]) -> bool:
+    """Exact membership: word ∈ L(regex)."""
+    nfa = build_nfa(regex)
+    return nfa.accepts_in(nfa.run(word))
+
+
+def prefix_of_language(word: Iterable[str], regex: Regex, nfa: Optional[NFA] = None) -> bool:
+    """The paper's ≤ test: is ``word`` a prefix of some word in L(regex)?
+
+    Simulate the NFA over ``word``; afterwards any live state from which
+    accept is reachable witnesses a completion.
+    """
+    if nfa is None:
+        nfa = build_nfa(regex)
+    states = nfa.initial()
+    for field in word:
+        if not states:
+            return False
+        states = nfa.step(states, field)
+    if not states:
+        return False
+    reach = nfa.can_reach_accept()
+    return any(reach[s] for s in states)
+
+
+def language_word_is_prefix_of(
+    regex: Regex, word: Iterable[str], nfa: Optional[NFA] = None
+) -> bool:
+    """Is some w ∈ L(regex) a prefix of ``word`` (w ≤ word, w may equal word)?
+
+    The dual of :func:`prefix_of_language`, needed when the *later*
+    reference is the modification: the written location t·A2 must lie on
+    the earlier access's path A1, i.e. t·A2 ≤ A1.
+    """
+    if nfa is None:
+        nfa = build_nfa(regex)
+    states = nfa.initial()
+    if nfa.accepts_in(states):
+        return True
+    for field in word:
+        if not states:
+            return False
+        states = nfa.step(states, field)
+        if nfa.accepts_in(states):
+            return True
+    return False
+
+
+def language_empty(regex: Regex) -> bool:
+    """True iff L(regex) = ∅."""
+    nfa = build_nfa(regex)
+    reach = nfa.can_reach_accept()
+    return not any(reach[s] for s in nfa.initial())
+
+
+def enumerate_words(regex: Regex, max_length: int, max_count: int = 10_000) -> Iterator[tuple[str, ...]]:
+    """All words of L(regex) up to ``max_length`` (BFS order) — test helper."""
+    from repro.paths.regex import alphabet
+
+    nfa = build_nfa(regex)
+    sigma = sorted(alphabet(regex))
+    seen_count = 0
+    frontier: list[tuple[tuple[str, ...], frozenset[int]]] = [((), nfa.initial())]
+    while frontier:
+        word, states = frontier.pop(0)
+        if nfa.accepts_in(states):
+            yield word
+            seen_count += 1
+            if seen_count >= max_count:
+                return
+        if len(word) >= max_length:
+            continue
+        for field in sigma:
+            nxt = nfa.step(states, field)
+            if nxt:
+                frontier.append((word + (field,), nxt))

@@ -1,0 +1,64 @@
+"""Canonicalization of access paths (paper §2.1).
+
+Some aliasing is benign: a doubly-linked structure has infinitely many
+paths to each node, but ``succ`` and ``pred`` are declared inverses and
+adjacent inverse pairs cancel.  A canonicalization function C maps each
+path to a unique representative by deleting such pairs to a fixpoint.
+
+The programmer supplies the inverse pairs (a §6 declaration); the
+:class:`Canonicalizer` applies them to accessor words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.paths.accessor import Accessor
+
+
+@dataclass(frozen=True)
+class InversePair:
+    """Declares I.f1.f2 ≡ I for all instances: f1 and f2 are inverses
+    (in both orders: succ.pred and pred.succ both cancel)."""
+
+    first: str
+    second: str
+
+
+class Canonicalizer:
+    """Rewrites accessor words by cancelling adjacent inverse pairs."""
+
+    def __init__(self, pairs: Iterable[InversePair] = ()):
+        self.pairs = list(pairs)
+        self._cancel: set[tuple[str, str]] = set()
+        for p in self.pairs:
+            self._cancel.add((p.first, p.second))
+            self._cancel.add((p.second, p.first))
+
+    def is_identity(self) -> bool:
+        return not self._cancel
+
+    def canonicalize(self, accessor: Accessor) -> Accessor:
+        """Apply cancellation to a fixpoint (stack algorithm: one pass)."""
+        stack: list[str] = []
+        for field in accessor.fields:
+            if stack and (stack[-1], field) in self._cancel:
+                stack.pop()
+            else:
+                stack.append(field)
+        return Accessor(tuple(stack))
+
+    def is_canonical(self, accessor: Accessor) -> bool:
+        return self.canonicalize(accessor) == accessor
+
+    def equivalent(self, a: Accessor, b: Accessor) -> bool:
+        """Do ``a`` and ``b`` name the same location from the same base?"""
+        return self.canonicalize(a) == self.canonicalize(b)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{p.first}~{p.second}" for p in self.pairs)
+        return f"Canonicalizer({pairs})"
+
+
+IDENTITY = Canonicalizer()

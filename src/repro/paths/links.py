@@ -1,0 +1,145 @@
+"""Concrete heap links and paths (paper §2.1).
+
+A *link* is a triple (I1, f, I2): instance I1 points to instance I2
+through field f.  A *path* is a chain of links; its *accessor* is the
+word of its fields.  These are defined over the *runtime* heap — cons
+cells and struct instances — and are used by the SAPP checker and by
+tests that validate the static analysis against actual memory shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.lisp.structs import StructInstance
+from repro.paths.accessor import Accessor
+from repro.sexpr.datum import Cons
+
+
+@dataclass(frozen=True)
+class Link:
+    """(source, field, target) with I1.f = I2.  Frozen and hashable by
+    the identities of the endpoints."""
+
+    source: Any
+    field: str
+    target: Any
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.source, (Cons, StructInstance)):
+            raise TypeError(f"link source must be a heap object, got {self.source!r}")
+
+    def __hash__(self) -> int:
+        return hash((id(self.source), self.field, id(self.target)))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Link)
+            and other.source is self.source
+            and other.field == self.field
+            and other.target is self.target
+        )
+
+
+class Path:
+    """An ordered chain of links with T(l_i) = S(l_{i+1})."""
+
+    def __init__(self, links: list[Link]):
+        for a, b in zip(links, links[1:]):
+            if a.target is not b.source:
+                raise ValueError(f"broken path: {a!r} does not feed {b!r}")
+        self.links = list(links)
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def __iter__(self) -> Iterator[Link]:
+        return iter(self.links)
+
+    @property
+    def source(self) -> Any:
+        if not self.links:
+            raise ValueError("empty path has no source")
+        return self.links[0].source
+
+    @property
+    def destination(self) -> Any:
+        if not self.links:
+            raise ValueError("empty path has no destination")
+        return self.links[-1].target
+
+    def accessor(self) -> Accessor:
+        return Accessor(tuple(l.field for l in self.links))
+
+    def extend(self, link: Link) -> "Path":
+        return Path(self.links + [link])
+
+    def __repr__(self) -> str:
+        return f"Path({self.accessor()})"
+
+
+def path_accessor(path: Path) -> Accessor:
+    """A(P): the accessor word of a path."""
+    return path.accessor()
+
+
+def pointer_fields(obj: Any) -> tuple[str, ...]:
+    """The fields of ``obj`` that may point to other structure instances.
+
+    For cons cells both fields; for structs the declared
+    ``pointer_fields`` of the type (all fields when undeclared — the
+    conservative default, §6).
+    """
+    if isinstance(obj, Cons):
+        return ("car", "cdr")
+    if isinstance(obj, StructInstance):
+        return obj.struct_type.pointer_fields
+    return ()
+
+
+def links_from(obj: Any) -> list[Link]:
+    """The outgoing links of one instance (targets that are instances)."""
+    out = []
+    for field in pointer_fields(obj):
+        target = obj.get_field(field)
+        if isinstance(target, (Cons, StructInstance)):
+            out.append(Link(obj, field, target))
+    return out
+
+
+def accessible(root: Any, max_nodes: int = 1_000_000) -> set[int]:
+    """accessible(I) (paper §2.1): ids of every instance reachable from
+    ``root`` through pointer fields (including root).  accessible(nil)=∅."""
+    if not isinstance(root, (Cons, StructInstance)):
+        return set()
+    seen: dict[int, Any] = {id(root): root}
+    stack = [root]
+    while stack:
+        obj = stack.pop()
+        for link in links_from(obj):
+            t = link.target
+            if id(t) not in seen:
+                if len(seen) >= max_nodes:
+                    raise RuntimeError("accessible: node limit exceeded")
+                seen[id(t)] = t
+                stack.append(t)
+    return set(seen)
+
+
+def accessible_objects(root: Any) -> list[Any]:
+    """Like :func:`accessible` but returning the objects themselves."""
+    if not isinstance(root, (Cons, StructInstance)):
+        return []
+    seen: dict[int, Any] = {id(root): root}
+    order = [root]
+    stack = [root]
+    while stack:
+        obj = stack.pop()
+        for link in links_from(obj):
+            t = link.target
+            if id(t) not in seen:
+                seen[id(t)] = t
+                order.append(t)
+                stack.append(t)
+    return order

@@ -1,0 +1,98 @@
+"""The single-access-path property (SAPP) checker (paper §2.1).
+
+An instance I has the SAPP if every instance in accessible(I) is named
+by exactly one *canonical* path from I — i.e. the structure is a tree
+once declared inverse links are cancelled.  The static conflict analysis
+is only sound on SAPP structures ("this technique relies heavily on the
+SAPP to ensure that every location has only a single name"), so the
+runtime checker doubles as a validation oracle in tests and as the
+paper's proposed measurement tool ("we are measuring how often this
+occurs in Lisp programs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.lisp.structs import StructInstance
+from repro.paths.accessor import Accessor
+from repro.paths.canonical import Canonicalizer, IDENTITY
+from repro.paths.links import links_from
+from repro.sexpr.datum import Cons
+
+
+@dataclass
+class SAPPViolation:
+    """Witness: ``node`` reachable via two distinct canonical paths."""
+
+    node: Any
+    path_a: Accessor
+    path_b: Accessor
+
+    def __repr__(self) -> str:
+        return f"SAPPViolation({self.path_a} vs {self.path_b})"
+
+
+@dataclass
+class SAPPResult:
+    holds: bool
+    violation: Optional[SAPPViolation] = None
+    node_count: int = 0
+    max_depth: int = 0
+    canonical_paths: dict[int, Accessor] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_sapp(
+    root: Any,
+    canonicalizer: Canonicalizer = IDENTITY,
+    max_nodes: int = 100_000,
+) -> SAPPResult:
+    """Check the SAPP for the structure rooted at ``root``.
+
+    BFS over canonical paths.  A node reached twice by *different*
+    canonical words is a violation; reached twice by the same canonical
+    word (e.g. the succ/pred round trip in a doubly-linked list) is the
+    benign aliasing that canonicalization exists to bless, and the
+    duplicate path is not expanded further.
+    """
+    if not isinstance(root, (Cons, StructInstance)):
+        return SAPPResult(holds=True, node_count=0)
+
+    paths: dict[int, Accessor] = {id(root): Accessor(())}
+    frontier: list[tuple[Any, Accessor]] = [(root, Accessor(()))]
+    max_depth = 0
+    while frontier:
+        obj, word = frontier.pop(0)
+        for link in links_from(obj):
+            target = link.target
+            extended = canonicalizer.canonicalize(
+                Accessor(word.fields + (link.field,))
+            )
+            known = paths.get(id(target))
+            if known is None:
+                if len(paths) >= max_nodes:
+                    raise RuntimeError("check_sapp: node limit exceeded")
+                paths[id(target)] = extended
+                max_depth = max(max_depth, len(extended))
+                frontier.append((target, extended))
+            elif known != extended:
+                return SAPPResult(
+                    holds=False,
+                    violation=SAPPViolation(target, known, extended),
+                    node_count=len(paths),
+                    max_depth=max_depth,
+                    canonical_paths=paths,
+                )
+            # Same canonical word again: benign; do not re-expand.
+    return SAPPResult(
+        holds=True, node_count=len(paths), max_depth=max_depth, canonical_paths=paths
+    )
+
+
+def is_proper_tree(root: Any) -> bool:
+    """SAPP with no canonicalization: the structure is a strict tree."""
+    return bool(check_sapp(root, IDENTITY))

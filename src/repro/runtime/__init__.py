@@ -1,0 +1,42 @@
+"""The simulated shared-memory multiprocessor (paper §1.2 and §4).
+
+A :class:`~repro.runtime.machine.Machine` owns P processors, a shared
+Lisp heap (the interpreter's), a lock table, and a ready queue of
+processes.  Processes are effect-generator coroutines produced by the
+same evaluator the sequential runner uses; the machine interleaves them
+under a discrete-event clock, charging costs from a
+:class:`~repro.runtime.clock.CostModel` in which process creation and
+context switches are "noticeably more expensive than function
+invocation" (§1.2).
+
+:mod:`~repro.runtime.servers` builds the explicit Figure 9 server pool
+(S servers looping on a central task queue);
+:mod:`~repro.runtime.serializability` validates executions against the
+paper's correctness criterion (conflict-serializable with the sequential
+order, §3.1.1).
+"""
+
+from repro.runtime.clock import CostModel
+from repro.runtime.locks import LockTable, LockError
+from repro.runtime.machine import DeadlockDetected, Machine, MachineStats, Process
+from repro.runtime.servers import ServerPoolResult, run_server_pool
+from repro.runtime.serializability import (
+    SequentializabilityReport,
+    check_conflict_order,
+    check_sequentializable,
+)
+
+__all__ = [
+    "CostModel",
+    "DeadlockDetected",
+    "LockError",
+    "LockTable",
+    "Machine",
+    "MachineStats",
+    "Process",
+    "SequentializabilityReport",
+    "ServerPoolResult",
+    "check_conflict_order",
+    "check_sequentializable",
+    "run_server_pool",
+]

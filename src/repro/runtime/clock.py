@@ -1,0 +1,43 @@
+"""Cost model for the simulated machine.
+
+The paper's assumptions (§1.2): "Lisp process creation, deletion, and
+context-switching are noticeably more expensive than function
+invocation", and the imbalance persists.  Default ratios here — a
+process spawn is 20 primitive steps, a context switch 10, a function
+call 1 — encode that assumption; benchmarks sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Time charges (in primitive-operation units)."""
+
+    #: Creating a process — charged to the spawning process (§1.2).
+    spawn: int = 20
+    #: Switching a processor between processes — charged to the processor.
+    context_switch: int = 10
+    #: Successfully acquiring a location lock (§3.2.1: "locks are
+    #: expensive ... fine-grained locks for single memory locations").
+    lock_acquire: int = 2
+    #: Releasing a lock.
+    lock_release: int = 1
+    #: One queue operation (enqueue/dequeue) on the central task queue.
+    queue_op: int = 1
+    #: Touching an already-resolved future.
+    future_touch: int = 1
+
+    def validate(self) -> None:
+        for name in ("spawn", "context_switch", "lock_acquire", "lock_release",
+                     "queue_op", "future_touch"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"cost {name} must be non-negative")
+
+
+#: A cost model with free synchronization — isolates algorithmic
+#: concurrency from overhead in ablation benchmarks.
+FREE_SYNC = CostModel(spawn=0, context_switch=0, lock_acquire=0,
+                      lock_release=0, queue_op=0, future_touch=0)

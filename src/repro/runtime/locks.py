@@ -1,0 +1,128 @@
+"""The machine's lock table: exclusive and read-write location locks.
+
+Keys are hashable location names — ``("loc", cell_id, field)`` for the
+fine-grained per-location locks Curare inserts (§3.2.1), ``("cell", id)``
+for coalesced cell locks, or the key of an explicit ``(make-lock)``.
+
+Grant order is strictly FIFO per lock.  This is load-bearing: the
+transformed program acquires a conflict's lock in the *head* of each
+invocation, heads execute in invocation order, so FIFO grants reproduce
+the sequential conflict order — that is the §3.2.1 correctness argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class LockError(Exception):
+    pass
+
+
+@dataclass
+class _LockState:
+    """One lock's state: owners (many readers or one writer) + waiters."""
+
+    writer: Optional[int] = None
+    readers: set[int] = field(default_factory=set)
+    waiters: list[tuple[int, bool]] = field(default_factory=list)  # (proc, shared)
+
+    @property
+    def free(self) -> bool:
+        return self.writer is None and not self.readers
+
+
+class LockTable:
+    def __init__(self) -> None:
+        self._locks: dict[object, _LockState] = {}
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def _state(self, key: object) -> _LockState:
+        state = self._locks.get(key)
+        if state is None:
+            state = _LockState()
+            self._locks[key] = state
+        return state
+
+    def acquire(self, proc: int, key: object, shared: bool) -> bool:
+        """Try to take the lock; False means the caller must block (it has
+        been appended to the FIFO wait list)."""
+        state = self._state(key)
+        if proc == state.writer or proc in state.readers:
+            raise LockError(f"process {proc} re-acquiring lock {key!r}")
+        if shared:
+            # Readers may share, but never overtake queued waiters — that
+            # would starve writers and break FIFO conflict order.
+            if state.writer is None and not state.waiters:
+                state.readers.add(proc)
+                self.acquisitions += 1
+                return True
+        else:
+            if state.free and not state.waiters:
+                state.writer = proc
+                self.acquisitions += 1
+                return True
+        state.waiters.append((proc, shared))
+        self.contentions += 1
+        return False
+
+    def holds(self, proc: int, key: object, shared: bool) -> bool:
+        state = self._locks.get(key)
+        if state is None:
+            return False
+        return proc in state.readers if shared else state.writer == proc
+
+    def release(self, proc: int, key: object, shared: bool) -> list[int]:
+        """Release; returns processes granted the lock (to be woken)."""
+        state = self._locks.get(key)
+        if state is None:
+            raise LockError(f"release of never-acquired lock {key!r}")
+        if shared:
+            if proc not in state.readers:
+                raise LockError(f"process {proc} releasing reader lock it lacks: {key!r}")
+            state.readers.discard(proc)
+        else:
+            if state.writer != proc:
+                raise LockError(f"process {proc} releasing writer lock it lacks: {key!r}")
+            state.writer = None
+        return self._grant(state)
+
+    def _grant(self, state: _LockState) -> list[int]:
+        granted: list[int] = []
+        while state.waiters:
+            proc, shared = state.waiters[0]
+            if shared:
+                if state.writer is not None:
+                    break
+                state.waiters.pop(0)
+                state.readers.add(proc)
+                self.acquisitions += 1
+                granted.append(proc)
+                # Keep granting consecutive readers.
+                continue
+            if state.free:
+                state.waiters.pop(0)
+                state.writer = proc
+                self.acquisitions += 1
+                granted.append(proc)
+            break
+        return granted
+
+    def held_by(self, proc: int) -> list[object]:
+        return [
+            key
+            for key, state in self._locks.items()
+            if state.writer == proc or proc in state.readers
+        ]
+
+    def waiting(self, proc: int) -> list[object]:
+        return [
+            key
+            for key, state in self._locks.items()
+            if any(p == proc for p, _ in state.waiters)
+        ]
+
+    def anyone_waiting(self) -> bool:
+        return any(state.waiters for state in self._locks.values())

@@ -1,0 +1,558 @@
+"""The discrete-event simulated multiprocessor.
+
+Model (paper §1.2, Figure 1): P autonomous processors share one Lisp
+address space; processes are cheap to run but costly to create and
+switch (the :class:`CostModel`).  Multiprogramming is allowed — there
+may be more processes than processors; excess ready processes wait in a
+FIFO ready queue.
+
+Execution: each process is an effect-generator from the shared
+evaluator.  A processor runs its process by resuming the generator and
+charging each effect's cost to the clock; blocking effects (lock waits,
+empty queues, unresolved futures) park the process and free the
+processor (charging a context switch when it picks up different work).
+
+Determinism: the default FIFO policy is fully deterministic.  A seeded
+``random`` policy exists to stress the synchronization under adversarial
+interleavings in tests — randomization may only *reorder ready picks*,
+never violate lock FIFO order, so transformed programs must still
+produce sequential results under it.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.lisp.effects import (
+    Annotate,
+    WaitChildren,
+    LockAcquire,
+    LockRelease,
+    MemRead,
+    MemWrite,
+    Output,
+    QUEUE_CLOSED,
+    QueueClose,
+    QueueGet,
+    QueueGetAny,
+    QueuePut,
+    SpawnProcess,
+    Tick,
+    VarRead,
+    VarWrite,
+    WaitFuture,
+)
+from repro.lisp.errors import LispError
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.trace import Trace, location_of
+from repro.lisp.values import Future, TaskQueue
+from repro.runtime.clock import CostModel
+from repro.runtime.locks import LockTable
+
+
+class DeadlockDetected(LispError):
+    def __init__(self, message: str, blocked: list["Process"]):
+        super().__init__(message)
+        self.blocked = blocked
+
+
+@dataclass
+class Process:
+    """One simulated Lisp process."""
+
+    proc_id: int
+    gen: Any
+    label: str = ""
+    future: Optional[Future] = None
+    parent: Optional[int] = None
+    state: str = "ready"  # ready | running | blocked | done
+    busy_remaining: int = 0
+    pending_reply: Any = None
+    wake_reply: Any = None
+    block_reason: Any = None
+    result: Any = None
+    children: list[int] = field(default_factory=list)
+    spawn_time: int = 0
+    finish_time: int = 0
+    busy_total: int = 0
+
+    def __repr__(self) -> str:
+        return f"<proc {self.proc_id} {self.label or ''} {self.state}>"
+
+
+@dataclass
+class _Cpu:
+    index: int
+    proc: Optional[Process] = None
+    overhead: int = 0  # remaining context-switch charge
+    last_proc_id: Optional[int] = None
+    busy_time: int = 0
+
+
+@dataclass
+class MachineStats:
+    """What benchmarks read off a finished run."""
+
+    total_time: int = 0
+    processes: int = 0
+    spawns: int = 0
+    context_switches: int = 0
+    lock_acquisitions: int = 0
+    lock_contentions: int = 0
+    cpu_busy: list[int] = field(default_factory=list)
+    concurrency_samples: list[int] = field(default_factory=list)
+    peak_live_processes: int = 0
+
+    @property
+    def utilization(self) -> float:
+        if not self.cpu_busy or self.total_time == 0:
+            return 0.0
+        return sum(self.cpu_busy) / (len(self.cpu_busy) * self.total_time)
+
+    @property
+    def mean_concurrency(self) -> float:
+        """Average number of busy processors — the measured counterpart of
+        the paper's (|H|+|T|)/|H| concurrency."""
+        if self.total_time == 0:
+            return 0.0
+        return sum(self.concurrency_samples) / self.total_time
+
+
+class Machine:
+    def __init__(
+        self,
+        interp: Interpreter,
+        processors: int = 4,
+        cost_model: Optional[CostModel] = None,
+        policy: str = "fifo",
+        seed: Optional[int] = None,
+        trace: Optional[Trace] = None,
+        max_time: int = 10_000_000,
+        quiesce_queues: Optional[set[int]] = None,
+    ):
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        self.interp = interp
+        self.processors = processors
+        self.costs = cost_model if cost_model is not None else CostModel()
+        self.costs.validate()
+        if policy not in ("fifo", "random"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        self.policy = policy
+        self.rng = _random.Random(seed)
+        self.trace = trace if trace is not None else Trace()
+        self.max_time = max_time
+
+        self.time = 0
+        self.locks = LockTable()
+        self.cpus = [_Cpu(i) for i in range(processors)]
+        self.processes: dict[int, Process] = {}
+        self.ready: list[Process] = []
+        self._next_proc_id = 1
+        self._future_waiters: dict[int, list[Process]] = {}
+        self._queue_waiters: dict[int, list[Process]] = {}
+        self._any_waiters: list[tuple[Process, list]] = []  # (proc, queues)
+        self._children_waiters: list[Process] = []
+        self.outputs: list[Any] = []
+        self.stats = MachineStats()
+        #: Queue ids with quiescence-termination: when every live process
+        #: is blocked getting from one of these queues, the recursion is
+        #: over and the machine closes them (the server pool's
+        #: termination-detection protocol for tree recursion, cf. §4.1's
+        #: kill tokens).
+        self.quiesce_queues = quiesce_queues if quiesce_queues is not None else set()
+        self._registered_queues: dict[int, TaskQueue] = {}
+
+    # -- process management -----------------------------------------------
+
+    def spawn(
+        self,
+        gen: Any,
+        label: str = "",
+        future: Optional[Future] = None,
+        parent: Optional[int] = None,
+    ) -> Process:
+        proc = Process(
+            proc_id=self._next_proc_id,
+            gen=gen,
+            label=label,
+            future=future,
+            parent=parent,
+            spawn_time=self.time,
+        )
+        self._next_proc_id += 1
+        self.processes[proc.proc_id] = proc
+        if parent is not None and parent in self.processes:
+            self.processes[parent].children.append(proc.proc_id)
+        self.ready.append(proc)
+        self.stats.processes += 1
+        self.trace.record(self.time, parent or 0, "spawn", None, proc.proc_id)
+        return proc
+
+    def spawn_call(self, fname: str, *args: Any, label: str = "") -> Process:
+        """Spawn a process applying a defined function to arguments."""
+        fn = self.interp.lookup_function(self.interp.intern(fname))
+        gen = self.interp.apply_gen(fn, list(args))
+        return self.spawn(gen, label=label or fname)
+
+    def spawn_form(self, form: Any, label: str = "main") -> Process:
+        gen = self.interp.eval_gen(form, self.interp.globals)
+        return self.spawn(gen, label=label)
+
+    def spawn_text(self, text: str, label: str = "main") -> Process:
+        forms = self.interp.load(text)
+        gen = self.interp.eval_sequence(forms, self.interp.globals)
+        return self.spawn(gen, label=label)
+
+    # -- the clock loop ------------------------------------------------------
+
+    def run(self) -> MachineStats:
+        """Run until every process is done (or deadlock / time cap)."""
+        while True:
+            self._assign_cpus()
+            live = [p for p in self.processes.values() if p.state != "done"]
+            if not live:
+                break
+            if not any(cpu.proc or cpu.overhead for cpu in self.cpus):
+                blocked = [p for p in live if p.state == "blocked"]
+                if blocked and not self.ready:
+                    if self._try_quiesce(blocked):
+                        continue
+                    raise DeadlockDetected(
+                        f"deadlock at t={self.time}: "
+                        + "; ".join(
+                            f"{p!r} on {p.block_reason!r}" for p in blocked
+                        ),
+                        blocked,
+                    )
+            if self.time >= self.max_time:
+                raise LispError(f"machine exceeded max_time={self.max_time}")
+            self._tick()
+        self.stats.total_time = self.time
+        self.stats.cpu_busy = [cpu.busy_time for cpu in self.cpus]
+        self.stats.lock_acquisitions = self.locks.acquisitions
+        self.stats.lock_contentions = self.locks.contentions
+        return self.stats
+
+    def run_main(self, proc: Process) -> Any:
+        """Run to completion; return the result of ``proc``."""
+        self.run()
+        return proc.result
+
+    def _assign_cpus(self) -> None:
+        for cpu in self.cpus:
+            if cpu.proc is not None or cpu.overhead > 0:
+                continue
+            if not self.ready:
+                break
+            proc = self._pick_ready()
+            cpu.proc = proc
+            proc.state = "running"
+            if cpu.last_proc_id is not None and cpu.last_proc_id != proc.proc_id:
+                cpu.overhead = self.costs.context_switch
+                self.stats.context_switches += 1
+            cpu.last_proc_id = proc.proc_id
+            if cpu.overhead == 0:
+                self._kick(cpu)
+
+    def _try_quiesce(self, blocked: list[Process]) -> bool:
+        """Quiescence termination: if every blocked process is waiting on a
+        quiesce-registered queue, close those queues and wake everyone."""
+        if not self.quiesce_queues:
+            return False
+        for p in blocked:
+            reason = p.block_reason
+            if isinstance(reason, tuple) and reason[0] == "queue" \
+                    and reason[1] in self.quiesce_queues:
+                continue
+            if isinstance(reason, tuple) and reason[0] == "queue-any" \
+                    and all(qid in self.quiesce_queues for qid in reason[1]):
+                continue
+            return False
+        woke = False
+        for qid in list(self.quiesce_queues):
+            queue = self._registered_queues.get(qid)
+            if queue is not None:
+                queue.closed = True
+            for waiter in self._queue_waiters.pop(qid, []):
+                waiter.state = "ready"
+                waiter.block_reason = None
+                waiter.pending_reply = QUEUE_CLOSED
+                waiter.busy_remaining = self.costs.queue_op
+                self.ready.append(waiter)
+                woke = True
+        for proc_w, _queues in self._any_waiters:
+            proc_w.state = "ready"
+            proc_w.block_reason = None
+            proc_w.pending_reply = QUEUE_CLOSED
+            proc_w.busy_remaining = self.costs.queue_op
+            self.ready.append(proc_w)
+            woke = True
+        self._any_waiters = []
+        return woke
+
+    def register_quiesce_queue(self, queue: TaskQueue) -> None:
+        self.quiesce_queues.add(queue.queue_id)
+        self._registered_queues[queue.queue_id] = queue
+
+    def _pick_ready(self) -> Process:
+        if self.policy == "random" and len(self.ready) > 1:
+            index = self.rng.randrange(len(self.ready))
+            return self.ready.pop(index)
+        return self.ready.pop(0)
+
+    def _kick(self, cpu: _Cpu) -> None:
+        """If the cpu's process has no pending busy time, resume it now."""
+        proc = cpu.proc
+        while proc is not None and proc.busy_remaining == 0:
+            self._resume(cpu, proc)
+            proc = cpu.proc
+
+    def _tick(self) -> None:
+        self.time += 1
+        busy_count = 0
+        for cpu in self.cpus:
+            if cpu.overhead > 0:
+                cpu.overhead -= 1
+                cpu.busy_time += 1
+                busy_count += 1
+                if cpu.overhead == 0 and cpu.proc is not None:
+                    self._kick(cpu)
+                continue
+            proc = cpu.proc
+            if proc is None:
+                continue
+            busy_count += 1
+            cpu.busy_time += 1
+            proc.busy_total += 1
+            if proc.busy_remaining > 0:
+                proc.busy_remaining -= 1
+            if proc.busy_remaining == 0:
+                self._kick(cpu)
+        self.stats.concurrency_samples.append(busy_count)
+        live = sum(1 for p in self.processes.values() if p.state != "done")
+        self.stats.peak_live_processes = max(self.stats.peak_live_processes, live)
+
+    # -- effect handling ---------------------------------------------------
+
+    def _resume(self, cpu: _Cpu, proc: Process) -> None:
+        """Resume the generator until it finishes, blocks, or gets busy."""
+        reply = proc.pending_reply
+        proc.pending_reply = None
+        while True:
+            try:
+                effect = proc.gen.send(reply)
+            except StopIteration as stop:
+                self._finish(proc, stop.value)
+                cpu.proc = None
+                return
+            except LispError as err:
+                # Fail fast, but say which simulated process died and
+                # when — a bare interpreter traceback names neither.
+                raise LispError(
+                    f"process {proc.proc_id} ({proc.label or 'unnamed'}) "
+                    f"failed at t={self.time}: {err}"
+                ) from err
+            cost, blocked, reply = self._handle(proc, effect)
+            if blocked:
+                proc.state = "blocked"
+                cpu.proc = None
+                return
+            if cost > 0:
+                proc.busy_remaining = cost
+                proc.pending_reply = reply
+                return
+            # zero-cost effect: keep going within this instant
+
+    def _finish(self, proc: Process, value: Any) -> None:
+        proc.state = "done"
+        proc.result = value
+        proc.finish_time = self.time
+        # Wake any sync-joiners whose descendant set just drained.
+        if self._children_waiters:
+            still = []
+            for waiter in self._children_waiters:
+                if waiter.state == "blocked" and not self._live_descendants(waiter.proc_id):
+                    waiter.state = "ready"
+                    waiter.block_reason = None
+                    waiter.pending_reply = None
+                    waiter.busy_remaining = 1
+                    self.ready.append(waiter)
+                else:
+                    still.append(waiter)
+            self._children_waiters = still
+        if proc.future is not None:
+            proc.future.resolve(value)
+            for waiter in self._future_waiters.pop(proc.future.future_id, []):
+                waiter.wake_reply = value
+                waiter.pending_reply = value
+                waiter.state = "ready"
+                waiter.block_reason = None
+                self.ready.append(waiter)
+
+    def _close_wake_any(self, queue: TaskQueue) -> None:
+        """After closing ``queue``, wake any-waiters whose whole queue set
+        is now closed and drained."""
+        still: list[tuple[Process, list]] = []
+        for proc_w, queues in self._any_waiters:
+            if all(q.closed and not q.items for q in queues):
+                proc_w.state = "ready"
+                proc_w.block_reason = None
+                proc_w.pending_reply = QUEUE_CLOSED
+                proc_w.busy_remaining = self.costs.queue_op
+                self.ready.append(proc_w)
+            else:
+                still.append((proc_w, queues))
+        self._any_waiters = still
+
+    def _live_descendants(self, proc_id: int) -> bool:
+        stack = list(self.processes[proc_id].children)
+        while stack:
+            pid = stack.pop()
+            child = self.processes.get(pid)
+            if child is None:
+                continue
+            if child.state != "done":
+                return True
+            stack.extend(child.children)
+        return False
+
+    def _handle(self, proc: Process, effect: Any) -> tuple[int, bool, Any]:
+        """Returns (cost, blocked, reply)."""
+        if isinstance(effect, Tick):
+            return effect.cost, False, None
+        if isinstance(effect, MemRead):
+            self.trace.record(
+                self.time, proc.proc_id, "read",
+                location_of(effect.cell, effect.field),
+            )
+            return 1, False, None
+        if isinstance(effect, MemWrite):
+            self.trace.record(
+                self.time, proc.proc_id, "write",
+                location_of(effect.cell, effect.field),
+            )
+            return 1, False, None
+        if isinstance(effect, (VarRead, VarWrite)):
+            return 0, False, None
+        if isinstance(effect, LockAcquire):
+            got = self.locks.acquire(proc.proc_id, effect.key, effect.shared)
+            self.trace.record(
+                self.time, proc.proc_id,
+                "lock" if got else "lock-wait", effect.key, effect.shared,
+            )
+            if got:
+                return self.costs.lock_acquire, False, None
+            proc.block_reason = ("lock", effect.key)
+            proc.pending_reply = None
+            return 0, True, None
+        if isinstance(effect, LockRelease):
+            if effect.if_held and not self.locks.holds(
+                proc.proc_id, effect.key, effect.shared
+            ):
+                return 0, False, None
+            granted = self.locks.release(proc.proc_id, effect.key, effect.shared)
+            self.trace.record(self.time, proc.proc_id, "unlock", effect.key, effect.shared)
+            for pid in granted:
+                waiter = self.processes[pid]
+                waiter.state = "ready"
+                waiter.block_reason = None
+                # The grantee still pays its lock_acquire cost on wake.
+                waiter.busy_remaining = self.costs.lock_acquire
+                waiter.pending_reply = None
+                self.ready.append(waiter)
+                self.trace.record(self.time, pid, "lock", effect.key, effect.shared)
+            return self.costs.lock_release, False, None
+        if isinstance(effect, SpawnProcess):
+            future = effect.future
+            child = self.spawn(
+                effect.thunk(), label=effect.label, future=future,
+                parent=proc.proc_id,
+            )
+            self.stats.spawns += 1
+            reply = future if future is not None else None
+            return self.costs.spawn, False, reply
+        if isinstance(effect, WaitChildren):
+            if self._live_descendants(proc.proc_id):
+                proc.block_reason = ("children", proc.proc_id)
+                self._children_waiters.append(proc)
+                return 0, True, None
+            return 1, False, None
+        if isinstance(effect, WaitFuture):
+            fut: Future = effect.future
+            if fut.resolved:
+                return self.costs.future_touch, False, fut.value
+            proc.block_reason = ("future", fut.future_id)
+            self._future_waiters.setdefault(fut.future_id, []).append(proc)
+            return 0, True, None
+        if isinstance(effect, QueuePut):
+            queue: TaskQueue = effect.queue
+            waiters = self._queue_waiters.get(queue.queue_id)
+            handed = False
+            if waiters:
+                # Hand the item directly to the first blocked consumer.
+                waiter = waiters.pop(0)
+                waiter.state = "ready"
+                waiter.block_reason = None
+                waiter.pending_reply = effect.item
+                waiter.busy_remaining = self.costs.queue_op
+                self.ready.append(waiter)
+                handed = True
+            else:
+                for idx, (proc_w, queues) in enumerate(self._any_waiters):
+                    if any(q is queue for q in queues):
+                        self._any_waiters.pop(idx)
+                        proc_w.state = "ready"
+                        proc_w.block_reason = None
+                        proc_w.pending_reply = effect.item
+                        proc_w.busy_remaining = self.costs.queue_op
+                        self.ready.append(proc_w)
+                        handed = True
+                        break
+            if not handed:
+                queue.put(effect.item)
+            self.trace.record(self.time, proc.proc_id, "annotate", None,
+                              ("enqueue", queue.label))
+            return self.costs.queue_op, False, None
+        if isinstance(effect, QueueGet):
+            queue = effect.queue
+            ok, item = queue.try_get()
+            if ok:
+                return self.costs.queue_op, False, item
+            if queue.closed:
+                return self.costs.queue_op, False, QUEUE_CLOSED
+            proc.block_reason = ("queue", queue.queue_id)
+            self._queue_waiters.setdefault(queue.queue_id, []).append(proc)
+            return 0, True, None
+        if isinstance(effect, QueueGetAny):
+            for queue in effect.queues:
+                ok, item = queue.try_get()
+                if ok:
+                    return self.costs.queue_op, False, item
+            if all(q.closed for q in effect.queues):
+                return self.costs.queue_op, False, QUEUE_CLOSED
+            proc.block_reason = ("queue-any", tuple(q.queue_id for q in effect.queues))
+            self._any_waiters.append((proc, list(effect.queues)))
+            return 0, True, None
+        if isinstance(effect, QueueClose):
+            queue = effect.queue
+            queue.closed = True
+            for waiter in self._queue_waiters.pop(queue.queue_id, []):
+                waiter.state = "ready"
+                waiter.block_reason = None
+                waiter.pending_reply = QUEUE_CLOSED
+                waiter.busy_remaining = self.costs.queue_op
+                self.ready.append(waiter)
+            self._close_wake_any(queue)
+            return self.costs.queue_op, False, None
+        if isinstance(effect, Output):
+            self.outputs.append(effect.value)
+            self.trace.record(self.time, proc.proc_id, "output", None, effect.value)
+            return 1, False, effect.value
+        if isinstance(effect, Annotate):
+            self.trace.record(self.time, proc.proc_id, "annotate", None,
+                              (effect.kind, effect.data))
+            return 0, False, None
+        raise LispError(f"machine: unknown effect {effect!r}")

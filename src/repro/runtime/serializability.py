@@ -1,0 +1,142 @@
+"""Correctness checking: final-state sequentializability (paper §3.1.1).
+
+Curare's guarantee is stronger than a database's serializability: the
+result of the concurrent execution must equal the result of the serial
+execution *in sequential order*.  Two checkers:
+
+* :func:`check_sequentializable` — the end-to-end oracle: run the
+  original program sequentially, run the transformed program on the
+  machine, compare results and final heap states.
+* :func:`check_conflict_order` — the mechanism-level criterion: in the
+  machine trace, every pair of *conflicting* memory events (same
+  location, at least one write) issued by different processes must
+  commit in process (= invocation) order.  Conflict-equivalence with
+  the sequential order implies sequentializability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.lisp.structs import StructInstance
+from repro.lisp.trace import Trace
+from repro.sexpr.datum import Cons
+
+
+@dataclass
+class SequentializabilityReport:
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_conflict_order(
+    trace: Trace,
+    order_of: Optional[Callable[[int], int]] = None,
+) -> SequentializabilityReport:
+    """Verify conflict order matches process order in a machine trace.
+
+    ``order_of(proc_id)`` maps a process to its sequential invocation
+    index; by default process ids themselves are used, which is correct
+    for CRI executions because invocations are spawned in sequential
+    order and the machine assigns ids in spawn order.
+    """
+    rank = order_of if order_of is not None else (lambda p: p)
+    report = SequentializabilityReport(ok=True)
+    by_loc: dict[tuple, list] = {}
+    for event in trace.memory_events():
+        by_loc.setdefault(event.loc, []).append(event)
+    for loc, events in by_loc.items():
+        # Scan committed order; conflicting pairs must be rank-monotone.
+        last_write = None
+        max_rank_seen_write = None
+        for event in events:
+            if event.kind == "write":
+                # This write conflicts with every earlier event at loc.
+                for earlier in events:
+                    if earlier.seq >= event.seq:
+                        break
+                    if rank(earlier.proc) > rank(event.proc):
+                        report.ok = False
+                        report.violations.append(
+                            f"loc {loc}: {earlier.kind} by proc {earlier.proc} "
+                            f"(rank {rank(earlier.proc)}) committed before "
+                            f"write by proc {event.proc} "
+                            f"(rank {rank(event.proc)})"
+                        )
+            else:
+                # A read conflicts with earlier writes only.
+                for earlier in events:
+                    if earlier.seq >= event.seq:
+                        break
+                    if earlier.kind == "write" and rank(earlier.proc) > rank(event.proc):
+                        report.ok = False
+                        report.violations.append(
+                            f"loc {loc}: write by proc {earlier.proc} "
+                            f"(rank {rank(earlier.proc)}) committed before "
+                            f"read by proc {event.proc} (rank {rank(event.proc)})"
+                        )
+    return report
+
+
+def snapshot_structure(obj: Any, max_nodes: int = 100_000) -> Any:
+    """A hashable, identity-free snapshot of a heap structure, for
+    comparing final states across separate executions."""
+    seen: dict[int, int] = {}
+
+    from repro.lisp.values import Future
+
+    def walk(node: Any, depth: int) -> Any:
+        while isinstance(node, Future) and node.resolved:
+            node = node.value
+        if isinstance(node, Cons):
+            if id(node) in seen:
+                return ("backref", seen[id(node)])
+            seen[id(node)] = len(seen)
+            if len(seen) > max_nodes:
+                raise RuntimeError("snapshot: node limit")
+            return ("cons", walk(node.car, depth + 1), walk(node.cdr, depth + 1))
+        if isinstance(node, StructInstance):
+            if id(node) in seen:
+                return ("backref", seen[id(node)])
+            seen[id(node)] = len(seen)
+            return (
+                "struct",
+                node.struct_type.name,
+                tuple(
+                    (f, walk(node.get_field(f), depth + 1))
+                    for f in node.fields()
+                ),
+            )
+        from repro.sexpr.datum import Symbol
+
+        if isinstance(node, Symbol):
+            return ("sym", node.name)
+        return ("atom", node)
+
+    return walk(obj, 0)
+
+
+def check_sequentializable(
+    sequential_result: Any,
+    concurrent_result: Any,
+    sequential_roots: Optional[list[Any]] = None,
+    concurrent_roots: Optional[list[Any]] = None,
+) -> SequentializabilityReport:
+    """Compare final results (and optional heap roots) of two executions."""
+    report = SequentializabilityReport(ok=True)
+    if snapshot_structure(sequential_result) != snapshot_structure(concurrent_result):
+        report.ok = False
+        report.violations.append(
+            f"results differ: {sequential_result!r} vs {concurrent_result!r}"
+        )
+    for i, (a, b) in enumerate(
+        zip(sequential_roots or [], concurrent_roots or [])
+    ):
+        if snapshot_structure(a) != snapshot_structure(b):
+            report.ok = False
+            report.violations.append(f"heap root {i} differs: {a!r} vs {b!r}")
+    return report

@@ -1,0 +1,46 @@
+"""S-expression substrate: datum types, reader, and printer.
+
+This package is the bottom layer of the Curare reproduction.  It defines
+the object model shared by every other layer:
+
+* :class:`~repro.sexpr.datum.Symbol` — interned Lisp symbols,
+* :class:`~repro.sexpr.datum.Cons` — *mutable* cons cells (mutability is
+  essential: the whole paper is about side effects on list structure),
+* :func:`~repro.sexpr.reader.read` / :func:`~repro.sexpr.reader.read_all`
+  — text to data,
+* :func:`~repro.sexpr.printer.write_str` — data back to text.
+"""
+
+from repro.sexpr.datum import (
+    Cons,
+    Symbol,
+    SymbolTable,
+    cons,
+    from_pylist,
+    intern,
+    is_proper_list,
+    list_to_pylist,
+    lisp_list,
+    proper_list_length,
+)
+from repro.sexpr.reader import ReadError, Reader, read, read_all
+from repro.sexpr.printer import write_str, pretty_str
+
+__all__ = [
+    "Cons",
+    "Symbol",
+    "SymbolTable",
+    "cons",
+    "intern",
+    "lisp_list",
+    "from_pylist",
+    "list_to_pylist",
+    "is_proper_list",
+    "proper_list_length",
+    "Reader",
+    "ReadError",
+    "read",
+    "read_all",
+    "write_str",
+    "pretty_str",
+]

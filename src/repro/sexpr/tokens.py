@@ -1,0 +1,157 @@
+"""Tokenizer for the S-expression reader.
+
+Token kinds are deliberately few: parens, dot, quote-family reader
+macros, atoms, and strings.  Positions (line, column) are tracked so
+read errors point at source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+
+class TokenKind(Enum):
+    LPAREN = auto()
+    RPAREN = auto()
+    DOT = auto()
+    QUOTE = auto()  # '
+    QUASIQUOTE = auto()  # `
+    UNQUOTE = auto()  # ,
+    UNQUOTE_SPLICING = auto()  # ,@
+    ATOM = auto()  # symbol or number
+    STRING = auto()
+    HASH_QUOTE = auto()  # #' (function quote — read as plain quote of symbol)
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"
+
+
+class TokenizeError(Exception):
+    """Raised on malformed lexical input (unterminated string, etc.)."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.line = line
+        self.col = col
+
+
+_DELIMITERS = set("()'`,\" \t\n\r;")
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens from ``text``, ending with a single EOF token.
+
+    Comments run from ``;`` to end of line.  ``#|`` ... ``|#`` block
+    comments nest, as in Common Lisp.
+    """
+    i = 0
+    n = len(text)
+    line = 1
+    col = 1
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\n\r":
+            advance()
+            continue
+        if ch == ";":
+            while i < n and text[i] != "\n":
+                advance()
+            continue
+        if ch == "#" and i + 1 < n and text[i + 1] == "|":
+            start_line, start_col = line, col
+            depth = 1
+            advance(2)
+            while i < n and depth > 0:
+                if text[i] == "#" and i + 1 < n and text[i + 1] == "|":
+                    depth += 1
+                    advance(2)
+                elif text[i] == "|" and i + 1 < n and text[i + 1] == "#":
+                    depth -= 1
+                    advance(2)
+                else:
+                    advance()
+            if depth > 0:
+                raise TokenizeError("unterminated block comment", start_line, start_col)
+            continue
+        if ch == "(":
+            yield Token(TokenKind.LPAREN, "(", line, col)
+            advance()
+            continue
+        if ch == ")":
+            yield Token(TokenKind.RPAREN, ")", line, col)
+            advance()
+            continue
+        if ch == "'":
+            yield Token(TokenKind.QUOTE, "'", line, col)
+            advance()
+            continue
+        if ch == "`":
+            yield Token(TokenKind.QUASIQUOTE, "`", line, col)
+            advance()
+            continue
+        if ch == ",":
+            if i + 1 < n and text[i + 1] == "@":
+                yield Token(TokenKind.UNQUOTE_SPLICING, ",@", line, col)
+                advance(2)
+            else:
+                yield Token(TokenKind.UNQUOTE, ",", line, col)
+                advance()
+            continue
+        if ch == "#" and i + 1 < n and text[i + 1] == "'":
+            yield Token(TokenKind.HASH_QUOTE, "#'", line, col)
+            advance(2)
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            advance()
+            chars: list[str] = []
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    advance()
+                    if i >= n:
+                        break
+                    esc = text[i]
+                    chars.append({"n": "\n", "t": "\t", "r": "\r"}.get(esc, esc))
+                    advance()
+                else:
+                    chars.append(text[i])
+                    advance()
+            if i >= n:
+                raise TokenizeError("unterminated string", start_line, start_col)
+            advance()  # closing quote
+            yield Token(TokenKind.STRING, "".join(chars), start_line, start_col)
+            continue
+        # Atom: read to next delimiter.
+        start_line, start_col = line, col
+        start = i
+        while i < n and text[i] not in _DELIMITERS:
+            advance()
+        word = text[start:i]
+        if word == ".":
+            yield Token(TokenKind.DOT, ".", start_line, start_col)
+        else:
+            yield Token(TokenKind.ATOM, word, start_line, start_col)
+
+    yield Token(TokenKind.EOF, "", line, col)

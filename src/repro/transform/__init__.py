@@ -1,0 +1,47 @@
+"""Curare's program transformations (paper §3.2 and §5).
+
+* :mod:`~repro.transform.cri` — turn self-recursive calls into process
+  spawns (Figure 7) or task-queue enqueues (Figure 9), hoisting the
+  call as early as dependencies allow (§3.1: concurrency improves as
+  the head shrinks).
+* :mod:`~repro.transform.locking` — insert ``lock-loc!``/``unlock-loc!``
+  around unresolved conflicts (§3.2.1), with coalescing, two-phase
+  ordering, and read-write locks.
+* :mod:`~repro.transform.delay` — move the earlier statement of a
+  conflicting pair (plus dependencies) into the head (§3.2.2).
+* :mod:`~repro.transform.reorder` — make declared-reorderable variable
+  updates atomic and drop their ordering constraints (§3.2.3).
+* :mod:`~repro.transform.iteration` — recursion→iteration (§5).
+* :mod:`~repro.transform.dps` — destination-passing style (§5,
+  Figures 12→13).
+* :mod:`~repro.transform.pipeline` — the end-to-end Curare driver.
+"""
+
+from repro.transform.cri import CRIResult, spawnify, TransformError
+from repro.transform.locking import LockingResult, insert_locks
+from repro.transform.delay import DelayResult, delay_into_head
+from repro.transform.reorder import ReorderResult, atomicize_reorderable
+from repro.transform.iteration import IterationResult, recursion_to_iteration
+from repro.transform.dps import DPSResult, to_destination_passing
+from repro.transform.pipeline import Curare, CurareResult
+from repro.transform.program import ProgramResult, transform_program
+
+__all__ = [
+    "CRIResult",
+    "Curare",
+    "CurareResult",
+    "DPSResult",
+    "DelayResult",
+    "IterationResult",
+    "LockingResult",
+    "ReorderResult",
+    "ProgramResult",
+    "TransformError",
+    "atomicize_reorderable",
+    "delay_into_head",
+    "insert_locks",
+    "recursion_to_iteration",
+    "spawnify",
+    "transform_program",
+    "to_destination_passing",
+]

@@ -1,0 +1,171 @@
+"""The delay transform (§3.2.2).
+
+"Moving conflicting statements into the head of a function ensures
+their correct execution order": in the CRI model the only inherent
+ordering is that heads execute sequentially, so if both statements of a
+conflicting pair run before the spawn, the conflict resolves in
+sequential order with no locks at all.
+
+Implementation: within each statement sequence that contains a spawned
+self-call, move every conflicting statement that currently follows the
+spawn to just before it — together with the statements it depends on
+(value producers), preserving control dependencies by only reordering
+within one sequence.  Conflicting statements under *different* control
+than the spawn are left for the locking transform, with a reason
+recorded ("this approach ... will not work for all recursive
+functions").
+
+The cost is a bigger head: callers should compare
+``analysis.headtail.concurrency`` before and after (§3.2.2's trade-off,
+exercised by bench A4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.conflicts import FunctionAnalysis
+from repro.ir import nodes as N
+from repro.ir.visitors import assigned_variables, copy_function, free_variables
+
+
+@dataclass
+class DelayResult:
+    func: N.FuncDef
+    moved: int = 0
+    not_movable: list[str] = field(default_factory=list)
+
+    @property
+    def resolved_all(self) -> bool:
+        return not self.not_movable
+
+
+def delay_into_head(
+    analysis: FunctionAnalysis, func: Optional[N.FuncDef] = None
+) -> DelayResult:
+    """Move conflicting statements before the spawn(s) in ``func``.
+
+    ``func`` defaults to a copy of the analyzed function — which should
+    already be spawnified, since delaying is meaningful relative to the
+    spawn position.  Statements are matched by source-form identity, so
+    the analysis may have been computed on the pre-copy function.
+    """
+    if func is None:
+        func = copy_function(analysis.func)
+    result = DelayResult(func=func)
+
+    conflict_sources: set[int] = set()
+    for conflict in analysis.active_conflicts():
+        for ref in (conflict.earlier, conflict.later):
+            if ref.is_heap:
+                conflict_sources.add(id(ref.node.source))
+
+    if not conflict_sources:
+        return result
+
+    def contains_conflict(node: N.Node) -> bool:
+        return any(id(s.source) in conflict_sources for s in node.walk())
+
+    def is_spawn(node: N.Node) -> bool:
+        if isinstance(node, N.Spawn) and node.call.is_self_call:
+            return True
+        if isinstance(node, N.FutureExpr):
+            inner = node.expr
+            return isinstance(inner, N.Call) and inner.is_self_call
+        if isinstance(node, N.Call) and node.is_self_call:
+            return True
+        return False
+
+    def reorder(body: list[N.Node]) -> list[N.Node]:
+        spawn_positions = [i for i, n in enumerate(body) if is_spawn(n)]
+        if not spawn_positions:
+            return body
+        first_spawn = spawn_positions[0]
+        out = list(body)
+        moved_any = True
+        while moved_any:
+            moved_any = False
+            spawn_positions = [i for i, n in enumerate(out) if is_spawn(n)]
+            first_spawn = spawn_positions[0]
+            for idx in range(first_spawn + 1, len(out)):
+                stmt = out[idx]
+                if is_spawn(stmt):
+                    continue
+                if not contains_conflict(stmt):
+                    continue
+                # Gather dependency block: statements between the spawn and
+                # stmt that produce variables stmt reads.
+                needed = free_variables(stmt)
+                block = [idx]
+                for back in range(idx - 1, first_spawn, -1):
+                    producer = out[back]
+                    if assigned_variables(producer) & needed or (
+                        isinstance(producer, N.Let)
+                        and producer.bound_names() & needed
+                    ):
+                        block.append(back)
+                        needed |= free_variables(producer)
+                # The moved block must not depend on the spawn itself
+                # (spawns produce no value, so only ordering w.r.t. other
+                # spawns matters — which reordering before the first spawn
+                # preserves).
+                block.sort()
+                moved = [out[i] for i in block]
+                for i in reversed(block):
+                    del out[i]
+                insert_at = first_spawn
+                for stmt_m in moved:
+                    out.insert(insert_at, stmt_m)
+                    insert_at += 1
+                result.moved += len(moved)
+                moved_any = True
+                break
+        return out
+
+    def walk(node: N.Node) -> None:
+        if isinstance(node, (N.Progn, N.Let, N.While)):
+            node.body = reorder(node.body)
+        for child in node.children():
+            walk(child)
+
+    func.body = reorder(func.body)
+    for top in func.body:
+        walk(top)
+
+    # Anything still conflicting and NOT before a spawn in its own
+    # sequence is un-movable at this altitude.
+    remaining = _conflicts_after_spawn(func, conflict_sources, is_spawn)
+    for desc in remaining:
+        result.not_movable.append(desc)
+    return result
+
+
+def _conflicts_after_spawn(func, conflict_sources, is_spawn) -> list[str]:
+    """Detect conflicting statements that may still execute after a spawn
+    (nested under different control)."""
+    problems: list[str] = []
+
+    def check_sequence(body: list[N.Node]) -> None:
+        seen_spawn = False
+        for node in body:
+            if is_spawn(node):
+                seen_spawn = True
+                continue
+            if seen_spawn and any(
+                id(s.source) in conflict_sources for s in node.walk()
+            ):
+                problems.append(
+                    f"conflicting statement after a spawn remains: {node!r}"
+                )
+
+    def walk(node: N.Node) -> None:
+        if isinstance(node, (N.Progn, N.Let, N.While)):
+            check_sequence(node.body)
+        for child in node.children():
+            walk(child)
+
+    check_sequence(func.body)
+    for top in func.body:
+        walk(top)
+    return problems

@@ -1,0 +1,264 @@
+"""Destination-passing style (§5, Figures 12→13).
+
+``remq`` builds its result by ``(cons (car lst) (remq obj (cdr lst)))``
+— the self-call's value is stored, never inspected, but the *return*
+still serializes invocations.  DPS removes the return: the function
+receives a destination cell and stores its result into that cell's
+``cdr``:
+
+    (defun remq-d (dest obj lst)
+      (cond ((null lst)           (setf (cdr dest) nil))
+            ((eq obj (car lst))   (remq-d dest obj (cdr lst)))
+            (t (let ((cell (cons (car lst) nil)))
+                 (remq-d cell obj (cdr lst))
+                 (setf (cdr dest) cell)))))
+
+The transform recognizes return-position expressions of three shapes:
+
+* a self-call                      → pass ``dest`` through,
+* ``(cons E <self-call>)``         → allocate the cell, recurse into it,
+  attach (the paper's Figure 13 clause order — recurse, then attach),
+* anything else (the base case)    → ``(setf (cdr dest) <expr>)``.
+
+Provenance: the produced stores hit *fresh* cells, so although the DPS
+function "appears to contain more side-effects", Curare "does not start
+with a blank slate" — our analyzer recognizes destination parameters
+whose self-call arguments are always freshly allocated
+(:mod:`repro.analysis.variables` freshness) and reports the stores
+conflict-free.  A wrapper function re-creates the original interface:
+
+    (defun remq (obj lst)
+      (let ((head (cons nil nil))) (remq-d head obj lst) (cdr head)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.conflicts import FunctionAnalysis
+from repro.analysis.recursion import CallClassification
+from repro.ir import nodes as N
+from repro.ir.visitors import copy_node
+from repro.sexpr.datum import DEFAULT_SYMBOLS, Symbol, intern
+
+
+class DPSError(Exception):
+    pass
+
+
+@dataclass
+class DPSResult:
+    func: N.FuncDef  # the -d function
+    wrapper: N.FuncDef  # original-interface wrapper
+    dest_param: Symbol = None  # type: ignore[assignment]
+    converted_sites: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def to_destination_passing(
+    analysis: FunctionAnalysis, suffix: str = "-d", defer_element: bool = False
+) -> DPSResult:
+    """Produce the DPS form of ``analysis.func`` plus a wrapper.
+
+    ``defer_element=True`` applies the head-shrinking refinement: the
+    fresh cell is allocated *empty*, the recursion is entered
+    immediately, and the element expression fills the car afterwards —
+    moving the per-element work into the tail (§3.1: concurrency grows
+    as the head shrinks).  Only write-free element expressions are
+    deferred; by DPS provenance the recursion writes nothing the element
+    expression can read, so the reordering is unobservable.  With the
+    default False the output is literally Figure 13's shape.
+    """
+    func = analysis.func
+    recursion = analysis.recursion
+    if not recursion.is_recursive:
+        raise DPSError(f"{func.name} is not recursive")
+    for call in recursion.self_calls:
+        cls = recursion.classification(call)
+        if cls is CallClassification.FREE:
+            raise DPSError(
+                f"{func.name} already calls for effect; DPS is for "
+                "value-building recursions"
+            )
+        if cls is CallClassification.STRICT:
+            raise DPSError(
+                f"{func.name} inspects a self-call result; DPS cannot help"
+            )
+    if len(func.body) != 1:
+        raise DPSError("DPS expects a single-expression body")
+
+    new_name = intern(func.name.name + suffix)
+    dest = intern("dest")
+    if dest in func.params:
+        dest = DEFAULT_SYMBOLS.gensym("dest")
+    result = DPSResult(func=None, wrapper=None, dest_param=dest)  # type: ignore[arg-type]
+
+    def convert(node: N.Node) -> N.Node:
+        """Rewrite a return-position expression."""
+        if isinstance(node, N.If):
+            return N.If(
+                copy_node(node.test),
+                convert(node.then),
+                convert(node.els) if node.els is not None else
+                _store(dest, N.Const(None)),
+                source=node.source,
+            )
+        if isinstance(node, N.Progn):
+            if not node.body:
+                return _store(dest, N.Const(None))
+            return N.Progn(
+                [copy_node(n) for n in node.body[:-1]] + [convert(node.body[-1])],
+                source=node.source,
+            )
+        if isinstance(node, N.Let):
+            if not node.body:
+                return _store(dest, N.Const(None))
+            return N.Let(
+                [(name, copy_node(init)) for name, init in node.bindings],
+                [copy_node(n) for n in node.body[:-1]] + [convert(node.body[-1])],
+                sequential=node.sequential,
+                source=node.source,
+            )
+        if isinstance(node, N.Call) and node.is_self_call:
+            # Tail position: thread the same destination through.
+            result.converted_sites += 1
+            new_call = N.Call(
+                new_name, [N.Var(dest)] + [copy_node(a) for a in node.args],
+                source=node.source,
+            )
+            new_call.is_self_call = True
+            return new_call
+        cons_match = _match_cons_build(node)
+        if cons_match is not None:
+            element, call = cons_match
+            result.converted_sites += 1
+            cell = DEFAULT_SYMBOLS.gensym("cell")
+            new_call = N.Call(
+                new_name,
+                [N.Var(cell)] + [copy_node(a) for a in call.args],
+                source=call.source,
+            )
+            new_call.is_self_call = True
+            if defer_element and _write_free(element, analysis):
+                # Head-shrinking variant: empty cell, recurse, attach,
+                # then fill the car in the tail.
+                result.notes.append("element computation deferred past the recursion")
+                return N.Let(
+                    [(cell, N.Call(intern("cons"), [N.Const(None), N.Const(None)]))],
+                    [
+                        new_call,
+                        _store(dest, N.Var(cell)),
+                        N.Setf(
+                            N.FieldPlace(N.Var(cell), ("car",)),
+                            copy_node(element),
+                        ),
+                    ],
+                    source=node.source,
+                )
+            return N.Let(
+                [(cell, N.Call(intern("cons"), [copy_node(element), N.Const(None)]))],
+                [
+                    new_call,
+                    _store(dest, N.Var(cell)),
+                ],
+                source=node.source,
+            )
+        # Base case: store the value.
+        return _store(dest, copy_node(node))
+
+    new_body = convert(func.body[0])
+    # Every self-call must have been converted (threaded or cons-built).
+    # A stored call in any other shape — e.g. deep inside (list ... (f x)
+    # ... (f y)) — has no single destination slot; reject so the driver
+    # falls back to futures (§3.1's general device).
+    leftovers = [
+        n
+        for n in new_body.walk()
+        if isinstance(n, N.Call) and n.fn is func.name
+    ]
+    if leftovers:
+        raise DPSError(
+            f"{func.name}: {len(leftovers)} self-call(s) are stored in a "
+            "shape DPS cannot thread a destination through"
+        )
+    dps_func = N.FuncDef(
+        new_name, [dest] + list(func.params), [new_body], source=func.source
+    )
+    _remark_self_calls(dps_func)
+
+    # Wrapper with the original interface.  The (sync) join waits for the
+    # spawned descendants so callers receive the *completed* structure —
+    # without it a consumer could observe the list mid-construction.
+    head = DEFAULT_SYMBOLS.gensym("head")
+    wrapper = N.FuncDef(
+        func.name,
+        list(func.params),
+        [
+            N.Let(
+                [(head, N.Call(intern("cons"), [N.Const(None), N.Const(None)]))],
+                [
+                    N.Call(new_name, [N.Var(head)] + [N.Var(p) for p in func.params]),
+                    N.Call(intern("sync"), []),
+                    N.FieldAccess(N.Var(head), ("cdr",)),
+                ],
+            )
+        ],
+        source=func.source,
+    )
+    result.func = dps_func
+    result.wrapper = wrapper
+    result.notes.append(
+        f"destination parameter {dest} receives freshly allocated cells; "
+        "its stores are conflict-free by provenance"
+    )
+    return result
+
+
+def _store(dest: Symbol, value: N.Node) -> N.Node:
+    return N.Setf(N.FieldPlace(N.Var(dest), ("cdr",)), value)
+
+
+def _write_free(node: N.Node, analysis: FunctionAnalysis) -> bool:
+    """No stores anywhere in the expression (safe to defer past the
+    recursion under DPS provenance).  Calls to user functions count as
+    writes unless declared pure."""
+    from repro.lisp.values import Builtin
+
+    interp_functions = getattr(analysis, "_interp_functions", None) or {}
+    for sub in node.walk():
+        if isinstance(sub, N.Setf):
+            return False
+        if isinstance(sub, N.Call):
+            if sub.fn.name in ("rplaca", "rplacd", "puthash"):
+                return False
+            fn = interp_functions.get(sub.fn)
+            if isinstance(fn, Builtin):
+                if fn.writes_memory:
+                    return False
+                continue
+            if sub.fn.name not in analysis.pure_functions:
+                return False
+    return True
+
+
+def _match_cons_build(node: N.Node) -> Optional[tuple[N.Node, N.Call]]:
+    """Match ``(cons E <self-call>)``."""
+    if (
+        isinstance(node, N.Call)
+        and node.fn.name == "cons"
+        and len(node.args) == 2
+        and isinstance(node.args[1], N.Call)
+        and node.args[1].is_self_call
+    ):
+        return (node.args[0], node.args[1])
+    return None
+
+
+def _remark_self_calls(func: N.FuncDef) -> None:
+    index = 0
+    for node in func.walk():
+        if isinstance(node, N.Call) and node.fn is func.name:
+            node.is_self_call = True
+            node.callsite_index = index
+            index += 1

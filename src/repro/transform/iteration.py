@@ -1,0 +1,238 @@
+"""Recursion → iteration (§5, first transformation).
+
+Two patterns:
+
+1. **Tail recursion elimination** — every self-call in returned
+   position becomes a parameter rebind plus loop-continue.  The paper's
+   observation: "changing the single return that produces a value into
+   an assignment eliminates the return", making the function acceptable
+   to Curare (its recursive calls no longer return used values).
+
+2. **Accumulator introduction** (Huet & Lang style) — a linear
+   recursion of the shape ``(op e (f rest))`` in return position becomes
+   a tail recursion with an accumulator, *provided* ``op`` is declared
+   associative (the paper: these transformations "depend on subtle
+   properties of a function's operations, such as commutativity and
+   associativity, and so require information like that provided by
+   Curare's declarative model").  The accumulator folds left-to-right,
+   which associativity makes equal to the original right fold whenever
+   ``op`` also has the declared identity behaviour of its base case.
+
+Both produce an ordinary ``while`` loop, so the output is directly
+executable and — for pattern 2 — further transformable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.conflicts import FunctionAnalysis
+from repro.analysis.recursion import CallClassification
+from repro.declare.registry import DeclarationRegistry
+from repro.ir import nodes as N
+from repro.ir.visitors import copy_function, copy_node
+from repro.sexpr.datum import DEFAULT_SYMBOLS, Symbol, intern
+
+
+class IterationError(Exception):
+    pass
+
+
+@dataclass
+class IterationResult:
+    func: N.FuncDef
+    pattern: str  # "tail" | "accumulator"
+    notes: list[str] = field(default_factory=list)
+
+
+def recursion_to_iteration(
+    analysis: FunctionAnalysis,
+    decls: Optional[DeclarationRegistry] = None,
+) -> IterationResult:
+    """Convert ``analysis.func`` to a loop, or raise IterationError."""
+    recursion = analysis.recursion
+    if not recursion.is_recursive:
+        raise IterationError(f"{analysis.func.name} is not recursive")
+    if recursion.is_tail_recursive:
+        return _tail_to_loop(analysis)
+    if decls is not None:
+        accumulated = _try_accumulator(analysis, decls)
+        if accumulated is not None:
+            return accumulated
+    raise IterationError(
+        f"{analysis.func.name} is neither tail-recursive nor an "
+        "associative-op linear recursion (declare the operator "
+        "associative to enable accumulator introduction)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pattern 1: tail recursion → while loop
+# ---------------------------------------------------------------------------
+
+
+def _tail_to_loop(analysis: FunctionAnalysis) -> IterationResult:
+    func = copy_function(analysis.func)
+    params = func.params
+    cont = DEFAULT_SYMBOLS.gensym("continue")
+    result_var = DEFAULT_SYMBOLS.gensym("result")
+
+    def rebind(call: N.Call) -> N.Node:
+        """Simultaneous parameter rebinding through temporaries."""
+        if len(call.args) != len(params):
+            raise IterationError(
+                f"self-call passes {len(call.args)} args, expected {len(params)}"
+            )
+        temps = [DEFAULT_SYMBOLS.gensym("arg") for _ in params]
+        bindings = [(tmp, arg) for tmp, arg in zip(temps, call.args)]
+        assigns: list[N.Node] = [
+            N.Setf(N.VarPlace(p), N.Var(t)) for p, t in zip(params, temps)
+        ]
+        assigns.append(N.Setf(N.VarPlace(cont), N.Const(True)))
+        return N.Let(bindings, assigns)
+
+    def convert(node: N.Node) -> N.Node:
+        """Rewrite returned-position expressions: self-calls rebind, other
+        values store into the result variable."""
+        if isinstance(node, N.Call) and node.is_self_call:
+            return rebind(node)
+        if isinstance(node, N.If):
+            return N.If(
+                node.test,
+                convert(node.then),
+                convert(node.els) if node.els is not None else
+                N.Setf(N.VarPlace(result_var), N.Const(None)),
+                source=node.source,
+            )
+        if isinstance(node, N.Progn):
+            if not node.body:
+                return N.Setf(N.VarPlace(result_var), N.Const(None))
+            return N.Progn(
+                node.body[:-1] + [convert(node.body[-1])], source=node.source
+            )
+        if isinstance(node, N.Let):
+            if not node.body:
+                return N.Setf(N.VarPlace(result_var), N.Const(None))
+            return N.Let(
+                node.bindings,
+                node.body[:-1] + [convert(node.body[-1])],
+                sequential=node.sequential,
+                source=node.source,
+            )
+        if isinstance(node, (N.And, N.Or)):
+            # Conservative: no self-calls inside (tail classification
+            # would have been strict otherwise); store the value.
+            return N.Setf(N.VarPlace(result_var), node)
+        return N.Setf(N.VarPlace(result_var), node)
+
+    if not func.body:
+        raise IterationError("empty function body")
+    converted = [convert(n) if i == len(func.body) - 1 else n
+                 for i, n in enumerate(func.body)]
+    loop = N.While(
+        N.Var(cont),
+        [N.Setf(N.VarPlace(cont), N.Const(None))] + converted,
+    )
+    new_func = N.FuncDef(
+        func.name,
+        params,
+        [
+            N.Let(
+                [(cont, N.Const(True)), (result_var, N.Const(None))],
+                [loop, N.Var(result_var)],
+            )
+        ],
+        source=func.source,
+    )
+    return IterationResult(new_func, pattern="tail")
+
+
+# ---------------------------------------------------------------------------
+# Pattern 2: (op e (f rest)) → accumulator loop
+# ---------------------------------------------------------------------------
+
+
+def _try_accumulator(
+    analysis: FunctionAnalysis, decls: DeclarationRegistry
+) -> Optional[IterationResult]:
+    """Match ``(if TEST BASE (op E (f REST...)))`` (possibly from cond)."""
+    func = analysis.func
+    if len(func.body) != 1 or len(analysis.recursion.self_calls) != 1:
+        return None
+    body = func.body[0]
+    match = _match_linear(body, func.name)
+    if match is None:
+        return None
+    test, base, op, element, call = match
+    if not decls.is_associative(op.name):
+        return None
+    # New shape:
+    #   (let ((#:acc nil) (#:started nil))
+    #     (while (not TEST)
+    #       (setq #:acc (if #:started (op #:acc E) E) #:started t)
+    #       <params := call args>)
+    #     (if #:started (op #:acc BASE) BASE))
+    # Left-folding the op is equal to the original right fold by the
+    # declared associativity.
+    acc = DEFAULT_SYMBOLS.gensym("acc")
+    started = DEFAULT_SYMBOLS.gensym("started")
+    params = func.params
+    temps = [DEFAULT_SYMBOLS.gensym("arg") for _ in params]
+    rebind = N.Let(
+        [(tmp, copy_node(arg)) for tmp, arg in zip(temps, call.args)],
+        [N.Setf(N.VarPlace(p), N.Var(t)) for p, t in zip(params, temps)],
+    )
+    update = N.Setf(
+        N.VarPlace(acc),
+        N.If(
+            N.Var(started),
+            N.Call(op, [N.Var(acc), copy_node(element)]),
+            copy_node(element),
+        ),
+    )
+    loop = N.While(
+        N.Call(intern("not"), [copy_node(test)]),
+        [update, N.Setf(N.VarPlace(started), N.Const(True)), rebind],
+    )
+    final = N.If(
+        N.Var(started),
+        N.Call(op, [N.Var(acc), copy_node(base)]),
+        copy_node(base),
+    )
+    new_func = N.FuncDef(
+        func.name,
+        list(params),
+        [N.Let([(acc, N.Const(None)), (started, N.Const(None))], [loop, final])],
+        source=func.source,
+    )
+    return IterationResult(
+        new_func,
+        pattern="accumulator",
+        notes=[f"left-folds {op.name} (declared associative)"],
+    )
+
+
+def _match_linear(
+    node: N.Node, fname: Symbol
+) -> Optional[tuple[N.Node, N.Node, Symbol, N.Node, N.Call]]:
+    """Match If(test, base, Call(op, [e, selfcall])) in either arm."""
+    if not isinstance(node, N.If) or node.els is None:
+        return None
+
+    def match_op(expr: N.Node) -> Optional[tuple[Symbol, N.Node, N.Call]]:
+        if not isinstance(expr, N.Call) or len(expr.args) != 2:
+            return None
+        left, right = expr.args
+        if isinstance(right, N.Call) and right.is_self_call:
+            return (expr.fn, left, right)
+        return None
+
+    hit = match_op(node.els)
+    if hit is not None:
+        return (node.test, node.then, hit[0], hit[1], hit[2])
+    hit = match_op(node.then)
+    if hit is not None:
+        negated = N.Call(intern("not"), [node.test])
+        return (negated, node.els, hit[0], hit[1], hit[2])
+    return None

@@ -1,0 +1,463 @@
+"""Lock insertion (§3.2.1).
+
+For every unresolved conflict, each invocation must hold the lock on the
+conflict's runtime location before the conflicting access and release it
+afterwards.  The §3.2.1 protocol:
+
+* ``Lock(M)`` goes in the **head**, before the spawn — the head of I_i
+  runs before any part of I_{i+d}, so FIFO lock grants reproduce the
+  sequential access order even when more than two invocations conflict;
+* ``Unlock(M)`` runs after the invocation's last use of M and after all
+  lock statements (two-phase, deadlock-free);
+* nested conflict-location chains coalesce to the shortest word (one
+  lock covers ``l.car``, ``l.car.cdr``, ...);
+* a location only read by this invocation takes the read side of a
+  read-write lock.
+
+A location word like ``cdr.car`` is locked at runtime by evaluating the
+base path and naming the final field: ``(lock-loc! (cdr l) 'car)``,
+guarded by a cons check so base-case invocations (nil arguments) skip
+locks on structure they don't have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.conflicts import Conflict, FunctionAnalysis, MemoryRef
+from repro.ir import nodes as N
+from repro.paths.accessor import Accessor
+from repro.sexpr.datum import DEFAULT_SYMBOLS, Symbol, intern
+
+
+@dataclass
+class LockSpec:
+    """One lock to insert: parameter, accessor word, and mode."""
+
+    param: Symbol
+    word: Accessor
+    write: bool
+    covers: list[Accessor] = field(default_factory=list)
+
+    def describe(self) -> str:
+        mode = "write" if self.write else "read"
+        extra = f" (covers {len(self.covers)} nested)" if self.covers else ""
+        return f"{mode}-lock {self.param}.{self.word}{extra}"
+
+
+@dataclass
+class ArrayLockSpec:
+    """One array element lock: param[index_var + offset], mode."""
+
+    array: Symbol
+    index_var: Symbol
+    offset: int
+    write: bool
+
+    def describe(self) -> str:
+        mode = "write" if self.write else "read"
+        off = f"+{self.offset}" if self.offset > 0 else (
+            str(self.offset) if self.offset else ""
+        )
+        return f"{mode}-lock {self.array}[{self.index_var}{off}]"
+
+
+@dataclass
+class WholeArrayLockSpec:
+    """A whole-array lock for arrays with unanalyzable element indices
+    (A[A[i]] — paper §2's footnote 1): element-grained locking cannot
+    name the location, so the whole object is serialized."""
+
+    array: Symbol
+
+    def describe(self) -> str:
+        return f"whole-array lock {self.array} (unanalyzable subscripts)"
+
+
+@dataclass
+class SerializeLockSpec:
+    """The universal fallback: a per-function token lock held for the
+    entire invocation, serializing the recursion when some conflict
+    cannot be named by any finer lock.  §6's guarantee made literal:
+    never incorrect, only slow."""
+
+    function: Symbol
+
+    def describe(self) -> str:
+        return f"serialization lock (invocations of {self.function} run one at a time)"
+
+
+@dataclass
+class VarLockSpec:
+    """A free-variable lock: acquired in the head, released at the end,
+    ordering every invocation's accesses to the shared binding in
+    invocation order (locking "is always able to order accesses",
+    §3.2.1).  Used when no reorderable declaration dismisses the
+    conflict."""
+
+    name: Symbol
+    write: bool
+
+    def describe(self) -> str:
+        mode = "write" if self.write else "read"
+        return f"{mode}-lock variable {self.name}"
+
+
+@dataclass
+class LockingResult:
+    func: N.FuncDef
+    locks: list[LockSpec] = field(default_factory=list)
+    array_locks: list[ArrayLockSpec] = field(default_factory=list)
+    var_locks: list[VarLockSpec] = field(default_factory=list)
+    whole_array_locks: list[WholeArrayLockSpec] = field(default_factory=list)
+    serialize_lock: Optional[SerializeLockSpec] = None
+    unresolved: list[str] = field(default_factory=list)
+    concurrency_bound: Optional[int] = None
+    #: Early (last-use) releases inserted when early_release was requested.
+    early_releases: int = 0
+
+    @property
+    def lock_count(self) -> int:
+        return (
+            len(self.locks) + len(self.array_locks) + len(self.var_locks)
+            + len(self.whole_array_locks) + (1 if self.serialize_lock else 0)
+        )
+
+
+def plan_locks(analysis: FunctionAnalysis) -> tuple[list[LockSpec], list[str]]:
+    """Decide the lock set from the active conflicts."""
+    unresolved: list[str] = []
+    # Gather (param, word) → needs-write?
+    needs: dict[tuple[Symbol, Accessor], bool] = {}
+
+    def note(ref: MemoryRef) -> bool:
+        if not ref.is_heap or ref.accessor is None or ref.unbounded:
+            return False
+        key = (ref.param, ref.accessor)
+        needs[key] = needs.get(key, False) or ref.is_write
+        return True
+
+    array_needs: dict[tuple[Symbol, Symbol, int], bool] = {}
+    whole_array_needs: set[Symbol] = set()
+    var_needs: dict[Symbol, bool] = {}
+    for conflict in analysis.active_conflicts():
+        ok = True
+        for ref in (conflict.earlier, conflict.later):
+            if ref.is_array:
+                if ref.unknown_index or ref.index_var is None:
+                    # The element cannot be named: lock the whole array.
+                    whole_array_needs.add(ref.param)
+                    continue
+                key = (ref.param, ref.index_var, ref.index_offset)
+                array_needs[key] = array_needs.get(key, False) or ref.is_write
+            elif ref.is_heap:
+                ok = note(ref) and ok
+            elif ref.var is not None:
+                # A reorderable declaration would have dismissed this
+                # conflict; undismissed variable conflicts get a
+                # variable lock held across the invocation.
+                var_needs[ref.var] = var_needs.get(ref.var, False) or ref.is_write
+        if not ok:
+            unresolved.append(conflict.describe())
+
+    # Coalesce nested words per parameter: keep the shortest prefixes.
+    by_param: dict[Symbol, list[tuple[Accessor, bool]]] = {}
+    for (param, word), write in needs.items():
+        by_param.setdefault(param, []).append((word, write))
+    specs: list[LockSpec] = []
+    for param, words in by_param.items():
+        words.sort(key=lambda pair: len(pair[0]))
+        kept: list[LockSpec] = []
+        for word, write in words:
+            holder = None
+            for spec in kept:
+                if spec.word.is_prefix_of(word):
+                    holder = spec
+                    break
+            if holder is not None:
+                holder.covers.append(word)
+                holder.write = holder.write or write
+            else:
+                kept.append(LockSpec(param, word, write))
+        specs.extend(kept)
+    # Deterministic emission order: per-param, then shortest word first —
+    # the outermost-first order that makes the two-phase protocol acyclic
+    # along accessor chains.
+    specs.sort(key=lambda s: (s.param.name, len(s.word), str(s.word)))
+
+    # Array element locks, ordered by offset: each invocation acquires
+    # lower-indexed elements first, giving a globally consistent element
+    # order (positive-step inductions climb the array).
+    array_specs = [
+        ArrayLockSpec(array, ivar, offset, write)
+        for (array, ivar, offset), write in array_needs.items()
+    ]
+    array_specs.sort(key=lambda s: (s.array.name, s.offset))
+    # Arrays with unanalyzable subscripts take the whole-array lock;
+    # their element locks would use different keys (no mutual exclusion
+    # with the cell lock), so they are subsumed.
+    if whole_array_needs:
+        array_specs = [a for a in array_specs if a.array not in whole_array_needs]
+    whole_specs = [WholeArrayLockSpec(a) for a in sorted(whole_array_needs, key=lambda s: s.name)]
+    var_specs = [VarLockSpec(name, write) for name, write in var_needs.items()]
+    var_specs.sort(key=lambda s: s.name.name)
+    return specs, array_specs, var_specs, whole_specs, unresolved
+
+
+def _path_expr(param: Symbol, word: Accessor) -> tuple[N.Node, str]:
+    """(base-expression, final-field) for ``param.word``."""
+    assert len(word) >= 1
+    base: N.Node = N.Var(param)
+    if len(word) > 1:
+        base = N.FieldAccess(base, word.fields[:-1])
+    return base, word.fields[-1]
+
+
+def _index_expr(spec: ArrayLockSpec) -> N.Node:
+    if spec.offset == 0:
+        return N.Var(spec.index_var)
+    if spec.offset > 0:
+        return N.Call(intern("+"), [N.Var(spec.index_var), N.Const(spec.offset)])
+    return N.Call(intern("-"), [N.Var(spec.index_var), N.Const(-spec.offset)])
+
+
+def _array_lock_stmt(spec: ArrayLockSpec, idx_var: Symbol, lock: bool) -> N.Node:
+    """Guarded element lock: skip when the index is out of bounds (the
+    boundary invocations reference elements that don't exist)."""
+    if spec.write:
+        op = "lock-aref!" if lock else "unlock-aref!"
+    else:
+        op = "read-lock-aref!" if lock else "read-unlock-aref!"
+    call = N.Call(intern(op), [N.Var(spec.array), N.Var(idx_var)])
+    guard = N.And(
+        [
+            N.Call(intern(">="), [N.Var(idx_var), N.Const(0)]),
+            N.Call(
+                intern("<"),
+                [N.Var(idx_var), N.Call(intern("array-length"), [N.Var(spec.array)])],
+            ),
+        ]
+    )
+    return N.If(guard, call, None)
+
+
+def _whole_array_lock_stmt(spec: WholeArrayLockSpec, lock: bool) -> N.Node:
+    op = "lock-cell!" if lock else "unlock-cell!"
+    call = N.Call(intern(op), [N.Var(spec.array)])
+    return N.If(N.Call(intern("arrayp"), [N.Var(spec.array)]), call, None)
+
+
+def _serialize_token(function: Symbol) -> Symbol:
+    return intern(f"%serialize-{function.name}%")
+
+
+def _serialize_lock_stmt(spec: SerializeLockSpec, lock: bool) -> N.Node:
+    op = "lock-var!" if lock else "unlock-var!"
+    return N.Call(intern(op), [N.Quote(_serialize_token(spec.function))])
+
+
+def _var_lock_stmt(spec: VarLockSpec, lock: bool) -> N.Node:
+    op = "lock-var!" if lock else "unlock-var!"
+    return N.Call(intern(op), [N.Quote(spec.name)])
+
+
+def _lock_stmt(spec: LockSpec, base_var: Symbol, lock: bool) -> N.Node:
+    """Guarded lock/unlock through the pre-bound base variable."""
+    fld = spec.word.fields[-1]
+    if spec.write:
+        op = "lock-loc!" if lock else "unlock-loc!"
+    else:
+        op = "read-lock-loc!" if lock else "read-unlock-loc!"
+    call = N.Call(intern(op), [N.Var(base_var), N.Quote(intern(fld))])
+    # Guard: the base must be a heap object (base cases pass nil).
+    return N.If(N.Call(intern("heap-object-p"), [N.Var(base_var)]), call, None)
+
+
+def _early_unlock_stmt(spec: LockSpec, base_var: Symbol) -> N.Node:
+    """If-held release right after the last use (§3.2.1 early release)."""
+    fld = spec.word.fields[-1]
+    op = "unlock-loc-if-held!" if spec.write else "read-unlock-loc-if-held!"
+    call = N.Call(intern(op), [N.Var(base_var), N.Quote(intern(fld))])
+    return N.If(N.Call(intern("heap-object-p"), [N.Var(base_var)]), call, None)
+
+
+def _insert_early_releases(
+    func: N.FuncDef,
+    analysis: FunctionAnalysis,
+    specs: list[LockSpec],
+    base_vars: list[Symbol],
+) -> int:
+    """Insert if-held unlocks after the last use of each locked word in
+    every statement sequence.  The end-of-body releases remain (as
+    if-held) for paths with no use.  Returns the insertions made."""
+    # Map each spec to the source ids of the refs it covers.
+    spec_sources: list[set[int]] = []
+    for spec in specs:
+        words = {spec.word} | set(spec.covers)
+        sources = {
+            id(ref.node.source)
+            for ref in analysis.heap_refs
+            if ref.accessor is not None and ref.param is spec.param
+            and any(w == ref.accessor or w.is_prefix_of(ref.accessor)
+                    for w in words)
+        }
+        spec_sources.append(sources)
+
+    inserted = 0
+
+    def contains_use(node: N.Node, sources: set[int]) -> bool:
+        return any(id(sub.source) in sources for sub in node.walk())
+
+    def process_sequence(body: list[N.Node]) -> list[N.Node]:
+        nonlocal inserted
+        out = list(body)
+        for spec, base_var, sources in zip(specs, base_vars, spec_sources):
+            last = None
+            for idx, stmt in enumerate(out):
+                if contains_use(stmt, sources):
+                    last = idx
+            if last is None:
+                continue
+            stmt = out[last]
+            # Only release after a statement that cannot branch around
+            # the use (If subtrees may use the word in one arm only —
+            # then releasing after the If is still correct: the arm that
+            # ran either used it or not, and if-held handles both).
+            out.insert(last + 1, _early_unlock_stmt(spec, base_var))
+            inserted += 1
+        return out
+
+    def walk(node: N.Node) -> None:
+        # While bodies re-execute: releasing inside the loop would drop
+        # the lock before later iterations' uses.  Lambda bodies run
+        # elsewhere.  Both are skipped; a use inside them is covered by
+        # the release inserted after the While/Lambda statement itself.
+        if isinstance(node, (N.Progn, N.Let)):
+            node.body = process_sequence(node.body)
+        if isinstance(node, (N.While, N.Lambda)):
+            return
+        for child in node.children():
+            walk(child)
+
+    func.body = process_sequence(func.body)
+    for top in func.body:
+        walk(top)
+    return inserted
+
+
+def insert_locks(
+    analysis: FunctionAnalysis,
+    func: Optional[N.FuncDef] = None,
+    early_release: bool = False,
+) -> LockingResult:
+    """Wrap ``func`` (default: a copy of the analyzed function) with the
+    planned locks.
+
+    Shape::
+
+        (defun f (args)
+          (let* ((#:lb0 <base path 0>) ...)              ; bind bases once
+            (if (heap-object-p #:lb0) (lock-loc! #:lb0 'f0))   ; lock phase
+            ...
+            (let ((#:result (progn <original body>)))
+              (if (heap-object-p #:lb0) (unlock-loc! #:lb0 'f0)) ; release
+              ...
+              #:result)))
+
+    Base paths are evaluated *once*, in the head, so a body that mutates
+    an intermediate link cannot desynchronize lock and unlock.
+    """
+    from repro.ir.visitors import copy_function
+
+    if func is None:
+        func = copy_function(analysis.func)
+    specs, array_specs, var_specs, whole_specs, unresolved = plan_locks(analysis)
+    result = LockingResult(
+        func=func, locks=specs, array_locks=array_specs,
+        var_locks=var_specs, whole_array_locks=whole_specs,
+        unresolved=unresolved,
+    )
+    # Anything still unresolved (unbounded refs, unknown callees, ...)
+    # falls back to full serialization — §6: never incorrect, only slow.
+    if unresolved or analysis.unknowns:
+        result.serialize_lock = SerializeLockSpec(analysis.func.name)
+    distances = [
+        c.distance for c in analysis.active_conflicts() if c.distance is not None
+    ]
+    result.concurrency_bound = min(distances) if distances else None
+    if (not specs and not array_specs and not var_specs
+            and not whole_specs and result.serialize_lock is None):
+        return result
+
+    bindings: list[tuple[Symbol, N.Node]] = []
+    base_vars: list[Symbol] = []
+    for spec in specs:
+        base, _fld = _path_expr(spec.param, spec.word)
+        var = DEFAULT_SYMBOLS.gensym("lockbase")
+        bindings.append((var, base))
+        base_vars.append(var)
+    idx_vars: list[Symbol] = []
+    for aspec in array_specs:
+        var = DEFAULT_SYMBOLS.gensym("lockidx")
+        bindings.append((var, _index_expr(aspec)))
+        idx_vars.append(var)
+
+    if early_release and specs:
+        result.early_releases = _insert_early_releases(
+            func, analysis, specs, base_vars
+        )
+
+    lock_stmts = [
+        _lock_stmt(s, v, lock=True) for s, v in zip(specs, base_vars)
+    ] + [
+        _array_lock_stmt(s, v, lock=True) for s, v in zip(array_specs, idx_vars)
+    ] + [
+        _whole_array_lock_stmt(s, lock=True) for s in whole_specs
+    ] + [
+        _var_lock_stmt(s, lock=True) for s in var_specs
+    ] + (
+        [_serialize_lock_stmt(result.serialize_lock, lock=True)]
+        if result.serialize_lock else []
+    )
+    var_unlocks = (
+        [_serialize_lock_stmt(result.serialize_lock, lock=False)]
+        if result.serialize_lock else []
+    ) + [_var_lock_stmt(s, lock=False) for s in reversed(var_specs)] + [
+        _whole_array_lock_stmt(s, lock=False) for s in reversed(whole_specs)
+    ]
+    if early_release:
+        # Safety-net releases for paths that never used the location.
+        unlock_stmts = var_unlocks + [
+            _early_unlock_stmt(s, v)
+            for s, v in reversed(list(zip(specs, base_vars)))
+        ] + [
+            _array_lock_stmt(s, v, lock=False)
+            for s, v in reversed(list(zip(array_specs, idx_vars)))
+        ]
+    else:
+        unlock_stmts = var_unlocks + [
+            _array_lock_stmt(s, v, lock=False)
+            for s, v in reversed(list(zip(array_specs, idx_vars)))
+        ] + [
+            _lock_stmt(s, v, lock=False)
+            for s, v in reversed(list(zip(specs, base_vars)))
+        ]
+    result_var = DEFAULT_SYMBOLS.gensym("lockresult")
+    body_value = (
+        func.body[0] if len(func.body) == 1 else N.Progn(list(func.body))
+    )
+    func.body = [
+        N.Let(
+            bindings,
+            lock_stmts
+            + [
+                N.Let(
+                    [(result_var, body_value)],
+                    unlock_stmts + [N.Var(result_var)],
+                )
+            ],
+            sequential=True,
+        )
+    ]
+    return result

@@ -1,0 +1,165 @@
+"""Whole-program restructuring (§4.1's processor-allocation discussion).
+
+"A program generally contains many recursive functions, some of which
+invoke each other."  This driver walks the call graph, transforms every
+directly self-recursive function (mutual-recursion groups are reported,
+not transformed — Curare's CRI model is per-function), retargets callers
+at the concurrent versions, and allocates servers across functions with
+the paper's own heuristic conclusion: "a simple allocation scheme, with
+a dynamic component, is the best approach" — proportional shares of the
+processor budget by each function's analytic concurrency, dynamically
+rebalanced by the machine's ready queue at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.ir import nodes as N
+from repro.lisp.interpreter import Interpreter
+from repro.model.allocation import optimal_servers
+from repro.sexpr.datum import Symbol, intern
+from repro.transform.pipeline import Curare, CurareResult
+
+
+@dataclass
+class ProgramResult:
+    transformed: dict[str, CurareResult] = field(default_factory=dict)
+    skipped: dict[str, str] = field(default_factory=dict)
+    mutual_groups: list[set[str]] = field(default_factory=list)
+    retargeted_callers: list[str] = field(default_factory=list)
+    allocations: dict[str, int] = field(default_factory=dict)
+
+    def report(self) -> str:
+        lines = [";; Curare whole-program report"]
+        for name, result in self.transformed.items():
+            lines.append(
+                f";;   {name} → {result.transformed_name} "
+                f"(locks {result.lock_count})"
+            )
+        for name, reason in self.skipped.items():
+            lines.append(f";;   {name}: skipped — {reason}")
+        for group in self.mutual_groups:
+            lines.append(
+                f";;   mutual recursion {{{', '.join(sorted(group))}}}: "
+                "not transformable (CRI is per-function)"
+            )
+        for caller in self.retargeted_callers:
+            lines.append(f";;   retargeted calls inside {caller}")
+        if self.allocations:
+            alloc = ", ".join(f"{k}={v}" for k, v in self.allocations.items())
+            lines.append(f";;   server shares: {alloc}")
+        return "\n".join(lines)
+
+
+def transform_program(
+    curare: Curare,
+    names: Optional[list[str]] = None,
+    retarget_callers: bool = True,
+    processor_budget: Optional[int] = None,
+    expected_depth: int = 64,
+    **transform_kwargs,
+) -> ProgramResult:
+    """Transform every eligible function known to ``curare``'s world.
+
+    ``retarget_callers=True`` rewrites *non-recursive* callers of a
+    transformed function to call its concurrent version (redefining
+    them), so a whole program adopts the restructured code without
+    source edits.  ``processor_budget`` additionally computes per-
+    function server shares from the §4.1 model (recorded, advisory —
+    the machine's ready queue provides the paper's "dynamic component").
+    """
+    interp = curare.interp
+    graph = build_call_graph(
+        interp, [intern(n) for n in names] if names is not None else None
+    )
+    result = ProgramResult()
+
+    mutual = [
+        {s.name for s in group}
+        for group in graph.mutually_recursive_groups()
+        if len(group) > 1
+    ]
+    result.mutual_groups = mutual
+    in_mutual = set().union(*mutual) if mutual else set()
+
+    transformed_names: dict[Symbol, Symbol] = {}
+    for sym in sorted(graph.functions, key=lambda s: s.name):
+        name = sym.name
+        if name in in_mutual:
+            result.skipped[name] = "member of a mutual-recursion group"
+            continue
+        if sym not in graph.callees.get(sym, set()):
+            result.skipped[name] = "not recursive"
+            continue
+        outcome = curare.transform(name, **transform_kwargs)
+        if outcome.transformed:
+            result.transformed[name] = outcome
+            transformed_names[sym] = intern(outcome.transformed_name)
+        else:
+            result.skipped[name] = outcome.reason
+
+    if retarget_callers and transformed_names:
+        result.retargeted_callers = _retarget(
+            curare, graph, transformed_names
+        )
+
+    if processor_budget is not None and result.transformed:
+        result.allocations = _allocate(
+            result.transformed, processor_budget, expected_depth
+        )
+    return result
+
+
+def _retarget(
+    curare: Curare,
+    graph: CallGraph,
+    transformed: dict[Symbol, Symbol],
+) -> list[str]:
+    """Redefine non-recursive callers to call the -cc versions."""
+    from repro.ir.lower import lower_function
+    from repro.ir.unparse import unparse_function
+    from repro.ir.visitors import rewrite
+
+    retargeted = []
+    for caller in sorted(graph.functions, key=lambda s: s.name):
+        if caller in transformed:
+            continue
+        callees = graph.callees.get(caller, set())
+        touched = callees & set(transformed)
+        if not touched:
+            continue
+        func = lower_function(curare.interp, caller)
+
+        def swap(node: N.Node):
+            if isinstance(node, N.Call) and node.fn in transformed:
+                node.fn = transformed[node.fn]
+            return None
+
+        func.body = [rewrite(n, swap) for n in func.body]
+        curare.runner.eval_form(unparse_function(func))
+        retargeted.append(caller.name)
+    return retargeted
+
+
+def _allocate(
+    transformed: dict[str, CurareResult],
+    budget: int,
+    expected_depth: int,
+) -> dict[str, int]:
+    """Proportional server shares by analytic concurrency, floored at 1."""
+    weights: dict[str, float] = {}
+    for name, outcome in transformed.items():
+        ht = outcome.post_headtail or outcome.analysis.headtail
+        cf = outcome.analysis.max_concurrency()
+        star = optimal_servers(
+            expected_depth, max(ht.h_size, 1), max(ht.t_size, 0), cf=cf
+        )
+        weights[name] = max(1.0, float(star))
+    total = sum(weights.values())
+    out: dict[str, int] = {}
+    for name, weight in weights.items():
+        out[name] = max(1, round(budget * weight / total))
+    return out

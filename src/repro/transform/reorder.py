@@ -1,0 +1,98 @@
+"""The reordering transform (§3.2.3).
+
+Three categories of declared-reorderable operations lose their ordering
+constraints:
+
+1. atomic + commutative + associative updates (``(setq a (+ a 1))``,
+   Figure 8) — order doesn't matter, but the read-modify-write must be
+   *atomic*; "non-atomic commutative and associative operations can be
+   made atomic with the aid of locks", so this transform wraps each such
+   update in a per-variable lock;
+2. inserts into unordered collections (hash tables) — dismissed at
+   analysis time; ``puthash`` is already atomic in the machine (a single
+   effect);
+3. any-result searches — no code change; the analysis simply does not
+   impose result-order constraints on functions declared
+   ``(any-result f)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.conflicts import FunctionAnalysis
+from repro.declare.registry import DeclarationRegistry
+from repro.ir import nodes as N
+from repro.ir.visitors import copy_function, rewrite
+from repro.sexpr.datum import intern
+
+
+@dataclass
+class ReorderResult:
+    func: N.FuncDef
+    atomicized: int = 0
+    dismissed_conflicts: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def atomicize_reorderable(
+    analysis: FunctionAnalysis,
+    decls: DeclarationRegistry,
+    func: Optional[N.FuncDef] = None,
+) -> ReorderResult:
+    """Wrap declared-reorderable variable updates in per-variable locks.
+
+    ``(setq a (+ a 1))`` becomes::
+
+        (progn (lock-var! 'a) (setq a (+ a 1)) (unlock-var! 'a))
+    """
+    if func is None:
+        func = copy_function(analysis.func)
+    result = ReorderResult(func=func)
+    result.dismissed_conflicts = len(analysis.dismissed_conflicts())
+
+    reorderable_sources = {
+        id(ref.node.source)
+        for conflict in analysis.dismissed_conflicts()
+        for ref in (conflict.earlier, conflict.later)
+        if ref.reorderable_update
+    }
+    if not reorderable_sources:
+        return result
+
+    def wrap(node: N.Node) -> Optional[N.Node]:
+        if (
+            isinstance(node, N.Setf)
+            and isinstance(node.place, N.VarPlace)
+            and id(node.source) in reorderable_sources
+        ):
+            var = node.place.name
+            result.atomicized += 1
+            return N.Progn(
+                [
+                    N.Call(intern("lock-var!"), [N.Quote(var)]),
+                    node,
+                    N.Call(intern("unlock-var!"), [N.Quote(var)]),
+                ],
+                source=node.source,
+            )
+        return None
+
+    # rewrite() is bottom-up; wrapping a Setf in a Progn containing itself
+    # must not re-trigger — guard by consuming the source id.
+    consumed: set[int] = set()
+
+    def wrap_once(node: N.Node) -> Optional[N.Node]:
+        if (
+            isinstance(node, N.Setf)
+            and isinstance(node.place, N.VarPlace)
+            and id(node.source) in reorderable_sources
+            and id(node) not in consumed
+        ):
+            consumed.add(id(node))
+            return wrap(node)
+        return None
+
+    func.body = [rewrite(n, wrap_once) for n in func.body]
+    return result

@@ -1,0 +1,262 @@
+"""Parallel any-result search (§3.2.3, third category).
+
+"The third class of operations is searching unordered sets or searching
+for one of many acceptable results.  If a program is willing to accept
+any result meeting a criterion, then a search can proceed in parallel
+without the additional constraint of having to find the same result as
+a sequential search."
+
+The transform applies to a tail-recursive search declared
+``(any-result f)``: a function whose return-position leaves are either
+the self-call (keep looking), nil (miss), or a *hit* expression.  It
+produces:
+
+* ``f-search``: the CRI body — each invocation tests its element and
+  spawns the next; a hit stores into a shared result cell, first writer
+  wins under a cell lock; every invocation first checks the cell and
+  *prunes* (stops spawning) once a result exists;
+* a wrapper with the original interface that seeds the cell, runs the
+  search, joins (``sync``), and returns the winning value (or nil).
+
+The result is any acceptable hit — exactly the freedom the declaration
+grants; without it Curare must preserve the sequential first-match
+semantics and the search serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.conflicts import FunctionAnalysis
+from repro.analysis.recursion import CallClassification
+from repro.ir import nodes as N
+from repro.ir.visitors import copy_node
+from repro.sexpr.datum import DEFAULT_SYMBOLS, Symbol, intern
+
+
+class SearchError(Exception):
+    pass
+
+
+@dataclass
+class SearchResult:
+    func: N.FuncDef  # the -search worker
+    wrapper: N.FuncDef  # original interface
+    hit_sites: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+#: Sentinel marking "no result yet" in the shared cell (a keyword symbol
+#: no user value can be eq to by accident).
+NONE_SENTINEL = ":curare-no-result"
+
+
+def to_parallel_search(
+    analysis: FunctionAnalysis, suffix: str = "-search"
+) -> SearchResult:
+    """Build the parallel search pair for ``analysis.func``."""
+    func = analysis.func
+    recursion = analysis.recursion
+    if not recursion.is_recursive:
+        raise SearchError(f"{func.name} is not recursive")
+    for call in recursion.self_calls:
+        if recursion.classification(call) is not CallClassification.TAIL:
+            raise SearchError(
+                f"{func.name} is not a pure tail-recursive search "
+                "(every self-call must be in return position)"
+            )
+    if len(func.body) != 1:
+        raise SearchError("search transform expects a single-expression body")
+
+    new_name = intern(func.name.name + suffix)
+    cell = intern("result-cell")
+    if cell in func.params:
+        cell = DEFAULT_SYMBOLS.gensym("cell")
+    result = SearchResult(func=None, wrapper=None)  # type: ignore[arg-type]
+    sentinel = N.Quote(intern(NONE_SENTINEL))
+
+    def convert(node: N.Node) -> Optional[N.Node]:
+        """Rewrite a return-position expression; None drops the leaf."""
+        if isinstance(node, N.If):
+            then = convert(node.then)
+            els = convert(node.els) if node.els is not None else None
+            if then is None and els is None:
+                return None
+            return N.If(
+                copy_node(node.test),
+                then if then is not None else N.Const(None),
+                els,
+                source=node.source,
+            )
+        if isinstance(node, N.Progn) and node.body:
+            converted_last = convert(node.body[-1])
+            body = [copy_node(n) for n in node.body[:-1]]
+            if converted_last is not None:
+                body.append(converted_last)
+            return N.Progn(body, source=node.source) if body else None
+        if isinstance(node, N.Let) and node.body:
+            converted_last = convert(node.body[-1])
+            body = [copy_node(n) for n in node.body[:-1]]
+            if converted_last is not None:
+                body.append(converted_last)
+            return N.Let(
+                [(name, copy_node(init)) for name, init in node.bindings],
+                body,
+                sequential=node.sequential,
+                source=node.source,
+            )
+        if isinstance(node, N.Call) and node.is_self_call:
+            new_call = N.Call(
+                new_name,
+                [N.Var(cell)] + [copy_node(a) for a in node.args],
+                source=node.source,
+            )
+            new_call.is_self_call = True
+            return N.Spawn(new_call, source=node.source)
+        if isinstance(node, N.Const) and node.value is None:
+            return None  # a miss: nothing to do
+        # A hit: store first-wins under the cell lock.
+        result.hit_sites += 1
+        return N.Progn(
+            [
+                N.Call(intern("lock-cell!"), [N.Var(cell)]),
+                N.If(
+                    N.Call(
+                        intern("eq"),
+                        [N.FieldAccess(N.Var(cell), ("car",)), copy_node(sentinel)],
+                    ),
+                    N.Setf(
+                        N.FieldPlace(N.Var(cell), ("car",)), copy_node(node)
+                    ),
+                    None,
+                ),
+                N.Call(intern("unlock-cell!"), [N.Var(cell)]),
+            ],
+            source=node.source,
+        )
+
+    # Head-recursion: when the function has exactly ONE self-call leaf
+    # whose arguments are pure accessor expressions, the continuation
+    # spawn hoists *ahead of the element test* — each invocation forwards
+    # the search immediately, then tests its own element.  That is what
+    # lets N tests run concurrently (§3.1: calls as early as possible).
+    self_leaves = [
+        c for c in recursion.self_calls
+    ]
+    hoisted_spawn: Optional[N.Node] = None
+    if len(self_leaves) == 1 and _pure_args(self_leaves[0]):
+        leaf = self_leaves[0]
+        guard_var = _guard_var(leaf)
+        new_call = N.Call(
+            new_name, [N.Var(cell)] + [copy_node(a) for a in leaf.args],
+            source=leaf.source,
+        )
+        new_call.is_self_call = True
+        spawn = N.Spawn(new_call, source=leaf.source)
+        if guard_var is not None:
+            hoisted_spawn = N.If(
+                N.Call(intern("consp"), [N.Var(guard_var)]), spawn, None
+            )
+            result.notes.append("continuation spawn hoisted before the test")
+
+    converted = convert(func.body[0])
+    if result.hit_sites == 0:
+        raise SearchError(
+            f"{func.name} has no hit leaves — nothing a parallel search "
+            "could return"
+        )
+    if hoisted_spawn is not None:
+        converted = N.Progn(
+            [hoisted_spawn, _strip_spawns(converted)]
+            if converted is not None
+            else [hoisted_spawn]
+        )
+    # Prune: skip the whole body once a result exists.  The unlocked
+    # read is a benign race (§3.2.3: any acceptable result) — at worst
+    # an invocation does redundant work.
+    body = N.If(
+        N.Call(
+            intern("eq"),
+            [N.FieldAccess(N.Var(cell), ("car",)), copy_node(sentinel)],
+        ),
+        converted if converted is not None else N.Const(None),
+        None,
+    )
+    worker = N.FuncDef(
+        new_name, [cell] + list(func.params), [body], source=func.source
+    )
+    _remark(worker)
+
+    value = DEFAULT_SYMBOLS.gensym("found")
+    wrapper = N.FuncDef(
+        func.name,
+        list(func.params),
+        [
+            N.Let(
+                [(cell, N.Call(intern("cons"), [copy_node(sentinel), N.Const(None)]))],
+                [
+                    N.Call(new_name, [N.Var(cell)] + [N.Var(p) for p in func.params]),
+                    N.Call(intern("sync"), []),
+                    N.Let(
+                        [(value, N.FieldAccess(N.Var(cell), ("car",)))],
+                        [
+                            N.If(
+                                N.Call(intern("eq"), [N.Var(value), copy_node(sentinel)]),
+                                N.Const(None),
+                                N.Var(value),
+                            )
+                        ],
+                    ),
+                ],
+            )
+        ],
+        source=func.source,
+    )
+    result.func = worker
+    result.wrapper = wrapper
+    result.notes.append(
+        "result is any acceptable hit (the (any-result ...) declaration's "
+        "grant); sequential first-match order is not preserved"
+    )
+    return result
+
+
+def _pure_args(call: N.Call) -> bool:
+    """All arguments are vars, accessor chains, or constants."""
+    for arg in call.args:
+        for sub in arg.walk():
+            if not isinstance(sub, (N.Var, N.FieldAccess, N.Const, N.Quote)):
+                return False
+    return True
+
+
+def _guard_var(call: N.Call) -> Optional[Symbol]:
+    """The variable whose cons-ness gates the hoisted spawn: the base of
+    the first accessor-chain argument.  Spawning past nil would chain
+    (cdr nil)=nil invocations forever."""
+    for arg in call.args:
+        if isinstance(arg, N.FieldAccess) and isinstance(arg.base, N.Var):
+            return arg.base.name
+    return None
+
+
+def _strip_spawns(node: N.Node) -> N.Node:
+    """Remove leaf spawns (replaced by the hoisted one)."""
+    from repro.ir.visitors import rewrite
+
+    def drop(sub: N.Node):
+        if isinstance(sub, N.Spawn):
+            return N.Const(None)
+        return None
+
+    return rewrite(node, drop)
+
+
+def _remark(func: N.FuncDef) -> None:
+    index = 0
+    for node in func.walk():
+        if isinstance(node, N.Call) and node.fn is func.name:
+            node.is_self_call = True
+            node.callsite_index = index
+            index += 1

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+from repro.transform.pipeline import Curare
+
+
+@pytest.fixture
+def interp() -> Interpreter:
+    return Interpreter()
+
+
+@pytest.fixture
+def runner(interp: Interpreter) -> SequentialRunner:
+    return SequentialRunner(interp)
+
+
+@pytest.fixture
+def curare(interp: Interpreter) -> Curare:
+    """A Curare with SAPP assumed — the common experiment setting."""
+    return Curare(interp, assume_sapp=True)
+
+
+FIG3 = """
+(defun f3 (l)
+  (when l
+    (print (car l))
+    (f3 (cdr l))))
+"""
+
+FIG5 = """
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+"""
+
+REMQ = """
+(defun remq (obj lst)
+  (cond ((null lst) nil)
+        ((eq obj (car lst)) (remq obj (cdr lst)))
+        (t (cons (car lst) (remq obj (cdr lst))))))
+"""
+
+
+@pytest.fixture
+def fig3_src() -> str:
+    return FIG3
+
+
+@pytest.fixture
+def fig5_src() -> str:
+    return FIG5
+
+
+@pytest.fixture
+def remq_src() -> str:
+    return REMQ

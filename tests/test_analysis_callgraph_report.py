@@ -1,0 +1,126 @@
+"""Unit tests: call graph and the §6 feedback report."""
+
+import pytest
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.conflicts import analyze_function
+from repro.analysis.report import explain
+from repro.declare import DeclarationRegistry
+
+
+class TestCallGraph:
+    PROGRAM = """
+    (defun leaf (x) (* x 2))
+    (defun walk (l) (when l (leaf (car l)) (walk (cdr l))))
+    (defun ping (n) (when (> n 0) (pong (1- n))))
+    (defun pong (n) (when (> n 0) (ping (1- n))))
+    """
+
+    def test_edges(self, interp, runner):
+        runner.eval_text(self.PROGRAM)
+        g = build_call_graph(interp)
+        walk = interp.intern("walk")
+        assert interp.intern("leaf") in g.callees[walk]
+        assert walk in g.callees[walk]
+
+    def test_directly_recursive(self, interp, runner):
+        runner.eval_text(self.PROGRAM)
+        g = build_call_graph(interp)
+        assert interp.intern("walk") in g.directly_recursive()
+        assert interp.intern("leaf") not in g.directly_recursive()
+
+    def test_mutual_recursion_detected(self, interp, runner):
+        runner.eval_text(self.PROGRAM)
+        g = build_call_graph(interp)
+        groups = g.mutually_recursive_groups()
+        names = [sorted(s.name for s in grp) for grp in groups]
+        assert ["ping", "pong"] in names
+        assert ["walk"] in names
+
+    def test_callers_inverse(self, interp, runner):
+        runner.eval_text(self.PROGRAM)
+        g = build_call_graph(interp)
+        leaf = interp.intern("leaf")
+        assert interp.intern("walk") in g.callers[leaf]
+
+    def test_subset_of_names(self, interp, runner):
+        runner.eval_text(self.PROGRAM)
+        g = build_call_graph(interp, [interp.intern("walk")])
+        assert set(g.functions) == {interp.intern("walk")}
+
+
+class TestFeedback:
+    def test_clean_function_report(self, interp, runner, fig3_src):
+        runner.eval_text(fig3_src)
+        a = analyze_function(interp, interp.intern("f3"), assume_sapp=True)
+        report = explain(a)
+        text = report.render()
+        assert "f3" in text and "no unresolved conflicts" in text
+
+    def test_conflicting_function_lists_conflicts(self, interp, runner, fig5_src):
+        runner.eval_text(fig5_src)
+        a = analyze_function(interp, interp.intern("f5"), assume_sapp=True)
+        text = explain(a).render()
+        assert "unresolved conflict" in text
+        assert "distance 1" in text
+
+    def test_sapp_suggestion(self, interp, runner, fig5_src):
+        runner.eval_text(fig5_src)
+        a = analyze_function(interp, interp.intern("f5"), assume_sapp=False)
+        report = explain(a)
+        assert any("sapp" in s for s in report.suggestions)
+
+    def test_alias_suggestion(self, interp, runner):
+        runner.eval_text(
+            """
+            (defun zip (a b)
+              (when a
+                (setf (car a) (car b))
+                (zip (cdr a) (cdr b))))
+            """
+        )
+        a = analyze_function(interp, interp.intern("zip"), assume_sapp=True)
+        report = explain(a)
+        assert "(declaim (no-alias zip))" in report.suggestions
+
+    def test_reorderable_suggestion(self, interp, runner):
+        runner.eval_text(
+            "(defun tally (l) (when l (setq acc (+ acc (car l))) (tally (cdr l))))"
+        )
+        a = analyze_function(interp, interp.intern("tally"), assume_sapp=True)
+        report = explain(a)
+        assert "(declaim (reorderable +))" in report.suggestions
+
+    def test_pure_suggestion(self, interp, runner):
+        runner.eval_text(
+            "(defun helper (x) x) (defun w (l) (when l (helper l) (w (cdr l))))"
+        )
+        a = analyze_function(interp, interp.intern("w"), assume_sapp=True)
+        report = explain(a)
+        assert "(declaim (pure helper))" in report.suggestions
+
+    def test_strict_call_advice(self, interp, runner):
+        runner.eval_text("(defun fac (n) (if (<= n 1) 1 (* n (fac (1- n)))))")
+        a = analyze_function(interp, interp.intern("fac"), assume_sapp=True)
+        text = explain(a).render()
+        assert "destination-passing" in text or "iteration" in text
+
+    def test_non_recursive_report(self, interp, runner):
+        runner.eval_text("(defun g (x) x)")
+        a = analyze_function(interp, interp.intern("g"), assume_sapp=True)
+        text = explain(a).render()
+        assert "not recursive" in text
+
+    def test_suggestions_deduplicated(self, interp, runner):
+        runner.eval_text(
+            """
+            (defun zip (a b)
+              (when a
+                (setf (car a) (car b))
+                (setf (cadr a) (cadr b))
+                (zip (cdr a) (cdr b))))
+            """
+        )
+        a = analyze_function(interp, interp.intern("zip"), assume_sapp=True)
+        report = explain(a)
+        assert len(report.suggestions) == len(set(report.suggestions))

@@ -1,0 +1,149 @@
+"""Unit tests: canonical-path conflict detection for declared-inverse
+structures (§2.1's doubly-linked example)."""
+
+import pytest
+
+from repro.analysis.conflicts import analyze_function
+from repro.declare import DeclarationRegistry, InverseFieldsDecl, SappDecl
+from repro.paths.accessor import parse_accessor
+from repro.paths.canonical import Canonicalizer, InversePair
+from repro.paths.transfer import (
+    TransferFunction,
+    min_conflict_distance_canonical,
+    step_words,
+)
+
+CANON = Canonicalizer([InversePair("succ", "pred")])
+SUCC = TransferFunction.parse("succ")
+
+
+class TestStepWords:
+    def test_single_word(self):
+        assert step_words(TransferFunction.parse("succ").regex) == [("succ",)]
+
+    def test_word_concat(self):
+        assert step_words(TransferFunction.parse("succ.succ").regex) == [
+            ("succ", "succ")
+        ]
+
+    def test_alternation(self):
+        words = step_words(TransferFunction.parse("succ|pred").regex)
+        assert sorted(words) == [("pred",), ("succ",)]
+
+    def test_star_not_enumerable(self):
+        assert step_words(TransferFunction.parse("succ*").regex) is None
+
+    def test_epsilon(self):
+        assert step_words(TransferFunction.identity().regex) == [()]
+
+
+class TestCanonicalDistance:
+    def test_pred_write_hits_previous_val(self):
+        # Later invocation writes pred.val ≡ the previous node's val.
+        d = min_conflict_distance_canonical(
+            parse_accessor("val"),  # earlier read
+            parse_accessor("pred.val"),  # later write
+            SUCC, CANON, direction="write-second",
+        )
+        assert d == 1
+
+    def test_raw_test_misses_it(self):
+        from repro.paths.transfer import min_conflict_distance
+
+        assert (
+            min_conflict_distance(
+                parse_accessor("val"), parse_accessor("pred.val"), SUCC,
+                direction="write-second",
+            )
+            is None
+        )
+
+    def test_write_first_direction(self):
+        # Earlier write to succ.val; later access val at distance 1:
+        # succ.val == succ^1 · val.
+        d = min_conflict_distance_canonical(
+            parse_accessor("succ.val"), parse_accessor("val"),
+            SUCC, CANON, direction="write-first",
+        )
+        assert d == 1
+
+    def test_two_back_write(self):
+        d = min_conflict_distance_canonical(
+            parse_accessor("val"), parse_accessor("pred.pred.val"),
+            SUCC, CANON, direction="write-second",
+        )
+        assert d == 2
+
+    def test_no_conflict_distinct_fields(self):
+        assert (
+            min_conflict_distance_canonical(
+                parse_accessor("tag"), parse_accessor("pred.val"),
+                SUCC, CANON, direction="write-second",
+            )
+            is None
+        )
+
+    def test_non_enumerable_tau_raises(self):
+        with pytest.raises(ValueError):
+            min_conflict_distance_canonical(
+                parse_accessor("val"), parse_accessor("val"),
+                TransferFunction.parse("succ*"), CANON,
+            )
+
+    def test_max_d_bound(self):
+        assert (
+            min_conflict_distance_canonical(
+                parse_accessor("val"), parse_accessor("pred.pred.pred.val"),
+                SUCC, CANON, max_d=2, direction="write-second",
+            )
+            is None
+        )
+
+
+class TestEndToEndDoublyLinked:
+    SRC = """
+    (defstruct dn succ pred val)
+    (defun walk (n)
+      (when n
+        (setf (dn-val (dn-pred n)) 0)
+        (print (dn-val n))
+        (walk (dn-succ n))))
+    """
+
+    def _decls(self):
+        return DeclarationRegistry(
+            [InverseFieldsDecl("dn", "succ", "pred"), SappDecl("walk", "n")]
+        )
+
+    def test_canonical_conflict_found(self, interp, runner):
+        runner.eval_text(self.SRC)
+        a = analyze_function(interp, interp.intern("walk"), decls=self._decls())
+        active = a.active_conflicts()
+        assert len(active) == 1 and active[0].distance == 1
+
+    def test_raw_analysis_misses_it(self, interp, runner):
+        """Without the inverse declaration the raw word test is blind —
+        which is exactly why SAPP (violated by the back links) gates the
+        raw analysis."""
+        runner.eval_text(self.SRC)
+        a = analyze_function(interp, interp.intern("walk"), assume_sapp=True)
+        assert not a.active_conflicts()  # blind...
+        a2 = analyze_function(interp, interp.intern("walk"))
+        assert a2.unknowns  # ...but un-gated only when SAPP is asserted
+
+    def test_write_forward_no_canonical_conflict(self, interp, runner):
+        # Writing this node's own val never collides across invocations.
+        runner.eval_text(
+            """
+            (defstruct dn succ pred val)
+            (defun walk2 (n)
+              (when n
+                (setf (dn-val n) 0)
+                (walk2 (dn-succ n))))
+            """
+        )
+        decls = DeclarationRegistry(
+            [InverseFieldsDecl("dn", "succ", "pred"), SappDecl("walk2", "n")]
+        )
+        a = analyze_function(interp, interp.intern("walk2"), decls=decls)
+        assert a.conflict_free

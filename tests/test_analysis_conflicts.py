@@ -1,0 +1,268 @@
+"""Unit tests: the conflict detector (§2) — the analytical core."""
+
+import pytest
+
+from repro.analysis.conflicts import analyze_function, collect_memory_refs
+from repro.declare import (
+    DeclarationRegistry,
+    NoAliasDecl,
+    PureDecl,
+    ReorderableDecl,
+    SappDecl,
+    UnorderedWritesDecl,
+)
+from repro.ir.lower import lower_function
+
+
+def analyze(interp, runner, src, name, **kw):
+    runner.eval_text(src)
+    kw.setdefault("assume_sapp", True)
+    return analyze_function(interp, interp.intern(name), **kw)
+
+
+class TestPaperExamples:
+    def test_fig3_conflict_free(self, interp, runner, fig3_src):
+        a = analyze(interp, runner, fig3_src, "f3")
+        assert a.conflict_free
+        assert a.min_distance() is None
+
+    def test_fig4_distance_one(self, interp, runner):
+        a = analyze(
+            interp, runner,
+            "(defun f4 (l) (when l (setf (cadr l) (car l)) (f4 (cdr l))))",
+            "f4",
+        )
+        assert not a.conflict_free
+        assert a.min_distance() == 1
+
+    def test_fig5_exactly_the_papers_conflict(self, interp, runner, fig5_src):
+        a = analyze(interp, runner, fig5_src, "f5")
+        active = a.active_conflicts()
+        assert len(active) == 1
+        c = active[0]
+        assert c.distance == 1
+        words = {str(c.earlier.accessor), str(c.later.accessor)}
+        assert words == {"car", "cdr.car"}
+
+    def test_fig5_a2_not_conflicting_a1(self, interp, runner, fig5_src):
+        # No conflict involving the cdr-read (A1) should be reported.
+        a = analyze(interp, runner, fig5_src, "f5")
+        for c in a.active_conflicts():
+            assert "cdr" != str(c.earlier.accessor)
+            assert "cdr" != str(c.later.accessor)
+
+    def test_remq_conflict_free(self, interp, runner, remq_src):
+        a = analyze(interp, runner, remq_src, "remq")
+        assert a.conflict_free
+
+
+class TestDistanceSweep:
+    @pytest.mark.parametrize("k,expected", [(1, 1), (2, 2), (3, 3)])
+    def test_write_k_ahead(self, interp, runner, k, expected):
+        cxr = "c" + "d" * k + "ar" if k > 1 else "cadr"
+        access = f"(c{'d'*k}r l)"
+        src = f"""
+        (defun fk (l)
+          (when l
+            (setf (car {access}) (car l))
+            (fk (cdr l))))
+        """
+        a = analyze(interp, runner, src, "fk")
+        assert a.min_distance() == expected
+
+
+class TestRefCollection:
+    def test_reads_and_writes_collected(self, interp, runner, fig5_src):
+        runner.eval_text(fig5_src)
+        func = lower_function(interp, interp.intern("f5"))
+        heap, var, unknown = collect_memory_refs(interp, func)
+        words = {(str(r.accessor), r.is_write) for r in heap}
+        assert ("cdr.car", True) in words  # the setf
+        assert ("car", False) in words  # (car l)
+        assert ("cdr", False) in words  # (cdr l)
+        assert not unknown
+
+    def test_rplaca_is_write(self, interp, runner):
+        runner.eval_text("(defun f (l) (when l (rplaca l 0) (f (cdr l))))")
+        func = lower_function(interp, interp.intern("f"))
+        heap, _, _ = collect_memory_refs(interp, func)
+        assert any(r.is_write and str(r.accessor) == "car" for r in heap)
+
+    def test_length_is_unbounded_read(self, interp, runner):
+        runner.eval_text("(defun f (l) (when l (length l) (f (cdr l))))")
+        func = lower_function(interp, interp.intern("f"))
+        heap, _, _ = collect_memory_refs(interp, func)
+        assert any(r.unbounded and not r.is_write for r in heap)
+
+    def test_unknown_callee_conservative(self, interp, runner):
+        runner.eval_text("(defun g (x) x) (defun f (l) (when l (g l) (f (cdr l))))")
+        func = lower_function(interp, interp.intern("f"))
+        heap, _, _ = collect_memory_refs(interp, func)
+        assert any(r.unbounded and r.is_write for r in heap)
+
+    def test_pure_decl_removes_unknown(self, interp, runner):
+        runner.eval_text("(defun g (x) x) (defun f (l) (when l (g l) (f (cdr l))))")
+        func = lower_function(interp, interp.intern("f"))
+        decls = DeclarationRegistry([PureDecl("g")])
+        heap, _, unknown = collect_memory_refs(interp, func, decls=decls)
+        assert not any(r.is_write for r in heap)
+
+    def test_fresh_allocation_base_not_unknown(self, interp, runner):
+        runner.eval_text("(defun f (l) (when l (setf (car (cons 1 nil)) 2) (f (cdr l))))")
+        func = lower_function(interp, interp.intern("f"))
+        heap, _, unknown = collect_memory_refs(interp, func)
+        assert not unknown
+
+    def test_free_variable_refs(self, interp, runner):
+        runner.eval_text("(defun f (l) (when l (setq total (+ total (car l))) (f (cdr l))))")
+        func = lower_function(interp, interp.intern("f"))
+        _, var_refs, _ = collect_memory_refs(interp, func)
+        assert any(r.is_write and r.var.name == "total" for r in var_refs)
+        assert any(not r.is_write and r.var.name == "total" for r in var_refs)
+
+
+class TestConflictKinds:
+    def test_output_conflict(self, interp, runner):
+        a = analyze(
+            interp, runner,
+            "(defun f (l) (when l (setf (car l) 1) (setf (cadr l) 2) (f (cdr l))))",
+            "f",
+        )
+        kinds = {c.kind for c in a.active_conflicts()}
+        assert "output" in kinds
+
+    def test_no_conflict_read_only(self, interp, runner):
+        a = analyze(
+            interp, runner,
+            "(defun f (l) (when l (print (car l)) (print (cadr l)) (f (cdr l))))",
+            "f",
+        )
+        assert a.conflict_free
+
+    def test_variable_conflict_distance_one(self, interp, runner):
+        a = analyze(
+            interp, runner,
+            "(defun f (l) (when l (setq g (car l)) (f (cdr l))))", "f",
+        )
+        var_conflicts = [c for c in a.active_conflicts() if c.kind == "variable"]
+        assert var_conflicts and var_conflicts[0].distance == 1
+
+
+class TestAliasing:
+    TWO_LIST = """
+    (defun zip-add (a b)
+      (when a
+        (setf (car a) (+ (car a) (car b)))
+        (zip-add (cdr a) (cdr b))))
+    """
+
+    def test_cross_param_conflict_by_default(self, interp, runner):
+        a = analyze(interp, runner, self.TWO_LIST, "zip-add")
+        assert any(c.kind == "alias" for c in a.active_conflicts())
+
+    def test_no_alias_declaration_dismisses(self, interp, runner):
+        decls = DeclarationRegistry([NoAliasDecl("zip-add")])
+        a = analyze(interp, runner, self.TWO_LIST, "zip-add", decls=decls)
+        assert not any(c.kind == "alias" for c in a.active_conflicts())
+
+    def test_pairwise_no_alias(self, interp, runner):
+        decls = DeclarationRegistry([NoAliasDecl("zip-add", ("a", "b"))])
+        a = analyze(interp, runner, self.TWO_LIST, "zip-add", decls=decls)
+        assert not any(c.kind == "alias" for c in a.active_conflicts())
+
+
+class TestDeclarationDismissal:
+    ACCUM = """
+    (defun f8 (l)
+      (when l
+        (setq acc (+ acc (car l)))
+        (f8 (cdr l))))
+    """
+
+    def test_reorderable_dismisses_fig8(self, interp, runner):
+        decls = DeclarationRegistry([ReorderableDecl("+")])
+        a = analyze(interp, runner, self.ACCUM, "f8", decls=decls)
+        var_conflicts = [c for c in a.conflicts if c.kind == "variable"]
+        assert var_conflicts
+        assert all(not c.active for c in var_conflicts)
+
+    def test_without_declaration_conflicts_active(self, interp, runner):
+        a = analyze(interp, runner, self.ACCUM, "f8")
+        assert any(c.active for c in a.conflicts if c.kind == "variable")
+
+    def test_external_read_blocks_reorderable(self, interp, runner):
+        src = """
+        (defun f (l)
+          (when l
+            (setq acc (+ acc (car l)))
+            (print acc)
+            (f (cdr l))))
+        """
+        decls = DeclarationRegistry([ReorderableDecl("+")])
+        a = analyze(interp, runner, src, "f", decls=decls)
+        # The standalone (print acc) read forbids dropping the ordering.
+        assert any(c.active for c in a.conflicts if c.kind == "variable")
+
+    def test_unordered_writes_dismissed(self, interp, runner):
+        src = """
+        (defun f (l)
+          (when l
+            (puthash (car l) tbl 1)
+            (f (cdr l))))
+        """
+        decls = DeclarationRegistry([UnorderedWritesDecl("puthash")])
+        a = analyze(interp, runner, src, "f", decls=decls)
+        assert all(not c.active for c in a.conflicts)
+
+
+class TestSappObligations:
+    def test_undeclared_sapp_is_unknown(self, interp, runner, fig5_src):
+        a = analyze(interp, runner, fig5_src, "f5", assume_sapp=False)
+        assert any("sapp" in u for u in a.unknowns)
+
+    def test_declared_sapp_clears_obligation(self, interp, runner, fig5_src):
+        decls = DeclarationRegistry([SappDecl("f5", "l")])
+        a = analyze(interp, runner, fig5_src, "f5", assume_sapp=False, decls=decls)
+        assert not any("sapp" in u for u in a.unknowns)
+
+    def test_fresh_params_clear_obligation(self, interp, runner):
+        src = """
+        (defun fd (dest l)
+          (if (null l)
+              (setf (cdr dest) nil)
+              (let ((cell (cons (car l) nil)))
+                (fd cell (cdr l))
+                (setf (cdr dest) cell))))
+        """
+        a = analyze(
+            interp, runner, src, "fd", assume_sapp=False,
+            fresh_params={"dest"},
+        )
+        # dest carries no obligations; l is read-only but still needs SAPP.
+        assert not any("dest" in u for u in a.unknowns)
+
+
+class TestSummaries:
+    def test_max_concurrency_capped_by_distance(self, interp, runner):
+        src = """
+        (defun f (l)
+          (when l
+            (setf (cadr l) (car l))
+            (f (cdr l))
+            (print 1) (print 2) (print 3) (print 4) (print 5)))
+        """
+        a = analyze(interp, runner, src, "f")
+        assert a.min_distance() == 1
+        assert a.max_concurrency() == 1.0
+
+    def test_transformable_flags(self, interp, runner):
+        strict = analyze(
+            interp, runner,
+            "(defun fs (n) (if (<= n 1) 1 (* n (fs (1- n)))))", "fs",
+        )
+        assert not strict.transformable
+        free = analyze(
+            interp, runner,
+            "(defun ff (l) (when l (ff (cdr l))))", "ff",
+        )
+        assert free.transformable

@@ -1,0 +1,173 @@
+"""Unit + property tests: dynamic conflict measurement and the
+static-vs-dynamic soundness cross-check."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.conflicts import analyze_function
+from repro.analysis.dynamic import (
+    cross_check,
+    instrument_function,
+    measure_dynamic_conflicts,
+)
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def setup_world(src: str):
+    interp = Interpreter()
+    runner = SequentialRunner(interp)
+    runner.eval_text(src)
+    return interp, runner
+
+
+class TestInstrumentation:
+    FIG5 = """
+    (defun f5 (l)
+      (cond ((null l) nil)
+            ((null (cdr l)) (f5 (cdr l)))
+            (t (setf (cadr l) (+ (car l) (cadr l)))
+               (f5 (cdr l)))))
+    """
+
+    def test_instrumented_copy_equivalent(self):
+        interp, runner = setup_world(self.FIG5)
+        name = instrument_function(interp, "f5")
+        runner.eval_text("(setq a (list 1 2 3 4)) (setq b (list 1 2 3 4))")
+        runner.eval_text(f"(f5 a) ({name} b)")
+        from repro.sexpr.printer import write_str
+
+        assert write_str(runner.eval_text("a")) == write_str(runner.eval_text("b"))
+
+    def test_invocation_count(self):
+        interp, runner = setup_world(self.FIG5)
+        name = instrument_function(interp, "f5")
+        runner.eval_text("(setq d (list 1 2 3 4 5 6))")
+        report = measure_dynamic_conflicts(interp, "f5", f"({name} d)", runner)
+        assert report.invocations == 7  # 6 cells + nil base call
+
+    def test_fig5_distance_observed(self):
+        interp, runner = setup_world(self.FIG5)
+        name = instrument_function(interp, "f5")
+        runner.eval_text("(setq d (list 1 2 3 4 5 6))")
+        report = measure_dynamic_conflicts(interp, "f5", f"({name} d)", runner)
+        assert report.min_distance() == 1
+        assert set(report.distance_histogram) == {1}
+        kinds = {c.kind for c in report.conflicts}
+        assert "flow" in kinds
+
+    def test_distance_two_function(self):
+        interp, runner = setup_world(
+            """
+            (defun f (l)
+              (when l
+                (if (consp (cddr l)) (setf (car (cddr l)) (car l)))
+                (f (cdr l))))
+            """
+        )
+        name = instrument_function(interp, "f")
+        runner.eval_text("(setq d (list 1 2 3 4 5 6 7))")
+        report = measure_dynamic_conflicts(interp, "f", f"({name} d)", runner)
+        assert report.min_distance() == 2
+
+    def test_conflict_free_function(self):
+        interp, runner = setup_world(
+            "(defun g (l) (when l (print (car l)) (g (cdr l))))"
+        )
+        name = instrument_function(interp, "g")
+        runner.eval_text("(setq d (list 1 2 3))")
+        report = measure_dynamic_conflicts(interp, "g", f"({name} d)", runner)
+        assert report.min_distance() is None
+
+    def test_tail_writes_attributed_to_their_invocation(self):
+        # Tail statements execute during the unwind, interleaved in time
+        # with deeper invocations; the bracket stack must still attribute
+        # them to the right invocation.
+        interp, runner = setup_world(
+            """
+            (defun f (l)
+              (when l
+                (f (cdr l))
+                (setf (car l) (cadr l))))
+            """
+        )
+        name = instrument_function(interp, "f")
+        runner.eval_text("(setq d (list 1 2 3 4 5))")
+        report = measure_dynamic_conflicts(interp, "f", f"({name} d)", runner)
+        # write car@i vs read cdr.car@i (same loc as car@i+1): distance 1.
+        assert report.min_distance() == 1
+
+
+class TestCrossCheck:
+    def test_sound_case(self):
+        interp, runner = setup_world(TestInstrumentation.FIG5)
+        name = instrument_function(interp, "f5")
+        runner.eval_text("(setq d (list 1 2 3 4 5))")
+        report = measure_dynamic_conflicts(interp, "f5", f"({name} d)", runner)
+        static = analyze_function(interp, interp.intern("f5"), assume_sapp=True)
+        assert cross_check(static, report).ok
+
+    def test_conservative_static_not_flagged(self):
+        # Static sees a potential conflict the tiny workload never
+        # exercises: conservative, not unsound.
+        interp, runner = setup_world(
+            """
+            (defun f (l)
+              (when l
+                (if (consp (cdr l)) (setf (cadr l) (car l)))
+                (f (cdr l))))
+            """
+        )
+        name = instrument_function(interp, "f")
+        runner.eval_text("(setq d (list 1))")  # one cell: no pair to conflict
+        report = measure_dynamic_conflicts(interp, "f", f"({name} d)", runner)
+        static = analyze_function(interp, interp.intern("f"), assume_sapp=True)
+        result = cross_check(static, report)
+        assert result.ok
+        assert any("did not exercise" in n for n in result.notes)
+
+    def test_unsoundness_detected(self):
+        # Forge an impossible static verdict and ensure the checker
+        # catches it.
+        interp, runner = setup_world(TestInstrumentation.FIG5)
+        name = instrument_function(interp, "f5")
+        runner.eval_text("(setq d (list 1 2 3 4))")
+        report = measure_dynamic_conflicts(interp, "f5", f"({name} d)", runner)
+        static = analyze_function(interp, interp.intern("f5"), assume_sapp=True)
+        static.conflicts.clear()  # lie: claim conflict-freedom
+        result = cross_check(static, report)
+        assert not result.ok
+
+
+class TestPropertySoundness:
+    """The central §2 soundness claim, attacked with generated programs:
+    the static minimum distance never exceeds any dynamically observed
+    conflict distance."""
+
+    stmt = st.sampled_from(
+        [
+            "(setf (car l) (+ 1 2))",
+            "(if (consp (cdr l)) (setf (cadr l) (car l)))",
+            "(if (consp (cddr l)) (setf (car (cddr l)) 5))",
+            "(print (car l))",
+            "(print (cadr l))",
+            "(print (caddr l))",
+        ]
+    )
+
+    @settings(max_examples=30, **COMMON)
+    @given(st.lists(stmt, min_size=1, max_size=3),
+           st.integers(2, 8))
+    def test_static_min_le_dynamic_min(self, stmts, length):
+        body = " ".join(stmts)
+        src = f"(defun f (l) (when l {body} (f (cdr l))))"
+        interp, runner = setup_world(src)
+        name = instrument_function(interp, "f")
+        items = " ".join(str(i) for i in range(length))
+        runner.eval_text(f"(setq d (list {items}))")
+        report = measure_dynamic_conflicts(interp, "f", f"({name} d)", runner)
+        static = analyze_function(interp, interp.intern("f"), assume_sapp=True)
+        result = cross_check(static, report)
+        assert result.ok, result.notes

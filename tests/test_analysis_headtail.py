@@ -1,0 +1,129 @@
+"""Unit tests: head/tail partition and the concurrency measure (§3.1)."""
+
+import pytest
+
+from repro.analysis.headtail import partition_head_tail, static_cost
+from repro.ir import nodes as N
+from repro.ir.lower import lower_function
+
+
+def partition(interp, runner, src, name):
+    runner.eval_text(src)
+    return partition_head_tail(lower_function(interp, interp.intern(name)))
+
+
+class TestPartition:
+    def test_tail_recursive_has_empty_tail(self, interp, runner, fig3_src):
+        ht = partition(interp, runner, fig3_src, "f3")
+        assert ht.t_size == 0
+        assert ht.concurrency == 1.0
+
+    def test_statement_after_call_in_tail(self, interp, runner):
+        ht = partition(
+            interp, runner,
+            "(defun f (l) (when l (f (cdr l)) (print (car l))))", "f",
+        )
+        assert ht.t_size > 0
+        assert ht.concurrency > 1.0
+
+    def test_head_contains_recursive_calls(self, interp, runner, fig5_src):
+        ht = partition(interp, runner, fig5_src, "f5")
+        for call in ht.func.self_calls():
+            assert ht.in_head(call)
+
+    def test_statement_before_call_in_head(self, interp, runner):
+        ht = partition(
+            interp, runner,
+            "(defun f (l) (when l (print (car l)) (f (cdr l))))", "f",
+        )
+        printed = next(
+            n for n in ht.func.walk()
+            if isinstance(n, N.Call) and n.fn.name == "print"
+        )
+        assert ht.in_head(printed)
+
+    def test_branch_join_not_in_tail(self, interp, runner):
+        # Only one branch recurses: the statement after the if might run
+        # without a recursive call preceding it → head.
+        ht = partition(
+            interp, runner,
+            "(defun f (l) (if l (f (cdr l)) nil) (print 'done))", "f",
+        )
+        printed = next(
+            n for n in ht.func.walk()
+            if isinstance(n, N.Call) and n.fn.name == "print"
+        )
+        assert ht.in_head(printed)
+
+    def test_join_after_both_branches_call(self, interp, runner):
+        # Both branches recurse through the *same* single call?  Two calls
+        # on the two arms: neither dominates the join individually.
+        ht = partition(
+            interp, runner,
+            "(defun f (l) (if (car l) (f (cdr l)) (f (cddr l))) (print 1))", "f",
+        )
+        printed = next(
+            n for n in ht.func.walk()
+            if isinstance(n, N.Call) and n.fn.name == "print"
+        )
+        # Paper's definition: dominated by *a* recursive call — neither
+        # single call dominates, so the print is (conservatively) head.
+        assert ht.in_head(printed)
+
+    def test_spawn_counts_as_recursive_vertex(self, interp, runner):
+        runner.eval_text("(defun f (l) (when l (spawn (f (cdr l))) (print 1)))")
+        func = lower_function(interp, interp.intern("f"))
+        ht = partition_head_tail(func)
+        printed = next(
+            n for n in func.walk()
+            if isinstance(n, N.Call) and n.fn.name == "print"
+        )
+        assert ht.in_tail(printed)
+
+
+class TestConcurrencyMeasure:
+    def test_concurrency_formula(self, interp, runner):
+        ht = partition(
+            interp, runner,
+            "(defun f (l) (when l (f (cdr l)) (print (car l))))", "f",
+        )
+        assert abs(ht.concurrency - (ht.h_size + ht.t_size) / ht.h_size) < 1e-9
+
+    def test_bigger_tail_more_concurrency(self, interp, runner):
+        small = partition(
+            interp, runner,
+            "(defun fsmall (l) (when l (fsmall (cdr l)) (print 1)))", "fsmall",
+        )
+        big = partition(
+            interp, runner,
+            "(defun fbig (l) (when l (fbig (cdr l)) (print 1) (print 2) (print 3)))",
+            "fbig",
+        )
+        assert big.concurrency > small.concurrency
+
+    def test_h_t_positive_costs(self, interp, runner, fig5_src):
+        ht = partition(interp, runner, fig5_src, "f5")
+        assert ht.h_size > 0 and ht.t_size >= 0
+
+
+class TestStaticCost:
+    def test_const_free(self):
+        assert static_cost(N.Const(1)) == 0
+
+    def test_field_access_costs_per_field(self):
+        from repro.sexpr.datum import intern
+
+        one = N.FieldAccess(N.Var(intern("l")), ("car",))
+        two = N.FieldAccess(N.Var(intern("l")), ("cdr", "car"))
+        assert static_cost(two) == static_cost(one) + 1
+
+    def test_call_costs_more_than_var(self):
+        from repro.sexpr.datum import intern
+
+        assert static_cost(N.Call(intern("f"), [])) > static_cost(N.Var(intern("x")))
+
+    def test_custom_cost_table(self):
+        from repro.sexpr.datum import intern
+
+        table = {N.Var: 5}
+        assert static_cost(N.Var(intern("x")), table) == 5

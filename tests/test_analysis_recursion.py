@@ -1,0 +1,123 @@
+"""Unit tests: recursion structure and call classification (§3.1, §5)."""
+
+import pytest
+
+from repro.analysis.recursion import (
+    CallClassification,
+    ValueContext,
+    analyze_recursion,
+    value_contexts,
+)
+from repro.ir.lower import lower_function
+
+
+def analyze(interp, runner, src, name):
+    runner.eval_text(src)
+    return analyze_recursion(lower_function(interp, interp.intern(name)))
+
+
+class TestClassification:
+    def test_non_recursive(self, interp, runner):
+        info = analyze(interp, runner, "(defun f (x) (* x 2))", "f")
+        assert not info.is_recursive
+        assert info.call_sites() == 0
+
+    def test_tail_call(self, interp, runner):
+        info = analyze(
+            interp, runner, "(defun f (l) (if (null l) nil (f (cdr l))))", "f"
+        )
+        assert info.is_recursive and info.is_tail_recursive
+        assert info.classification(info.self_calls[0]) is CallClassification.TAIL
+
+    def test_free_call(self, interp, runner):
+        info = analyze(
+            interp, runner, "(defun f (l) (when l (f (cdr l)) (print 1)))", "f"
+        )
+        assert info.classification(info.self_calls[0]) is CallClassification.FREE
+
+    def test_stored_call_in_cons(self, interp, runner, remq_src):
+        info = analyze(interp, runner, remq_src, "remq")
+        classes = {info.classification(c) for c in info.self_calls}
+        assert CallClassification.STORED in classes
+        assert not info.has_strict_call
+
+    def test_strict_call_in_arithmetic(self, interp, runner):
+        info = analyze(
+            interp, runner,
+            "(defun f (n) (if (<= n 1) 1 (* n (f (1- n)))))", "f",
+        )
+        assert info.has_strict_call
+        assert info.classification(info.self_calls[0]) is CallClassification.STRICT
+
+    def test_strict_call_in_test_position(self, interp, runner):
+        info = analyze(
+            interp, runner,
+            "(defun f (l) (if (f (cdr l)) 1 2))", "f",
+        )
+        assert info.has_strict_call
+
+    def test_stored_call_in_setf_value(self, interp, runner):
+        info = analyze(
+            interp, runner,
+            "(defun f (l) (when l (setf (car l) (f (cdr l)))))", "f",
+        )
+        assert info.classification(info.self_calls[0]) is CallClassification.STORED
+
+    def test_mixed_sites(self, interp, runner, fig5_src):
+        info = analyze(interp, runner, fig5_src, "f5")
+        assert info.call_sites() == 2
+        assert info.is_tail_recursive  # both sites in returned position
+
+    def test_call_under_progn_middle_is_free(self, interp, runner):
+        info = analyze(
+            interp, runner,
+            "(defun f (l) (progn (f (cdr l)) nil))", "f",
+        )
+        assert info.classification(info.self_calls[0]) is CallClassification.FREE
+
+
+class TestValueContexts:
+    def test_last_form_returned(self, interp, runner):
+        runner.eval_text("(defun f (x) (print x) x)")
+        func = lower_function(interp, interp.intern("f"))
+        ctx = value_contexts(func)
+        assert ctx[func.body[-1].node_id] is ValueContext.RETURNED
+        assert ctx[func.body[0].node_id] is ValueContext.DISCARDED
+
+    def test_if_branches_inherit(self, interp, runner):
+        runner.eval_text("(defun f (x) (if x 1 2))")
+        func = lower_function(interp, interp.intern("f"))
+        ctx = value_contexts(func)
+        body = func.body[0]
+        assert ctx[body.then.node_id] is ValueContext.RETURNED
+        assert ctx[body.els.node_id] is ValueContext.RETURNED
+        assert ctx[body.test.node_id] is ValueContext.USED
+
+    def test_cons_args_stored(self, interp, runner):
+        runner.eval_text("(defun f (x) (cons x nil))")
+        func = lower_function(interp, interp.intern("f"))
+        ctx = value_contexts(func)
+        call = func.body[0]
+        assert ctx[call.args[0].node_id] is ValueContext.STORED
+
+    def test_setf_value_stored(self, interp, runner):
+        runner.eval_text("(defun f (l v) (setf (car l) v))")
+        func = lower_function(interp, interp.intern("f"))
+        ctx = value_contexts(func)
+        setf = func.body[0]
+        assert ctx[setf.value.node_id] is ValueContext.STORED
+
+    def test_while_body_discarded(self, interp, runner):
+        runner.eval_text("(defun f (n) (while (> n 0) (setq n (1- n))))")
+        func = lower_function(interp, interp.intern("f"))
+        ctx = value_contexts(func)
+        loop = func.body[0]
+        for sub in loop.body:
+            assert ctx[sub.node_id] is ValueContext.DISCARDED
+
+    def test_arithmetic_args_used(self, interp, runner):
+        runner.eval_text("(defun f (x) (+ x 1))")
+        func = lower_function(interp, interp.intern("f"))
+        ctx = value_contexts(func)
+        call = func.body[0]
+        assert ctx[call.args[0].node_id] is ValueContext.USED

@@ -1,0 +1,123 @@
+"""Unit tests: parameter transfer functions (§2.1)."""
+
+import pytest
+
+from repro.analysis.variables import parameter_transfers
+from repro.ir.lower import lower_function
+from repro.paths.regex import Alt, Eps, Sym, word_regex
+
+
+def transfers(interp, runner, src, name):
+    runner.eval_text(src)
+    return parameter_transfers(lower_function(interp, interp.intern(name)))
+
+
+class TestSimpleTransfers:
+    def test_fig3_tau_is_cdr(self, interp, runner, fig3_src):
+        info = transfers(interp, runner, fig3_src, "f3")
+        l = interp.intern("l")
+        assert info.step[l] == Sym("cdr")
+
+    def test_unchanged_param_epsilon(self, interp, runner, remq_src):
+        info = transfers(interp, runner, remq_src, "remq")
+        obj = interp.intern("obj")
+        assert info.step[obj] is Eps
+
+    def test_two_step_walk(self, interp, runner):
+        info = transfers(
+            interp, runner, "(defun f (l) (when l (f (cddr l))))", "f"
+        )
+        l = interp.intern("l")
+        assert info.step[l] == word_regex(("cdr", "cdr"))
+
+    def test_struct_field_transfer(self, interp, runner):
+        info = transfers(
+            interp, runner,
+            "(defstruct node next) (defun f (n) (when n (f (node-next n))))",
+            "f",
+        )
+        n = interp.intern("n")
+        assert info.step[n] == Sym("next")
+
+    def test_multiple_sites_merge_to_alternation(self, interp, runner):
+        info = transfers(
+            interp, runner,
+            "(defun f (l) (if (car l) (f (cdr l)) (f (cddr l))))", "f",
+        )
+        l = interp.intern("l")
+        assert isinstance(info.step[l], Alt)
+
+    def test_identical_sites_not_duplicated(self, interp, runner, fig5_src):
+        info = transfers(interp, runner, fig5_src, "f5")
+        l = interp.intern("l")
+        assert info.step[l] == Sym("cdr")  # both sites pass (cdr l)
+
+
+class TestUnknownTransfers:
+    def test_computed_argument_unknown(self, interp, runner):
+        runner.eval_text("(defun g (x) x)")
+        info = transfers(
+            interp, runner, "(defun f (l) (when l (f (g l))))", "f"
+        )
+        l = interp.intern("l")
+        assert info.tau[l] is None
+        assert l in info.unknown_reasons
+
+    def test_swapped_params_unknown(self, interp, runner):
+        info = transfers(
+            interp, runner, "(defun f (a b) (when a (f b a)))", "f"
+        )
+        assert info.tau[interp.intern("a")] is None
+
+    def test_assigned_param_unknown(self, interp, runner):
+        info = transfers(
+            interp, runner,
+            "(defun f (l) (setq l (cdr l)) (when l (f (cdr l))))", "f",
+        )
+        assert info.tau[interp.intern("l")] is None
+        assert "assigned" in info.unknown_reasons[interp.intern("l")]
+
+    def test_non_recursive_function(self, interp, runner):
+        info = transfers(interp, runner, "(defun f (x) x)", "f")
+        assert info.tau[interp.intern("x")] is None
+
+
+class TestDerivedVariables:
+    def test_let_bound_accessor_resolved(self, interp, runner):
+        info = transfers(
+            interp, runner,
+            "(defun f (l) (let ((x (cdr l))) (when x (f (cdr x)))))", "f",
+        )
+        l = interp.intern("l")
+        # x = l.cdr, so (cdr x) = l.cdr.cdr.
+        assert info.step[l] == word_regex(("cdr", "cdr"))
+
+    def test_resolve_returns_param_itself(self, interp, runner, fig3_src):
+        info = transfers(interp, runner, fig3_src, "f3")
+        l = interp.intern("l")
+        resolved = info.resolve(l)
+        assert resolved is not None and resolved[0] is l
+
+    def test_chained_derivation(self, interp, runner):
+        info = transfers(
+            interp, runner,
+            """(defun f (l)
+                 (let ((x (cdr l)))
+                   (let ((y (cdr x)))
+                     (when y (f y)))))""",
+            "f",
+        )
+        l = interp.intern("l")
+        assert info.step[l] == word_regex(("cdr", "cdr"))
+
+    def test_rebound_variable_poisoned(self, interp, runner):
+        runner.eval_text("(defun g (x) x)")
+        info = transfers(
+            interp, runner,
+            """(defun f (l)
+                 (let ((x (cdr l)))
+                   (setq x (g l))
+                   (when x (f x))))""",
+            "f",
+        )
+        assert info.tau[interp.intern("l")] is None

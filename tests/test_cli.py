@@ -1,0 +1,121 @@
+"""Unit tests: the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FIG5 = """
+(declaim (sapp f5 l))
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+(setq data (list 1 2 3 4))
+"""
+
+
+@pytest.fixture
+def fig5_file(tmp_path):
+    path = tmp_path / "fig5.lisp"
+    path.write_text(FIG5)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_report_printed(self, fig5_file, capsys):
+        assert main(["analyze", fig5_file, "-f", "f5"]) == 0
+        out = capsys.readouterr().out
+        assert "distance 1" in out
+        assert "2 self-call site(s)" in out
+
+    def test_sapp_declaration_honored(self, fig5_file, capsys):
+        main(["analyze", fig5_file, "-f", "f5"])
+        out = capsys.readouterr().out
+        assert "needs (declaim (sapp" not in out
+
+
+class TestTransform:
+    def test_prints_transformed_source(self, fig5_file, capsys):
+        assert main(["transform", fig5_file, "-f", "f5"]) == 0
+        out = capsys.readouterr().out
+        assert "(defun f5-cc (l)" in out
+        assert "lock-loc!" in out
+
+    def test_custom_suffix(self, fig5_file, capsys):
+        main(["transform", fig5_file, "-f", "f5", "--suffix=-par"])
+        assert "(defun f5-par" in capsys.readouterr().out
+
+    def test_enqueue_mode(self, fig5_file, capsys):
+        main(["transform", fig5_file, "-f", "f5", "--mode", "enqueue"])
+        assert "enqueue!" in capsys.readouterr().out
+
+    def test_early_release_flag(self, fig5_file, capsys):
+        main(["transform", fig5_file, "-f", "f5", "--early-release"])
+        assert "unlock-loc-if-held!" in capsys.readouterr().out
+
+    def test_untransformable_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "plain.lisp"
+        path.write_text("(defun g (x) (* x 2))")
+        assert main(["transform", str(path), "-f", "g"]) == 1
+        assert "NOT transformed" in capsys.readouterr().out
+
+    def test_whole_program(self, tmp_path, capsys):
+        path = tmp_path / "prog.lisp"
+        path.write_text(
+            """
+            (defun a (l) (when l (setf (car l) 0) (a (cdr l))))
+            (defun b (l) (when l (b (cdr l))))
+            (defun main (l) (a l) (b l))
+            """
+        )
+        assert main(["transform", str(path), "-f", "a",
+                     "--whole-program", "--assume-sapp"]) == 0
+        out = capsys.readouterr().out
+        assert "a → a-cc" in out and "b → b-cc" in out
+        assert "retargeted calls inside main" in out
+
+
+class TestRun:
+    def test_transform_and_run(self, fig5_file, capsys):
+        code = main([
+            "run", fig5_file, "--transform", "f5",
+            "-e", "(progn (f5-cc data) (identity data))", "-p", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ";; value: (1 3 6 10)" in out
+        assert "mean concurrency" in out
+
+    def test_plain_run(self, fig5_file, capsys):
+        assert main(["run", fig5_file, "-e", "(+ 20 22)"]) == 0
+        assert ";; value: 42" in capsys.readouterr().out
+
+    def test_outputs_printed(self, tmp_path, capsys):
+        path = tmp_path / "p.lisp"
+        path.write_text("(defun go () (print 'hello) 1)")
+        main(["run", str(path), "-e", "(go)"])
+        assert ";; output: hello" in capsys.readouterr().out
+
+    def test_seeded_random_schedule(self, fig5_file, capsys):
+        code = main([
+            "run", fig5_file, "--transform", "f5",
+            "-e", "(progn (f5-cc data) (identity data))",
+            "--seed", "7",
+        ])
+        assert code == 0
+        assert ";; value: (1 3 6 10)" in capsys.readouterr().out
+
+    def test_timeline_rendering(self, fig5_file, capsys):
+        main([
+            "run", fig5_file, "--transform", "f5",
+            "-e", "(f5-cc data)", "--timeline",
+        ])
+        out = capsys.readouterr().out
+        assert "busy processors" in out
+        assert "time →" in out
+
+    def test_failed_transform_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "p.lisp"
+        path.write_text("(defun g (x) x)")
+        assert main(["run", str(path), "--transform", "g", "-e", "(g 1)"]) == 1

@@ -1,0 +1,159 @@
+"""Unit tests: declarations — kinds, registry, and the declaim parser."""
+
+import pytest
+
+from repro.declare import (
+    AnyResultDecl,
+    AssociativeDecl,
+    DeclarationError,
+    DeclarationRegistry,
+    InverseFieldsDecl,
+    NoAliasDecl,
+    ParallelizeDecl,
+    PointerFieldsDecl,
+    PureDecl,
+    ReorderableDecl,
+    SappDecl,
+    UnorderedWritesDecl,
+    extract_declarations,
+    parse_declaim,
+)
+from repro.sexpr.reader import read, read_all
+
+
+class TestRegistryDefaults:
+    """An empty registry answers everything conservatively (§6)."""
+
+    def test_defaults(self):
+        r = DeclarationRegistry()
+        assert r.pointer_fields("node") is None
+        assert not r.has_sapp("f", "l")
+        assert not r.no_alias("f", "a", "b")
+        assert r.may_parallelize("f")  # the one permissive default
+        assert not r.is_reorderable("+")
+        assert not r.is_associative("+")
+        assert not r.is_unordered_write("puthash")
+        assert not r.is_any_result("find")
+        assert not r.is_pure("g")
+        assert r.canonicalizer().is_identity()
+
+
+class TestRegistryQueries:
+    def test_pointer_fields(self):
+        r = DeclarationRegistry([PointerFieldsDecl("node", ("next", "prev"))])
+        assert r.pointer_fields("node") == ("next", "prev")
+
+    def test_sapp(self):
+        r = DeclarationRegistry([SappDecl("f", "l")])
+        assert r.has_sapp("f", "l") and not r.has_sapp("f", "m")
+
+    def test_no_alias_all_and_pairwise(self):
+        r = DeclarationRegistry([NoAliasDecl("f"), NoAliasDecl("g", ("a", "b"))])
+        assert r.no_alias("f", "x", "y")
+        assert r.no_alias("g", "a", "b") and r.no_alias("g", "b", "a")
+        assert not r.no_alias("g", "a", "c")
+
+    def test_inverse_fields_make_canonicalizer(self):
+        r = DeclarationRegistry([InverseFieldsDecl("dn", "succ", "pred")])
+        c = r.canonicalizer("dn")
+        from repro.paths.accessor import parse_accessor
+
+        assert str(c.canonicalize(parse_accessor("succ.pred.val"))) == "val"
+
+    def test_parallelize_disable(self):
+        r = DeclarationRegistry([ParallelizeDecl("f", False)])
+        assert not r.may_parallelize("f")
+        assert r.may_parallelize("g")
+
+    def test_reorderable_implies_associative(self):
+        r = DeclarationRegistry([ReorderableDecl("+")])
+        assert r.is_reorderable("+") and r.is_associative("+")
+
+    def test_associative_not_reorderable(self):
+        r = DeclarationRegistry([AssociativeDecl("append2")])
+        assert r.is_associative("append2") and not r.is_reorderable("append2")
+
+    def test_unordered_any_result_pure(self):
+        r = DeclarationRegistry(
+            [UnorderedWritesDecl("puthash"), AnyResultDecl("find"), PureDecl("g")]
+        )
+        assert r.is_unordered_write("puthash")
+        assert r.is_any_result("find")
+        assert r.is_pure("g")
+
+    def test_len_and_iter(self):
+        decls = [PureDecl("a"), PureDecl("b")]
+        r = DeclarationRegistry(decls)
+        assert len(r) == 2 and list(r) == decls
+
+    def test_extend(self):
+        r = DeclarationRegistry()
+        r.extend([PureDecl("g")])
+        assert r.is_pure("g")
+
+
+class TestParser:
+    def test_all_kinds(self):
+        form = read(
+            """
+            (declaim (pointer-fields node next prev)
+                     (inverse-fields node succ pred)
+                     (sapp f l)
+                     (no-alias f)
+                     (no-alias g a b)
+                     (parallelize h)
+                     (reorderable + *)
+                     (associative append2)
+                     (unordered-writes puthash)
+                     (any-result find-any)
+                     (pure helper))
+            """
+        )
+        decls = parse_declaim(form)
+        kinds = [type(d).__name__ for d in decls]
+        assert kinds.count("ReorderableDecl") == 2
+        assert "PointerFieldsDecl" in kinds
+        assert "InverseFieldsDecl" in kinds
+        assert "AssociativeDecl" in kinds
+
+    def test_parallelize_nil(self):
+        decls = parse_declaim(read("(declaim (parallelize f nil))"))
+        assert decls == [ParallelizeDecl("f", False)]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(DeclarationError):
+            parse_declaim(read("(declaim (frobnicate f))"))
+
+    def test_malformed_raises(self):
+        with pytest.raises(DeclarationError):
+            parse_declaim(read("(declaim (sapp f))"))
+        with pytest.raises(DeclarationError):
+            parse_declaim(read("(declaim (no-alias f a))"))
+        with pytest.raises(DeclarationError):
+            parse_declaim(read("(not-a-declaim)"))
+
+    def test_extract_declarations_splits(self):
+        forms = read_all(
+            """
+            (declaim (pure g))
+            (defun g (x) x)
+            (declaim (sapp f l))
+            (defun f (l) l)
+            """
+        )
+        decls, rest = extract_declarations(forms)
+        assert len(decls) == 2 and len(rest) == 2
+
+
+class TestCurareLoadProgram:
+    def test_declaims_absorbed(self, curare):
+        curare.load_program(
+            """
+            (declaim (reorderable +) (sapp walk l))
+            (defun walk (l) (when l (walk (cdr l))))
+            """
+        )
+        assert curare.decls.is_reorderable("+")
+        assert curare.decls.has_sapp("walk", "l")
+        # And the defun was evaluated.
+        assert curare.interp.intern("walk") in curare.interp.functions

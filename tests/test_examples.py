@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them green.
+Output is captured and sanity-checked for each script's headline claim.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["sequentializable ✓", "(1 3 6 10 15 21 28 36)"],
+    "list_processing.py": ["speedup", "(2 3 4 5)"],
+    "tree_workload.py": ["analytic S*", "servers"],
+    "tuning_workflow.py": ["round 3", "Curare suggests"],
+    "timelines.py": ["busy processors", "staircase"],
+    "array_stencil.py": ["dependence distance", "gather"],
+    "symbolic_differentiation.py": ["futures resolved transparently"],
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(CASES.items()))
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script}: expected {needle!r} in output\n{result.stdout[-1500:]}"
+        )
+
+
+def test_every_example_has_a_case():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), "update CASES when adding examples"

@@ -1,0 +1,149 @@
+"""Unit tests: harness helpers — workloads, runner, report, timeline."""
+
+import pytest
+
+from repro.harness.report import format_table, shape_check
+from repro.harness.runner import run_concurrent, run_sequential, run_transformed
+from repro.harness.timeline import occupancy_sparkline, process_gantt
+from repro.harness.workloads import (
+    burn_cost,
+    fig5_source,
+    make_int_list,
+    make_synthetic,
+    make_tree,
+)
+
+
+class TestWorkloads:
+    def test_make_int_list(self, runner):
+        runner.eval_text(make_int_list(5))
+        from repro.sexpr.printer import write_str
+
+        assert write_str(runner.eval_text("data")) == "(1 2 3 4 5)"
+
+    def test_make_int_list_start(self, runner):
+        runner.eval_text(make_int_list(3, start=10))
+        from repro.sexpr.printer import write_str
+
+        assert write_str(runner.eval_text("data")) == "(10 11 12)"
+
+    def test_make_tree_depth(self, runner):
+        runner.eval_text(make_tree(3))
+        # 2^3 = 8 integer leaves.
+        assert runner.eval_text(
+            "(defun leaves (tr) (if (consp tr) (+ (leaves (car tr)) (leaves (cdr tr))) 1))"
+            "(leaves tree)"
+        ) == 8
+
+    def test_synthetic_runs(self, runner):
+        work = make_synthetic(5, 5, name="synth1")
+        runner.eval_text(work.source)
+        runner.eval_text("(synth1 (list 1 2 3))")
+
+    def test_synthetic_conflict_variant(self, interp, runner):
+        from repro.analysis.conflicts import analyze_function
+        from repro.declare import DeclarationRegistry, PureDecl
+
+        work = make_synthetic(5, 5, name="synth2", mutate=True)
+        runner.eval_text(work.source)
+        a = analyze_function(
+            interp, interp.intern("synth2"),
+            decls=DeclarationRegistry([PureDecl("burn"), PureDecl("slow-cdr")]),
+            assume_sapp=True,
+        )
+        assert not a.conflict_free
+
+    def test_burn_cost_scales(self):
+        assert burn_cost(100) > burn_cost(10) > 0
+
+
+class TestRunnerHelpers:
+    def test_sequential(self):
+        run = run_sequential(fig5_source(), make_int_list(4), "(f5 data)", "data")
+        assert run.result_text == "(1 3 6 10)"
+        assert run.time > 0
+
+    def test_transformed_matches_sequential(self):
+        seq = run_sequential(fig5_source(), make_int_list(4), "(f5 data)", "data")
+        cc = run_transformed(
+            fig5_source(), "f5", make_int_list(4), "(f5-cc data)", "data"
+        )
+        assert cc.result_text == seq.result_text
+        assert cc.curare is not None and cc.curare.transformed
+
+    def test_concurrent_raw(self):
+        run = run_concurrent(
+            "(defun go () (+ 1 2))", "", "(go)", processors=2
+        )
+        assert run.result_text == "3"
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_format_table_floats(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.23" in out and "1.2345" not in out
+
+    def test_shape_check_marks(self):
+        assert shape_check("ok", True).startswith("[PASS]")
+        assert shape_check("bad", False).startswith("[FAIL]")
+        assert "detail" in shape_check("x", True, "detail")
+
+
+class TestTimeline:
+    def _machine(self):
+        from repro.lisp.interpreter import Interpreter
+        from repro.runtime.clock import FREE_SYNC
+        from repro.runtime.machine import Machine
+        from repro.transform.pipeline import Curare
+
+        work = make_synthetic(5, 30, name="f")
+        interp = Interpreter()
+        curare = Curare(interp, assume_sapp=True)
+        curare.load_program(work.source)
+        curare.transform("f")
+        curare.runner.eval_text(make_int_list(6))
+        machine = Machine(interp, processors=4, cost_model=FREE_SYNC)
+        machine.spawn_text("(f-cc data)")
+        machine.run()
+        return machine
+
+    def test_sparkline_renders(self):
+        machine = self._machine()
+        out = occupancy_sparkline(machine.stats, processors=4)
+        assert "busy processors" in out
+        assert len(out.splitlines()) == 2
+
+    def test_sparkline_width_respected(self):
+        machine = self._machine()
+        out = occupancy_sparkline(machine.stats, width=40, processors=4)
+        assert len(out.splitlines()[1]) <= 40
+
+    def test_sparkline_empty_stats(self):
+        from repro.runtime.machine import MachineStats
+
+        assert occupancy_sparkline(MachineStats()) == "(no samples)"
+
+    def test_gantt_rows_in_spawn_order(self):
+        machine = self._machine()
+        out = process_gantt(machine)
+        lines = out.splitlines()
+        assert "process" in lines[0]
+        # 7 processes: main + 6 invocations.
+        assert len(lines) == 1 + 7
+
+    def test_gantt_clipping(self):
+        machine = self._machine()
+        out = process_gantt(machine, max_rows=3)
+        assert "more process(es)" in out
+
+    def test_gantt_staircase_monotone_starts(self):
+        machine = self._machine()
+        procs = sorted(machine.processes.values(), key=lambda p: p.proc_id)
+        starts = [p.spawn_time for p in procs]
+        assert starts == sorted(starts)

@@ -1,0 +1,127 @@
+"""Unit tests: CFG construction and dominator analysis."""
+
+import pytest
+
+from repro.ir import nodes as N
+from repro.ir.cfg import CFG, ENTRY, EXIT, build_cfg
+from repro.ir.dominators import compute_dominators, dominated_by_any
+from repro.ir.lower import lower_function
+
+
+def make_func(interp, runner, src, name):
+    runner.eval_text(src)
+    return lower_function(interp, interp.intern(name))
+
+
+class TestCFGStructure:
+    def test_linear_body(self, interp, runner):
+        func = make_func(interp, runner, "(defun f (x) (print x) (print x))", "f")
+        cfg = build_cfg(func)
+        assert ENTRY in cfg.succs and EXIT in cfg.preds
+        # Every vertex reachable from entry reaches exit.
+        order = cfg.reverse_postorder()
+        assert order[0] == ENTRY
+
+    def test_if_creates_branch(self, interp, runner):
+        func = make_func(interp, runner, "(defun f (x) (if x (print 1) (print 2)))", "f")
+        cfg = build_cfg(func)
+        if_nodes = [v for v, n in cfg.nodes.items() if isinstance(n, N.If)]
+        assert len(if_nodes) == 1
+        assert len(cfg.succs[if_nodes[0]]) == 2
+
+    def test_exit_has_multiple_preds_after_branch(self, interp, runner):
+        func = make_func(interp, runner, "(defun f (x) (if x (print 1) (print 2)))", "f")
+        cfg = build_cfg(func)
+        assert len(cfg.preds[EXIT]) == 2
+
+    def test_while_has_back_edge(self, interp, runner):
+        func = make_func(
+            interp, runner, "(defun f (n) (while (> n 0) (setq n (1- n))))", "f"
+        )
+        cfg = build_cfg(func)
+        while_ids = [v for v, n in cfg.nodes.items() if isinstance(n, N.While)]
+        assert len(while_ids) == 1
+        # Some vertex inside the body leads back toward the test.
+        order = cfg.reverse_postorder()
+        reachable = set(order)
+        assert while_ids[0] in reachable
+
+    def test_and_short_circuit_edges(self, interp, runner):
+        func = make_func(interp, runner, "(defun f (a b) (and a b))", "f")
+        cfg = build_cfg(func)
+        and_ids = [v for v, n in cfg.nodes.items() if isinstance(n, N.And)]
+        # Both args can flow to the And vertex.
+        assert len(cfg.preds[and_ids[0]]) == 2
+
+
+class TestDominators:
+    def test_entry_dominates_all(self, interp, runner, fig5_src):
+        func = make_func(interp, runner, fig5_src, "f5")
+        cfg = build_cfg(func)
+        dom = compute_dominators(cfg)
+        for v, doms in dom.items():
+            assert ENTRY in doms
+
+    def test_self_domination(self, interp, runner, fig3_src):
+        func = make_func(interp, runner, fig3_src, "f3")
+        cfg = build_cfg(func)
+        dom = compute_dominators(cfg)
+        for v, doms in dom.items():
+            assert v in doms
+
+    def test_branch_arms_not_dominated_by_each_other(self, interp, runner):
+        func = make_func(
+            interp, runner, "(defun f (x) (if x (print 1) (print 2)) (print 3))", "f"
+        )
+        cfg = build_cfg(func)
+        dom = compute_dominators(cfg)
+        outputs = [
+            v for v, n in cfg.nodes.items()
+            if isinstance(n, N.Call) and n.fn.name == "print"
+        ]
+        # The post-branch print is dominated by neither arm's print.
+        consts = {
+            v: n.args[0].value
+            for v, n in cfg.nodes.items()
+            if isinstance(n, N.Call) and n.fn.name == "print"
+            and isinstance(n.args[0], N.Const)
+        }
+        v1 = next(v for v, c in consts.items() if c == 1)
+        v3 = next(v for v, c in consts.items() if c == 3)
+        assert v1 not in dom[v3]
+
+    def test_statement_after_call_dominated_by_it(self, interp, runner):
+        func = make_func(
+            interp, runner, "(defun f (l) (f (cdr l)) (print (car l)))", "f"
+        )
+        cfg = build_cfg(func)
+        dom = compute_dominators(cfg)
+        call = next(
+            v for v, n in cfg.nodes.items()
+            if isinstance(n, N.Call) and n.is_self_call
+        )
+        printed = next(
+            v for v, n in cfg.nodes.items()
+            if isinstance(n, N.Call) and n.fn.name == "print"
+        )
+        assert call in dom[printed]
+
+    def test_dominated_by_any_helper(self, interp, runner):
+        func = make_func(
+            interp, runner, "(defun f (l) (f (cdr l)) (print (car l)))", "f"
+        )
+        cfg = build_cfg(func)
+        dom = compute_dominators(cfg)
+        calls = {
+            v for v, n in cfg.nodes.items()
+            if isinstance(n, N.Call) and n.is_self_call
+        }
+        dominated = dominated_by_any(dom, cfg.nodes.keys(), calls)
+        printed = next(
+            v for v, n in cfg.nodes.items()
+            if isinstance(n, N.Call) and n.fn.name == "print"
+        )
+        assert printed in dominated
+        assert not calls & dominated or all(
+            (dom[c] & calls) - {c} for c in calls & dominated
+        )

@@ -1,0 +1,183 @@
+"""Unit tests: lowering S-expressions into IR."""
+
+import pytest
+
+from repro.ir import nodes as N
+from repro.ir.lower import LowerError, lower_expr, lower_function
+from repro.sexpr.printer import write_str
+
+
+def lower1(interp, text):
+    return lower_expr(interp, interp.load(text)[0])
+
+
+class TestAtoms:
+    def test_const(self, interp):
+        node = lower1(interp, "42")
+        assert isinstance(node, N.Const) and node.value == 42
+
+    def test_var(self, interp):
+        node = lower1(interp, "x")
+        assert isinstance(node, N.Var) and node.name.name == "x"
+
+    def test_quote(self, interp):
+        node = lower1(interp, "'(a b)")
+        assert isinstance(node, N.Quote)
+
+    def test_function_ref(self, interp):
+        node = lower1(interp, "#'car")
+        assert isinstance(node, N.FunctionRef) and node.name.name == "car"
+
+
+class TestAccessors:
+    def test_car_becomes_field_access(self, interp):
+        node = lower1(interp, "(car l)")
+        assert isinstance(node, N.FieldAccess)
+        assert node.fields == ("car",)
+
+    def test_cadr_word(self, interp):
+        node = lower1(interp, "(cadr l)")
+        assert node.fields == ("cdr", "car")
+
+    def test_nested_accessors_flatten(self, interp):
+        node = lower1(interp, "(car (cdr (cdr l)))")
+        assert isinstance(node, N.FieldAccess)
+        assert node.fields == ("cdr", "cdr", "car")
+        assert isinstance(node.base, N.Var)
+
+    def test_cdddr(self, interp):
+        node = lower1(interp, "(cdddr l)")
+        assert node.fields == ("cdr", "cdr", "cdr")
+
+    def test_struct_accessor(self, interp, runner):
+        runner.eval_text("(defstruct node next data)")
+        node = lower1(interp, "(node-next n)")
+        assert isinstance(node, N.FieldAccess)
+        assert node.fields == ("next",)
+        assert node.accessor_names == ("node-next",)
+
+    def test_mixed_struct_and_cons(self, interp, runner):
+        runner.eval_text("(defstruct node next)")
+        node = lower1(interp, "(car (node-next n))")
+        assert node.fields == ("next", "car")
+
+    def test_accessor_of_call_not_flattened(self, interp, runner):
+        runner.eval_text("(defun g (x) x)")
+        node = lower1(interp, "(car (g l))")
+        assert isinstance(node, N.FieldAccess)
+        assert isinstance(node.base, N.Call)
+
+
+class TestSetf:
+    def test_setq_is_varplace_setf(self, interp):
+        node = lower1(interp, "(setq x 1)")
+        assert isinstance(node, N.Setf) and isinstance(node.place, N.VarPlace)
+
+    def test_setf_cadr_place(self, interp):
+        node = lower1(interp, "(setf (cadr l) 9)")
+        assert isinstance(node.place, N.FieldPlace)
+        assert node.place.fields == ("cdr", "car")
+
+    def test_setf_nested_place_flattens(self, interp):
+        node = lower1(interp, "(setf (car (cdr l)) 9)")
+        assert node.place.fields == ("cdr", "car")
+
+    def test_setf_struct_place(self, interp, runner):
+        runner.eval_text("(defstruct node data)")
+        node = lower1(interp, "(setf (node-data n) 1)")
+        assert node.place.fields == ("data",)
+
+    def test_setf_gethash_becomes_puthash(self, interp):
+        node = lower1(interp, "(setf (gethash k h) v)")
+        assert isinstance(node, N.Call) and node.fn.name == "puthash"
+
+    def test_multi_pair_setq(self, interp):
+        node = lower1(interp, "(setq a 1 b 2)")
+        assert isinstance(node, N.Progn) and len(node.body) == 2
+
+    def test_bad_place_raises(self, interp):
+        with pytest.raises(LowerError):
+            lower1(interp, "(setf (+ a b) 1)")
+
+
+class TestControlLowering:
+    def test_cond_to_if_chain(self, interp):
+        node = lower1(interp, "(cond (a 1) (b 2) (t 3))")
+        assert isinstance(node, N.If)
+        assert isinstance(node.els, N.If)
+        assert isinstance(node.els.els, N.Const)
+
+    def test_cond_test_only_clause_uses_temp(self, interp):
+        node = lower1(interp, "(cond ((f x)) (t 2))")
+        assert isinstance(node, N.Let)
+
+    def test_when_to_if(self, interp):
+        node = lower1(interp, "(when p 1 2)")
+        assert isinstance(node, N.If)
+        assert isinstance(node.then, N.Progn)
+        assert node.els is None
+
+    def test_unless_negates(self, interp):
+        node = lower1(interp, "(unless p 1)")
+        assert isinstance(node, N.If)
+        assert isinstance(node.test, N.Call) and node.test.fn.name == "not"
+
+    def test_dolist_becomes_let_while(self, interp):
+        node = lower1(interp, "(dolist (x l) (f x))")
+        assert isinstance(node, N.Let)
+        assert isinstance(node.body[0], N.While)
+
+    def test_and_or(self, interp):
+        assert isinstance(lower1(interp, "(and a b)"), N.And)
+        assert isinstance(lower1(interp, "(or a b)"), N.Or)
+
+    def test_lambda(self, interp):
+        node = lower1(interp, "(lambda (x) (+ x 1))")
+        assert isinstance(node, N.Lambda) and len(node.params) == 1
+
+    def test_spawn_future(self, interp, runner):
+        runner.eval_text("(defun f (x) x)")
+        assert isinstance(lower1(interp, "(spawn (f 1))"), N.Spawn)
+        assert isinstance(lower1(interp, "(future (f 1))"), N.FutureExpr)
+
+
+class TestFunctionLowering:
+    def test_self_calls_marked(self, interp, runner, fig5_src):
+        runner.eval_text(fig5_src)
+        func = lower_function(interp, interp.intern("f5"))
+        calls = func.self_calls()
+        assert len(calls) == 2
+        assert calls[0].callsite_index != calls[1].callsite_index
+
+    def test_non_self_calls_unmarked(self, interp, runner):
+        runner.eval_text("(defun f (x) (g x) (f x))")
+        runner.eval_text("(defun g (x) x)")
+        func = lower_function(interp, interp.intern("f"))
+        marks = [
+            (n.fn.name, n.is_self_call)
+            for n in func.walk()
+            if isinstance(n, N.Call)
+        ]
+        assert ("g", False) in marks and ("f", True) in marks
+
+    def test_macro_expanded_before_lowering(self, interp, runner):
+        runner.eval_text("(defmacro my-when (c e) `(if ,c ,e nil))")
+        runner.eval_text("(defun m (x) (my-when x (m x)))")
+        func = lower_function(interp, interp.intern("m"))
+        assert len(func.self_calls()) == 1
+
+    def test_declare_stripped(self, interp, runner):
+        runner.eval_text("(defun d (x) (declare (type list x)) x)")
+        func = lower_function(interp, interp.intern("d"))
+        assert len(func.body) == 1
+        assert isinstance(func.body[0], N.Var)
+
+    def test_missing_source_raises(self, interp):
+        with pytest.raises(LowerError):
+            lower_function(interp, interp.intern("never-defined"))
+
+    def test_walk_covers_all(self, interp, runner, fig3_src):
+        runner.eval_text(fig3_src)
+        func = lower_function(interp, interp.intern("f3"))
+        kinds = {type(n).__name__ for n in func.walk()}
+        assert "If" in kinds and "Call" in kinds and "FieldAccess" in kinds

@@ -1,0 +1,129 @@
+"""Unit tests: unparse — and the crucial lower→unparse→eval equivalence."""
+
+import pytest
+
+from repro.ir.lower import lower_expr, lower_function
+from repro.ir.unparse import unparse, unparse_function
+from repro.lisp.runner import SequentialRunner
+from repro.sexpr.printer import write_str
+
+
+def roundtrip(interp, text: str) -> str:
+    node = lower_expr(interp, interp.load(text)[0])
+    return write_str(unparse(node))
+
+
+class TestUnparseForms:
+    def test_atoms(self, interp):
+        assert roundtrip(interp, "42") == "42"
+        assert roundtrip(interp, "x") == "x"
+        assert roundtrip(interp, "nil") == "nil"
+
+    def test_quote(self, interp):
+        assert roundtrip(interp, "'(a b)") == "'(a b)"
+        assert roundtrip(interp, "'sym") == "'sym"
+
+    def test_accessor_compression(self, interp):
+        assert roundtrip(interp, "(cadr l)") == "(cadr l)"
+        assert roundtrip(interp, "(car (cdr (cdr l)))") == "(caddr l)"
+
+    def test_deep_accessor_chains_split(self, interp):
+        # Six fields: compressed into at most cxxxxr chunks.
+        out = roundtrip(interp, "(car (cdr (car (cdr (car (cdr l))))))")
+        assert "l" in out and out.count("(") <= 3
+
+    def test_struct_accessor_names(self, interp, runner):
+        runner.eval_text("(defstruct node next)")
+        assert roundtrip(interp, "(node-next n)") == "(node-next n)"
+        assert roundtrip(interp, "(car (node-next n))") == "(car (node-next n))"
+
+    def test_setf_place(self, interp):
+        assert roundtrip(interp, "(setf (cadr l) 9)") == "(setf (cadr l) 9)"
+
+    def test_setq(self, interp):
+        assert roundtrip(interp, "(setq x 1)") == "(setq x 1)"
+
+    def test_if_progn_let(self, interp):
+        assert roundtrip(interp, "(if a 1 2)") == "(if a 1 2)"
+        assert roundtrip(interp, "(progn 1 2)") == "(progn 1 2)"
+        assert roundtrip(interp, "(let ((x 1)) x)") == "(let ((x 1)) x)"
+        assert roundtrip(interp, "(let* ((x 1)) x)") == "(let* ((x 1)) x)"
+
+    def test_lambda_spawn_future(self, interp, runner):
+        runner.eval_text("(defun f (x) x)")
+        assert roundtrip(interp, "(lambda (x) x)") == "(lambda (x) x)"
+        assert roundtrip(interp, "(spawn (f 1))") == "(spawn (f 1))"
+        assert roundtrip(interp, "(future (f 1))") == "(future (f 1))"
+
+    def test_while_and_or(self, interp):
+        assert roundtrip(interp, "(while p (f))") == "(while p (f))"
+        assert roundtrip(interp, "(and a b)") == "(and a b)"
+        assert roundtrip(interp, "(or a b)") == "(or a b)"
+
+
+class TestSemanticRoundTrip:
+    """Lower→unparse must preserve behaviour, not syntax."""
+
+    PROGRAMS = [
+        # (source defining f, setup, call, read-back)
+        (
+            "(defun f (l) (when l (setf (car l) (* 2 (car l))) (f (cdr l))))",
+            "(setq d (list 1 2 3))",
+            "(f d)",
+            "d",
+        ),
+        (
+            "(defun f (n) (cond ((<= n 1) 1) (t (* n (f (1- n))))))",
+            "",
+            "(setq out (f 6))",
+            "out",
+        ),
+        (
+            "(defun f (l acc) (if (null l) acc (f (cdr l) (+ acc (car l)))))",
+            "(setq d (list 1 2 3 4))",
+            "(setq out (f d 0))",
+            "out",
+        ),
+        (
+            "(defun f (l) (dolist (x l) (print x)))",
+            "(setq d (list 7 8))",
+            "(f d)",
+            "nil",
+        ),
+    ]
+
+    @pytest.mark.parametrize("source,setup,call,readback", PROGRAMS)
+    def test_equivalent_behaviour(self, source, setup, call, readback):
+        from repro.lisp.interpreter import Interpreter
+
+        # Original.
+        i1 = Interpreter()
+        r1 = SequentialRunner(i1)
+        r1.eval_text(source)
+        r1.eval_text(setup)
+        r1.eval_text(call)
+        ref = write_str(r1.eval_text(readback))
+        ref_out = list(r1.outputs)
+
+        # Round-tripped.
+        i2 = Interpreter()
+        r2 = SequentialRunner(i2)
+        r2.eval_text(source)
+        func = lower_function(i2, i2.intern("f"))
+        r2.eval_form(unparse_function(func))  # redefine f from IR
+        r2.eval_text(setup)
+        r2.eval_text(call)
+        got = write_str(r2.eval_text(readback))
+        assert got == ref
+        assert r2.outputs == ref_out
+
+    def test_fig5_roundtrip(self, fig5_src):
+        from repro.lisp.interpreter import Interpreter
+
+        i = Interpreter()
+        r = SequentialRunner(i)
+        r.eval_text(fig5_src)
+        func = lower_function(i, i.intern("f5"))
+        r.eval_form(unparse_function(func))
+        r.eval_text("(setq d (list 1 2 3 4)) (f5 d)")
+        assert write_str(r.eval_text("d")) == "(1 3 6 10)"

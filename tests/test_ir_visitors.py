@@ -1,0 +1,131 @@
+"""Unit tests: IR traversal/rewriting utilities."""
+
+import pytest
+
+from repro.ir import nodes as N
+from repro.ir.lower import lower_expr, lower_function
+from repro.ir.unparse import unparse, unparse_function
+from repro.ir.visitors import (
+    assigned_variables,
+    copy_function,
+    copy_node,
+    count_nodes,
+    free_variables,
+    rewrite,
+)
+from repro.sexpr.printer import write_str
+
+
+def lower1(interp, text):
+    return lower_expr(interp, interp.load(text)[0])
+
+
+class TestFreeVariables:
+    def test_var_is_free(self, interp):
+        node = lower1(interp, "x")
+        assert {s.name for s in free_variables(node)} == {"x"}
+
+    def test_let_binds(self, interp):
+        node = lower1(interp, "(let ((x 1)) (+ x y))")
+        assert {s.name for s in free_variables(node)} == {"y"}
+
+    def test_let_init_sees_outer(self, interp):
+        node = lower1(interp, "(let ((x y)) x)")
+        assert {s.name for s in free_variables(node)} == {"y"}
+
+    def test_let_star_sequential_scoping(self, interp):
+        node = lower1(interp, "(let* ((x y) (z x)) z)")
+        assert {s.name for s in free_variables(node)} == {"y"}
+
+    def test_lambda_params_bound(self, interp):
+        node = lower1(interp, "(lambda (a) (+ a b))")
+        assert {s.name for s in free_variables(node)} == {"b"}
+
+    def test_setq_target_counts_as_free(self, interp):
+        node = lower1(interp, "(setq g 1)")
+        assert {s.name for s in free_variables(node)} == {"g"}
+
+    def test_setf_place_base_free(self, interp):
+        node = lower1(interp, "(setf (car l) v)")
+        assert {s.name for s in free_variables(node)} == {"l", "v"}
+
+
+class TestAssignedVariables:
+    def test_setq_detected(self, interp):
+        node = lower1(interp, "(progn (setq a 1) (setq b 2))")
+        assert {s.name for s in assigned_variables(node)} == {"a", "b"}
+
+    def test_setf_place_not_assignment(self, interp):
+        node = lower1(interp, "(setf (car l) 1)")
+        assert not assigned_variables(node)
+
+
+class TestCopy:
+    def test_copy_fresh_ids(self, interp, runner, fig5_src):
+        runner.eval_text(fig5_src)
+        func = lower_function(interp, interp.intern("f5"))
+        dup = copy_function(func)
+        original_ids = {n.node_id for n in func.walk()}
+        copied_ids = {n.node_id for n in dup.walk()}
+        assert not original_ids & copied_ids
+
+    def test_copy_preserves_shape(self, interp, runner, fig5_src):
+        runner.eval_text(fig5_src)
+        func = lower_function(interp, interp.intern("f5"))
+        dup = copy_function(func)
+        assert write_str(unparse_function(dup)) == write_str(unparse_function(func))
+
+    def test_copy_preserves_self_call_marks(self, interp, runner, fig5_src):
+        runner.eval_text(fig5_src)
+        func = lower_function(interp, interp.intern("f5"))
+        dup = copy_function(func)
+        assert len(dup.self_calls()) == 2
+
+    def test_mutating_copy_leaves_original(self, interp):
+        node = lower1(interp, "(progn (f 1) (f 2))")
+        dup = copy_node(node)
+        dup.body.pop()
+        assert len(node.body) == 2
+
+    def test_copy_deep_sharing_broken(self, interp):
+        node = lower1(interp, "(if a (setf (car l) 1) (car l))")
+        dup = copy_node(node)
+        assert dup.then is not node.then
+        assert dup.then.place.base is not node.then.place.base
+
+
+class TestRewrite:
+    def test_replace_calls(self, interp, runner):
+        runner.eval_text("(defun f (x) x)")
+        node = lower1(interp, "(progn (f 1) (g 2))")
+
+        def swap(n):
+            if isinstance(n, N.Call) and n.fn.name == "f":
+                return N.Call(interp.intern("h"), n.args, source=n.source)
+            return None
+
+        out = rewrite(node, swap)
+        text = write_str(unparse(out))
+        assert "(h 1)" in text and "(g 2)" in text
+
+    def test_bottom_up_children_first(self, interp):
+        node = lower1(interp, "(f (g (h 1)))")
+        seen = []
+
+        def log(n):
+            if isinstance(n, N.Call):
+                seen.append(n.fn.name)
+            return None
+
+        rewrite(node, log)
+        assert seen == ["h", "g", "f"]
+
+    def test_keep_when_none(self, interp):
+        node = lower1(interp, "(+ 1 2)")
+        out = rewrite(node, lambda n: None)
+        assert out is node
+
+    def test_count_nodes(self, interp, runner, fig5_src):
+        runner.eval_text(fig5_src)
+        func = lower_function(interp, interp.intern("f5"))
+        assert count_nodes(func) > 10

@@ -1,0 +1,195 @@
+"""Unit tests: builtin functions, including traced list operations."""
+
+import pytest
+
+from repro.lisp.errors import WrongType
+from repro.sexpr.printer import write_str
+
+
+def ev(runner, text):
+    return runner.eval_text(text)
+
+
+class TestArithmetic:
+    def test_addition_variadic(self, runner):
+        assert ev(runner, "(+)") == 0
+        assert ev(runner, "(+ 1 2 3)") == 6
+
+    def test_subtraction_and_negation(self, runner):
+        assert ev(runner, "(- 10 3 2)") == 5
+        assert ev(runner, "(- 4)") == -4
+
+    def test_multiplication(self, runner):
+        assert ev(runner, "(* 2 3 4)") == 24
+        assert ev(runner, "(*)") == 1
+
+    def test_division_exact_integer(self, runner):
+        assert ev(runner, "(/ 12 3)") == 4
+        assert ev(runner, "(/ 7 2)") == 3.5
+
+    def test_mod_1plus_1minus(self, runner):
+        assert ev(runner, "(mod 7 3)") == 1
+        assert ev(runner, "(1+ 5)") == 6
+        assert ev(runner, "(1- 5)") == 4
+
+    def test_comparisons_chain(self, runner):
+        assert ev(runner, "(< 1 2 3)") is True
+        assert ev(runner, "(< 1 3 2)") is None
+        assert ev(runner, "(= 2 2 2)") is True
+        assert ev(runner, "(>= 3 3 2)") is True
+
+    def test_min_max_abs(self, runner):
+        assert ev(runner, "(min 3 1 2)") == 1
+        assert ev(runner, "(max 3 1 2)") == 3
+        assert ev(runner, "(abs -9)") == 9
+
+    def test_type_error(self, runner):
+        with pytest.raises(WrongType):
+            ev(runner, "(+ 1 'a)")
+
+    def test_zerop_evenp_oddp(self, runner):
+        assert ev(runner, "(zerop 0)") is True
+        assert ev(runner, "(evenp 4)") is True
+        assert ev(runner, "(oddp 3)") is True
+
+
+class TestPredicates:
+    def test_eq_symbols(self, runner):
+        assert ev(runner, "(eq 'a 'a)") is True
+        assert ev(runner, "(eq 'a 'b)") is None
+
+    def test_eq_conses_identity(self, runner):
+        ev(runner, "(setq x (list 1))")
+        assert ev(runner, "(eq x x)") is True
+        assert ev(runner, "(eq (list 1) (list 1))") is None
+
+    def test_equal_structural(self, runner):
+        assert ev(runner, "(equal (list 1 2) (list 1 2))") is True
+        assert ev(runner, "(equal (list 1) (list 2))") is None
+
+    def test_null_not(self, runner):
+        assert ev(runner, "(null nil)") is True
+        assert ev(runner, "(null 0)") is None
+        assert ev(runner, "(not nil)") is True
+
+    def test_type_predicates(self, runner):
+        assert ev(runner, "(consp (list 1))") is True
+        assert ev(runner, "(consp nil)") is None
+        assert ev(runner, "(listp nil)") is True
+        assert ev(runner, "(atom 5)") is True
+        assert ev(runner, "(atom (cons 1 2))") is None
+        assert ev(runner, "(numberp 3)") is True
+        assert ev(runner, "(symbolp 'a)") is True
+        assert ev(runner, '(stringp "s")') is True
+
+    def test_heap_object_p(self, runner):
+        assert ev(runner, "(heap-object-p (cons 1 2))") is True
+        ev(runner, "(defstruct hob f)")
+        assert ev(runner, "(heap-object-p (make-hob))") is True
+        assert ev(runner, "(heap-object-p 5)") is None
+        assert ev(runner, "(heap-object-p nil)") is None
+
+
+class TestListOps:
+    def test_car_cdr_of_nil(self, runner):
+        assert ev(runner, "(car nil)") is None
+        assert ev(runner, "(cdr nil)") is None
+
+    def test_cxr_composed(self, runner):
+        ev(runner, "(setq l (list 1 2 3 4 5))")
+        assert ev(runner, "(cadr l)") == 2
+        assert ev(runner, "(caddr l)") == 3
+        assert ev(runner, "(cddr l)").car == 3
+
+    def test_length(self, runner):
+        assert ev(runner, "(length (list 1 2 3))") == 3
+        assert ev(runner, "(length nil)") == 0
+
+    def test_length_improper_raises(self, runner):
+        with pytest.raises(WrongType):
+            ev(runner, "(length (cons 1 2))")
+
+    def test_nth_nthcdr(self, runner):
+        ev(runner, "(setq l (list 10 20 30))")
+        assert ev(runner, "(nth 0 l)") == 10
+        assert ev(runner, "(nth 2 l)") == 30
+        assert ev(runner, "(nth 9 l)") is None
+        assert write_str(ev(runner, "(nthcdr 1 l)")) == "(20 30)"
+
+    def test_last(self, runner):
+        assert write_str(ev(runner, "(last (list 1 2 3))")) == "(3)"
+        assert ev(runner, "(last nil)") is None
+
+    def test_append(self, runner):
+        assert write_str(ev(runner, "(append (list 1) (list 2 3))")) == "(1 2 3)"
+        assert write_str(ev(runner, "(append nil (list 1))")) == "(1)"
+
+    def test_append_shares_last(self, runner):
+        ev(runner, "(setq tail (list 9)) (setq joined (append (list 1) tail))")
+        assert ev(runner, "(eq (cdr joined) tail)") is True
+
+    def test_reverse(self, runner):
+        assert write_str(ev(runner, "(reverse (list 1 2 3))")) == "(3 2 1)"
+
+    def test_copy_list_fresh_cells(self, runner):
+        ev(runner, "(setq orig (list 1 2)) (setq cp (copy-list orig))")
+        assert ev(runner, "(equal orig cp)") is True
+        assert ev(runner, "(eq orig cp)") is None
+
+    def test_member(self, runner):
+        assert write_str(ev(runner, "(member 2 (list 1 2 3))")) == "(2 3)"
+        assert ev(runner, "(member 9 (list 1 2))") is None
+
+    def test_assoc(self, runner):
+        ev(runner, "(setq al (list (cons 'a 1) (cons 'b 2)))")
+        assert ev(runner, "(cdr (assoc 'b al))") == 2
+        assert ev(runner, "(assoc 'z al)") is None
+
+    def test_mapcar(self, runner):
+        assert write_str(ev(runner, "(mapcar #'1+ (list 1 2 3))")) == "(2 3 4)"
+
+    def test_rplaca_rplacd(self, runner):
+        ev(runner, "(setq c (cons 1 2)) (rplaca c 10) (rplacd c 20)")
+        assert write_str(ev(runner, "c")) == "(10 . 20)"
+
+    def test_rplaca_returns_cell(self, runner):
+        ev(runner, "(setq c (cons 1 2))")
+        assert ev(runner, "(eq (rplaca c 5) c)") is True
+
+
+class TestHashTables:
+    def test_put_get(self, runner):
+        ev(runner, "(setq h (make-hash-table))")
+        ev(runner, "(puthash 'k h 1)")
+        assert ev(runner, "(gethash 'k h)") == 1
+
+    def test_missing_key_nil(self, runner):
+        ev(runner, "(setq h (make-hash-table))")
+        assert ev(runner, "(gethash 'missing h)") is None
+
+    def test_count(self, runner):
+        ev(runner, "(setq h (make-hash-table)) (puthash 1 h 'a) (puthash 2 h 'b)")
+        assert ev(runner, "(hash-table-count h)") == 2
+
+    def test_cons_keys_by_identity(self, runner):
+        ev(runner, "(setq h (make-hash-table)) (setq k1 (list 1)) (puthash k1 h 'v)")
+        assert ev(runner, "(gethash k1 h)").name == "v"
+        assert ev(runner, "(gethash (list 1) h)") is None
+
+
+class TestTraceEffects:
+    def test_car_records_read(self, runner):
+        ev(runner, "(setq l (list 1 2))")
+        before = len(runner.trace.reads())
+        ev(runner, "(car l)")
+        assert len(runner.trace.reads()) == before + 1
+
+    def test_setf_records_write(self, runner):
+        ev(runner, "(setq l (list 1 2))")
+        before = len(runner.trace.writes())
+        ev(runner, "(setf (car l) 9)")
+        assert len(runner.trace.writes()) == before + 1
+
+    def test_print_records_output(self, runner):
+        ev(runner, "(print 42)")
+        assert runner.outputs == [42]

@@ -1,0 +1,124 @@
+"""Unit tests: the sequential driver's handling of concurrency effects."""
+
+import pytest
+
+from repro.lisp.errors import DeadlockError
+from repro.lisp.runner import SequentialRunner, run_program
+from repro.sexpr.printer import write_str
+
+
+def ev(runner, text):
+    return runner.eval_text(text)
+
+
+class TestBasics:
+    def test_run_program_helper(self):
+        value, runner = run_program(
+            "(defun f (x) (* x 2))", call=("f", 21)
+        )
+        assert value == 42
+        assert runner.time > 0
+
+    def test_call_with_python_args(self, runner, interp):
+        ev(runner, "(defun add (a b) (+ a b))")
+        assert runner.call("add", 3, 4) == 7
+
+    def test_outputs_collected_in_order(self, runner):
+        ev(runner, "(print 1) (print 2) (print 3)")
+        assert runner.outputs == [1, 2, 3]
+
+
+class TestSpawnDepthFirst:
+    def test_spawn_runs_immediately(self, runner):
+        ev(runner, "(defun side (l) (when l (setf (car l) 0) (spawn (side (cdr l)))))")
+        ev(runner, "(setq d (list 1 2 3)) (side d)")
+        assert write_str(ev(runner, "d")) == "(0 0 0)"
+
+    def test_spawn_order_matches_recursion(self, runner):
+        ev(runner, "(defun p (l) (when l (print (car l)) (spawn (p (cdr l)))))")
+        ev(runner, "(p (list 1 2 3))")
+        assert runner.outputs == [1, 2, 3]
+
+    def test_spawn_trace_recorded(self, runner):
+        ev(runner, "(defun s (n) (when (> n 0) (spawn (s (1- n)))))")
+        ev(runner, "(s 3)")
+        spawns = [e for e in runner.trace.events if e.kind == "spawn"]
+        assert len(spawns) == 3
+
+
+class TestFutures:
+    def test_future_touch(self, runner):
+        assert ev(runner, "(touch (future (+ 1 2)))") == 3
+
+    def test_touch_non_future_passthrough(self, runner):
+        assert ev(runner, "(touch 42)") == 42
+
+    def test_future_p(self, runner):
+        assert ev(runner, "(future-p (future 1))") is True
+        assert ev(runner, "(future-p 1)") is None
+
+    def test_future_resolved_sequentially(self, runner):
+        ev(runner, "(setq f (future (* 6 7)))")
+        assert ev(runner, "(touch f)") == 42
+
+
+class TestSync:
+    def test_sync_noop_sequentially(self, runner):
+        assert ev(runner, "(progn (sync) 7)") == 7
+
+
+class TestLocksSequential:
+    def test_lock_unlock_recorded_not_blocking(self, runner):
+        ev(runner, "(setq c (cons 1 2))")
+        ev(runner, "(lock-loc! c 'car) (unlock-loc! c 'car)")
+        kinds = [e.kind for e in runner.trace.events]
+        assert "lock" in kinds and "unlock" in kinds
+
+    def test_make_lock_acquire_release(self, runner):
+        ev(runner, "(setq lk (make-lock)) (acquire! lk) (release! lk)")
+
+
+class TestQueuesSequential:
+    def test_put_then_get(self, runner):
+        ev(runner, "(setq q (make-queue)) (enqueue! q 5)")
+        assert ev(runner, "(dequeue! q)") == 5
+
+    def test_get_empty_open_deadlocks(self, runner):
+        ev(runner, "(setq q (make-queue))")
+        with pytest.raises(DeadlockError):
+            ev(runner, "(dequeue! q)")
+
+    def test_get_closed_returns_sentinel(self, runner):
+        ev(runner, "(setq q (make-queue)) (close-queue! q)")
+        out = ev(runner, "(dequeue! q)")
+        assert out.name == ":queue-closed"
+
+    def test_closed_queue_drains_first(self, runner):
+        ev(runner, "(setq q (make-queue)) (enqueue! q 1) (close-queue! q)")
+        assert ev(runner, "(dequeue! q)") == 1
+        assert ev(runner, "(dequeue! q)").name == ":queue-closed"
+
+    def test_queue_length(self, runner):
+        ev(runner, "(setq q (make-queue)) (enqueue! q 1) (enqueue! q 2)")
+        assert ev(runner, "(queue-length q)") == 2
+
+
+class TestTransformedSequentialEquivalence:
+    """Sequential execution of spawn-transformed code must equal the
+    original — the depth-first ordering argument in the module docstring."""
+
+    def test_fig5_shape(self, runner, fig5_src):
+        ev(runner, fig5_src)
+        ev(
+            runner,
+            """
+            (defun f5s (l)
+              (cond ((null l) nil)
+                    ((null (cdr l)) (spawn (f5s (cdr l))))
+                    (t (setf (cadr l) (+ (car l) (cadr l)))
+                       (spawn (f5s (cdr l))))))
+            """,
+        )
+        ev(runner, "(setq a (list 1 2 3 4 5)) (setq b (list 1 2 3 4 5))")
+        ev(runner, "(f5 a) (f5s b)")
+        assert write_str(ev(runner, "a")) == write_str(ev(runner, "b"))

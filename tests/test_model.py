@@ -1,0 +1,142 @@
+"""Unit tests: the closed-form performance model (§3.1, §3.2.1, §4.1)."""
+
+import math
+
+import pytest
+
+from repro.model import (
+    cri_concurrency,
+    effective_concurrency,
+    execution_time,
+    execution_time_naive,
+    lock_limited_concurrency,
+    optimal_servers,
+    optimal_servers_unclamped,
+    predicted_speedup,
+)
+
+
+class TestConcurrency:
+    def test_tail_recursive_is_one(self):
+        assert cri_concurrency(10, 0) == 1.0
+
+    def test_half_and_half_is_two(self):
+        assert cri_concurrency(5, 5) == 2.0
+
+    def test_head_recursive_high(self):
+        assert cri_concurrency(1, 99) == 100.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cri_concurrency(0, 5)
+        with pytest.raises(ValueError):
+            cri_concurrency(5, -1)
+
+    def test_lock_limit_min(self):
+        assert lock_limited_concurrency([3, 1, 7]) == 1
+        assert lock_limited_concurrency([5]) == 5
+
+    def test_lock_limit_empty_unbounded(self):
+        assert lock_limited_concurrency([]) is None
+
+    def test_lock_limit_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lock_limited_concurrency([0])
+
+    def test_effective_combines(self):
+        assert effective_concurrency(1, 99, [2]) == 2.0
+        assert effective_concurrency(1, 99) == 100.0
+        assert effective_concurrency(50, 50, [10]) == 2.0
+
+
+class TestExecutionTime:
+    def test_one_server_sequential(self):
+        # S=1: (d-1)(h+t) + (h+t) = d(h+t)
+        assert execution_time(8, 1, 2, 6) == 8 * 8
+
+    def test_d_servers(self):
+        # S=d: 0·(h+t) + (dh+t)
+        assert execution_time(8, 8, 2, 6) == 8 * 2 + 6
+
+    def test_more_servers_than_invocations_clamped(self):
+        assert execution_time(4, 100, 2, 6) == execution_time(4, 4, 2, 6)
+
+    def test_naive_upper_bounds_refined(self):
+        for s in (1, 2, 4, 8):
+            assert execution_time_naive(16, s, 3, 9) >= execution_time(16, s, 3, 9)
+
+    def test_formula_literal(self):
+        d, s, h, t = 20, 4, 2, 10
+        expected = (math.ceil(d / s) - 1) * (h + t) + (s * h + t)
+        assert execution_time(d, s, h, t) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            execution_time(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            execution_time(1, 0, 1, 1)
+        with pytest.raises(ValueError):
+            execution_time(1, 1, 0, 1)
+
+
+class TestOptimalServers:
+    def test_closed_form(self):
+        # S* = sqrt(d(h+t)/h)
+        assert optimal_servers_unclamped(100, 1, 0) == pytest.approx(10.0)
+        assert optimal_servers_unclamped(100, 1, 3) == pytest.approx(20.0)
+
+    def test_continuous_minimizer_exact(self):
+        """Without the ceiling, T(S) = (d/S−1)(h+t) + Sh + t has its
+        exact minimum at S* = √(d(h+t)/h) — the paper's derivation."""
+        for d, h, t in [(64, 2, 10), (100, 1, 5), (400, 3, 21)]:
+            s_star = optimal_servers_unclamped(d, h, t)
+
+            def t_cont(s: float) -> float:
+                return (d / s - 1) * (h + t) + s * h + t
+
+            eps = 1e-4
+            assert t_cont(s_star) <= t_cont(s_star - eps)
+            assert t_cont(s_star) <= t_cont(s_star + eps)
+
+    def test_integer_choice_near_brute_force(self):
+        """The ceiling makes discrete T(S) a sawtooth, so S* is only
+        near-optimal; it must be within 25% of the brute-force best."""
+        for d, h, t in [(64, 2, 10), (100, 1, 5), (37, 3, 3), (48, 2, 14)]:
+            s = optimal_servers(d, h, t)
+            best = min(execution_time(d, alt, h, t) for alt in range(1, d + 1))
+            assert execution_time(d, s, h, t) <= 1.25 * best
+
+    def test_capped_by_d(self):
+        assert optimal_servers(4, 1, 1000) <= 4
+
+    def test_capped_by_cf(self):
+        assert optimal_servers(100, 1, 99, cf=3) == 3
+
+
+class TestSpeedup:
+    def test_speedup_one_server_is_one(self):
+        assert predicted_speedup(10, 1, 2, 6) == pytest.approx(1.0)
+
+    def test_speedup_grows_then_saturates(self):
+        d, h, t = 64, 1, 15
+        speedups = [predicted_speedup(d, s, h, t) for s in (1, 2, 4, 8)]
+        assert speedups == sorted(speedups)
+
+    def test_speedup_bounded_by_invocations(self):
+        d, h, t = 256, 4, 12
+        for s in (1, 2, 4, 8, 16, 64):
+            assert predicted_speedup(d, s, h, t) <= d
+
+
+class TestUShape:
+    def test_time_curve_is_u_shaped(self):
+        """The paper's Figure 10 family: T(S) falls toward S*, then the
+        Sh term dominates and it rises again (sawtooth notwithstanding)."""
+        d, h, t = 100, 2, 18
+        s_star = optimal_servers(d, h, t)
+        t_star = execution_time(d, s_star, h, t)
+        assert execution_time(d, 1, h, t) > t_star
+        assert execution_time(d, d, h, t) > t_star
+        # Near-optimality of S* against the discrete brute force.
+        best = min(execution_time(d, s, h, t) for s in range(1, d + 1))
+        assert t_star <= 1.25 * best

@@ -1,0 +1,154 @@
+"""Unit tests: Thompson NFAs, matching, and the two prefix tests."""
+
+import pytest
+
+from repro.paths.automata import (
+    build_nfa,
+    enumerate_words,
+    language_empty,
+    language_word_is_prefix_of,
+    matches,
+    prefix_of_language,
+)
+from repro.paths.regex import Alt, Cat, Empty, Eps, Plus, Star, Sym, parse_regex
+
+
+class TestMatching:
+    def test_sym(self):
+        assert matches(Sym("a"), ("a",))
+        assert not matches(Sym("a"), ("b",))
+        assert not matches(Sym("a"), ())
+        assert not matches(Sym("a"), ("a", "a"))
+
+    def test_eps(self):
+        assert matches(Eps, ())
+        assert not matches(Eps, ("a",))
+
+    def test_empty_language(self):
+        assert not matches(Empty, ())
+        assert not matches(Empty, ("a",))
+
+    def test_cat(self):
+        r = parse_regex("a.b")
+        assert matches(r, ("a", "b"))
+        assert not matches(r, ("a",))
+        assert not matches(r, ("b", "a"))
+
+    def test_alt(self):
+        r = parse_regex("a|b")
+        assert matches(r, ("a",)) and matches(r, ("b",))
+        assert not matches(r, ("c",))
+
+    def test_star(self):
+        r = parse_regex("a*")
+        for n in range(5):
+            assert matches(r, ("a",) * n)
+        assert not matches(r, ("a", "b"))
+
+    def test_plus(self):
+        r = parse_regex("a+")
+        assert not matches(r, ())
+        assert matches(r, ("a",)) and matches(r, ("a", "a", "a"))
+
+    def test_complex(self):
+        r = parse_regex("(succ|pred)*.val")
+        assert matches(r, ("val",))
+        assert matches(r, ("succ", "pred", "succ", "val"))
+        assert not matches(r, ("succ",))
+
+
+class TestPrefixOfLanguage:
+    """word ≤ some w ∈ L — the paper's primary conflict test direction."""
+
+    def test_empty_word_prefix_of_nonempty_language(self):
+        assert prefix_of_language((), parse_regex("a"))
+
+    def test_empty_word_not_prefix_of_empty_language(self):
+        assert not prefix_of_language((), Empty)
+
+    def test_proper_prefix(self):
+        assert prefix_of_language(("cdr",), parse_regex("cdr+.car"))
+        assert prefix_of_language(("cdr", "cdr"), parse_regex("cdr+.car"))
+        assert prefix_of_language(("cdr", "car"), parse_regex("cdr+.car"))
+
+    def test_non_prefix(self):
+        assert not prefix_of_language(("car",), parse_regex("cdr+.car"))
+        assert not prefix_of_language(("cdr", "car", "car"), parse_regex("cdr+.car"))
+
+    def test_full_word_is_prefix(self):
+        assert prefix_of_language(("a", "b"), parse_regex("a.b"))
+
+    def test_longer_than_language(self):
+        assert not prefix_of_language(("a", "b", "c"), parse_regex("a.b"))
+
+    def test_paper_section_2_2(self):
+        # "A2 does not conflict with A1 since cdr+.car can never be a
+        # prefix of cdr" — tested in the A1 ≤ τ·A2 form used there:
+        # cdr.car ≤ cdr⁺·cdr?  No.
+        assert not prefix_of_language(("cdr", "car"), parse_regex("cdr+.cdr"))
+        # "A2 ⊙ A3 since cdr.car ≤ cdr⁺.car".
+        assert prefix_of_language(("cdr", "car"), parse_regex("cdr+.car"))
+
+
+class TestLanguageWordIsPrefixOf:
+    """some w ∈ L with w ≤ word — the later-write conflict direction."""
+
+    def test_exact(self):
+        assert language_word_is_prefix_of(parse_regex("a.b"), ("a", "b"))
+
+    def test_shorter_language_word(self):
+        assert language_word_is_prefix_of(parse_regex("a"), ("a", "b", "c"))
+
+    def test_eps_always_prefix(self):
+        assert language_word_is_prefix_of(Eps, ())
+        assert language_word_is_prefix_of(parse_regex("a*"), ("b",))  # ε ∈ a*
+
+    def test_no_prefix(self):
+        assert not language_word_is_prefix_of(parse_regex("a.b"), ("a",))
+        assert not language_word_is_prefix_of(parse_regex("b"), ("a", "b"))
+
+    def test_empty_language(self):
+        assert not language_word_is_prefix_of(Empty, ("a",))
+
+
+class TestLanguageEmpty:
+    def test_empty(self):
+        assert language_empty(Empty)
+        assert language_empty(Cat(Sym("a"), Empty))
+
+    def test_nonempty(self):
+        assert not language_empty(Eps)
+        assert not language_empty(Sym("a"))
+        assert not language_empty(Star(Empty))  # ε ∈ ∅*
+
+
+class TestEnumerate:
+    def test_star_enumeration(self):
+        words = list(enumerate_words(parse_regex("a*"), 3))
+        assert words == [(), ("a",), ("a", "a"), ("a", "a", "a")]
+
+    def test_alt_enumeration(self):
+        words = set(enumerate_words(parse_regex("a|b"), 1))
+        assert words == {("a",), ("b",)}
+
+    def test_enumeration_matches_membership(self):
+        r = parse_regex("(a|b).c*")
+        for w in enumerate_words(r, 4):
+            assert matches(r, w)
+
+
+class TestReachability:
+    def test_can_reach_accept_with_symbol(self):
+        nfa = build_nfa(parse_regex("a.b"))
+        reach = nfa.can_reach_accept_with_symbol()
+        assert reach[nfa.start]
+
+    def test_accept_state_cannot_reach_with_symbol_when_terminal(self):
+        nfa = build_nfa(Sym("a"))
+        reach = nfa.can_reach_accept_with_symbol()
+        assert not reach[nfa.accept]
+
+    def test_star_loop_reaches_with_symbol(self):
+        nfa = build_nfa(Star(Sym("a")))
+        reach = nfa.can_reach_accept_with_symbol()
+        assert reach[nfa.start]

@@ -1,0 +1,116 @@
+"""Unit tests: accessor regexes and their parser."""
+
+import pytest
+
+from repro.paths.regex import (
+    Alt,
+    Cat,
+    Empty,
+    Eps,
+    Plus,
+    RegexSyntaxError,
+    Star,
+    Sym,
+    alphabet,
+    parse_regex,
+    word_regex,
+)
+
+
+class TestConstruction:
+    def test_sym(self):
+        assert Sym("car").field == "car"
+        with pytest.raises(ValueError):
+            Sym("")
+
+    def test_plus_is_derived(self):
+        p = Plus(Sym("cdr"))
+        assert isinstance(p, Cat)
+        assert isinstance(p.right, Star)
+
+    def test_structural_equality(self):
+        assert Sym("a") == Sym("a")
+        assert Cat(Sym("a"), Sym("b")) == Cat(Sym("a"), Sym("b"))
+        assert Alt(Sym("a"), Sym("b")) != Alt(Sym("b"), Sym("a"))
+        assert Star(Sym("a")) == Star(Sym("a"))
+        assert Eps == Eps and Empty == Empty and Eps != Empty
+
+    def test_hashable(self):
+        s = {Sym("a"), Sym("a"), Star(Sym("b"))}
+        assert len(s) == 2
+
+    def test_word_regex(self):
+        r = word_regex(("cdr", "car"))
+        assert isinstance(r, Cat)
+        assert word_regex(()) is Eps
+
+    def test_combinator_methods(self):
+        r = Sym("a").then(Sym("b")).star()
+        assert isinstance(r, Star)
+        assert isinstance((Sym("a") | Sym("b")), Alt)
+
+    def test_alphabet(self):
+        r = parse_regex("(succ|pred)*.car")
+        assert alphabet(r) == {"succ", "pred", "car"}
+
+
+class TestParser:
+    def test_single_field(self):
+        assert parse_regex("cdr") == Sym("cdr")
+
+    def test_concat_dot(self):
+        assert parse_regex("cdr.car") == Cat(Sym("cdr"), Sym("car"))
+
+    def test_plus_postfix(self):
+        assert parse_regex("cdr+") == Plus(Sym("cdr"))
+
+    def test_paper_fig3_transfer(self):
+        # τ_l = cdr⁺ from Figure 3.
+        r = parse_regex("cdr+.car")
+        assert isinstance(r, Cat)
+
+    def test_alternation(self):
+        r = parse_regex("a|b|c")
+        assert isinstance(r, Alt)
+
+    def test_grouping(self):
+        r = parse_regex("(succ|pred)*")
+        assert isinstance(r, Star)
+        assert isinstance(r.inner, Alt)
+
+    def test_epsilon_empty(self):
+        assert parse_regex("ε") is Eps
+        assert parse_regex("∅") is Empty
+
+    def test_hyphenated_field_names(self):
+        assert parse_regex("node-next") == Sym("node-next")
+
+    def test_whitespace_tolerated(self):
+        assert parse_regex(" cdr . car ") == Cat(Sym("cdr"), Sym("car"))
+
+    def test_trailing_junk_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a)")
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("(a|b")
+
+    def test_empty_input_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("")
+
+    def test_precedence_star_binds_tighter_than_concat(self):
+        r = parse_regex("a.b*")
+        assert isinstance(r, Cat)
+        assert isinstance(r.right, Star)
+
+    def test_precedence_concat_binds_tighter_than_alt(self):
+        r = parse_regex("a.b|c")
+        assert isinstance(r, Alt)
+        assert isinstance(r.left, Cat)
+
+    def test_repr_parseable_simple(self):
+        for text in ["cdr", "cdr.car", "a|b", "(a|b)*", "cdr+"]:
+            r = parse_regex(text)
+            assert parse_regex(repr(r)) == r

@@ -1,0 +1,216 @@
+"""Unit tests: transfer functions and conflict distances (§2.1-2.2)."""
+
+import pytest
+
+from repro.paths.accessor import Accessor, parse_accessor
+from repro.paths.transfer import (
+    TransferFunction,
+    conflict_distances,
+    conflicts_at_distance,
+    min_conflict_distance,
+)
+
+
+CDR = TransferFunction.parse("cdr")
+
+
+class TestTransferFunction:
+    def test_parse(self):
+        tf = TransferFunction.parse("cdr+.car")
+        assert tf.nfa is tf.nfa  # cached
+
+    def test_identity(self):
+        tf = TransferFunction.identity()
+        assert conflicts_at_distance(
+            parse_accessor("car"), parse_accessor("car"), tf, 0
+        )
+
+    def test_power_zero_is_epsilon(self):
+        from repro.paths.automata import matches
+
+        assert matches(CDR.power(0), ())
+
+    def test_power_three(self):
+        from repro.paths.automata import matches
+
+        assert matches(CDR.power(3), ("cdr",) * 3)
+        assert not matches(CDR.power(3), ("cdr",) * 2)
+
+    def test_compose_accessor(self):
+        from repro.paths.automata import matches
+
+        lang = CDR.compose_accessor(2, parse_accessor("car"))
+        assert matches(lang, ("cdr", "cdr", "car"))
+
+    def test_equality_and_hash(self):
+        assert TransferFunction.parse("cdr") == TransferFunction.parse("cdr")
+        assert hash(TransferFunction.parse("cdr")) == hash(TransferFunction.parse("cdr"))
+
+
+class TestPaperFigure4:
+    """A1 = cdr.car (modify), A2 = car, τ = cdr → distance 1."""
+
+    def test_conflict_at_one(self):
+        assert conflicts_at_distance(
+            parse_accessor("cdr.car"), parse_accessor("car"), CDR, 1
+        )
+
+    def test_min_distance_is_one(self):
+        assert min_conflict_distance(
+            parse_accessor("cdr.car"), parse_accessor("car"), CDR
+        ) == 1
+
+    def test_only_distance_one(self):
+        dists = conflict_distances(
+            parse_accessor("cdr.car"), parse_accessor("car"), CDR, 6
+        )
+        assert dists == [1]
+
+
+class TestPaperSection22:
+    """Figure 5's accessors: A1=cdr, A2=cdr.car (modify), A3=car."""
+
+    def test_a2_no_conflict_with_a1(self):
+        assert (
+            min_conflict_distance(parse_accessor("cdr.car"), parse_accessor("cdr"), CDR)
+            is None
+        )
+
+    def test_a2_conflicts_a3_at_one(self):
+        assert (
+            min_conflict_distance(parse_accessor("cdr.car"), parse_accessor("car"), CDR)
+            == 1
+        )
+
+
+class TestDistances:
+    def test_distance_two(self):
+        # Write two cells ahead: read at distance 2.
+        assert (
+            min_conflict_distance(
+                parse_accessor("cdr.cdr.car"), parse_accessor("car"), CDR
+            )
+            == 2
+        )
+
+    def test_distance_k_parametrized(self):
+        for k in range(1, 6):
+            a1 = Accessor(("cdr",) * k + ("car",))
+            assert min_conflict_distance(a1, parse_accessor("car"), CDR) == k
+
+    def test_min_d_parameter(self):
+        # Within-invocation conflict (d=0): same word.
+        a = parse_accessor("car")
+        assert min_conflict_distance(a, a, CDR, min_d=0) == 0
+        assert min_conflict_distance(a, a, CDR, min_d=1) is None
+
+    def test_max_d_cap(self):
+        a1 = Accessor(("cdr",) * 5 + ("car",))
+        assert min_conflict_distance(a1, parse_accessor("car"), CDR, max_d=3) is None
+        assert min_conflict_distance(a1, parse_accessor("car"), CDR, max_d=5) == 5
+
+    def test_overshoot_conflict(self):
+        # τ = cdr.cdr overshoots A1 = cdr: the τ-chain itself covers A1.
+        tau = TransferFunction.parse("cdr.cdr")
+        assert (
+            min_conflict_distance(parse_accessor("cdr"), parse_accessor("zzz"), tau)
+            == 1
+        )
+
+    def test_alternation_transfer(self):
+        # τ = cdr | cdr.cdr: the 3-step write can be met in 2 applications.
+        tau = TransferFunction.parse("cdr|cdr.cdr")
+        a1 = parse_accessor("cdr.cdr.cdr.car")
+        assert min_conflict_distance(a1, parse_accessor("car"), tau) == 2
+
+    def test_struct_fields(self):
+        tau = TransferFunction.parse("next")
+        assert (
+            min_conflict_distance(
+                parse_accessor("next.data"), parse_accessor("data"), tau
+            )
+            == 1
+        )
+
+    def test_no_conflict_disjoint_fields(self):
+        assert (
+            min_conflict_distance(
+                parse_accessor("car.car"), parse_accessor("car"), CDR
+            )
+            is None
+        )
+
+    def test_epsilon_transfer_same_location(self):
+        # An unchanged parameter: every distance conflicts on the same word.
+        tau = TransferFunction.identity()
+        a = parse_accessor("cdr")
+        assert min_conflict_distance(a, a, tau) == 1
+        assert conflict_distances(a, a, tau, 4) == [1, 2, 3, 4]
+
+
+class TestDirections:
+    def test_write_second_direction(self):
+        # Earlier access reads deep (car.car...); later write hits a node
+        # on that path: τ^d·A2 ≤ A1.
+        a1 = parse_accessor("cdr.cdr.car")  # earlier read path
+        a2 = parse_accessor("cdr")  # later write
+        # τ = cdr: at d=1, later write location is cdr.cdr ≤ cdr.cdr.car ✓
+        assert conflicts_at_distance(a1, a2, CDR, 1, direction="write-second")
+        assert (
+            min_conflict_distance(a1, a2, CDR, direction="write-second") == 1
+        )
+
+    def test_write_second_no_overshoot_success(self):
+        # Overshoot is NOT a conflict for write-second.
+        tau = TransferFunction.parse("cdr.cdr")
+        a1 = parse_accessor("cdr")
+        a2 = parse_accessor("zzz")
+        assert (
+            min_conflict_distance(a1, a2, tau, direction="write-second") is None
+        )
+
+    def test_directions_disagree(self):
+        # A1 = cdr.car written early conflicts with A2 = car read later
+        # (write-first d=1), but a later write to car never lands on the
+        # earlier read of cdr.car... actually cdr^1·car = cdr.car ≤ cdr.car
+        a1 = parse_accessor("cdr.car")
+        a2 = parse_accessor("car")
+        assert min_conflict_distance(a1, a2, CDR, direction="write-first") == 1
+        assert min_conflict_distance(a1, a2, CDR, direction="write-second") == 1
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(ValueError):
+            conflicts_at_distance(
+                parse_accessor("a"), parse_accessor("b"), CDR, 1, direction="bogus"
+            )
+        with pytest.raises(ValueError):
+            min_conflict_distance(
+                parse_accessor("a"), parse_accessor("b"), CDR, direction="bogus"
+            )
+
+
+class TestConsistency:
+    """min_conflict_distance (BFS) must agree with enumeration."""
+
+    CASES = [
+        ("cdr.car", "car", "cdr"),
+        ("cdr.cdr.car", "car", "cdr"),
+        ("cdr", "cdr", "cdr"),
+        ("car", "car", "cdr"),
+        ("cdr.car", "cdr.car", "cdr"),
+        ("next.next.data", "data", "next"),
+        ("cdr.car", "car", "cdr|cdr.cdr"),
+        ("cdr.cdr.cdr.cdr.car", "car", "cdr.cdr"),
+    ]
+
+    @pytest.mark.parametrize("a1,a2,tau", CASES)
+    @pytest.mark.parametrize("direction", ["write-first", "write-second"])
+    def test_bfs_matches_enumeration(self, a1, a2, tau, direction):
+        A1, A2 = parse_accessor(a1), parse_accessor(a2)
+        tf = TransferFunction.parse(tau)
+        enumerated = conflict_distances(A1, A2, tf, 10, direction=direction)
+        bfs = min_conflict_distance(A1, A2, tf, direction=direction)
+        if enumerated:
+            assert bfs == enumerated[0]
+        else:
+            assert bfs is None or bfs > 10

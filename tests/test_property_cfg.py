@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis): CFG and dominator invariants over
+generated function bodies."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir.cfg import ENTRY, EXIT, build_cfg
+from repro.ir.dominators import compute_dominators
+from repro.ir.lower import lower_function
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+exprs = st.recursive(
+    st.sampled_from(["1", "(car l)", "(cadr l)", "x"]),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda ab: f"(+ {ab[0]} {ab[1]})"),
+        st.tuples(children, children, children).map(
+            lambda abc: f"(if {abc[0]} {abc[1]} {abc[2]})"
+        ),
+        st.tuples(children).map(lambda a: f"(print {a[0]})"),
+    ),
+    max_leaves=6,
+)
+
+bodies = st.lists(
+    st.one_of(
+        exprs,
+        st.tuples(exprs).map(lambda a: f"(setf (car l) {a[0]})"),
+        st.tuples(exprs, exprs).map(
+            lambda ab: f"(if {ab[0]} (f (cdr l)) {ab[1]})"
+        ),
+        st.just("(while x (setq x (cdr x)))"),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def make_func(stmts):
+    src = "(defun f (l x) " + " ".join(stmts) + ")"
+    interp = Interpreter()
+    SequentialRunner(interp).eval_text(src)
+    return lower_function(interp, interp.intern("f"))
+
+
+class TestCFGInvariants:
+    @settings(max_examples=50, **COMMON)
+    @given(bodies)
+    def test_every_node_in_cfg(self, stmts):
+        func = make_func(stmts)
+        cfg = build_cfg(func)
+        # Every IR node appears as a vertex.
+        ir_ids = {n.node_id for n in func.walk()}
+        assert ir_ids <= set(cfg.nodes)
+
+    @settings(max_examples=50, **COMMON)
+    @given(bodies)
+    def test_edges_reference_known_vertices(self, stmts):
+        func = make_func(stmts)
+        cfg = build_cfg(func)
+        vertices = set(cfg.succs) | set(cfg.preds)
+        for src, dsts in cfg.succs.items():
+            for dst in dsts:
+                assert dst in vertices
+
+    @settings(max_examples=50, **COMMON)
+    @given(bodies)
+    def test_exit_reachable_from_entry(self, stmts):
+        func = make_func(stmts)
+        cfg = build_cfg(func)
+        seen, stack = {ENTRY}, [ENTRY]
+        while stack:
+            v = stack.pop()
+            for s in cfg.succs.get(v, ()):
+                if s not in seen:
+                    seen.add(s)
+                    stack.append(s)
+        assert EXIT in seen
+
+    @settings(max_examples=50, **COMMON)
+    @given(bodies)
+    def test_succ_pred_symmetry(self, stmts):
+        func = make_func(stmts)
+        cfg = build_cfg(func)
+        for src, dsts in cfg.succs.items():
+            for dst in dsts:
+                assert src in cfg.preds.get(dst, set())
+        for dst, srcs in cfg.preds.items():
+            for src in srcs:
+                assert dst in cfg.succs.get(src, set())
+
+
+class TestDominatorInvariants:
+    @settings(max_examples=40, **COMMON)
+    @given(bodies)
+    def test_entry_dominates_everything(self, stmts):
+        func = make_func(stmts)
+        cfg = build_cfg(func)
+        dom = compute_dominators(cfg)
+        for v, doms in dom.items():
+            assert ENTRY in doms
+
+    @settings(max_examples=40, **COMMON)
+    @given(bodies)
+    def test_reflexive(self, stmts):
+        func = make_func(stmts)
+        dom = compute_dominators(build_cfg(func))
+        for v, doms in dom.items():
+            assert v in doms
+
+    @settings(max_examples=40, **COMMON)
+    @given(bodies)
+    def test_dominators_closed_under_domination(self, stmts):
+        """If d ∈ dom(v) then dom(d) ⊆ dom(v) — dominator sets are
+        chains up the dominator tree."""
+        func = make_func(stmts)
+        dom = compute_dominators(build_cfg(func))
+        for v, doms in dom.items():
+            for d in doms:
+                assert dom.get(d, set()) <= doms
+
+    @settings(max_examples=40, **COMMON)
+    @given(bodies)
+    def test_semantic_definition_spot_check(self, stmts):
+        """dom(v) really is 'on every ENTRY→v path': removing a dominator
+        disconnects v from ENTRY."""
+        func = make_func(stmts)
+        cfg = build_cfg(func)
+        dom = compute_dominators(cfg)
+        # Check a few vertices only (path enumeration is exponential).
+        for v in list(dom)[:5]:
+            for d in dom[v]:
+                if d in (v, ENTRY):
+                    continue
+                # BFS from ENTRY avoiding d must not reach v.
+                seen, stack = {ENTRY, d}, [ENTRY]
+                reached = False
+                while stack:
+                    u = stack.pop()
+                    if u == v:
+                        reached = True
+                        break
+                    for s in cfg.succs.get(u, ()):
+                        if s not in seen:
+                            seen.add(s)
+                            stack.append(s)
+                assert not reached

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis): end-to-end sequentializability.
+
+The paper's central guarantee, attacked with random programs and random
+schedules: for random list contents, processor counts, and scheduling
+seeds, Curare-transformed code on the machine must reproduce the
+sequential result.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+from repro.runtime.machine import Machine
+from repro.runtime.serializability import check_conflict_order
+from repro.sexpr.printer import write_str
+from repro.transform.pipeline import Curare
+
+FIG5 = """
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+"""
+
+REMQ = """
+(defun remq (obj lst)
+  (cond ((null lst) nil)
+        ((eq obj (car lst)) (remq obj (cdr lst)))
+        (t (cons (car lst) (remq obj (cdr lst))))))
+"""
+
+SCALE = """
+(defun scale (l)
+  (when l
+    (setf (car l) (* 3 (car l)))
+    (scale (cdr l))))
+"""
+
+int_lists = st.lists(st.integers(-50, 50), min_size=0, max_size=10)
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def lisp_literal(values):
+    return "(list " + " ".join(str(v) for v in values) + ")" if values else "nil"
+
+
+def sequential_reference(src, setup, call, readback):
+    interp = Interpreter()
+    runner = SequentialRunner(interp)
+    runner.eval_text(src)
+    runner.eval_text(setup)
+    runner.eval_text(call)
+    return write_str(runner.eval_text(readback))
+
+
+def concurrent_run(src, fname, setup, call, readback, processors, seed):
+    interp = Interpreter()
+    curare = Curare(interp, assume_sapp=True)
+    curare.load_program(src)
+    curare.transform(fname)
+    curare.runner.eval_text(setup)
+    machine = Machine(
+        interp, processors=processors, policy="random", seed=seed
+    )
+    machine.spawn_text(call)
+    machine.run()
+    return write_str(curare.runner.eval_text(readback)), machine
+
+
+class TestSequentializability:
+    @settings(max_examples=25, **COMMON)
+    @given(int_lists, st.integers(1, 6), st.integers(0, 10_000))
+    def test_fig5_any_input_any_schedule(self, values, processors, seed):
+        setup = f"(setq d {lisp_literal(values)})"
+        ref = sequential_reference(FIG5, setup, "(f5 d)", "d")
+        got, machine = concurrent_run(
+            FIG5, "f5", setup, "(f5-cc d)", "d", processors, seed
+        )
+        assert got == ref
+        assert check_conflict_order(machine.trace).ok
+
+    @settings(max_examples=25, **COMMON)
+    @given(int_lists, st.integers(-50, 50), st.integers(1, 6), st.integers(0, 10_000))
+    def test_remq_any_input_any_schedule(self, values, obj, processors, seed):
+        setup = f"(setq src {lisp_literal(values)})"
+        ref = sequential_reference(
+            REMQ, setup, f"(setq out (remq {obj} src))", "out"
+        )
+        got, _ = concurrent_run(
+            REMQ, "remq", setup, f"(setq out (remq-cc {obj} src))", "out",
+            processors, seed,
+        )
+        assert got == ref
+
+    @settings(max_examples=20, **COMMON)
+    @given(int_lists, st.integers(1, 6), st.integers(0, 10_000))
+    def test_scale_in_place(self, values, processors, seed):
+        setup = f"(setq d {lisp_literal(values)})"
+        ref = sequential_reference(SCALE, setup, "(scale d)", "d")
+        got, _ = concurrent_run(
+            SCALE, "scale", setup, "(scale-cc d)", "d", processors, seed
+        )
+        assert got == ref
+
+
+class TestInterpreterEquivalence:
+    """Random arithmetic expressions evaluate identically on the
+    sequential runner and as a single machine process."""
+
+    _shapes = st.recursive(
+        st.integers(-9, 9),
+        lambda children: st.tuples(
+            st.sampled_from(["+", "-", "*", "min", "max"]),
+            st.lists(children, min_size=1, max_size=3),
+        ),
+        max_leaves=10,
+    )
+
+    @staticmethod
+    def _render(shape) -> str:
+        if isinstance(shape, tuple):
+            op, args = shape
+            return f"({op} {' '.join(TestInterpreterEquivalence._render(a) for a in args)})"
+        return str(shape)
+
+    @settings(max_examples=30, **COMMON)
+    @given(_shapes)
+    def test_machine_matches_sequential(self, shape):
+        expr = self._render(shape)
+        interp1 = Interpreter()
+        seq = SequentialRunner(interp1).eval_text(expr)
+        interp2 = Interpreter()
+        machine = Machine(interp2, processors=2)
+        proc = machine.spawn_text(expr)
+        machine.run()
+        assert proc.result == seq
+
+
+class TestSAPPRandomStructures:
+    """Random trees satisfy SAPP; any introduced sharing violates it."""
+
+    @settings(max_examples=40, **COMMON)
+    @given(st.recursive(st.integers(0, 9), lambda c: st.tuples(c, c), max_leaves=12))
+    def test_trees_have_sapp(self, shape):
+        from repro.paths.sapp import check_sapp
+        from repro.sexpr.datum import Cons
+
+        def build(s):
+            if isinstance(s, tuple):
+                return Cons(build(s[0]), build(s[1]))
+            return s
+
+        root = build(shape)
+        assert check_sapp(root).holds
+
+    @settings(max_examples=40, **COMMON)
+    @given(st.recursive(st.integers(0, 9), lambda c: st.tuples(c, c), max_leaves=10))
+    def test_sharing_violates_sapp(self, shape):
+        from repro.paths.sapp import check_sapp
+        from repro.sexpr.datum import Cons
+
+        def build(s):
+            if isinstance(s, tuple):
+                return Cons(build(s[0]), build(s[1]))
+            return s
+
+        inner = build(shape)
+        if not isinstance(inner, Cons):
+            inner = Cons(inner, None)
+        shared_root = Cons(inner, inner)
+        assert not check_sapp(shared_root).holds

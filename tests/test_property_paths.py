@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis): the path/regex/transfer machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.paths.accessor import Accessor
+from repro.paths.automata import (
+    build_nfa,
+    enumerate_words,
+    language_word_is_prefix_of,
+    matches,
+    prefix_of_language,
+)
+from repro.paths.canonical import Canonicalizer, InversePair
+from repro.paths.regex import Alt, Cat, Eps, Plus, Regex, Star, Sym
+from repro.paths.transfer import (
+    TransferFunction,
+    conflict_distances,
+    conflicts_at_distance,
+    min_conflict_distance,
+)
+
+FIELDS = ["car", "cdr", "next"]
+
+fields = st.sampled_from(FIELDS)
+words = st.lists(fields, min_size=0, max_size=6).map(tuple)
+accessors = words.map(Accessor)
+
+
+@st.composite
+def regexes(draw, depth=3) -> Regex:
+    if depth == 0:
+        return draw(st.sampled_from([Sym(f) for f in FIELDS] + [Eps]))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return Sym(draw(fields))
+    if kind == 1:
+        return Cat(draw(regexes(depth=depth - 1)), draw(regexes(depth=depth - 1)))
+    if kind == 2:
+        return Alt(draw(regexes(depth=depth - 1)), draw(regexes(depth=depth - 1)))
+    if kind == 3:
+        return Star(draw(regexes(depth=depth - 1)))
+    return Eps
+
+
+class TestAccessorAlgebra:
+    @given(accessors, accessors)
+    def test_compose_length(self, a, b):
+        assert len(a.compose(b)) == len(a) + len(b)
+
+    @given(accessors, accessors)
+    def test_prefix_of_composition(self, a, b):
+        assert a.is_prefix_of(a.compose(b))
+
+    @given(accessors)
+    def test_prefix_reflexive(self, a):
+        assert a.is_prefix_of(a)
+
+    @given(accessors, accessors, accessors)
+    def test_prefix_transitive(self, a, b, c):
+        if a.is_prefix_of(b) and b.is_prefix_of(c):
+            assert a.is_prefix_of(c)
+
+    @given(accessors, accessors)
+    def test_suffix_after_inverts_compose(self, a, b):
+        assert a.compose(b).suffix_after(a) == b
+
+    @given(accessors)
+    def test_prefix_count(self, a):
+        assert len(list(a.prefixes())) == len(a) + 1
+
+
+class TestRegexSemantics:
+    @settings(max_examples=60)
+    @given(regexes())
+    def test_enumerated_words_match(self, r):
+        for w in list(enumerate_words(r, 4, max_count=50)):
+            assert matches(r, w)
+
+    @settings(max_examples=60)
+    @given(regexes(), words)
+    def test_prefix_of_language_consistent_with_enumeration(self, r, w):
+        """If w is a prefix of an enumerated word, the test must agree."""
+        enumerated = list(enumerate_words(r, len(w) + 2, max_count=200))
+        has_prefix_witness = any(
+            len(w) <= len(word) and word[: len(w)] == w for word in enumerated
+        )
+        if has_prefix_witness:
+            assert prefix_of_language(w, r)
+
+    @settings(max_examples=60)
+    @given(regexes(), words)
+    def test_language_word_prefix_consistent(self, r, w):
+        enumerated = list(enumerate_words(r, len(w), max_count=200))
+        witness = any(w[: len(word)] == word for word in enumerated)
+        if witness:
+            assert language_word_is_prefix_of(r, w)
+
+    @settings(max_examples=40)
+    @given(regexes())
+    def test_star_always_accepts_epsilon(self, r):
+        assert matches(Star(r), ())
+
+    @settings(max_examples=40)
+    @given(regexes(), regexes())
+    def test_alt_is_union(self, a, b):
+        for w in list(enumerate_words(a, 3, max_count=30)):
+            assert matches(Alt(a, b), w)
+        for w in list(enumerate_words(b, 3, max_count=30)):
+            assert matches(Alt(a, b), w)
+
+
+class TestTransferProperties:
+    @settings(max_examples=40)
+    @given(words, words, st.integers(1, 4))
+    def test_bfs_agrees_with_direct_test(self, w1, w2, d):
+        """min_conflict_distance(d*) implies conflicts_at_distance(d*)."""
+        a1, a2 = Accessor(w1), Accessor(w2)
+        tau = TransferFunction.parse("cdr")
+        md = min_conflict_distance(a1, a2, tau)
+        if md is not None and md <= 8:
+            assert conflicts_at_distance(a1, a2, tau, md)
+
+    @settings(max_examples=40)
+    @given(words, words)
+    def test_no_distance_below_minimum(self, w1, w2):
+        a1, a2 = Accessor(w1), Accessor(w2)
+        tau = TransferFunction.parse("cdr")
+        md = min_conflict_distance(a1, a2, tau)
+        enumerated = conflict_distances(a1, a2, tau, 8)
+        if enumerated:
+            assert md == enumerated[0]
+        elif md is not None:
+            assert md > 8
+
+    @settings(max_examples=30)
+    @given(words)
+    def test_epsilon_transfer_self_conflict(self, w):
+        """An unchanged variable conflicts with its own word at every
+        distance (same location forever)."""
+        a = Accessor(w)
+        tau = TransferFunction.identity()
+        assert min_conflict_distance(a, a, tau) == 1
+
+
+class TestCanonicalizerProperties:
+    CANON = Canonicalizer([InversePair("succ", "pred")])
+    dl_fields = st.sampled_from(["succ", "pred", "val"])
+    dl_words = st.lists(dl_fields, min_size=0, max_size=8).map(tuple)
+
+    @given(dl_words)
+    def test_idempotent(self, w):
+        a = Accessor(w)
+        once = self.CANON.canonicalize(a)
+        assert self.CANON.canonicalize(once) == once
+
+    @given(dl_words)
+    def test_canonical_has_no_adjacent_inverses(self, w):
+        out = self.CANON.canonicalize(Accessor(w)).fields
+        for x, y in zip(out, out[1:]):
+            assert {x, y} != {"succ", "pred"} or x == y
+
+    @given(dl_words)
+    def test_never_longer(self, w):
+        assert len(self.CANON.canonicalize(Accessor(w))) <= len(w)
+
+    @given(dl_words, dl_words)
+    def test_equivalence_via_canonical_forms(self, w1, w2):
+        a, b = Accessor(w1), Accessor(w2)
+        assert self.CANON.equivalent(a, b) == (
+            self.CANON.canonicalize(a) == self.CANON.canonicalize(b)
+        )

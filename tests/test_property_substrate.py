@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis): the substrate layers.
+
+* reader/printer round-trips on random S-expressions,
+* lower→unparse round-trips on random core-form programs,
+* the lock table against a reference model under random operation
+  sequences.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sexpr.datum import Cons, intern, lisp_list
+from repro.sexpr.printer import write_str
+from repro.sexpr.reader import read
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+# -- random S-expressions ----------------------------------------------------
+
+symbols = st.sampled_from(
+    ["foo", "bar-baz", "x", "y2", "list", "+", "car", "with-dash"]
+).map(intern)
+atoms = st.one_of(
+    st.integers(-1000, 1000),
+    st.sampled_from([None, True]),
+    symbols,
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127
+        ),
+        max_size=8,
+    ),
+)
+sexprs = st.recursive(
+    atoms,
+    lambda children: st.lists(children, max_size=4).map(
+        lambda items: lisp_list(*items)
+    ),
+    max_leaves=20,
+)
+
+
+class TestReaderPrinterRoundTrip:
+    @settings(max_examples=150, **COMMON)
+    @given(sexprs)
+    def test_print_read_print_fixpoint(self, datum):
+        text = write_str(datum)
+        reread = read(text) if text else None
+        assert write_str(reread) == text
+
+    @settings(max_examples=100, **COMMON)
+    @given(st.lists(atoms, max_size=5))
+    def test_list_structure_preserved(self, items):
+        lst = lisp_list(*items)
+        reread = read(write_str(lst))
+        out = []
+        node = reread
+        while isinstance(node, Cons):
+            out.append(node.car)
+            node = node.cdr
+        assert len(out) == len(items)
+
+    @settings(max_examples=100, **COMMON)
+    @given(sexprs, sexprs)
+    def test_dotted_pairs_roundtrip(self, a, b):
+        pair = Cons(a, b)
+        assert write_str(read(write_str(pair))) == write_str(pair)
+
+
+# -- random core-form lowering round-trips ------------------------------------
+
+core_exprs = st.recursive(
+    st.one_of(
+        st.integers(-99, 99),
+        st.sampled_from(["x", "y", "(car l)", "(cadr l)"]),
+    ).map(str),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda ab: f"(+ {ab[0]} {ab[1]})"),
+        st.tuples(children, children).map(lambda ab: f"(if {ab[0]} {ab[1]} 0)"),
+        st.tuples(children).map(lambda a: f"(print {a[0]})"),
+        st.tuples(children, children).map(
+            lambda ab: f"(let ((tmp {ab[0]})) {ab[1]})"
+        ),
+    ),
+    max_leaves=8,
+)
+
+
+class TestLoweringRoundTrip:
+    @settings(max_examples=80, **COMMON)
+    @given(core_exprs)
+    def test_lower_unparse_stable(self, expr_text):
+        """Lowering the unparse of a lowering is a fixpoint (modulo the
+        first normalization pass)."""
+        from repro.ir.lower import lower_expr
+        from repro.ir.unparse import unparse
+        from repro.lisp.interpreter import Interpreter
+
+        interp = Interpreter()
+        form = interp.load(expr_text)[0]
+        once = write_str(unparse(lower_expr(interp, form)))
+        twice = write_str(unparse(lower_expr(interp, interp.load(once)[0])))
+        assert once == twice
+
+    @settings(max_examples=60, **COMMON)
+    @given(core_exprs)
+    def test_lowered_program_evaluates_identically(self, expr_text):
+        from repro.ir.lower import lower_expr
+        from repro.ir.unparse import unparse
+        from repro.lisp.interpreter import Interpreter
+        from repro.lisp.runner import SequentialRunner
+
+        setup = "(setq x 1) (setq y 2) (setq l (list 5 6 7))"
+        i1 = Interpreter()
+        r1 = SequentialRunner(i1)
+        r1.eval_text(setup)
+        ref = r1.eval_text(expr_text)
+        ref_out = list(r1.outputs)
+
+        i2 = Interpreter()
+        r2 = SequentialRunner(i2)
+        r2.eval_text(setup)
+        form = i2.load(expr_text)[0]
+        roundtripped = write_str(unparse(lower_expr(i2, form)))
+        got = r2.eval_text(roundtripped)
+        assert write_str(got) == write_str(ref)
+        assert r2.outputs == ref_out
+
+
+# -- lock table vs reference model --------------------------------------------
+
+
+class TestLockTableModel:
+    """Random acquire/release sequences against a simple reference."""
+
+    ops = st.lists(
+        st.tuples(
+            st.integers(1, 4),  # proc
+            st.sampled_from(["k1", "k2"]),
+            st.booleans(),  # shared?
+        ),
+        max_size=30,
+    )
+
+    @settings(max_examples=100, **COMMON)
+    @given(ops)
+    def test_invariants(self, sequence):
+        from repro.runtime.locks import LockError, LockTable
+
+        table = LockTable()
+        held: dict[tuple, set] = {}  # (key, shared?) sets of procs
+        waiting: set = set()
+
+        for proc, key, shared in sequence:
+            if (proc, key) in waiting:
+                continue  # blocked procs issue nothing
+            holds_x = proc in held.get((key, False), set())
+            holds_s = proc in held.get((key, True), set())
+            if holds_x or holds_s:
+                # Release what we hold.
+                shared_mode = holds_s
+                granted = table.release(proc, key, shared_mode)
+                held[(key, shared_mode)].discard(proc)
+                for g in granted:
+                    waiting.discard((g, key))
+                    # Find its requested mode from the table state.
+                    if table.holds(g, key, False):
+                        held.setdefault((key, False), set()).add(g)
+                    else:
+                        held.setdefault((key, True), set()).add(g)
+            else:
+                got = table.acquire(proc, key, shared)
+                if got:
+                    held.setdefault((key, shared), set()).add(proc)
+                else:
+                    waiting.add((proc, key))
+
+            # Invariants: at most one writer; writer excludes readers.
+            writers = held.get((key, False), set())
+            readers = held.get((key, True), set())
+            assert len(writers) <= 1
+            if writers:
+                assert not readers
+
+        # Consistency with the table's own view.
+        for (key, shared), procs in held.items():
+            for proc in procs:
+                assert table.holds(proc, key, shared)

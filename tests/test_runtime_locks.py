@@ -1,0 +1,109 @@
+"""Unit tests: the lock table — FIFO grants, read-write semantics."""
+
+import pytest
+
+from repro.runtime.locks import LockError, LockTable
+
+
+class TestExclusive:
+    def test_acquire_free(self):
+        t = LockTable()
+        assert t.acquire(1, "k", shared=False)
+
+    def test_second_blocks(self):
+        t = LockTable()
+        t.acquire(1, "k", False)
+        assert not t.acquire(2, "k", False)
+        assert t.contentions == 1
+
+    def test_release_grants_fifo(self):
+        t = LockTable()
+        t.acquire(1, "k", False)
+        t.acquire(2, "k", False)
+        t.acquire(3, "k", False)
+        assert t.release(1, "k", False) == [2]
+        assert t.release(2, "k", False) == [3]
+        assert t.release(3, "k", False) == []
+
+    def test_reacquire_raises(self):
+        t = LockTable()
+        t.acquire(1, "k", False)
+        with pytest.raises(LockError):
+            t.acquire(1, "k", False)
+
+    def test_release_unheld_raises(self):
+        t = LockTable()
+        with pytest.raises(LockError):
+            t.release(1, "never", False)
+        t.acquire(1, "k", False)
+        with pytest.raises(LockError):
+            t.release(2, "k", False)
+
+    def test_distinct_keys_independent(self):
+        t = LockTable()
+        assert t.acquire(1, "a", False)
+        assert t.acquire(2, "b", False)
+
+
+class TestReadWrite:
+    def test_readers_share(self):
+        t = LockTable()
+        assert t.acquire(1, "k", shared=True)
+        assert t.acquire(2, "k", shared=True)
+
+    def test_writer_blocks_behind_readers(self):
+        t = LockTable()
+        t.acquire(1, "k", True)
+        assert not t.acquire(2, "k", False)
+        # Writer granted only when all readers leave.
+        assert t.release(1, "k", True) == [2]
+
+    def test_reader_blocks_behind_writer(self):
+        t = LockTable()
+        t.acquire(1, "k", False)
+        assert not t.acquire(2, "k", True)
+        assert t.release(1, "k", False) == [2]
+
+    def test_reader_does_not_overtake_queued_writer(self):
+        # FIFO fairness: r1 holds, w2 waits, r3 must queue behind w2.
+        t = LockTable()
+        t.acquire(1, "k", True)
+        assert not t.acquire(2, "k", False)
+        assert not t.acquire(3, "k", True)
+        granted = t.release(1, "k", True)
+        assert granted == [2]  # the writer first
+        granted = t.release(2, "k", False)
+        assert granted == [3]
+
+    def test_consecutive_readers_granted_together(self):
+        t = LockTable()
+        t.acquire(1, "k", False)
+        assert not t.acquire(2, "k", True)
+        assert not t.acquire(3, "k", True)
+        granted = t.release(1, "k", False)
+        assert granted == [2, 3]
+
+    def test_release_wrong_mode_raises(self):
+        t = LockTable()
+        t.acquire(1, "k", True)
+        with pytest.raises(LockError):
+            t.release(1, "k", False)
+
+
+class TestIntrospection:
+    def test_held_by_and_waiting(self):
+        t = LockTable()
+        t.acquire(1, "a", False)
+        t.acquire(1, "b", True)
+        t.acquire(2, "a", False)
+        assert set(t.held_by(1)) == {"a", "b"}
+        assert t.waiting(2) == ["a"]
+        assert t.anyone_waiting()
+
+    def test_counters(self):
+        t = LockTable()
+        t.acquire(1, "k", False)
+        t.acquire(2, "k", False)
+        t.release(1, "k", False)
+        assert t.acquisitions == 2  # initial + granted
+        assert t.contentions == 1

@@ -1,0 +1,87 @@
+"""Unit tests: machine error reporting and trace query helpers."""
+
+import pytest
+
+from repro.lisp.errors import LispError
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+from repro.lisp.trace import Trace
+from repro.runtime.machine import Machine
+
+
+class TestErrorContext:
+    def test_failure_names_process_and_time(self):
+        interp = Interpreter()
+        runner = SequentialRunner(interp)
+        runner.eval_text("(defun boom (x) (+ x 'not-a-number))")
+        machine = Machine(interp, processors=2)
+        machine.spawn_text("(boom 1)", label="exploder")
+        with pytest.raises(LispError) as exc:
+            machine.run()
+        message = str(exc.value)
+        assert "exploder" in message
+        assert "failed at t=" in message
+
+    def test_failure_in_spawned_child(self):
+        interp = Interpreter()
+        runner = SequentialRunner(interp)
+        runner.eval_text(
+            """
+            (defun parent (l)
+              (when l
+                (spawn (child (car l)))
+                (parent (cdr l))))
+            (defun child (x) (car x))
+            """
+        )
+        machine = Machine(interp, processors=2)
+        machine.spawn_text("(parent (list 5))")  # (car 5) → WrongType
+        with pytest.raises(LispError) as exc:
+            machine.run()
+        assert "child" in str(exc.value)
+
+    def test_original_error_chained(self):
+        interp = Interpreter()
+        machine = Machine(interp, processors=1)
+        machine.spawn_text("(undefined-function-xyz)")
+        with pytest.raises(LispError) as exc:
+            machine.run()
+        assert exc.value.__cause__ is not None
+
+
+class TestTraceQueries:
+    def _trace(self) -> Trace:
+        t = Trace()
+        t.record(1, 1, "read", (10, "car"))
+        t.record(2, 1, "write", (10, "car"))
+        t.record(3, 2, "read", (11, "cdr"))
+        t.record(4, 2, "output", None, 42)
+        t.record(5, 1, "lock", ("loc", 10, "car"))
+        return t
+
+    def test_memory_events(self):
+        t = self._trace()
+        assert len(t.memory_events()) == 3
+        assert len(t.writes()) == 1
+        assert len(t.reads()) == 2
+
+    def test_outputs(self):
+        assert self._trace().outputs() == [42]
+
+    def test_locations(self):
+        assert self._trace().locations() == {(10, "car"), (11, "cdr")}
+
+    def test_events_at(self):
+        events = self._trace().events_at((10, "car"))
+        assert [e.kind for e in events] == ["read", "write"]
+
+    def test_by_proc(self):
+        groups = self._trace().by_proc()
+        assert set(groups) == {1, 2}
+        assert len(groups[1]) == 3
+
+    def test_seq_monotone(self):
+        t = self._trace()
+        seqs = [e.seq for e in t]
+        assert seqs == sorted(seqs)
+        assert len(t) == 5

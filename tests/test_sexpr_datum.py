@@ -1,0 +1,128 @@
+"""Unit tests: datum model (symbols, cons cells, list helpers)."""
+
+import pytest
+
+from repro.sexpr.datum import (
+    Cons,
+    Symbol,
+    SymbolTable,
+    cons,
+    from_pylist,
+    intern,
+    is_proper_list,
+    iter_list,
+    lisp_list,
+    list_to_pylist,
+    proper_list_length,
+)
+
+
+class TestSymbolInterning:
+    def test_same_name_same_object(self):
+        assert intern("foo") is intern("foo")
+
+    def test_different_names_different_objects(self):
+        assert intern("foo") is not intern("bar")
+
+    def test_symbol_repr_is_name(self):
+        assert repr(intern("hello-world")) == "hello-world"
+
+    def test_separate_tables_are_isolated(self):
+        t1, t2 = SymbolTable(), SymbolTable()
+        a, b = t1.intern("x"), t2.intern("x")
+        assert a is not b
+        assert a == b  # value-equal across tables
+
+    def test_gensym_unique(self):
+        t = SymbolTable()
+        names = {t.gensym("g").name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_gensym_not_interned_name(self):
+        t = SymbolTable()
+        g = t.gensym("tmp")
+        assert g.name.startswith("#:tmp")
+
+    def test_table_len_and_contains(self):
+        t = SymbolTable()
+        t.intern("a")
+        t.intern("b")
+        assert "a" in t and "b" in t and "c" not in t
+
+    def test_symbol_hashable_in_dict(self):
+        d = {intern("k"): 1}
+        assert d[intern("k")] == 1
+
+
+class TestConsCells:
+    def test_cons_fields(self):
+        c = cons(1, 2)
+        assert c.car == 1 and c.cdr == 2
+
+    def test_cons_mutation(self):
+        c = cons(1, 2)
+        c.set_field("car", 99)
+        assert c.get_field("car") == 99
+
+    def test_bad_field_raises(self):
+        c = cons(1, 2)
+        with pytest.raises(AttributeError):
+            c.get_field("cadr")
+        with pytest.raises(AttributeError):
+            c.set_field("middle", 0)
+
+    def test_identity_equality(self):
+        a, b = cons(1, None), cons(1, None)
+        assert a == a
+        assert a != b  # eq, not equal
+
+    def test_cell_ids_unique_and_increasing(self):
+        a, b = cons(0, 0), cons(0, 0)
+        assert b.cell_id > a.cell_id
+
+    def test_fields_tuple(self):
+        assert cons(0, 0).fields() == ("car", "cdr")
+
+
+class TestListHelpers:
+    def test_lisp_list_roundtrip(self):
+        lst = lisp_list(1, 2, 3)
+        assert list_to_pylist(lst) == [1, 2, 3]
+
+    def test_empty_list_is_nil(self):
+        assert lisp_list() is None
+        assert list_to_pylist(None) == []
+
+    def test_from_pylist(self):
+        assert list_to_pylist(from_pylist(range(4))) == [0, 1, 2, 3]
+
+    def test_dotted_list_rejected(self):
+        with pytest.raises(ValueError):
+            list_to_pylist(cons(1, 2))
+
+    def test_cyclic_list_rejected(self):
+        c = cons(1, None)
+        c.cdr = c
+        with pytest.raises(ValueError):
+            list_to_pylist(c)
+
+    def test_is_proper_list(self):
+        assert is_proper_list(None)
+        assert is_proper_list(lisp_list(1, 2))
+        assert not is_proper_list(cons(1, 2))
+        c = cons(1, None)
+        c.cdr = c
+        assert not is_proper_list(c)
+
+    def test_proper_list_length(self):
+        assert proper_list_length(lisp_list(*range(7))) == 7
+
+    def test_iter_list(self):
+        assert list(iter_list(lisp_list("a", "b"))) == ["a", "b"]
+
+    def test_nested_structure(self):
+        inner = lisp_list(2, 3)
+        outer = lisp_list(1, inner, 4)
+        py = list_to_pylist(outer)
+        assert py[0] == 1 and py[2] == 4
+        assert list_to_pylist(py[1]) == [2, 3]

@@ -1,0 +1,85 @@
+"""Unit tests: printer, including read/print round-trips."""
+
+import pytest
+
+from repro.sexpr.datum import Cons, cons, intern, lisp_list
+from repro.sexpr.printer import pretty_str, write_str
+from repro.sexpr.reader import read
+
+
+class TestWriteStr:
+    def test_atoms(self):
+        assert write_str(None) == "nil"
+        assert write_str(True) == "t"
+        assert write_str(42) == "42"
+        assert write_str(2.5) == "2.5"
+        assert write_str(intern("sym")) == "sym"
+
+    def test_string_escaping(self):
+        assert write_str('a"b') == '"a\\"b"'
+
+    def test_list(self):
+        assert write_str(lisp_list(1, 2, 3)) == "(1 2 3)"
+
+    def test_dotted(self):
+        assert write_str(cons(1, 2)) == "(1 . 2)"
+
+    def test_quote_abbreviation(self):
+        assert write_str(read("'x")) == "'x"
+        assert write_str(read("`(a ,b)")) == "`(a ,b)"
+        assert write_str(read("#'f")) == "#'f"
+
+    def test_cycle_guard(self):
+        c = cons(1, None)
+        c.cdr = c
+        out = write_str(c)
+        assert "..." in out
+
+    def test_max_length_guard(self):
+        lst = lisp_list(*range(100))
+        out = write_str(lst, max_length=5)
+        assert "..." in out
+
+
+class TestRoundTrip:
+    CASES = [
+        "42",
+        "nil",
+        "t",
+        "(1 2 3)",
+        "(a (b (c)) d)",
+        "(1 . 2)",
+        "(1 2 . 3)",
+        "'(quoted list)",
+        '"string with spaces"',
+        "(defun f (l) (when l (print (car l)) (f (cdr l))))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_roundtrip(self, text):
+        first = read(text)
+        printed = write_str(first)
+        second = read(printed)
+        assert write_str(second) == printed
+
+
+class TestPretty:
+    def test_short_form_stays_flat(self):
+        assert "\n" not in pretty_str(read("(f a b)"))
+
+    def test_long_defun_breaks(self):
+        form = read(
+            "(defun very-long-function-name (argument-one argument-two) "
+            "(do-something argument-one) (do-something-else argument-two) "
+            "(and-more argument-one argument-two))"
+        )
+        out = pretty_str(form)
+        assert "\n" in out
+
+    def test_pretty_output_rereadable(self):
+        form = read(
+            "(defun f5 (l) (cond ((null l) nil) ((null (cdr l)) (f5 (cdr l)))"
+            " (t (setf (cadr l) (+ (car l) (cadr l))) (f5 (cdr l)))))"
+        )
+        out = pretty_str(form)
+        assert write_str(read(out)) == write_str(form)

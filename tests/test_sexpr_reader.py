@@ -1,0 +1,145 @@
+"""Unit tests: tokenizer and reader."""
+
+import pytest
+
+from repro.sexpr.datum import Cons, Symbol, list_to_pylist
+from repro.sexpr.reader import ReadError, Reader, read, read_all
+from repro.sexpr.tokens import TokenKind, TokenizeError, tokenize
+
+
+class TestTokenizer:
+    def test_parens_and_atoms(self):
+        kinds = [t.kind for t in tokenize("(a b)")]
+        assert kinds == [
+            TokenKind.LPAREN,
+            TokenKind.ATOM,
+            TokenKind.ATOM,
+            TokenKind.RPAREN,
+            TokenKind.EOF,
+        ]
+
+    def test_line_comment_skipped(self):
+        tokens = [t for t in tokenize("a ; comment\nb") if t.kind is TokenKind.ATOM]
+        assert [t.text for t in tokens] == ["a", "b"]
+
+    def test_block_comment_nests(self):
+        tokens = [t for t in tokenize("a #| x #| y |# z |# b") if t.kind is TokenKind.ATOM]
+        assert [t.text for t in tokens] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(TokenizeError):
+            list(tokenize("#| open"))
+
+    def test_string_with_escapes(self):
+        tok = next(t for t in tokenize('"a\\nb\\"c"') if t.kind is TokenKind.STRING)
+        assert tok.text == 'a\nb"c'
+
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError):
+            list(tokenize('"oops'))
+
+    def test_quote_family(self):
+        kinds = [t.kind for t in tokenize("'a `b ,c ,@d #'e")]
+        assert TokenKind.QUOTE in kinds
+        assert TokenKind.QUASIQUOTE in kinds
+        assert TokenKind.UNQUOTE in kinds
+        assert TokenKind.UNQUOTE_SPLICING in kinds
+        assert TokenKind.HASH_QUOTE in kinds
+
+    def test_dot_token(self):
+        kinds = [t.kind for t in tokenize("(a . b)")]
+        assert TokenKind.DOT in kinds
+
+    def test_positions_tracked(self):
+        tokens = list(tokenize("a\n  b"))
+        assert tokens[0].line == 1 and tokens[0].col == 1
+        assert tokens[1].line == 2 and tokens[1].col == 3
+
+
+class TestReader:
+    def test_numbers(self):
+        assert read("42") == 42
+        assert read("-3") == -3
+        assert read("2.5") == 2.5
+
+    def test_nil_and_t(self):
+        assert read("nil") is None
+        assert read("t") is True
+        assert read("NIL") is None  # case-insensitive
+
+    def test_symbols_lowercased(self):
+        sym = read("FooBar")
+        assert isinstance(sym, Symbol) and sym.name == "foobar"
+
+    def test_string(self):
+        assert read('"hello"') == "hello"
+
+    def test_simple_list(self):
+        lst = read("(1 2 3)")
+        assert list_to_pylist(lst) == [1, 2, 3]
+
+    def test_nested_list(self):
+        lst = read("(a (b c) d)")
+        items = list_to_pylist(lst)
+        assert items[0].name == "a"
+        assert [s.name for s in list_to_pylist(items[1])] == ["b", "c"]
+
+    def test_dotted_pair(self):
+        pair = read("(1 . 2)")
+        assert isinstance(pair, Cons) and pair.car == 1 and pair.cdr == 2
+
+    def test_dotted_tail_list(self):
+        obj = read("(1 2 . 3)")
+        assert obj.car == 1 and obj.cdr.car == 2 and obj.cdr.cdr == 3
+
+    def test_quote_expands(self):
+        form = read("'x")
+        items = list_to_pylist(form)
+        assert items[0].name == "quote" and items[1].name == "x"
+
+    def test_quasiquote_unquote(self):
+        form = read("`(a ,b ,@c)")
+        assert form.car.name == "quasiquote"
+
+    def test_function_quote(self):
+        form = read("#'car")
+        items = list_to_pylist(form)
+        assert items[0].name == "function" and items[1].name == "car"
+
+    def test_empty_list_is_nil(self):
+        assert read("()") is None
+
+    def test_read_all_multiple_forms(self):
+        forms = read_all("1 2 (3)")
+        assert forms[0] == 1 and forms[1] == 2
+
+    def test_read_rejects_multiple(self):
+        with pytest.raises(ReadError):
+            read("1 2")
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(ReadError):
+            read("(a b")
+        with pytest.raises(ReadError):
+            read(")")
+
+    def test_dot_misuse_raises(self):
+        with pytest.raises(ReadError):
+            read("(. a)")
+        with pytest.raises(ReadError):
+            read("(a . b c)")
+
+    def test_reader_with_own_table(self):
+        from repro.sexpr.datum import SymbolTable
+
+        table = SymbolTable()
+        r = Reader(table)
+        sym = r.read("zzz-unique")
+        assert sym is table.intern("zzz-unique")
+
+    def test_deeply_nested(self):
+        text = "(" * 50 + "x" + ")" * 50
+        form = read(text)
+        for _ in range(50):
+            form = form.car
+        assert form.name == "x"

@@ -1,0 +1,154 @@
+"""Unit tests: recursion → iteration (§5)."""
+
+import pytest
+
+from repro.analysis.conflicts import analyze_function
+from repro.declare import AssociativeDecl, DeclarationRegistry, ReorderableDecl
+from repro.ir.unparse import unparse_function
+from repro.sexpr.printer import write_str
+from repro.transform.iteration import IterationError, recursion_to_iteration
+
+
+def analyzed(interp, runner, src, name):
+    runner.eval_text(src)
+    return analyze_function(interp, interp.intern(name), assume_sapp=True)
+
+
+def install(runner, interp, result, new_name):
+    from repro.ir import nodes as N
+
+    result.func.name = interp.intern(new_name)
+    for node in result.func.walk():
+        if isinstance(node, N.Call) and node.is_self_call:
+            node.fn = interp.intern(new_name)
+    runner.eval_form(unparse_function(result.func))
+
+
+class TestTailToLoop:
+    def test_list_sum_accumulator_param(self, interp, runner):
+        a = analyzed(
+            interp, runner,
+            "(defun su (l acc) (if (null l) acc (su (cdr l) (+ acc (car l)))))",
+            "su",
+        )
+        result = recursion_to_iteration(a)
+        assert result.pattern == "tail"
+        install(runner, interp, result, "su-it")
+        assert runner.eval_text("(su-it (list 1 2 3 4) 0)") == 10
+        assert runner.eval_text("(su-it nil 5)") == 5
+
+    def test_no_recursion_remains(self, interp, runner):
+        a = analyzed(
+            interp, runner,
+            "(defun w (l) (if (null l) 'end (w (cdr l))))", "w",
+        )
+        result = recursion_to_iteration(a)
+        from repro.ir import nodes as N
+
+        calls = [
+            n for n in result.func.walk()
+            if isinstance(n, N.Call) and n.fn.name == "w"
+        ]
+        assert not calls
+
+    def test_simultaneous_rebinding(self, interp, runner):
+        # Swapping parameters needs temporaries; a naive sequential
+        # assignment would corrupt them.
+        a = analyzed(
+            interp, runner,
+            "(defun sw (n a b) (if (zerop n) (cons a b) (sw (1- n) b a)))",
+            "sw",
+        )
+        result = recursion_to_iteration(a)
+        install(runner, interp, result, "sw-it")
+        assert write_str(runner.eval_text("(sw-it 3 1 2)")) == "(2 . 1)"
+        assert write_str(runner.eval_text("(sw-it 4 1 2)")) == "(1 . 2)"
+
+    def test_deep_recursion_no_stack_growth(self, interp, runner):
+        a = analyzed(
+            interp, runner,
+            "(defun count-down (n) (if (zerop n) 'done (count-down (1- n))))",
+            "count-down",
+        )
+        result = recursion_to_iteration(a)
+        install(runner, interp, result, "cd-it")
+        # 20000 would overflow Python's recursion through the evaluator
+        # if the output still recursed.
+        assert runner.eval_text("(cd-it 20000)").name == "done"
+
+    def test_multi_branch_tail(self, interp, runner, fig5_src):
+        a = analyzed(interp, runner, fig5_src, "f5")
+        result = recursion_to_iteration(a)
+        install(runner, interp, result, "f5-it")
+        runner.eval_text("(setq d (list 1 2 3 4)) (f5-it d)")
+        assert write_str(runner.eval_text("d")) == "(1 3 6 10)"
+
+    def test_non_recursive_rejected(self, interp, runner):
+        a = analyzed(interp, runner, "(defun g (x) x)", "g")
+        with pytest.raises(IterationError):
+            recursion_to_iteration(a)
+
+
+class TestAccumulatorIntroduction:
+    SUM = "(defun su (l) (if (null l) 0 (+ (car l) (su (cdr l)))))"
+
+    def test_requires_associativity_declaration(self, interp, runner):
+        a = analyzed(interp, runner, self.SUM, "su")
+        with pytest.raises(IterationError):
+            recursion_to_iteration(a, DeclarationRegistry())
+
+    def test_with_declaration(self, interp, runner):
+        a = analyzed(interp, runner, self.SUM, "su")
+        decls = DeclarationRegistry([AssociativeDecl("+")])
+        result = recursion_to_iteration(a, decls)
+        assert result.pattern == "accumulator"
+        install(runner, interp, result, "su-acc")
+        assert runner.eval_text("(su-acc (list 1 2 3 4 5))") == 15
+        assert runner.eval_text("(su-acc nil)") == 0
+
+    def test_reorderable_also_enables(self, interp, runner):
+        a = analyzed(interp, runner, self.SUM, "su")
+        decls = DeclarationRegistry([ReorderableDecl("+")])
+        result = recursion_to_iteration(a, decls)
+        assert result.pattern == "accumulator"
+
+    def test_product(self, interp, runner):
+        a = analyzed(
+            interp, runner,
+            "(defun pr (l) (if (null l) 1 (* (car l) (pr (cdr l)))))", "pr",
+        )
+        decls = DeclarationRegistry([AssociativeDecl("*")])
+        result = recursion_to_iteration(a, decls)
+        install(runner, interp, result, "pr-acc")
+        assert runner.eval_text("(pr-acc (list 2 3 4))") == 24
+
+    def test_factorial_via_accumulator(self, interp, runner):
+        a = analyzed(
+            interp, runner,
+            "(defun fac (n) (if (<= n 1) 1 (* n (fac (1- n)))))", "fac",
+        )
+        decls = DeclarationRegistry([AssociativeDecl("*")])
+        result = recursion_to_iteration(a, decls)
+        install(runner, interp, result, "fac-it")
+        assert runner.eval_text("(fac-it 6)") == 720
+        assert runner.eval_text("(fac-it 1)") == 1
+
+    def test_non_matching_shape_rejected(self, interp, runner):
+        # Two self-calls: not a linear recursion.
+        a = analyzed(
+            interp, runner,
+            "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+            "fib",
+        )
+        decls = DeclarationRegistry([AssociativeDecl("+")])
+        with pytest.raises(IterationError):
+            recursion_to_iteration(a, decls)
+
+    def test_output_is_tail_free(self, interp, runner):
+        a = analyzed(interp, runner, self.SUM, "su")
+        decls = DeclarationRegistry([AssociativeDecl("+")])
+        result = recursion_to_iteration(a, decls)
+        from repro.analysis.recursion import analyze_recursion
+
+        info = analyze_recursion(result.func)
+        assert not info.is_recursive  # fully iterative now
