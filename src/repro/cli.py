@@ -8,8 +8,11 @@ Commands:
   transformed source (plus wrapper forms).
 * ``run FILE -e EXPR``        — evaluate the program and an expression
   on the simulated machine; prints the value and machine statistics.
+* ``chaos``                   — sweep the paper workloads across the
+  seeded fault matrix and assert sequentializability survives every
+  plan (exit 1 on any silent wrong answer).
 
-Every command reads ``(declaim ...)`` forms from the file.
+Every file-taking command reads ``(declaim ...)`` forms from the file.
 """
 
 from __future__ import annotations
@@ -76,9 +79,38 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--free-sync", action="store_true",
                        help="zero all synchronization costs")
     p_run.add_argument("--seed", type=int, default=None,
-                       help="random scheduling with this seed")
+                       help="random scheduling with this seed; also seeds "
+                            "--faults and is echoed in the report")
+    p_run.add_argument("--faults", metavar="PLAN", default=None,
+                       help="inject faults from this plan of the fault "
+                            "matrix (e.g. 'mixed'), seeded by --seed")
+    p_run.add_argument("--race-check", action="store_true",
+                       help="run the online vector-clock race detector")
+    p_run.add_argument("--lock-wait-timeout", type=int, default=None,
+                       help="abort if any process waits on a lock this long")
     p_run.add_argument("--timeline", action="store_true",
                        help="print the occupancy sparkline and process gantt")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep paper workloads across the seeded fault matrix",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="fault-matrix seed (plans derive from it)")
+    p_chaos.add_argument("--sched-seed", type=int, default=None,
+                         help="random scheduling with this seed "
+                              "(default: deterministic fifo)")
+    p_chaos.add_argument("-p", "--processors", type=int, default=4)
+    p_chaos.add_argument("--budget", type=int, default=200,
+                         help="max faults injected per plan")
+    p_chaos.add_argument("--plans", metavar="NAME", action="append",
+                         default=[],
+                         help="restrict to these fault plans (repeatable)")
+    p_chaos.add_argument("--size", type=int, default=8,
+                         help="workload size (list length)")
+    p_chaos.add_argument("--misdeclared", action="store_true",
+                         help="also attack the intentionally mis-declared "
+                              "workload (must recover, not fail)")
 
     return parser
 
@@ -147,12 +179,30 @@ def cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
     cost = FREE_SYNC if args.free_sync else CostModel()
+    faults = None
+    if args.faults is not None:
+        from repro.runtime.faults import fault_matrix
+
+        plans = {p.name: p for p in fault_matrix(args.seed or 0)}
+        if args.faults not in plans:
+            print(f";; unknown fault plan {args.faults!r}; "
+                  f"choose from: {', '.join(sorted(plans))}", file=sys.stderr)
+            return 2
+        faults = plans[args.faults]
+    detector = None
+    if args.race_check:
+        from repro.runtime.racecheck import RaceDetector
+
+        detector = RaceDetector()
     machine = Machine(
         curare.interp,
         processors=args.processors,
         cost_model=cost,
         policy="random" if args.seed is not None else "fifo",
         seed=args.seed,
+        faults=faults,
+        race_detector=detector,
+        lock_wait_timeout=args.lock_wait_timeout,
     )
     main = machine.spawn_text(args.expr)
     stats = machine.run()
@@ -164,6 +214,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"process(es), mean concurrency {stats.mean_concurrency:.2f}, "
         f"utilization {stats.utilization:.2f}"
     )
+    if args.seed is not None:
+        print(f";; seed: {args.seed} (scheduling"
+              + (" + fault plan)" if faults is not None else ")"))
+    if faults is not None:
+        print(f";; faults: {faults.describe()}")
+    if detector is not None:
+        print(f";; races: {detector.summary()}")
     if args.timeline:
         from repro.harness.timeline import occupancy_sparkline, process_gantt
 
@@ -172,12 +229,45 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.harness.chaos import (
+        chaos_sweep,
+        misdeclared_workload,
+        paper_workloads,
+    )
+    from repro.harness.report import format_robustness
+    from repro.runtime.faults import fault_matrix
+
+    plans = fault_matrix(args.seed, budget=args.budget)
+    if args.plans:
+        known = {p.name for p in plans}
+        unknown = [n for n in args.plans if n not in known]
+        if unknown:
+            print(f";; unknown fault plan(s): {', '.join(unknown)}; "
+                  f"choose from: {', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+        plans = [p for p in plans if p.name in args.plans]
+    workloads = paper_workloads(args.size)
+    if args.misdeclared:
+        workloads.append(misdeclared_workload(args.size))
+    report = chaos_sweep(
+        workloads,
+        seed=args.seed,
+        plans=plans,
+        processors=args.processors,
+        sched_seed=args.sched_seed,
+    )
+    print(format_robustness(report))
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "analyze": cmd_analyze,
         "transform": cmd_transform,
         "run": cmd_run,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

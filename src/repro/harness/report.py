@@ -33,3 +33,37 @@ def shape_check(name: str, condition: bool, detail: str = "") -> str:
     mark = "PASS" if condition else "FAIL"
     suffix = f" — {detail}" if detail else ""
     return f"[{mark}] {name}{suffix}"
+
+
+def format_robustness(report: Any) -> str:
+    """Render a :class:`~repro.harness.chaos.RobustnessReport`: one row
+    per (workload × fault plan) cell, then the sweep verdict."""
+    rows = []
+    for o in report.outcomes:
+        rows.append([
+            o.workload,
+            o.plan,
+            o.fault_seed,
+            "-" if o.sched_seed is None else o.sched_seed,
+            o.status,
+            o.faults_injected,
+            o.races,
+            o.recovery_cause or "-",
+        ])
+    table = format_table(
+        ["workload", "plan", "fseed", "sseed", "status",
+         "faults", "races", "recovery cause"],
+        rows,
+    )
+    lines = [table, ""]
+    lines.append(
+        f"{report.runs} run(s): {report.passed} ok, "
+        f"{report.recovered} recovered, {report.failed} FAILED; "
+        f"{report.total_faults} fault(s) injected, "
+        f"{report.total_races} race(s) flagged"
+    )
+    lines.append(shape_check(
+        "no silent wrong answers", report.ok,
+        "every run passed sequentializability or recovered sequentially",
+    ))
+    return "\n".join(lines)

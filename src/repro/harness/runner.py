@@ -10,7 +10,9 @@ from repro.declare.registry import DeclarationRegistry
 from repro.lisp.interpreter import Interpreter
 from repro.lisp.runner import SequentialRunner
 from repro.runtime.clock import CostModel
+from repro.runtime.faults import FaultPlan
 from repro.runtime.machine import Machine, MachineStats
+from repro.runtime.racecheck import RaceDetector
 from repro.sexpr.printer import write_str
 from repro.transform.pipeline import Curare, CurareResult
 
@@ -59,10 +61,17 @@ def run_transformed(
     policy: str = "fifo",
     seed: Optional[int] = None,
     transform_kwargs: Optional[dict] = None,
+    faults: Optional[FaultPlan] = None,
+    race_detector: Optional[RaceDetector] = None,
+    lock_wait_timeout: Optional[int] = None,
 ) -> ExperimentRun:
     """Transform ``fname`` with Curare and run ``call`` on the machine.
 
     ``call`` should reference the transformed name (``<fname>-cc``).
+    The robustness hooks (``faults``, ``race_detector``,
+    ``lock_wait_timeout``) pass straight through to the machine and are
+    echoed in ``extra`` so a failing run is reproducible from its
+    report.
     """
     interp = Interpreter()
     curare = Curare(interp, decls=decls, assume_sapp=assume_sapp)
@@ -72,15 +81,61 @@ def run_transformed(
     machine = Machine(
         interp, processors=processors, cost_model=cost_model,
         policy=policy, seed=seed,
+        faults=faults, race_detector=race_detector,
+        lock_wait_timeout=lock_wait_timeout,
     )
     main = machine.spawn_text(call)
     stats = machine.run()
     shown = (
         SequentialRunner(interp).eval_text(read_back) if read_back else main.result
     )
-    return ExperimentRun(
+    run = ExperimentRun(
         write_str(shown), stats.total_time, stats=stats,
         curare=curare_result, interp=interp,
+    )
+    run.extra["seed"] = seed
+    if faults is not None:
+        run.extra["faults"] = faults
+        run.extra["fault_seed"] = getattr(faults, "seed", None)
+    if race_detector is not None:
+        run.extra["race_detector"] = race_detector
+    return run
+
+
+def run_with_recovery(
+    program: str,
+    fname: str,
+    setup: str,
+    call: str,
+    read_back: Optional[str] = None,
+    processors: int = 4,
+    faults: Optional[FaultPlan] = None,
+    sched_seed: Optional[int] = None,
+    lock_wait_timeout: int = 100_000,
+    compare: str = "value",
+):
+    """Transform and run under the full trust-but-verify runtime.
+
+    ``call`` contains ``{fn}`` (it is formatted with the original or
+    transformed name as appropriate).  The concurrent run is armed with
+    fault injection (if ``faults``), the online race detector, and the
+    lock-wait watchdog; any abort or sequentializability failure falls
+    back to sequential re-execution of the original program.  Returns a
+    :class:`~repro.harness.chaos.ChaosOutcome`.
+    """
+    from repro.harness.chaos import ChaosWorkload, run_chaos_case
+    from repro.runtime.faults import NullFaultPlan
+
+    workload = ChaosWorkload(
+        name=fname, program=program, fname=fname, setup=setup,
+        call=call, read_back=read_back, compare=compare,
+    )
+    return run_chaos_case(
+        workload,
+        faults if faults is not None else NullFaultPlan(),
+        processors=processors,
+        sched_seed=sched_seed,
+        lock_wait_timeout=lock_wait_timeout,
     )
 
 
@@ -93,6 +148,9 @@ def run_concurrent(
     cost_model: Optional[CostModel] = None,
     policy: str = "fifo",
     seed: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    race_detector: Optional[RaceDetector] = None,
+    lock_wait_timeout: Optional[int] = None,
 ) -> ExperimentRun:
     """Run an (already concurrent) program directly on the machine."""
     interp = Interpreter()
@@ -102,6 +160,8 @@ def run_concurrent(
     machine = Machine(
         interp, processors=processors, cost_model=cost_model,
         policy=policy, seed=seed,
+        faults=faults, race_detector=race_detector,
+        lock_wait_timeout=lock_wait_timeout,
     )
     main = machine.spawn_text(call)
     stats = machine.run()

@@ -17,8 +17,24 @@ order, §3.1.1).
 """
 
 from repro.runtime.clock import CostModel
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultRates,
+    NullFaultPlan,
+    SeededFaultPlan,
+    fault_matrix,
+)
 from repro.runtime.locks import LockTable, LockError
-from repro.runtime.machine import DeadlockDetected, Machine, MachineStats, Process
+from repro.runtime.machine import (
+    DeadlockDetected,
+    LockWaitTimeout,
+    Machine,
+    MachineError,
+    MachineStats,
+    MachineTimeout,
+    Process,
+)
+from repro.runtime.racecheck import Race, RaceDetected, RaceDetector, cross_validate
 from repro.runtime.servers import ServerPoolResult, run_server_pool
 from repro.runtime.serializability import (
     SequentializabilityReport,
@@ -29,14 +45,26 @@ from repro.runtime.serializability import (
 __all__ = [
     "CostModel",
     "DeadlockDetected",
+    "FaultPlan",
+    "FaultRates",
     "LockError",
     "LockTable",
+    "LockWaitTimeout",
     "Machine",
+    "MachineError",
     "MachineStats",
+    "MachineTimeout",
+    "NullFaultPlan",
     "Process",
+    "Race",
+    "RaceDetected",
+    "RaceDetector",
+    "SeededFaultPlan",
     "SequentializabilityReport",
     "ServerPoolResult",
     "check_conflict_order",
     "check_sequentializable",
+    "cross_validate",
+    "fault_matrix",
     "run_server_pool",
 ]

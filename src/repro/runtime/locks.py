@@ -110,6 +110,13 @@ class LockTable:
             break
         return granted
 
+    def owners(self, key: object) -> tuple[Optional[int], set[int]]:
+        """Current holders of ``key``: (writer, readers) — for diagnostics."""
+        state = self._locks.get(key)
+        if state is None:
+            return None, set()
+        return state.writer, set(state.readers)
+
     def held_by(self, proc: int) -> list[object]:
         return [
             key

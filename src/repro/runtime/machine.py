@@ -49,13 +49,42 @@ from repro.lisp.interpreter import Interpreter
 from repro.lisp.trace import Trace, location_of
 from repro.lisp.values import Future, TaskQueue
 from repro.runtime.clock import CostModel
+from repro.runtime.faults import SPURIOUS_WAKE, FaultPlan
 from repro.runtime.locks import LockTable
+from repro.runtime.racecheck import RaceDetector
 
 
-class DeadlockDetected(LispError):
-    def __init__(self, message: str, blocked: list["Process"]):
+class MachineError(LispError):
+    """A machine-level failure.  Carries the simulated clock and a
+    per-process snapshot of block reasons so a chaos-run failure is
+    diagnosable from the exception alone."""
+
+    def __init__(
+        self,
+        message: str,
+        clock: int = 0,
+        blocked: Optional[list["Process"]] = None,
+    ):
         super().__init__(message)
-        self.blocked = blocked
+        self.clock = clock
+        self.blocked = list(blocked or [])
+        self.block_reasons: dict[int, Any] = {
+            p.proc_id: p.block_reason for p in self.blocked
+        }
+
+
+class DeadlockDetected(MachineError):
+    def __init__(self, message: str, blocked: list["Process"], clock: int = 0):
+        super().__init__(message, clock=clock, blocked=blocked)
+
+
+class LockWaitTimeout(MachineError):
+    """The lock-wait watchdog fired: a process waited on one lock for
+    longer than ``lock_wait_timeout`` ticks."""
+
+
+class MachineTimeout(MachineError):
+    """The run exceeded ``max_time`` ticks."""
 
 
 @dataclass
@@ -69,6 +98,7 @@ class Process:
     parent: Optional[int] = None
     state: str = "ready"  # ready | running | blocked | done
     busy_remaining: int = 0
+    block_since: int = 0
     pending_reply: Any = None
     wake_reply: Any = None
     block_reason: Any = None
@@ -131,6 +161,9 @@ class Machine:
         trace: Optional[Trace] = None,
         max_time: int = 10_000_000,
         quiesce_queues: Optional[set[int]] = None,
+        faults: Optional[FaultPlan] = None,
+        race_detector: Optional[RaceDetector] = None,
+        lock_wait_timeout: Optional[int] = None,
     ):
         if processors < 1:
             raise ValueError("need at least one processor")
@@ -164,6 +197,11 @@ class Machine:
         #: kill tokens).
         self.quiesce_queues = quiesce_queues if quiesce_queues is not None else set()
         self._registered_queues: dict[int, TaskQueue] = {}
+        #: Trust-but-verify hooks.  All default to off; the machine's
+        #: behavior (traces, timings) is bit-identical when they are.
+        self.faults = faults
+        self.race_detector = race_detector
+        self.lock_wait_timeout = lock_wait_timeout
 
     # -- process management -----------------------------------------------
 
@@ -189,6 +227,8 @@ class Machine:
         self.ready.append(proc)
         self.stats.processes += 1
         self.trace.record(self.time, parent or 0, "spawn", None, proc.proc_id)
+        if self.race_detector is not None:
+            self.race_detector.on_spawn(parent, proc.proc_id)
         return proc
 
     def spawn_call(self, fname: str, *args: Any, label: str = "") -> Process:
@@ -222,13 +262,26 @@ class Machine:
                         continue
                     raise DeadlockDetected(
                         f"deadlock at t={self.time}: "
-                        + "; ".join(
-                            f"{p!r} on {p.block_reason!r}" for p in blocked
-                        ),
+                        + "; ".join(self._describe_block(p) for p in blocked),
                         blocked,
+                        clock=self.time,
                     )
             if self.time >= self.max_time:
-                raise LispError(f"machine exceeded max_time={self.max_time}")
+                blocked = [p for p in live if p.state == "blocked"]
+                raise MachineTimeout(
+                    f"machine exceeded max_time={self.max_time} at "
+                    f"t={self.time}; "
+                    + (
+                        "blocked: "
+                        + "; ".join(self._describe_block(p) for p in blocked)
+                        if blocked
+                        else "no process blocked"
+                    ),
+                    clock=self.time,
+                    blocked=blocked,
+                )
+            if self.lock_wait_timeout is not None:
+                self._check_watchdog()
             self._tick()
         self.stats.total_time = self.time
         self.stats.cpu_busy = [cpu.busy_time for cpu in self.cpus]
@@ -298,10 +351,58 @@ class Machine:
         self._registered_queues[queue.queue_id] = queue
 
     def _pick_ready(self) -> Process:
+        if self.faults is not None and self.ready:
+            index = self.faults.pick_ready(self, self.ready)
+            if index is not None:
+                return self.ready.pop(index)
         if self.policy == "random" and len(self.ready) > 1:
             index = self.rng.randrange(len(self.ready))
             return self.ready.pop(index)
         return self.ready.pop(0)
+
+    def _describe_block(self, proc: Process) -> str:
+        """One human line: who is blocked, on what, and who holds it."""
+        who = f"proc {proc.proc_id}" + (f" ({proc.label})" if proc.label else "")
+        reason = proc.block_reason
+        if isinstance(reason, tuple) and reason and reason[0] == "lock":
+            key = reason[1]
+            writer, readers = self.locks.owners(key)
+            holders = []
+            if writer is not None:
+                holders.append(f"writer proc {writer}")
+            if readers:
+                holders.append(
+                    "reader(s) " + ", ".join(str(r) for r in sorted(readers))
+                )
+            held = " held by " + " and ".join(holders) if holders else " (unheld)"
+            return (
+                f"{who} waiting {self.time - proc.block_since} tick(s) "
+                f"on lock {key!r}{held}"
+            )
+        if isinstance(reason, tuple) and reason:
+            return f"{who} on {reason[0]} {reason[1:]!r}"
+        return f"{who} on {reason!r}"
+
+    def _check_watchdog(self) -> None:
+        """Raise when any lock wait exceeds the configured timeout."""
+        limit = self.lock_wait_timeout
+        for proc in self.processes.values():
+            if (
+                proc.state == "blocked"
+                and isinstance(proc.block_reason, tuple)
+                and proc.block_reason
+                and proc.block_reason[0] == "lock"
+                and self.time - proc.block_since > limit
+            ):
+                blocked = [
+                    p for p in self.processes.values() if p.state == "blocked"
+                ]
+                raise LockWaitTimeout(
+                    f"lock-wait watchdog (timeout={limit}) at t={self.time}: "
+                    + "; ".join(self._describe_block(p) for p in blocked),
+                    clock=self.time,
+                    blocked=blocked,
+                )
 
     def _kick(self, cpu: _Cpu) -> None:
         """If the cpu's process has no pending busy time, resume it now."""
@@ -312,6 +413,8 @@ class Machine:
 
     def _tick(self) -> None:
         self.time += 1
+        if self.faults is not None:
+            self.faults.on_tick(self)
         busy_count = 0
         for cpu in self.cpus:
             if cpu.overhead > 0:
@@ -341,6 +444,14 @@ class Machine:
         """Resume the generator until it finishes, blocks, or gets busy."""
         reply = proc.pending_reply
         proc.pending_reply = None
+        if reply is SPURIOUS_WAKE:
+            # Spurious wakeup (fault injection): the wait condition is
+            # unchanged and the process never left its lock wait list —
+            # re-block without resuming the generator.  The cost was the
+            # context switch the processor paid to look at it.
+            proc.state = "blocked"
+            cpu.proc = None
+            return
         while True:
             try:
                 effect = proc.gen.send(reply)
@@ -358,6 +469,7 @@ class Machine:
             cost, blocked, reply = self._handle(proc, effect)
             if blocked:
                 proc.state = "blocked"
+                proc.block_since = self.time
                 cpu.proc = None
                 return
             if cost > 0:
@@ -370,6 +482,9 @@ class Machine:
         proc.state = "done"
         proc.result = value
         proc.finish_time = self.time
+        detector = self.race_detector
+        if detector is not None:
+            detector.on_finish(proc.proc_id)
         # Wake any sync-joiners whose descendant set just drained.
         if self._children_waiters:
             still = []
@@ -380,17 +495,27 @@ class Machine:
                     waiter.pending_reply = None
                     waiter.busy_remaining = 1
                     self.ready.append(waiter)
+                    if detector is not None:
+                        detector.on_join_children(
+                            waiter.proc_id, self._descendant_ids(waiter.proc_id)
+                        )
                 else:
                     still.append(waiter)
             self._children_waiters = still
         if proc.future is not None:
             proc.future.resolve(value)
+            if detector is not None:
+                detector.on_future_resolve(proc.proc_id, proc.future.future_id)
             for waiter in self._future_waiters.pop(proc.future.future_id, []):
                 waiter.wake_reply = value
                 waiter.pending_reply = value
                 waiter.state = "ready"
                 waiter.block_reason = None
                 self.ready.append(waiter)
+                if detector is not None:
+                    detector.on_future_wait(
+                        waiter.proc_id, proc.future.future_id
+                    )
 
     def _close_wake_any(self, queue: TaskQueue) -> None:
         """After closing ``queue``, wake any-waiters whose whole queue set
@@ -406,6 +531,18 @@ class Machine:
             else:
                 still.append((proc_w, queues))
         self._any_waiters = still
+
+    def _descendant_ids(self, proc_id: int) -> list[int]:
+        out: list[int] = []
+        stack = list(self.processes[proc_id].children)
+        while stack:
+            pid = stack.pop()
+            child = self.processes.get(pid)
+            if child is None:
+                continue
+            out.append(pid)
+            stack.extend(child.children)
+        return out
 
     def _live_descendants(self, proc_id: int) -> bool:
         stack = list(self.processes[proc_id].children)
@@ -424,16 +561,16 @@ class Machine:
         if isinstance(effect, Tick):
             return effect.cost, False, None
         if isinstance(effect, MemRead):
-            self.trace.record(
-                self.time, proc.proc_id, "read",
-                location_of(effect.cell, effect.field),
-            )
+            loc = location_of(effect.cell, effect.field)
+            self.trace.record(self.time, proc.proc_id, "read", loc)
+            if self.race_detector is not None:
+                self.race_detector.on_read(proc.proc_id, loc, self.time)
             return 1, False, None
         if isinstance(effect, MemWrite):
-            self.trace.record(
-                self.time, proc.proc_id, "write",
-                location_of(effect.cell, effect.field),
-            )
+            loc = location_of(effect.cell, effect.field)
+            self.trace.record(self.time, proc.proc_id, "write", loc)
+            if self.race_detector is not None:
+                self.race_detector.on_write(proc.proc_id, loc, self.time)
             return 1, False, None
         if isinstance(effect, (VarRead, VarWrite)):
             return 0, False, None
@@ -444,6 +581,8 @@ class Machine:
                 "lock" if got else "lock-wait", effect.key, effect.shared,
             )
             if got:
+                if self.race_detector is not None:
+                    self.race_detector.on_acquire(proc.proc_id, effect.key)
                 return self.costs.lock_acquire, False, None
             proc.block_reason = ("lock", effect.key)
             proc.pending_reply = None
@@ -453,14 +592,32 @@ class Machine:
                 proc.proc_id, effect.key, effect.shared
             ):
                 return 0, False, None
+            if self.race_detector is not None:
+                self.race_detector.on_release(proc.proc_id, effect.key)
             granted = self.locks.release(proc.proc_id, effect.key, effect.shared)
             self.trace.record(self.time, proc.proc_id, "unlock", effect.key, effect.shared)
             for pid in granted:
                 waiter = self.processes[pid]
+                if self.race_detector is not None:
+                    self.race_detector.on_acquire(pid, effect.key)
+                # The grantee still pays its lock_acquire cost on wake;
+                # a fault plan may stretch the grant further (FIFO order
+                # is already fixed by the lock table).
+                wake_cost = self.costs.lock_acquire
+                if self.faults is not None:
+                    wake_cost += self.faults.grant_delay(self, pid, effect.key)
+                if waiter.pending_reply is SPURIOUS_WAKE:
+                    # It was spuriously awake when the real grant landed:
+                    # convert in place — it is already in the ready queue
+                    # (or on a cpu paying switch overhead).
+                    waiter.pending_reply = None
+                    waiter.block_reason = None
+                    waiter.busy_remaining = wake_cost
+                    self.trace.record(self.time, pid, "lock", effect.key, effect.shared)
+                    continue
                 waiter.state = "ready"
                 waiter.block_reason = None
-                # The grantee still pays its lock_acquire cost on wake.
-                waiter.busy_remaining = self.costs.lock_acquire
+                waiter.busy_remaining = wake_cost
                 waiter.pending_reply = None
                 self.ready.append(waiter)
                 self.trace.record(self.time, pid, "lock", effect.key, effect.shared)
@@ -479,16 +636,24 @@ class Machine:
                 proc.block_reason = ("children", proc.proc_id)
                 self._children_waiters.append(proc)
                 return 0, True, None
+            if self.race_detector is not None:
+                self.race_detector.on_join_children(
+                    proc.proc_id, self._descendant_ids(proc.proc_id)
+                )
             return 1, False, None
         if isinstance(effect, WaitFuture):
             fut: Future = effect.future
             if fut.resolved:
+                if self.race_detector is not None:
+                    self.race_detector.on_future_wait(proc.proc_id, fut.future_id)
                 return self.costs.future_touch, False, fut.value
             proc.block_reason = ("future", fut.future_id)
             self._future_waiters.setdefault(fut.future_id, []).append(proc)
             return 0, True, None
         if isinstance(effect, QueuePut):
             queue: TaskQueue = effect.queue
+            if self.race_detector is not None:
+                self.race_detector.on_queue_put(proc.proc_id, queue.queue_id)
             waiters = self._queue_waiters.get(queue.queue_id)
             handed = False
             if waiters:
@@ -499,6 +664,10 @@ class Machine:
                 waiter.pending_reply = effect.item
                 waiter.busy_remaining = self.costs.queue_op
                 self.ready.append(waiter)
+                if self.race_detector is not None:
+                    self.race_detector.on_queue_get(
+                        waiter.proc_id, queue.queue_id
+                    )
                 handed = True
             else:
                 for idx, (proc_w, queues) in enumerate(self._any_waiters):
@@ -509,6 +678,10 @@ class Machine:
                         proc_w.pending_reply = effect.item
                         proc_w.busy_remaining = self.costs.queue_op
                         self.ready.append(proc_w)
+                        if self.race_detector is not None:
+                            self.race_detector.on_queue_get(
+                                proc_w.proc_id, queue.queue_id
+                            )
                         handed = True
                         break
             if not handed:
@@ -520,6 +693,8 @@ class Machine:
             queue = effect.queue
             ok, item = queue.try_get()
             if ok:
+                if self.race_detector is not None:
+                    self.race_detector.on_queue_get(proc.proc_id, queue.queue_id)
                 return self.costs.queue_op, False, item
             if queue.closed:
                 return self.costs.queue_op, False, QUEUE_CLOSED
@@ -530,6 +705,10 @@ class Machine:
             for queue in effect.queues:
                 ok, item = queue.try_get()
                 if ok:
+                    if self.race_detector is not None:
+                        self.race_detector.on_queue_get(
+                            proc.proc_id, queue.queue_id
+                        )
                     return self.costs.queue_op, False, item
             if all(q.closed for q in effect.queues):
                 return self.costs.queue_op, False, QUEUE_CLOSED

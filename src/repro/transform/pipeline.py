@@ -24,6 +24,7 @@ concurrency, and the suggested declarations.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -133,6 +134,11 @@ class Curare:
         self.decls = decls if decls is not None else DeclarationRegistry()
         self.assume_sapp = assume_sapp
         self.runner = SequentialRunner(interp)
+        #: transformed name → original name, for sequential fallback:
+        #: when the runtime detects that a declaration lied (a race, a
+        #: deadlock, a watchdog timeout), the recovery path re-executes
+        #: the *original* program, and this map rewrites the entry call.
+        self.transformed_map: dict[str, str] = {}
 
     # -- loading -------------------------------------------------------------
 
@@ -200,6 +206,7 @@ class Curare:
                 result.extra_forms.append(unparse_function(wrapper))
                 result.transformed = True
                 result.transformed_name = wrapper.name.name
+                self.transformed_map[result.transformed_name] = name
                 if define:
                     self.runner.eval_form(result.final_form)
                     for form in result.extra_forms:
@@ -223,6 +230,7 @@ class Curare:
                     )
                     result.transformed = True
                     result.transformed_name = name + suffix
+                    self.transformed_map[result.transformed_name] = name
                     result.iteration.func.name = intern(name + suffix)
                     result.final_form = unparse_function(result.iteration.func)
                     if define:
@@ -341,6 +349,7 @@ class Curare:
                         sub.fn = dps_concurrent_name
             result.extra_forms.append(unparse_function(wrapper))
             result.transformed_name = wrapper.name.name
+        self.transformed_map[result.transformed_name] = name
         if define:
             self.runner.eval_form(result.final_form)
             for form in result.extra_forms:
@@ -354,6 +363,19 @@ class Curare:
             result.post_headtail = None
         return result
 
+    # -- sequential fallback (trust-but-verify recovery) -----------------------
+
+    def sequential_fallback_call(self, call_text: str) -> str:
+        """Rewrite transformed names in ``call_text`` back to originals.
+
+        The recovery path of the robustness runtime re-executes the
+        *original* program in a fresh world after a concurrent run is
+        aborted (race flagged, deadlock, watchdog); the entry call the
+        harness holds references transformed names, so they must be
+        mapped back first.
+        """
+        return rewrite_fallback_call(call_text, self.transformed_map)
+
     # -- helpers ---------------------------------------------------------------
 
     def _reanalyze(self, func: N.FuncDef) -> FunctionAnalysis:
@@ -366,3 +388,16 @@ class Curare:
             if conflict.active:
                 conflict.dismissed_by = "delayed into head (§3.2.2)"
         return analysis
+
+
+def rewrite_fallback_call(call_text: str, mapping: dict[str, str]) -> str:
+    """Replace each transformed name with its original, longest first so
+    nested suffixes (``f-cc-cc``) never partially match.  Symbol
+    boundaries are respected: ``f5-cc`` must not rewrite inside
+    ``my-f5-cc-helper``."""
+    out = call_text
+    for new in sorted(mapping, key=len, reverse=True):
+        out = re.sub(
+            rf"(?<![\w\-]){re.escape(new)}(?![\w\-])", mapping[new], out
+        )
+    return out

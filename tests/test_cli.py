@@ -119,3 +119,63 @@ class TestRun:
         path = tmp_path / "p.lisp"
         path.write_text("(defun g (x) x)")
         assert main(["run", str(path), "--transform", "g", "-e", "(g 1)"]) == 1
+
+
+class TestRunRobustnessFlags:
+    def test_seed_echoed_in_report(self, fig5_file, capsys):
+        main([
+            "run", fig5_file, "--transform", "f5",
+            "-e", "(f5-cc data)", "--seed", "9",
+        ])
+        assert ";; seed: 9" in capsys.readouterr().out
+
+    def test_seed_also_seeds_fault_plan(self, fig5_file, capsys):
+        code = main([
+            "run", fig5_file, "--transform", "f5",
+            "-e", "(progn (f5-cc data) (identity data))",
+            "--seed", "3", "--faults", "mixed",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ";; value: (1 3 6 10)" in out  # still sequentializable
+        assert ";; seed: 3 (scheduling + fault plan)" in out
+        assert ";; faults: mixed:" in out
+
+    def test_race_check_summary(self, fig5_file, capsys):
+        main([
+            "run", fig5_file, "--transform", "f5",
+            "-e", "(f5-cc data)", "--race-check",
+        ])
+        assert ";; races: no races" in capsys.readouterr().out
+
+    def test_unknown_fault_plan_rejected(self, fig5_file, capsys):
+        code = main([
+            "run", fig5_file, "-e", "(+ 1 2)", "--faults", "nope",
+        ])
+        assert code == 2
+        assert "unknown fault plan" in capsys.readouterr().err
+
+
+class TestChaos:
+    def test_smoke_sweep_passes(self, capsys):
+        code = main([
+            "chaos", "--size", "5", "--plans", "mixed", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[PASS] no silent wrong answers" in out
+        assert "fig5-prefix-sum" in out
+
+    def test_misdeclared_recovers_not_fails(self, capsys):
+        code = main([
+            "chaos", "--size", "5", "--plans", "stall-storm",
+            "--misdeclared",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "wipe-misdeclared" in out
+
+    def test_unknown_plan_rejected(self, capsys):
+        assert main(["chaos", "--plans", "bogus"]) == 2
+        assert "unknown fault plan" in capsys.readouterr().err

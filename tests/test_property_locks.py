@@ -1,0 +1,105 @@
+"""Property test (hypothesis): LockTable grants strictly in FIFO order.
+
+FIFO grant order is the §3.2.1 correctness argument's load-bearing
+half: heads run in invocation order, so FIFO grants reproduce the
+sequential conflict order.  The property attacked here: across any
+interleaving of acquires and randomized release orders, with any
+reader/writer mix, the order in which processes *obtain* the lock is
+exactly the order in which they requested it — readers may share but
+never overtake a queued waiter.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.locks import LockTable
+
+KEY = ("loc", 0, "car")
+
+
+@st.composite
+def lock_scripts(draw):
+    """A request list [(proc, shared)] plus a release-order permutation."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    shared_flags = draw(
+        st.lists(st.booleans(), min_size=n, max_size=n)
+    )
+    requests = list(enumerate(shared_flags))
+    release_order = draw(st.permutations(range(n)))
+    return requests, release_order
+
+
+def drive(requests, release_order):
+    """Acquire in request order; release in the given permutation as
+    each release becomes legal (process actually holds the lock).
+    Returns the order in which processes obtained the lock."""
+    table = LockTable()
+    obtained = []
+    shared_of = dict(requests)
+    holding = set()
+    for proc, shared in requests:
+        if table.acquire(proc, KEY, shared):
+            obtained.append(proc)
+            holding.add(proc)
+    pending = list(release_order)
+    # Keep releasing any releasable process until all have cycled through.
+    stuck = 0
+    while pending and stuck <= len(pending):
+        proc = pending.pop(0)
+        if proc not in holding:
+            pending.append(proc)  # not granted yet; retry later
+            stuck += 1
+            continue
+        stuck = 0
+        granted = table.release(proc, KEY, shared_of[proc])
+        holding.discard(proc)
+        for g in granted:
+            obtained.append(g)
+            holding.add(g)
+    return obtained
+
+
+@given(lock_scripts())
+@settings(max_examples=200)
+def test_grant_order_is_request_order(script):
+    requests, release_order = script
+    obtained = drive(requests, release_order)
+    # Everyone eventually got the lock, in exactly request order.
+    assert obtained == [proc for proc, _ in requests]
+
+
+@given(st.integers(min_value=2, max_value=8), st.randoms(use_true_random=False))
+@settings(max_examples=100)
+def test_writers_only_strict_fifo(n, rng):
+    """All-exclusive special case with interleaved releases."""
+    requests = [(i, False) for i in range(n)]
+    release_order = list(range(n))
+    rng.shuffle(release_order)
+    assert drive(requests, release_order) == list(range(n))
+
+
+@given(lock_scripts())
+@settings(max_examples=100)
+def test_readers_share_but_never_overtake(script):
+    """At any instant the holder set is either one writer or only
+    readers, and every grant batch is a FIFO prefix of the wait list."""
+    requests, release_order = script
+    table = LockTable()
+    shared_of = dict(requests)
+    holding = set()
+    for proc, shared in requests:
+        if table.acquire(proc, KEY, shared):
+            holding.add(proc)
+    while holding:
+        writer, readers = table.owners(KEY)
+        if writer is not None:
+            assert readers == set()
+        assert holding == (readers | ({writer} if writer is not None else set()))
+        proc = min(holding)
+        granted = table.release(proc, KEY, shared_of[proc])
+        holding.discard(proc)
+        holding.update(granted)
+        # A grant batch is homogeneous: one writer, or only readers.
+        if granted:
+            kinds = {shared_of[g] for g in granted}
+            if False in kinds:  # a writer was granted
+                assert granted == [granted[0]] and kinds == {False}

@@ -85,3 +85,83 @@ class TestTraceQueries:
         seqs = [e.seq for e in t]
         assert seqs == sorted(seqs)
         assert len(t) == 5
+
+
+class TestMachineErrorContext:
+    """Satellite: DeadlockDetected (and friends) carry the clock and
+    per-process block reasons, and the message names lock holders."""
+
+    def _deadlocked_machine(self):
+        interp = Interpreter()
+        runner = SequentialRunner(interp)
+        runner.eval_text("(setq c (cons 1 nil)) (setq q (make-queue))")
+        machine = Machine(interp, processors=2)
+        # holder: takes the location lock, then blocks forever on the queue
+        machine.spawn_text("(progn (lock-loc! c 'car) (dequeue! q))",
+                           label="holder")
+        # waiter: blocks on the same lock
+        machine.spawn_text("(lock-loc! c 'car)", label="waiter")
+        return machine
+
+    def test_deadlock_carries_clock_and_block_reasons(self):
+        from repro.runtime.machine import DeadlockDetected
+
+        machine = self._deadlocked_machine()
+        with pytest.raises(DeadlockDetected) as exc:
+            machine.run()
+        err = exc.value
+        assert err.clock > 0
+        assert len(err.blocked) == 2
+        reasons = {r[0] for r in err.block_reasons.values()}
+        assert reasons == {"queue", "lock"}
+
+    def test_deadlock_message_names_lock_holder(self):
+        from repro.runtime.machine import DeadlockDetected
+
+        machine = self._deadlocked_machine()
+        with pytest.raises(DeadlockDetected) as exc:
+            machine.run()
+        message = str(exc.value)
+        assert "deadlock at t=" in message
+        assert "waiter" in message and "holder" in message
+        assert "held by writer proc" in message
+        assert "tick(s) on lock" in message
+
+    def test_lock_wait_watchdog_fires(self):
+        from repro.runtime.machine import LockWaitTimeout
+
+        interp = Interpreter()
+        runner = SequentialRunner(interp)
+        runner.eval_text(
+            """
+            (setq c (cons 1 nil))
+            (defun hog ()
+              (lock-loc! c 'car)
+              (let ((i 0)) (while (< i 2000) (setq i (1+ i))))
+              (unlock-loc! c 'car))
+            (defun late-waiter ()
+              (let ((i 0)) (while (< i 5) (setq i (1+ i))))
+              (lock-loc! c 'car))
+            """
+        )
+        machine = Machine(interp, processors=2, lock_wait_timeout=40)
+        machine.spawn_text("(hog)")
+        machine.spawn_text("(late-waiter)", label="starved")
+        with pytest.raises(LockWaitTimeout) as exc:
+            machine.run()
+        assert exc.value.clock > 40
+        assert "starved" in str(exc.value)
+
+    def test_machine_timeout_carries_clock(self):
+        from repro.lisp.errors import LispError
+        from repro.runtime.machine import MachineTimeout
+
+        interp = Interpreter()
+        runner = SequentialRunner(interp)
+        runner.eval_text("(defun spin () (while t nil))")
+        machine = Machine(interp, processors=1, max_time=60)
+        machine.spawn_text("(spin)")
+        with pytest.raises(MachineTimeout) as exc:
+            machine.run()
+        assert exc.value.clock >= 60
+        assert isinstance(exc.value, LispError)  # old catch sites still work

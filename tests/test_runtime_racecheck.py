@@ -1,0 +1,196 @@
+"""Unit + integration tests: the online vector-clock race detector.
+
+Unit level: drive the detector directly and check each happens-before
+edge (program order, spawn, lock release→acquire, future resolve→wait,
+queue put→get, children joins) orders exactly what it should.
+
+Integration level: the tentpole scenario — a workload whose declaration
+*lies* gets its race flagged online and triggers sequential fallback,
+while correctly transformed workloads never false-positive even under
+fault injection.
+"""
+
+import pytest
+
+from repro.harness.chaos import misdeclared_workload, paper_workloads, run_chaos_case
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+from repro.runtime.faults import NullFaultPlan, fault_matrix
+from repro.runtime.machine import Machine
+from repro.runtime.racecheck import (
+    Race,
+    RaceDetected,
+    RaceDetector,
+    cross_validate,
+)
+from repro.sexpr.printer import write_str
+from repro.transform.pipeline import Curare
+
+LOC = (1, "car")
+
+
+class TestVectorClockEdges:
+    def test_program_order_no_race(self):
+        d = RaceDetector()
+        d.on_write(1, LOC, time=0)
+        d.on_read(1, LOC, time=1)
+        d.on_write(1, LOC, time=2)
+        assert d.race_count == 0
+
+    def test_unordered_write_write_flagged(self):
+        d = RaceDetector()
+        d.on_write(1, LOC, time=0)
+        d.on_write(2, LOC, time=1)
+        assert d.race_count == 1
+        race = d.races[0]
+        assert (race.first_proc, race.second_proc) == (1, 2)
+        assert (race.first_kind, race.second_kind) == ("write", "write")
+
+    def test_unordered_read_write_flagged(self):
+        d = RaceDetector()
+        d.on_read(1, LOC, time=0)
+        d.on_write(2, LOC, time=1)
+        assert d.race_count == 1
+        assert d.races[0].first_kind == "read"
+
+    def test_concurrent_reads_are_fine(self):
+        d = RaceDetector()
+        d.on_read(1, LOC, time=0)
+        d.on_read(2, LOC, time=1)
+        assert d.race_count == 0
+
+    def test_spawn_edge_orders_parent_prefix(self):
+        d = RaceDetector()
+        d.on_write(1, LOC, time=0)
+        d.on_spawn(1, 2)  # child inherits parent's clock
+        d.on_write(2, LOC, time=1)
+        assert d.race_count == 0
+        # But the parent's *later* writes are unordered with the child.
+        d.on_write(1, LOC, time=2)
+        assert d.race_count == 1
+
+    def test_lock_edge_orders_release_to_acquire(self):
+        d = RaceDetector()
+        key = ("loc", 1, "car")
+        d.on_acquire(1, key)
+        d.on_write(1, LOC, time=0)
+        d.on_release(1, key)
+        d.on_acquire(2, key)
+        d.on_write(2, LOC, time=1)
+        assert d.race_count == 0
+
+    def test_rw_lock_writer_inherits_all_reader_releases(self):
+        d = RaceDetector()
+        key = ("loc", 1, "car")
+        for reader in (1, 2):
+            d.on_acquire(reader, key)
+            d.on_read(reader, LOC, time=0)
+        for reader in (1, 2):
+            d.on_release(reader, key)
+        d.on_acquire(3, key)
+        d.on_write(3, LOC, time=1)  # ordered after BOTH reads
+        assert d.race_count == 0
+
+    def test_future_edge(self):
+        d = RaceDetector()
+        d.on_write(1, LOC, time=0)
+        d.on_future_resolve(1, future_id=7)
+        d.on_future_wait(2, future_id=7)
+        d.on_write(2, LOC, time=1)
+        assert d.race_count == 0
+
+    def test_queue_edge(self):
+        d = RaceDetector()
+        d.on_write(1, LOC, time=0)
+        d.on_queue_put(1, queue_id=3)
+        d.on_queue_get(2, queue_id=3)
+        d.on_write(2, LOC, time=1)
+        assert d.race_count == 0
+
+    def test_join_children_edge(self):
+        d = RaceDetector()
+        d.on_spawn(1, 2)
+        d.on_write(2, LOC, time=0)
+        d.on_finish(2)
+        d.on_join_children(1, [2])
+        d.on_write(1, LOC, time=1)
+        assert d.race_count == 0
+
+    def test_raise_on_race_mode(self):
+        d = RaceDetector(raise_on_race=True)
+        d.on_write(1, LOC, time=0)
+        with pytest.raises(RaceDetected) as excinfo:
+            d.on_write(2, LOC, time=5)
+        assert isinstance(excinfo.value.race, Race)
+        assert excinfo.value.race.time == 5
+
+    def test_summary_mentions_races(self):
+        d = RaceDetector()
+        d.on_write(1, LOC, time=0)
+        d.on_write(2, LOC, time=1)
+        assert "1 race(s)" in d.summary()
+        assert "no races" in RaceDetector().summary()
+
+
+MISDECLARED = misdeclared_workload()
+
+
+def run_workload(workload, detector, processors=3):
+    """Transform and run a chaos workload with ``detector`` armed."""
+    interp = Interpreter()
+    curare = Curare(interp, assume_sapp=True)
+    curare.load_program(workload.program)
+    result = curare.transform(workload.fname)
+    assert result.transformed, result.reason
+    curare.runner.eval_text(workload.setup)
+    machine = Machine(interp, processors=processors, race_detector=detector)
+    machine.spawn_text(workload.call.format(fn=result.transformed_name))
+    machine.run()
+    return interp, machine
+
+
+class TestOnlineDetection:
+    def test_misdeclared_workload_flags_race_online(self):
+        """The lying ``unordered-writes`` declaim produces an actual
+        unordered write-write pair, caught as it commits."""
+        detector = RaceDetector()
+        run_workload(MISDECLARED, detector)
+        assert detector.race_count >= 1
+        kinds = {(r.first_kind, r.second_kind) for r in detector.races}
+        assert ("write", "write") in kinds
+
+    def test_misdeclared_workload_triggers_sequential_fallback(self):
+        """End to end: raise_on_race aborts the machine and the chaos
+        harness recovers by sequential re-execution — no silent wrong
+        answer escapes."""
+        outcome = run_chaos_case(MISDECLARED, NullFaultPlan())
+        assert outcome.status == "recovered"
+        assert outcome.races >= 1
+        assert "race" in outcome.recovery_cause
+
+    @pytest.mark.parametrize("plan_index", [0, 3, 5])
+    def test_misdeclared_recovers_under_faults_too(self, plan_index):
+        plan = fault_matrix(9)[plan_index]
+        outcome = run_chaos_case(MISDECLARED, plan, sched_seed=1)
+        assert outcome.status == "recovered"
+        assert outcome.races >= 1
+
+    def test_correct_workload_no_false_positives(self):
+        """Curare locks both sides of every conflict, so the detector
+        stays silent on a correctly transformed run."""
+        detector = RaceDetector(raise_on_race=True)
+        workload = paper_workloads(6)[2]  # fig5 prefix-sum
+        interp, machine = run_workload(workload, detector)
+        assert detector.race_count == 0
+        assert detector.checked_accesses > 0
+        shown = write_str(SequentialRunner(interp).eval_text("data"))
+        assert shown == "(1 3 6 10 15 21)"
+
+    def test_cross_validation_agrees_both_ways(self):
+        # Clean run: both checkers silent.
+        detector = RaceDetector()
+        workload = paper_workloads(6)[2]
+        _, machine = run_workload(workload, detector)
+        validation = cross_validate(detector, machine.trace)
+        assert validation.agree
+        assert validation.online_races == 0
