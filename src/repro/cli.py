@@ -11,6 +11,14 @@ Commands:
 * ``chaos``                   — sweep the paper workloads across the
   seeded fault matrix and assert sequentializability survives every
   plan (exit 1 on any silent wrong answer).
+* ``trace WORKLOAD``          — run a named paper workload with the
+  flight recorder armed end to end and export the trace
+  (``--trace-out``, Chrome ``trace_event`` or JSONL format).
+
+``run``, ``chaos``, and ``trace`` all take ``--profile`` (print phase
+timings and counters) and ``--trace-out PATH`` (write the recorded
+trace; ``--trace-format`` picks the encoding).  Exit code 2 flags a
+usage error: unknown workload/plan, or an unwritable trace path.
 
 Every file-taking command reads ``(declaim ...)`` forms from the file.
 """
@@ -42,6 +50,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="treat every parameter as SAPP-declared (experiment mode)",
     )
 
+    obs_common = argparse.ArgumentParser(add_help=False)
+    obs_common.add_argument(
+        "--profile", action="store_true",
+        help="record the run and print phase timings + counters",
+    )
+    obs_common.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the recorded trace to this file",
+    )
+    obs_common.add_argument(
+        "--trace-format", choices=["chrome", "jsonl"], default="chrome",
+        help="trace encoding: Chrome trace_event JSON (default, loads "
+             "in Perfetto/about://tracing) or JSON lines",
+    )
+
     p_analyze = sub.add_parser(
         "analyze", parents=[common], help="report conflicts for a function"
     )
@@ -67,7 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     p_run = sub.add_parser(
-        "run", parents=[common],
+        "run", parents=[common, obs_common],
         help="evaluate an expression on the simulated machine",
     )
     p_run.add_argument("-e", "--expr", required=True)
@@ -92,7 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the occupancy sparkline and process gantt")
 
     p_chaos = sub.add_parser(
-        "chaos",
+        "chaos", parents=[obs_common],
         help="sweep paper workloads across the seeded fault matrix",
     )
     p_chaos.add_argument("--seed", type=int, default=0,
@@ -112,15 +135,67 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also attack the intentionally mis-declared "
                               "workload (must recover, not fail)")
 
+    p_trace = sub.add_parser(
+        "trace", parents=[obs_common],
+        help="flight-record a named paper workload",
+    )
+    p_trace.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload name (see --list), e.g. fig07",
+    )
+    p_trace.add_argument("--list", action="store_true",
+                         help="list the available workloads and exit")
+    p_trace.add_argument("-p", "--processors", type=int, default=None,
+                         help="override the workload's processor count")
+    p_trace.add_argument("--seed", type=int, default=None,
+                         help="random scheduling with this seed "
+                              "(default: deterministic fifo)")
+
     return parser
 
 
-def _load(path: str, assume_sapp: bool) -> Curare:
+def _load(path: str, assume_sapp: bool, recorder=None) -> Curare:
     interp = Interpreter()
-    curare = Curare(interp, assume_sapp=assume_sapp)
+    curare = Curare(interp, assume_sapp=assume_sapp, recorder=recorder)
     with open(path) as handle:
         curare.load_program(handle.read())
     return curare
+
+
+def _make_recorder(args: argparse.Namespace):
+    """One recorder when any observability flag asks for it, else None
+    (the machine's pay-for-what-you-use guarantee hinges on None)."""
+    if getattr(args, "profile", False) or getattr(args, "trace_out", None):
+        from repro.obs import Recorder
+
+        return Recorder()
+    return None
+
+
+def _finish_observability(recorder, args: argparse.Namespace) -> int:
+    """Print the profile and/or write the trace file; returns an exit
+    code (0, or 2 on an unwritable path)."""
+    if recorder is None:
+        return 0
+    if args.profile:
+        from repro.obs import render_profile
+
+        print(render_profile(recorder))
+    if args.trace_out:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        writer = (
+            write_jsonl if args.trace_format == "jsonl" else write_chrome_trace
+        )
+        try:
+            writer(recorder, args.trace_out)
+        except OSError as err:
+            print(f";; cannot write trace to {args.trace_out!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        print(f";; trace ({args.trace_format}): {args.trace_out} "
+              f"[{len(recorder.events)} event(s)]")
+    return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -171,7 +246,8 @@ def cmd_transform(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    curare = _load(args.file, args.assume_sapp)
+    recorder = _make_recorder(args)
+    curare = _load(args.file, args.assume_sapp, recorder=recorder)
     for name in args.transform:
         outcome = curare.transform(name)
         if not outcome.transformed:
@@ -203,6 +279,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         faults=faults,
         race_detector=detector,
         lock_wait_timeout=args.lock_wait_timeout,
+        recorder=recorder,
     )
     main = machine.spawn_text(args.expr)
     stats = machine.run()
@@ -226,7 +303,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         print(occupancy_sparkline(stats, processors=args.processors))
         print(process_gantt(machine))
-    return 0
+    return _finish_observability(recorder, args)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -250,15 +327,63 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     workloads = paper_workloads(args.size)
     if args.misdeclared:
         workloads.append(misdeclared_workload(args.size))
+    recorder = _make_recorder(args)
     report = chaos_sweep(
         workloads,
         seed=args.seed,
         plans=plans,
         processors=args.processors,
         sched_seed=args.sched_seed,
+        recorder=recorder,
     )
     print(format_robustness(report))
+    obs_code = _finish_observability(recorder, args)
+    if obs_code != 0:
+        return obs_code
     return 0 if report.ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Recorder
+    from repro.obs.workloads import run_trace_workload, trace_workloads
+
+    registry = trace_workloads()
+    if args.list:
+        for name, workload in registry.items():
+            print(f"{name:<8} {workload.description}")
+        return 0
+    if args.workload is None:
+        print(";; trace: workload name required (try --list)",
+              file=sys.stderr)
+        return 2
+    workload = registry.get(args.workload)
+    if workload is None:
+        print(f";; unknown workload {args.workload!r}; "
+              f"choose from: {', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+    recorder = Recorder()
+    run = run_trace_workload(
+        workload, recorder, seed=args.seed, processors=args.processors
+    )
+    print(f";; workload: {workload.name} — {workload.description}")
+    print(f";; value: {run.result_text}")
+    stats = run.stats
+    print(
+        f";; machine: {stats.total_time} steps, {stats.processes} "
+        f"process(es), mean concurrency {stats.mean_concurrency:.2f}, "
+        f"utilization {stats.utilization:.2f}"
+    )
+    if args.seed is not None:
+        print(f";; seed: {args.seed} (scheduling)")
+    if args.profile or not args.trace_out:
+        from repro.obs import render_profile
+
+        print(render_profile(recorder))
+    if args.trace_out:
+        # Reuse the shared writer (handles format + malformed paths).
+        args.profile = False
+        return _finish_observability(recorder, args)
+    return 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -268,6 +393,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "transform": cmd_transform,
         "run": cmd_run,
         "chaos": cmd_chaos,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -36,6 +36,7 @@ from repro.harness.workloads import (
 from repro.lisp.errors import LispError
 from repro.lisp.interpreter import Interpreter
 from repro.lisp.runner import SequentialRunner
+from repro.obs.recorder import PID_HARNESS, Recorder
 from repro.runtime.faults import FaultPlan, fault_matrix
 from repro.runtime.machine import Machine, MachineError
 from repro.runtime.racecheck import RaceDetected, RaceDetector, cross_validate
@@ -240,6 +241,7 @@ def run_chaos_case(
     lock_wait_timeout: int = 100_000,
     max_time: int = 2_000_000,
     oracle: Optional[tuple[str, list]] = None,
+    recorder: Optional[Recorder] = None,
 ) -> ChaosOutcome:
     """One cell: transformed run under ``plan``, verify or recover."""
     if oracle is None:
@@ -252,7 +254,7 @@ def run_chaos_case(
     )
     detector = RaceDetector(raise_on_race=True)
     interp = Interpreter()
-    curare = Curare(interp, assume_sapp=True)
+    curare = Curare(interp, assume_sapp=True, recorder=recorder)
     failure: Optional[str] = None
     machine: Optional[Machine] = None
     try:
@@ -270,6 +272,7 @@ def run_chaos_case(
             race_detector=detector,
             lock_wait_timeout=lock_wait_timeout,
             max_time=max_time,
+            recorder=recorder,
         )
         main = machine.spawn_text(
             workload.call.format(fn=result.transformed_name)
@@ -329,6 +332,25 @@ def run_chaos_case(
     return outcome
 
 
+def _record_cell(recorder: Recorder, outcome: ChaosOutcome) -> None:
+    """Per-cell rollup for the sweep trace."""
+    recorder.count("chaos.cells")
+    recorder.count(f"chaos.{outcome.status.lower()}")
+    recorder.count("chaos.faults_injected", outcome.faults_injected)
+    recorder.count("chaos.races", outcome.races)
+    recorder.event(
+        "chaos.cell", "harness", pid=PID_HARNESS,
+        args={
+            "workload": outcome.workload,
+            "plan": outcome.plan,
+            "status": outcome.status,
+            "races": outcome.races,
+            "faults_injected": outcome.faults_injected,
+            "recovery_cause": outcome.recovery_cause,
+        },
+    )
+
+
 def chaos_sweep(
     workloads: Optional[list[ChaosWorkload]] = None,
     seed: int = 0,
@@ -336,6 +358,7 @@ def chaos_sweep(
     processors: int = 4,
     sched_seed: Optional[int] = None,
     lock_wait_timeout: int = 100_000,
+    recorder: Optional[Recorder] = None,
 ) -> RobustnessReport:
     """Every workload × every fault plan.  Fresh plans per workload so
     budgets and RNG streams never leak across cells."""
@@ -350,13 +373,27 @@ def chaos_sweep(
                 # Caller-supplied plans are stateful; re-derive a fresh
                 # instance per cell when possible.
                 plan = _fresh_plan(plan)
-            report.outcomes.append(
-                run_chaos_case(
-                    workload, plan, processors=processors,
-                    sched_seed=sched_seed,
-                    lock_wait_timeout=lock_wait_timeout, oracle=oracle,
-                )
+            outcome = run_chaos_case(
+                workload, plan, processors=processors,
+                sched_seed=sched_seed,
+                lock_wait_timeout=lock_wait_timeout, oracle=oracle,
+                recorder=recorder,
             )
+            if recorder is not None:
+                _record_cell(recorder, outcome)
+            report.outcomes.append(outcome)
+    if recorder is not None:
+        recorder.event(
+            "chaos.sweep", "harness", pid=PID_HARNESS,
+            args={
+                "runs": report.runs,
+                "passed": report.passed,
+                "recovered": report.recovered,
+                "failed": report.failed,
+                "total_faults": report.total_faults,
+                "total_races": report.total_races,
+            },
+        )
     return report
 
 

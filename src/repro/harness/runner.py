@@ -9,6 +9,7 @@ from typing import Any, Optional
 from repro.declare.registry import DeclarationRegistry
 from repro.lisp.interpreter import Interpreter
 from repro.lisp.runner import SequentialRunner
+from repro.obs.recorder import PID_HARNESS, Recorder
 from repro.runtime.clock import CostModel
 from repro.runtime.faults import FaultPlan
 from repro.runtime.machine import Machine, MachineStats
@@ -31,6 +32,24 @@ class ExperimentRun:
     @property
     def mean_concurrency(self) -> float:
         return self.stats.mean_concurrency if self.stats else 1.0
+
+
+def _record_run(recorder: Recorder, label: str, run: ExperimentRun) -> None:
+    """Per-run harness rollup: one event with the numbers every
+    experiment reads off a finished run."""
+    stats = run.stats
+    recorder.count("harness.runs")
+    args = {"workload": label, "result": run.result_text,
+            "ticks": run.time}
+    if stats is not None:
+        args.update(
+            processes=stats.processes,
+            context_switches=stats.context_switches,
+            lock_contentions=stats.lock_contentions,
+            mean_concurrency=round(stats.mean_concurrency, 4),
+            utilization=round(stats.utilization, 4),
+        )
+    recorder.event("harness.run", "harness", pid=PID_HARNESS, args=args)
 
 
 def run_sequential(
@@ -64,6 +83,7 @@ def run_transformed(
     faults: Optional[FaultPlan] = None,
     race_detector: Optional[RaceDetector] = None,
     lock_wait_timeout: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> ExperimentRun:
     """Transform ``fname`` with Curare and run ``call`` on the machine.
 
@@ -71,10 +91,13 @@ def run_transformed(
     The robustness hooks (``faults``, ``race_detector``,
     ``lock_wait_timeout``) pass straight through to the machine and are
     echoed in ``extra`` so a failing run is reproducible from its
-    report.
+    report.  ``recorder`` arms the flight recorder across the pipeline,
+    the machine, and this harness wrapper.
     """
     interp = Interpreter()
-    curare = Curare(interp, decls=decls, assume_sapp=assume_sapp)
+    curare = Curare(
+        interp, decls=decls, assume_sapp=assume_sapp, recorder=recorder
+    )
     curare.load_program(program)
     curare_result = curare.transform(fname, **(transform_kwargs or {}))
     curare.runner.eval_text(setup)
@@ -83,6 +106,7 @@ def run_transformed(
         policy=policy, seed=seed,
         faults=faults, race_detector=race_detector,
         lock_wait_timeout=lock_wait_timeout,
+        recorder=recorder,
     )
     main = machine.spawn_text(call)
     stats = machine.run()
@@ -94,6 +118,9 @@ def run_transformed(
         curare=curare_result, interp=interp,
     )
     run.extra["seed"] = seed
+    if recorder is not None:
+        run.extra["recorder"] = recorder
+        _record_run(recorder, fname, run)
     if faults is not None:
         run.extra["faults"] = faults
         run.extra["fault_seed"] = getattr(faults, "seed", None)
@@ -151,6 +178,7 @@ def run_concurrent(
     faults: Optional[FaultPlan] = None,
     race_detector: Optional[RaceDetector] = None,
     lock_wait_timeout: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> ExperimentRun:
     """Run an (already concurrent) program directly on the machine."""
     interp = Interpreter()
@@ -162,10 +190,15 @@ def run_concurrent(
         policy=policy, seed=seed,
         faults=faults, race_detector=race_detector,
         lock_wait_timeout=lock_wait_timeout,
+        recorder=recorder,
     )
     main = machine.spawn_text(call)
     stats = machine.run()
     shown = SequentialRunner(interp).eval_text(read_back) if read_back else main.result
-    return ExperimentRun(
+    run = ExperimentRun(
         write_str(shown), stats.total_time, stats=stats, interp=interp
     )
+    if recorder is not None:
+        run.extra["recorder"] = recorder
+        _record_run(recorder, "concurrent", run)
+    return run

@@ -1,0 +1,56 @@
+"""Flight-recorder observability for the machine and pipeline.
+
+See :mod:`repro.obs.recorder` for the core, :mod:`repro.obs.exporters`
+for the on-disk formats, :mod:`repro.obs.golden` for structural
+golden-trace comparison, and :mod:`repro.obs.workloads` for the named
+workloads behind ``repro trace``.  ``docs/observability.md`` documents
+the event schema.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_dict,
+    jsonl_lines,
+    render_profile,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.recorder import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    ObsEvent,
+    PH_BEGIN,
+    PH_END,
+    PH_INSTANT,
+    PID_HARNESS,
+    PID_MACHINE,
+    PID_PIPELINE,
+    Recorder,
+    check_lock_wellformedness,
+    check_monotonic_timestamps,
+    check_span_balance,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsEvent",
+    "PH_BEGIN",
+    "PH_END",
+    "PH_INSTANT",
+    "PID_HARNESS",
+    "PID_MACHINE",
+    "PID_PIPELINE",
+    "Recorder",
+    "check_lock_wellformedness",
+    "check_monotonic_timestamps",
+    "check_span_balance",
+    "chrome_trace_dict",
+    "jsonl_lines",
+    "render_profile",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

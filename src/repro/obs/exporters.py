@@ -1,0 +1,192 @@
+"""Trace exporters: JSON-lines and Chrome ``trace_event`` format.
+
+Two on-disk formats, one in-memory log:
+
+* **JSONL** (``write_jsonl``) — one event object per line, then one
+  final ``{"metrics": ...}`` line.  Grep-able, diff-able, streamable.
+* **Chrome trace** (``write_chrome_trace``) — the ``trace_event`` JSON
+  object format understood by ``chrome://tracing`` and Perfetto
+  (https://ui.perfetto.dev): a ``traceEvents`` array of ``B``/``E``/
+  ``i``/``M`` phase records.  Metrics ride in ``otherData``.
+
+``validate_chrome_trace`` is the documented schema, executable: the
+golden tests, the CLI tests, and any outside consumer all call it.
+Non-JSON leaves (lock keys are tuples) are serialized via ``repr``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, TextIO, Union
+
+from repro.obs.recorder import (
+    PID_NAMES,
+    PH_BEGIN,
+    PH_END,
+    Recorder,
+    VALID_PHASES,
+)
+
+SCHEMA_VERSION = 1
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, default=repr, sort_keys=True)
+
+
+# -- JSON lines -------------------------------------------------------------
+
+def jsonl_lines(recorder: Recorder) -> Iterator[str]:
+    """Yield one JSON line per event, then the metrics snapshot."""
+    yield _dumps({"schema": "repro-obs-jsonl", "version": SCHEMA_VERSION})
+    for e in recorder.events:
+        yield _dumps(
+            {
+                "seq": e.seq,
+                "ts": e.ts,
+                "ph": e.ph,
+                "name": e.name,
+                "cat": e.cat,
+                "pid": e.pid,
+                "tid": e.tid,
+                "args": e.args,
+            }
+        )
+    yield _dumps({"metrics": recorder.metrics.snapshot()})
+
+
+def write_jsonl(recorder: Recorder, dest: Union[str, TextIO]) -> None:
+    if isinstance(dest, str):
+        with open(dest, "w") as handle:
+            write_jsonl(recorder, handle)
+        return
+    for line in jsonl_lines(recorder):
+        dest.write(line + "\n")
+
+
+# -- Chrome trace_event -----------------------------------------------------
+
+def chrome_trace_dict(recorder: Recorder) -> dict:
+    """The ``trace_event`` object-format dict for a recorder's log."""
+    trace_events: list[dict] = []
+    for pid in sorted({e.pid for e in recorder.events}):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": PID_NAMES.get(pid, f"producer {pid}")},
+            }
+        )
+    for e in recorder.events:
+        record = {
+            "name": e.name,
+            "cat": e.cat,
+            "ph": e.ph,
+            "ts": e.ts,
+            "pid": e.pid,
+            "tid": e.tid,
+        }
+        if e.args or e.ph != PH_END:
+            record["args"] = e.args
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro-obs-chrome",
+            "version": SCHEMA_VERSION,
+            "metrics": recorder.metrics.snapshot(),
+        },
+    }
+
+
+def write_chrome_trace(recorder: Recorder, dest: Union[str, TextIO]) -> None:
+    if isinstance(dest, str):
+        with open(dest, "w") as handle:
+            write_chrome_trace(recorder, handle)
+        return
+    dest.write(_dumps(chrome_trace_dict(recorder)))
+    dest.write("\n")
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Validate a Chrome-trace dict against the documented schema.
+
+    Returns a list of problems; an empty list means the trace is valid
+    (and will load in ``chrome://tracing`` / Perfetto).
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    stacks: dict[tuple, list[str]] = {}
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            problems.append(f"traceEvents[{i}] is not an object")
+            continue
+        ph = e.get("ph")
+        if ph == "M":
+            continue  # metadata records only need name/pid
+        for key, types in (
+            ("name", str),
+            ("ph", str),
+            ("ts", (int, float)),
+            ("pid", int),
+            ("tid", int),
+        ):
+            if not isinstance(e.get(key), types):
+                problems.append(f"traceEvents[{i}] missing/invalid {key!r}")
+        if ph not in VALID_PHASES:
+            problems.append(f"traceEvents[{i}] unknown phase {ph!r}")
+            continue
+        track = (e.get("pid"), e.get("tid"))
+        stack = stacks.setdefault(track, [])
+        if ph == PH_BEGIN:
+            stack.append(e.get("name", ""))
+        elif ph == PH_END:
+            if not stack:
+                problems.append(f"traceEvents[{i}] E without matching B")
+            elif stack.pop() != e.get("name"):
+                problems.append(f"traceEvents[{i}] E closes a different B")
+    other = obj.get("otherData")
+    if not isinstance(other, dict) or "metrics" not in other:
+        problems.append("missing 'otherData.metrics'")
+    return problems
+
+
+# -- human-readable profile -------------------------------------------------
+
+def render_profile(recorder: Recorder) -> str:
+    """The ``--profile`` summary: phase timings then counters."""
+    lines = [";; profile"]
+    snap = recorder.metrics.snapshot()
+    histograms = snap["histograms"]
+    if histograms:
+        lines.append(";;   phase timings:")
+        for name, h in histograms.items():
+            if not name.endswith(".us"):
+                continue
+            lines.append(
+                f";;     {name[:-3]:<28} n={h['count']:<4} "
+                f"mean={h['mean']:.0f}µs total={h['total']:.0f}µs"
+            )
+        other = [n for n in histograms if not n.endswith(".us")]
+        if other:
+            lines.append(";;   distributions:")
+            for name in other:
+                h = histograms[name]
+                lines.append(
+                    f";;     {name:<28} n={h['count']:<4} "
+                    f"mean={h['mean']:.1f} max={h['max']}"
+                )
+    counters = snap["counters"]
+    if counters:
+        lines.append(";;   counters:")
+        for name, value in counters.items():
+            lines.append(f";;     {name:<28} {value}")
+    lines.append(f";;   events recorded: {len(recorder.events)}")
+    return "\n".join(lines)

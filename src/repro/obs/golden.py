@@ -1,0 +1,99 @@
+"""Structural golden-trace comparison.
+
+A recorded trace has three ingredient classes:
+
+1. **structure** — event kinds, names, ordering, track layout, and
+   integer payloads derived from the simulation (process ids, tick
+   counts, conflict counts).  Deterministic under a fixed seed.
+2. **wall clock** — pipeline/harness timestamps and ``*.us``
+   histograms.  Never reproducible.
+3. **process-global ids** — cons-cell and future ids come from
+   interpreter-global counters, so their absolute values depend on how
+   much Lisp ran earlier in the Python process.  Reproducible in
+   *pattern* but not in value.
+
+The golden tests pin (1): :func:`structural_projection` keeps
+structure, drops wall clock, and canonicalizes global ids by order of
+first appearance (``L0, L1, ...`` for lock keys, ``F0, F1, ...`` for
+futures).  Two traces of the same seeded run — recorded in different
+Python processes, years apart — project identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: args keys holding process-global ids, canonicalized by first appearance.
+_KEY_ARGS = ("key",)
+_FUTURE_ARGS = ("future",)
+#: args keys whose values are wall-clock derived and must be dropped.
+_VOLATILE_ARGS = ("us", "wall_us")
+
+
+def structural_projection(trace: dict) -> dict:
+    """Project a Chrome-trace dict onto its deterministic skeleton."""
+    keys: dict[str, str] = {}
+    futures: dict[str, str] = {}
+
+    def canon(table: dict[str, str], prefix: str, value: Any) -> str:
+        text = repr(value)
+        if text not in table:
+            table[text] = f"{prefix}{len(table)}"
+        return table[text]
+
+    events = []
+    for e in trace.get("traceEvents", []):
+        if e.get("ph") == "M":
+            events.append(["M", e.get("name"), e.get("pid")])
+            continue
+        args = dict(e.get("args") or {})
+        for name in _VOLATILE_ARGS:
+            args.pop(name, None)
+        for name in _KEY_ARGS:
+            if name in args:
+                args[name] = canon(keys, "L", args[name])
+        for name in _FUTURE_ARGS:
+            if name in args:
+                args[name] = canon(futures, "F", args[name])
+        record = [e.get("ph"), e.get("name"), e.get("cat"),
+                  e.get("pid"), e.get("tid"), args]
+        # Machine timestamps are simulated ticks — deterministic, so
+        # they are part of the structure; wall-clock ones are not.
+        from repro.obs.recorder import PID_MACHINE
+
+        if e.get("pid") == PID_MACHINE:
+            record.append(e.get("ts"))
+        events.append(record)
+    metrics = (trace.get("otherData") or {}).get("metrics") or {}
+    return {
+        "events": events,
+        "counters": dict(metrics.get("counters") or {}),
+    }
+
+
+def diff_projections(expected: dict, actual: dict,
+                     max_reported: int = 10) -> list[str]:
+    """Human-readable structural differences (empty list = equal)."""
+    problems: list[str] = []
+    exp_events = expected.get("events", [])
+    act_events = actual.get("events", [])
+    if len(exp_events) != len(act_events):
+        problems.append(
+            f"event count differs: expected {len(exp_events)}, "
+            f"got {len(act_events)}"
+        )
+    for i, (exp, act) in enumerate(zip(exp_events, act_events)):
+        if exp != act:
+            problems.append(f"event[{i}]: expected {exp!r}, got {act!r}")
+            if len(problems) >= max_reported:
+                problems.append("... (further differences suppressed)")
+                return problems
+    exp_counters = expected.get("counters", {})
+    act_counters = actual.get("counters", {})
+    for name in sorted(set(exp_counters) | set(act_counters)):
+        if exp_counters.get(name) != act_counters.get(name):
+            problems.append(
+                f"counter {name!r}: expected {exp_counters.get(name)}, "
+                f"got {act_counters.get(name)}"
+            )
+    return problems

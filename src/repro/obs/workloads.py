@@ -1,0 +1,152 @@
+"""Named, seeded workloads for ``repro trace`` and the golden suite.
+
+Each entry reproduces one of the paper's figures on the simulated
+machine with the flight recorder armed end to end (pipeline, machine,
+harness).  The registry is deliberately tiny and fully deterministic
+under the default FIFO schedule — that is what makes the golden traces
+in ``tests/golden/`` stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.harness.workloads import (
+    fig3_source,
+    fig4_source,
+    fig5_source,
+    fig8_source,
+    make_int_list,
+    make_synthetic,
+    make_tree,
+    remq_source,
+    tree_sum_source,
+)
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """One traceable workload: transform ``fname``, run ``call``."""
+
+    name: str
+    description: str
+    program: str
+    fname: str
+    setup: str
+    call: str  # contains {fn}, formatted with the transformed name
+    read_back: Optional[str] = None
+    processors: int = 4
+
+
+def trace_workloads() -> dict[str, TraceWorkload]:
+    """The registry, keyed by CLI name."""
+    entries = [
+        TraceWorkload(
+            name="fig03",
+            description="figure 3: recursive list printer",
+            program=fig3_source(),
+            fname="f3",
+            setup=make_int_list(8),
+            call="({fn} data)",
+        ),
+        TraceWorkload(
+            name="fig04",
+            description="figure 4: distance-1 shifter",
+            program=fig4_source(),
+            fname="f4",
+            setup=make_int_list(8),
+            call="({fn} data)",
+            read_back="(identity data)",
+        ),
+        TraceWorkload(
+            name="fig05",
+            description="figure 5: running sum with a distance-1 conflict",
+            program=fig5_source(),
+            fname="f5",
+            setup=make_int_list(8),
+            call="({fn} data)",
+            read_back="(identity data)",
+        ),
+        TraceWorkload(
+            name="fig06",
+            description="figure 6: the figure-5 timeline on one processor",
+            program=fig5_source(),
+            fname="f5",
+            setup=make_int_list(8),
+            call="({fn} data)",
+            read_back="(identity data)",
+            processors=1,
+        ),
+        TraceWorkload(
+            name="fig07",
+            description="figure 7: CRI concurrency on the figure-5 recursion",
+            program=fig5_source(),
+            fname="f5",
+            setup=make_int_list(12),
+            call="({fn} data)",
+            read_back="(identity data)",
+            processors=4,
+        ),
+        TraceWorkload(
+            name="fig08",
+            description="figure 8: reorderable accumulator",
+            program="(declaim (reorderable +))\n" + fig8_source(),
+            fname="f8",
+            setup=f"(setq a 0) {make_int_list(8)}",
+            call="({fn} data)",
+            read_back="(identity a)",
+        ),
+        TraceWorkload(
+            name="fig10",
+            description="figure 10: synthetic (h,t) recursion, the "
+                        "execution-time workload",
+            program=make_synthetic(8, 40, name="f").source,
+            fname="f",
+            setup=make_int_list(16),
+            call="({fn} data)",
+            read_back="(identity data)",
+            processors=4,
+        ),
+        TraceWorkload(
+            name="remq",
+            description="figure 12: remq via destination-passing style",
+            program=remq_source(),
+            fname="remq",
+            setup=make_int_list(8),
+            call="({fn} 3 data)",
+        ),
+        TraceWorkload(
+            name="tree",
+            description="two-call-site tree recursion",
+            program=tree_sum_source(),
+            fname="tree-scale",
+            setup=make_tree(3),
+            call="({fn} tree)",
+            read_back="(identity tree)",
+        ),
+    ]
+    return {w.name: w for w in entries}
+
+
+def run_trace_workload(workload: TraceWorkload, recorder,
+                       seed: Optional[int] = None,
+                       processors: Optional[int] = None):
+    """Run one registry workload with the recorder armed everywhere.
+
+    Returns the :class:`~repro.harness.runner.ExperimentRun`.
+    """
+    from repro.harness.runner import run_transformed
+
+    return run_transformed(
+        workload.program,
+        workload.fname,
+        workload.setup,
+        workload.call.format(fn=workload.fname + "-cc"),
+        read_back=workload.read_back,
+        processors=processors if processors is not None else workload.processors,
+        assume_sapp=True,
+        policy="random" if seed is not None else "fifo",
+        seed=seed,
+        recorder=recorder,
+    )

@@ -48,6 +48,7 @@ from repro.lisp.errors import LispError
 from repro.lisp.interpreter import Interpreter
 from repro.lisp.trace import Trace, location_of
 from repro.lisp.values import Future, TaskQueue
+from repro.obs.recorder import PID_MACHINE, Recorder
 from repro.runtime.clock import CostModel
 from repro.runtime.faults import SPURIOUS_WAKE, FaultPlan
 from repro.runtime.locks import LockTable
@@ -164,6 +165,7 @@ class Machine:
         faults: Optional[FaultPlan] = None,
         race_detector: Optional[RaceDetector] = None,
         lock_wait_timeout: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ):
         if processors < 1:
             raise ValueError("need at least one processor")
@@ -202,6 +204,10 @@ class Machine:
         self.faults = faults
         self.race_detector = race_detector
         self.lock_wait_timeout = lock_wait_timeout
+        #: Flight recorder (repro.obs).  Same pay-for-what-you-use rule:
+        #: with no recorder the machine's behavior and effect trace are
+        #: byte-identical to an uninstrumented run.
+        self.recorder = recorder
 
     # -- process management -----------------------------------------------
 
@@ -229,6 +235,19 @@ class Machine:
         self.trace.record(self.time, parent or 0, "spawn", None, proc.proc_id)
         if self.race_detector is not None:
             self.race_detector.on_spawn(parent, proc.proc_id)
+        rec = self.recorder
+        if rec is not None:
+            rec.count("machine.spawns")
+            rec.event(
+                "proc.spawn", "machine", ts=self.time,
+                pid=PID_MACHINE, tid=parent or 0,
+                args={"child": proc.proc_id, "label": label},
+            )
+            rec.begin(
+                f"proc:{label or proc.proc_id}", "machine", ts=self.time,
+                pid=PID_MACHINE, tid=proc.proc_id,
+                args={"proc": proc.proc_id},
+            )
         return proc
 
     def spawn_call(self, fname: str, *args: Any, label: str = "") -> Process:
@@ -287,6 +306,8 @@ class Machine:
         self.stats.cpu_busy = [cpu.busy_time for cpu in self.cpus]
         self.stats.lock_acquisitions = self.locks.acquisitions
         self.stats.lock_contentions = self.locks.contentions
+        if self.recorder is not None:
+            self._record_rollup(self.recorder)
         return self.stats
 
     def run_main(self, proc: Process) -> Any:
@@ -404,6 +425,79 @@ class Machine:
                     blocked=blocked,
                 )
 
+    def _record_rollup(self, rec: Recorder) -> None:
+        """End-of-run rollup: the stats benchmarks read, as counters and
+        one summary event."""
+        stats = self.stats
+        rec.count("machine.runs")
+        rec.count("machine.steps", stats.total_time)
+        rec.count("machine.context_switches", stats.context_switches)
+        rec.count("machine.lock.acquisitions", stats.lock_acquisitions)
+        rec.count("machine.lock.contentions", stats.lock_contentions)
+        args = {
+            "steps": stats.total_time,
+            "processes": stats.processes,
+            "spawns": stats.spawns,
+            "context_switches": stats.context_switches,
+            "lock_acquisitions": stats.lock_acquisitions,
+            "lock_contentions": stats.lock_contentions,
+            "peak_live_processes": stats.peak_live_processes,
+        }
+        if self.race_detector is not None:
+            races = self.race_detector.race_count
+            args["races"] = races
+            args["verdict"] = "race" if races else "clean"
+            rec.event(
+                "race.verdict", "machine", ts=self.time,
+                pid=PID_MACHINE, tid=0,
+                args={"verdict": args["verdict"], "races": races},
+            )
+        rec.event("machine.run", "machine", ts=self.time,
+                  pid=PID_MACHINE, tid=0, args=args)
+
+    def _checked_access(self, kind: str, proc: Process, loc: tuple) -> None:
+        """Feed one memory access to the race detector, recording a
+        ``race.verdict`` event for every newly flagged race."""
+        detector = self.race_detector
+        rec = self.recorder
+        if rec is None:
+            if kind == "read":
+                detector.on_read(proc.proc_id, loc, self.time)
+            else:
+                detector.on_write(proc.proc_id, loc, self.time)
+            return
+        before = detector.race_count
+        try:
+            if kind == "read":
+                detector.on_read(proc.proc_id, loc, self.time)
+            else:
+                detector.on_write(proc.proc_id, loc, self.time)
+        finally:
+            if detector.race_count > before:
+                rec.count("machine.races.flagged",
+                          detector.race_count - before)
+                rec.event(
+                    "race.verdict", "machine", ts=self.time,
+                    pid=PID_MACHINE, tid=proc.proc_id,
+                    args={"verdict": "race", "kind": kind,
+                          "key": loc, "races": detector.race_count},
+                )
+
+    def _record_grant(self, rec: Recorder, pid: int, waiter: Process,
+                      effect: Any) -> None:
+        """Close a waiter's ``lock.wait`` span and record the grant."""
+        waited = self.time - waiter.block_since
+        rec.count("machine.lock.grants")
+        rec.observe("machine.lock.wait_ticks", waited)
+        rec.end("lock.wait", "machine", ts=self.time,
+                pid=PID_MACHINE, tid=pid)
+        rec.event(
+            "lock.grant", "machine", ts=self.time,
+            pid=PID_MACHINE, tid=pid,
+            args={"key": effect.key, "shared": effect.shared,
+                  "waited": waited},
+        )
+
     def _kick(self, cpu: _Cpu) -> None:
         """If the cpu's process has no pending busy time, resume it now."""
         proc = cpu.proc
@@ -485,6 +579,16 @@ class Machine:
         detector = self.race_detector
         if detector is not None:
             detector.on_finish(proc.proc_id)
+        rec = self.recorder
+        if rec is not None:
+            rec.end(
+                f"proc:{proc.label or proc.proc_id}", "machine",
+                ts=self.time, pid=PID_MACHINE, tid=proc.proc_id,
+            )
+            rec.observe("machine.proc.busy_ticks", proc.busy_total)
+            rec.observe(
+                "machine.proc.lifetime_ticks", self.time - proc.spawn_time
+            )
         # Wake any sync-joiners whose descendant set just drained.
         if self._children_waiters:
             still = []
@@ -506,6 +610,18 @@ class Machine:
             proc.future.resolve(value)
             if detector is not None:
                 detector.on_future_resolve(proc.proc_id, proc.future.future_id)
+            if rec is not None:
+                rec.count("machine.futures.resolved")
+                rec.event(
+                    "future.resolve", "machine", ts=self.time,
+                    pid=PID_MACHINE, tid=proc.proc_id,
+                    args={
+                        "future": proc.future.future_id,
+                        "woke": len(
+                            self._future_waiters.get(proc.future.future_id, [])
+                        ),
+                    },
+                )
             for waiter in self._future_waiters.pop(proc.future.future_id, []):
                 waiter.wake_reply = value
                 waiter.pending_reply = value
@@ -564,13 +680,13 @@ class Machine:
             loc = location_of(effect.cell, effect.field)
             self.trace.record(self.time, proc.proc_id, "read", loc)
             if self.race_detector is not None:
-                self.race_detector.on_read(proc.proc_id, loc, self.time)
+                self._checked_access("read", proc, loc)
             return 1, False, None
         if isinstance(effect, MemWrite):
             loc = location_of(effect.cell, effect.field)
             self.trace.record(self.time, proc.proc_id, "write", loc)
             if self.race_detector is not None:
-                self.race_detector.on_write(proc.proc_id, loc, self.time)
+                self._checked_access("write", proc, loc)
             return 1, False, None
         if isinstance(effect, (VarRead, VarWrite)):
             return 0, False, None
@@ -580,10 +696,26 @@ class Machine:
                 self.time, proc.proc_id,
                 "lock" if got else "lock-wait", effect.key, effect.shared,
             )
+            rec = self.recorder
             if got:
                 if self.race_detector is not None:
                     self.race_detector.on_acquire(proc.proc_id, effect.key)
+                if rec is not None:
+                    rec.count("machine.lock.grants")
+                    rec.event(
+                        "lock.grant", "machine", ts=self.time,
+                        pid=PID_MACHINE, tid=proc.proc_id,
+                        args={"key": effect.key, "shared": effect.shared,
+                              "waited": 0},
+                    )
                 return self.costs.lock_acquire, False, None
+            if rec is not None:
+                rec.count("machine.lock.waits")
+                rec.begin(
+                    "lock.wait", "machine", ts=self.time,
+                    pid=PID_MACHINE, tid=proc.proc_id,
+                    args={"key": effect.key, "shared": effect.shared},
+                )
             proc.block_reason = ("lock", effect.key)
             proc.pending_reply = None
             return 0, True, None
@@ -596,6 +728,14 @@ class Machine:
                 self.race_detector.on_release(proc.proc_id, effect.key)
             granted = self.locks.release(proc.proc_id, effect.key, effect.shared)
             self.trace.record(self.time, proc.proc_id, "unlock", effect.key, effect.shared)
+            rec = self.recorder
+            if rec is not None:
+                rec.count("machine.lock.releases")
+                rec.event(
+                    "lock.release", "machine", ts=self.time,
+                    pid=PID_MACHINE, tid=proc.proc_id,
+                    args={"key": effect.key, "shared": effect.shared},
+                )
             for pid in granted:
                 waiter = self.processes[pid]
                 if self.race_detector is not None:
@@ -614,6 +754,8 @@ class Machine:
                     waiter.block_reason = None
                     waiter.busy_remaining = wake_cost
                     self.trace.record(self.time, pid, "lock", effect.key, effect.shared)
+                    if rec is not None:
+                        self._record_grant(rec, pid, waiter, effect)
                     continue
                 waiter.state = "ready"
                 waiter.block_reason = None
@@ -621,6 +763,8 @@ class Machine:
                 waiter.pending_reply = None
                 self.ready.append(waiter)
                 self.trace.record(self.time, pid, "lock", effect.key, effect.shared)
+                if rec is not None:
+                    self._record_grant(rec, pid, waiter, effect)
             return self.costs.lock_release, False, None
         if isinstance(effect, SpawnProcess):
             future = effect.future

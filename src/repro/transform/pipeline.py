@@ -35,6 +35,7 @@ from repro.declare.registry import DeclarationRegistry
 from repro.ir import nodes as N
 from repro.ir.unparse import unparse_function
 from repro.lisp.interpreter import Interpreter
+from repro.obs.recorder import Recorder
 from repro.lisp.runner import SequentialRunner
 from repro.sexpr.datum import Symbol, intern
 from repro.transform.cri import CRIResult, TransformError, spawnify
@@ -129,10 +130,15 @@ class Curare:
         interp: Interpreter,
         decls: Optional[DeclarationRegistry] = None,
         assume_sapp: bool = False,
+        recorder: Optional["Recorder"] = None,
     ):
         self.interp = interp
         self.decls = decls if decls is not None else DeclarationRegistry()
         self.assume_sapp = assume_sapp
+        #: Flight recorder (repro.obs): when set, every transform records
+        #: per-pass wall timings and conflict/lock counters.  ``None``
+        #: costs nothing.
+        self.recorder = recorder
         self.runner = SequentialRunner(interp)
         #: transformed name → original name, for sequential fallback:
         #: when the runtime detects that a declaration lied (a race, a
@@ -146,11 +152,14 @@ class Curare:
         """Evaluate a program, absorbing its declaim forms."""
         from repro.declare.parser import extract_declarations
 
-        forms = self.interp.load(text)
-        decls, rest = extract_declarations(forms)
-        self.decls.extend(decls)
-        for form in rest:
-            self.runner.eval_form(form)
+        def _load() -> None:
+            forms = self.interp.load(text)
+            decls, rest = extract_declarations(forms)
+            self.decls.extend(decls)
+            for form in rest:
+                self.runner.eval_form(form)
+
+        self._timed("load_program", _load)
 
     # -- the driver -----------------------------------------------------------
 
@@ -175,7 +184,33 @@ class Curare:
         define: bool = True,
         queue_var: str = "*task-queue*",
     ) -> CurareResult:
-        analysis = self.analyze(name)
+        rec = self.recorder
+        if rec is None:
+            return self._transform_impl(
+                name, suffix, mode, use_delay, early_release, prefer_dps,
+                treat_tail_as_free, define, queue_var,
+            )
+        with rec.span(f"transform:{name}", "pipeline"):
+            result = self._transform_impl(
+                name, suffix, mode, use_delay, early_release, prefer_dps,
+                treat_tail_as_free, define, queue_var,
+            )
+        self._record_result(rec, result)
+        return result
+
+    def _transform_impl(
+        self,
+        name: str,
+        suffix: str = "-cc",
+        mode: str = "spawn",
+        use_delay: bool = False,
+        early_release: bool = False,
+        prefer_dps: bool = True,
+        treat_tail_as_free: bool = True,
+        define: bool = True,
+        queue_var: str = "*task-queue*",
+    ) -> CurareResult:
+        analysis = self._timed("pass:analyze", self.analyze, name)
         result = CurareResult(
             original_name=name,
             transformed_name=None,
@@ -198,7 +233,9 @@ class Curare:
         # tail-recursive search into a first-wins parallel search.
         if self.decls.is_any_result(name):
             try:
-                result.search = to_parallel_search(analysis)
+                result.search = self._timed(
+                    "pass:search", to_parallel_search, analysis
+                )
                 worker = result.search.func
                 wrapper = result.search.wrapper
                 wrapper.name = intern(name + suffix)
@@ -220,7 +257,10 @@ class Curare:
         # §5 enabling transforms.
         if analysis.recursion.has_strict_call:
             try:
-                result.iteration = recursion_to_iteration(analysis, self.decls)
+                result.iteration = self._timed(
+                    "pass:iteration", recursion_to_iteration, analysis,
+                    self.decls,
+                )
                 working = self._reanalyze(result.iteration.func)
                 if not working.recursion.is_recursive:
                     # Fully iterative now; nothing left to spawn.  Define it
@@ -246,7 +286,10 @@ class Curare:
             for c in analysis.recursion.self_calls
         ):
             try:
-                result.dps = to_destination_passing(analysis, defer_element=True)
+                result.dps = self._timed(
+                    "pass:dps", to_destination_passing, analysis,
+                    defer_element=True,
+                )
                 dps_func = result.dps.func
                 # Define the DPS function source so re-analysis and the
                 # final emission see it.
@@ -269,7 +312,8 @@ class Curare:
 
         # CRI spawnification.
         try:
-            result.cri = spawnify(
+            result.cri = self._timed(
+                "pass:cri", spawnify,
                 working,
                 mode=mode,
                 treat_tail_as_free=treat_tail_as_free,
@@ -289,10 +333,15 @@ class Curare:
 
         # §3.2 conflict resolution, cheapest sufficient first.
         if working.dismissed_conflicts():
-            result.reorder = atomicize_reorderable(working, self.decls, func)
+            result.reorder = self._timed(
+                "pass:reorder", atomicize_reorderable, working, self.decls,
+                func,
+            )
             func = result.reorder.func
         if use_delay and working.active_conflicts():
-            result.delay = delay_into_head(working, func)
+            result.delay = self._timed(
+                "pass:delay", delay_into_head, working, func
+            )
             func = result.delay.func
             if result.delay.resolved_all and result.delay.moved:
                 # Delays ordered every conflict through the head; locks
@@ -303,7 +352,10 @@ class Curare:
                 if not result.delay.not_movable:
                     working = self._strip_conflicts(working)
         if working.active_conflicts() or working.unknowns:
-            result.locking = insert_locks(working, func, early_release=early_release)
+            result.locking = self._timed(
+                "pass:locking", insert_locks, working, func,
+                early_release=early_release,
+            )
             func = result.locking.func
 
         # Emit.
@@ -375,6 +427,44 @@ class Curare:
         mapped back first.
         """
         return rewrite_fallback_call(call_text, self.transformed_map)
+
+    # -- observability -----------------------------------------------------
+
+    def _timed(self, stage: str, fn, *args, **kwargs):
+        """Run ``fn``, timing it as a pipeline span when recording."""
+        rec = self.recorder
+        if rec is None:
+            return fn(*args, **kwargs)
+        with rec.span(stage, "pipeline"):
+            return fn(*args, **kwargs)
+
+    def _record_result(self, rec: Recorder, result: CurareResult) -> None:
+        """Counters + one structured event per transform: conflicts
+        found/dismissed, locks inserted, spawn sites — the §6 feedback
+        numbers, machine-readable."""
+        analysis = result.analysis
+        found = len(analysis.conflicts)
+        dismissed = len(analysis.dismissed_conflicts())
+        rec.count("pipeline.functions")
+        rec.count("pipeline.conflicts.found", found)
+        rec.count("pipeline.conflicts.dismissed", dismissed)
+        rec.count("pipeline.locks.inserted", result.lock_count)
+        if result.transformed:
+            rec.count("pipeline.transformed")
+        if result.cri is not None:
+            rec.count("pipeline.spawn_sites", result.cri.spawned_sites)
+        rec.event(
+            "pipeline.result", "pipeline",
+            args={
+                "function": result.original_name,
+                "transformed": result.transformed,
+                "transformed_name": result.transformed_name,
+                "reason": result.reason,
+                "conflicts_found": found,
+                "conflicts_dismissed": dismissed,
+                "locks_inserted": result.lock_count,
+            },
+        )
 
     # -- helpers ---------------------------------------------------------------
 

@@ -9,6 +9,14 @@ from repro.lisp.runner import SequentialRunner
 from repro.transform.pipeline import Curare
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="re-record the golden traces in tests/golden/ instead of "
+             "comparing against them",
+    )
+
+
 @pytest.fixture
 def interp() -> Interpreter:
     return Interpreter()

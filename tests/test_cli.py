@@ -179,3 +179,117 @@ class TestChaos:
     def test_unknown_plan_rejected(self, capsys):
         assert main(["chaos", "--plans", "bogus"]) == 2
         assert "unknown fault plan" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_list_workloads(self, capsys):
+        assert main(["trace", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig06", "fig07", "fig10"):
+            assert name in out
+
+    def test_missing_workload_is_usage_error(self, capsys):
+        assert main(["trace"]) == 2
+        assert "workload name required" in capsys.readouterr().err
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "fig07" in err
+
+    def test_trace_prints_profile_by_default(self, capsys):
+        assert main(["trace", "fig07"]) == 0
+        out = capsys.readouterr().out
+        assert ";; workload: fig07" in out
+        assert ";; profile" in out
+        assert "mean concurrency" in out
+
+    def test_trace_out_chrome_validates(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "fig07.json"
+        assert main(["trace", "fig07", "--trace-out", str(out_path)]) == 0
+        assert f";; trace (chrome): {out_path}" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        assert trace["traceEvents"]
+
+    def test_trace_out_jsonl(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "fig07.jsonl"
+        code = main([
+            "trace", "fig07",
+            "--trace-out", str(out_path), "--trace-format", "jsonl",
+        ])
+        assert code == 0
+        lines = out_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro-obs-jsonl"
+        assert header["version"] == 1
+        assert json.loads(lines[-1])["metrics"]
+
+    def test_unwritable_trace_path_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "no" / "such" / "dir" / "out.json"
+        assert main(["trace", "fig07", "--trace-out", str(bad)]) == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_seeded_trace_echoes_seed(self, capsys):
+        assert main(["trace", "fig06", "--seed", "5"]) == 0
+        assert ";; seed: 5" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_run_profile(self, fig5_file, capsys):
+        code = main([
+            "run", fig5_file, "--transform", "f5",
+            "-e", "(f5-cc data)", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ";; profile" in out
+        assert "machine.steps" in out
+
+    def test_run_trace_out(self, fig5_file, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "run.json"
+        code = main([
+            "run", fig5_file, "--transform", "f5",
+            "-e", "(f5-cc data)", "--trace-out", str(out_path),
+        ])
+        assert code == 0
+        assert validate_chrome_trace(json.loads(out_path.read_text())) == []
+
+    def test_run_unwritable_trace_path_exits_2(self, fig5_file, tmp_path,
+                                               capsys):
+        bad = tmp_path / "missing-dir" / "out.json"
+        code = main([
+            "run", fig5_file, "-e", "(+ 1 1)", "--trace-out", str(bad),
+        ])
+        assert code == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_run_without_flags_prints_no_profile(self, fig5_file, capsys):
+        assert main(["run", fig5_file, "-e", "(+ 1 1)"]) == 0
+        assert ";; profile" not in capsys.readouterr().out
+
+    def test_chaos_trace_out(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "chaos.json"
+        code = main([
+            "chaos", "--size", "5", "--plans", "mixed", "--seed", "1",
+            "--trace-out", str(out_path),
+        ])
+        assert code == 0
+        trace = json.loads(out_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "chaos.cell" in names and "chaos.sweep" in names

@@ -1,0 +1,69 @@
+"""Golden-trace regression tests.
+
+``tests/golden/<name>.json`` holds the reference Chrome-format trace of
+three paper workloads (figures 6, 7, and 10) recorded under the default
+deterministic FIFO schedule.  Every run must reproduce the *structure*
+of the reference — event kinds, names, ordering, track layout, machine
+tick timestamps, and counters — while wall-clock fields and
+process-global ids are projected away (see
+:func:`repro.obs.golden.structural_projection`).
+
+Re-record after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import Recorder, chrome_trace_dict, validate_chrome_trace
+from repro.obs.golden import diff_projections, structural_projection
+from repro.obs.workloads import run_trace_workload, trace_workloads
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+GOLDEN_WORKLOADS = ("fig06", "fig07", "fig10")
+
+
+def record(name: str) -> dict:
+    recorder = Recorder()
+    run_trace_workload(trace_workloads()[name], recorder)
+    return chrome_trace_dict(recorder)
+
+
+@pytest.mark.parametrize("name", GOLDEN_WORKLOADS)
+def test_golden_trace(name, request):
+    trace = record(name)
+    assert validate_chrome_trace(trace) == []
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(trace, default=repr, indent=1) + "\n")
+        pytest.skip(f"re-recorded {path}")
+    assert path.is_file(), (
+        f"missing golden trace {path}; record it with --update-golden"
+    )
+    golden = json.loads(path.read_text())
+    problems = diff_projections(
+        structural_projection(golden), structural_projection(trace)
+    )
+    assert problems == [], "\n".join(problems)
+
+
+@pytest.mark.parametrize("name", GOLDEN_WORKLOADS)
+def test_golden_projection_stable_across_runs(name):
+    """The projection really is deterministic: two fresh in-process runs
+    (with different absolute cell/future ids) project identically."""
+    first = structural_projection(record(name))
+    second = structural_projection(record(name))
+    assert diff_projections(first, second) == []
+
+
+def test_golden_files_validate_against_schema():
+    for name in GOLDEN_WORKLOADS:
+        path = GOLDEN_DIR / f"{name}.json"
+        assert path.is_file()
+        assert validate_chrome_trace(json.loads(path.read_text())) == []

@@ -1,0 +1,100 @@
+"""Differential tests: the recorder observes, it never perturbs.
+
+For every harness workload the machine must produce the *same run* —
+final Lisp state, ``MachineStats``, and a byte-identical effect trace —
+whether the flight recorder is disabled, enabled, or enabled with each
+exporter attached.  This is the observability layer's counterpart of
+PR 1's ``NullFaultPlan`` guarantee.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+
+import pytest
+
+from repro.harness.chaos import ChaosWorkload, paper_workloads
+from repro.lisp.interpreter import Interpreter
+from repro.lisp.runner import SequentialRunner
+from repro.obs import Recorder, chrome_trace_dict, validate_chrome_trace, write_chrome_trace, write_jsonl
+from repro.runtime.machine import Machine
+from repro.sexpr.printer import write_str
+from repro.transform.pipeline import Curare
+
+WORKLOADS = {w.name: w for w in paper_workloads(6)}
+
+
+def normalized_trace_bytes(machine) -> bytes:
+    """The effect trace serialized byte-for-byte, with cell ids remapped
+    by first appearance (they come from a process-global counter, so
+    absolute values differ between two runs in one Python process)."""
+    remap: dict[int, int] = {}
+
+    def norm(x):
+        if isinstance(x, tuple):
+            return tuple(norm(v) for v in x)
+        if isinstance(x, int) and not isinstance(x, bool):
+            return remap.setdefault(x, len(remap))
+        return x
+
+    return "\n".join(
+        repr((e.seq, e.time, e.proc, e.kind, norm(e.loc), e.detail))
+        for e in machine.trace
+    ).encode()
+
+
+def run_workload(workload: ChaosWorkload, recorder=None):
+    """One transformed machine run; returns (shown, stats, trace_bytes,
+    outputs)."""
+    interp = Interpreter()
+    curare = Curare(interp, assume_sapp=True, recorder=recorder)
+    curare.load_program(workload.program)
+    result = curare.transform(workload.fname)
+    assert result.transformed, result.reason
+    curare.runner.eval_text(workload.setup)
+    machine = Machine(interp, processors=4, recorder=recorder)
+    main = machine.spawn_text(workload.call.format(fn=result.transformed_name))
+    stats = machine.run()
+    shown = (
+        write_str(SequentialRunner(interp).eval_text(workload.read_back))
+        if workload.read_back
+        else write_str(main.result)
+    )
+    trace_bytes = normalized_trace_bytes(machine)
+    outputs = [write_str(o) for o in machine.outputs]
+    return shown, stats, trace_bytes, outputs
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_recorder_on_equals_recorder_off(name):
+    workload = WORKLOADS[name]
+    base_shown, base_stats, base_trace, base_out = run_workload(workload)
+    rec_shown, rec_stats, rec_trace, rec_out = run_workload(
+        workload, recorder=Recorder()
+    )
+    assert rec_shown == base_shown
+    assert rec_out == base_out
+    assert dataclasses.asdict(rec_stats) == dataclasses.asdict(base_stats)
+    # The acceptance bar: the machine *effect trace* is byte-identical.
+    assert rec_trace == base_trace
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_exporters_do_not_perturb_the_run(name):
+    """Attaching each exporter after a recorded run neither fails nor
+    changes what was recorded or computed."""
+    workload = WORKLOADS[name]
+    base_shown, base_stats, base_trace, _ = run_workload(workload)
+    recorder = Recorder()
+    shown, stats, trace_bytes, _ = run_workload(workload, recorder=recorder)
+    events_before = len(recorder.events)
+    chrome_buf, jsonl_buf = io.StringIO(), io.StringIO()
+    write_chrome_trace(recorder, chrome_buf)
+    write_jsonl(recorder, jsonl_buf)
+    assert validate_chrome_trace(chrome_trace_dict(recorder)) == []
+    assert len(recorder.events) == events_before
+    assert chrome_buf.getvalue() and jsonl_buf.getvalue()
+    assert shown == base_shown
+    assert dataclasses.asdict(stats) == dataclasses.asdict(base_stats)
+    assert trace_bytes == base_trace

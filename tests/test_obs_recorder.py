@@ -1,0 +1,199 @@
+"""Unit tests: the flight-recorder core and its exporters."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    PH_BEGIN,
+    PH_END,
+    PH_INSTANT,
+    PID_MACHINE,
+    Recorder,
+    check_lock_wellformedness,
+    check_monotonic_timestamps,
+    check_span_balance,
+    chrome_trace_dict,
+    validate_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.golden import diff_projections, structural_projection
+from repro.obs.recorder import Histogram
+
+
+class TestRecorder:
+    def test_events_get_increasing_seq(self):
+        rec = Recorder()
+        a = rec.event("a", "t")
+        b = rec.event("b", "t")
+        assert (a.seq, b.seq) == (0, 1)
+        assert len(rec) == 2
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            Recorder().event("x", "t", ph="Z")
+
+    def test_span_emits_balanced_pair_and_histogram(self):
+        rec = Recorder()
+        with rec.span("phase", "t"):
+            pass
+        assert [e.ph for e in rec.events] == [PH_BEGIN, PH_END]
+        assert check_span_balance(rec.events) == []
+        assert rec.metrics.histograms["phase.us"].count == 1
+
+    def test_span_closes_on_exception(self):
+        rec = Recorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("phase", "t"):
+                raise RuntimeError("boom")
+        assert check_span_balance(rec.events) == []
+
+    def test_counters_accumulate(self):
+        rec = Recorder()
+        rec.count("hits")
+        rec.count("hits", 4)
+        assert rec.metrics.counter_values() == {"hits": 5}
+
+    def test_by_track_splits_on_pid_tid(self):
+        rec = Recorder()
+        rec.event("a", "t", pid=0, tid=0)
+        rec.event("b", "t", pid=1, tid=7)
+        tracks = rec.by_track()
+        assert set(tracks) == {(0, 0), (1, 7)}
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = Histogram()
+        for v in (1, 2, 3, 100):
+            h.observe(v)
+        # 1 -> bucket 0, 2 -> bucket 1, 3 -> bucket 2, 100 -> bucket 7
+        assert h.buckets == {0: 1, 1: 1, 2: 1, 7: 1}
+        assert h.count == 4 and h.min == 1 and h.max == 100
+        assert h.mean == pytest.approx(106 / 4)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestCheckers:
+    def test_mismatched_close_reported(self):
+        rec = Recorder()
+        rec.begin("a", "t")
+        rec.end("b", "t")
+        assert check_span_balance(rec.events) != []
+
+    def test_open_span_tolerated_only_when_allowed(self):
+        rec = Recorder()
+        rec.begin("a", "t")
+        assert check_span_balance(rec.events) != []
+        assert check_span_balance(rec.events, allow_open=True) == []
+
+    def test_backwards_timestamp_reported(self):
+        rec = Recorder()
+        rec.event("a", "t", ts=10, pid=PID_MACHINE, tid=1)
+        rec.event("b", "t", ts=5, pid=PID_MACHINE, tid=1)
+        assert check_monotonic_timestamps(rec.events) != []
+
+    def test_separate_tracks_do_not_interfere(self):
+        rec = Recorder()
+        rec.event("a", "t", ts=10, pid=PID_MACHINE, tid=1)
+        rec.event("b", "t", ts=5, pid=PID_MACHINE, tid=2)
+        assert check_monotonic_timestamps(rec.events) == []
+
+    def test_lock_protocol_violations(self):
+        rec = Recorder()
+        # release without ever holding
+        rec.event("lock.release", "m", tid=3, args={"key": "L"})
+        assert check_lock_wellformedness(rec.events) != []
+
+        rec = Recorder()
+        # wait -> grant -> release, with the wait's E side interleaved
+        rec.event("lock.wait", "m", ph=PH_BEGIN, tid=3, args={"key": "L"})
+        rec.event("lock.wait", "m", ph=PH_END, tid=3, args={"key": "L"})
+        rec.event("lock.grant", "m", ph=PH_INSTANT, tid=3, args={"key": "L"})
+        rec.event("lock.release", "m", ph=PH_INSTANT, tid=3, args={"key": "L"})
+        assert check_lock_wellformedness(rec.events) == []
+
+    def test_double_grant_reported(self):
+        rec = Recorder()
+        rec.event("lock.grant", "m", tid=1, args={"key": "L"})
+        rec.event("lock.grant", "m", tid=1, args={"key": "L"})
+        assert check_lock_wellformedness(rec.events) != []
+
+
+class TestExporters:
+    def test_chrome_trace_round_trips_through_json(self):
+        rec = Recorder()
+        with rec.span("phase", "t"):
+            rec.event("tick", "t", pid=PID_MACHINE, tid=1, args={"n": 1})
+        trace = json.loads(json.dumps(chrome_trace_dict(rec), default=repr))
+        assert validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert {"phase", "tick"} <= names
+
+    def test_validate_rejects_garbage(self):
+        assert validate_chrome_trace({"nope": 1}) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "B"}]}) != []
+
+    def test_validate_catches_unbalanced_spans(self):
+        # An E with no B, or closing the wrong B, is malformed; a
+        # trailing open B (aborted run) is deliberately tolerated.
+        rec = Recorder()
+        rec.end("a", "t")
+        assert validate_chrome_trace(chrome_trace_dict(rec)) != []
+
+        rec = Recorder()
+        rec.begin("a", "t")
+        rec.end("b", "t")
+        assert validate_chrome_trace(chrome_trace_dict(rec)) != []
+
+        rec = Recorder()
+        rec.begin("a", "t")
+        assert validate_chrome_trace(chrome_trace_dict(rec)) == []
+
+    def test_jsonl_lines_parse(self):
+        rec = Recorder()
+        rec.event("tick", "t", args={"n": 2})
+        rec.count("hits")
+        buf = io.StringIO()
+        write_jsonl(rec, buf)
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert lines[0]["schema"] == "repro-obs-jsonl"
+        assert any(entry.get("name") == "tick" for entry in lines)
+        assert lines[-1]["metrics"]["counters"] == {"hits": 1}
+
+
+class TestStructuralProjection:
+    def _trace(self, key, future):
+        rec = Recorder()
+        rec.event("lock.grant", "machine", pid=PID_MACHINE, tid=1, ts=4,
+                  args={"key": key, "waited": 0})
+        rec.event("future.resolve", "machine", pid=PID_MACHINE, tid=1, ts=9,
+                  args={"future": future, "woke": 0})
+        rec.event("pass", "pipeline", pid=0, tid=0, args={"us": 12.5})
+        return chrome_trace_dict(rec)
+
+    def test_ids_canonicalized_by_first_appearance(self):
+        first = structural_projection(self._trace(1001, 17))
+        second = structural_projection(self._trace(2002, 99))
+        assert diff_projections(first, second) == []
+
+    def test_wall_clock_args_dropped_but_ticks_kept(self):
+        proj = structural_projection(self._trace(1, 2))
+        flat = json.dumps(proj)
+        assert "12.5" not in flat  # wall-clock arg projected away
+        assert any(
+            entry[0] == "i" and entry[-1] == 4
+            for entry in proj["events"]
+            if entry[1] == "lock.grant"
+        )
+
+    def test_diff_reports_structural_changes(self):
+        base = structural_projection(self._trace(1, 2))
+        other = structural_projection(self._trace(1, 2))
+        other["events"] = other["events"][:-1]
+        assert diff_projections(base, other) != []
