@@ -14,6 +14,10 @@ Commands:
 * ``trace WORKLOAD``          — run a named paper workload with the
   flight recorder armed end to end and export the trace
   (``--trace-out``, Chrome ``trace_event`` or JSONL format).
+* ``bench``                   — run the pinned perf suite (baseline vs
+  optimized mode, median-of-N), write ``BENCH_perf.json``, and with
+  ``--compare BASELINE.json --max-regress PCT`` gate on regressions
+  (exit 1 when any case regresses beyond the threshold).
 
 ``run``, ``chaos``, and ``trace`` all take ``--profile`` (print phase
 timings and counters) and ``--trace-out PATH`` (write the recorded
@@ -134,6 +138,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--misdeclared", action="store_true",
                          help="also attack the intentionally mis-declared "
                               "workload (must recover, not fail)")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the pinned perf suite and optionally gate on a baseline",
+    )
+    p_bench.add_argument("--out", metavar="PATH", default="BENCH_perf.json",
+                         help="write the JSON report here "
+                              "(default: BENCH_perf.json)")
+    p_bench.add_argument("--compare", metavar="BASELINE", default=None,
+                         help="compare against this baseline report and "
+                              "exit 1 on regression")
+    p_bench.add_argument("--max-regress", type=float, default=30.0,
+                         metavar="PCT",
+                         help="allowed regression in normalized time, "
+                              "percent (default: 30)")
+    p_bench.add_argument("--repeats", type=int, default=5,
+                         help="iterations per case per mode; the median "
+                              "is reported (default: 5)")
+    p_bench.add_argument("--cases", metavar="NAME", action="append",
+                         default=[],
+                         help="restrict to these cases (repeatable)")
 
     p_trace = sub.add_parser(
         "trace", parents=[obs_common],
@@ -343,6 +368,55 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.bench import (
+        BENCH_CASES,
+        compare_reports,
+        format_report,
+        run_suite,
+    )
+
+    cases = args.cases or None
+    if cases:
+        unknown = [name for name in cases if name not in BENCH_CASES]
+        if unknown:
+            print(f";; unknown bench case(s): {', '.join(unknown)}; "
+                  f"choose from: {', '.join(BENCH_CASES)}", file=sys.stderr)
+            return 2
+    report = run_suite(repeats=args.repeats, cases=cases)
+    print(format_report(report))
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as err:
+            print(f";; cannot write report to {args.out!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        print(f";; report: {args.out}")
+    if args.compare:
+        try:
+            with open(args.compare) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as err:
+            print(f";; cannot read baseline {args.compare!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        failures = compare_reports(report, baseline, args.max_regress)
+        if failures:
+            print(";; perf regression(s) vs "
+                  f"{args.compare} (max allowed +{args.max_regress:.0f}%):")
+            for failure in failures:
+                print(f";;   {failure}")
+            return 1
+        print(f";; no perf regressions vs {args.compare} "
+              f"(max allowed +{args.max_regress:.0f}%)")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import Recorder
     from repro.obs.workloads import run_trace_workload, trace_workloads
@@ -394,6 +468,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "run": cmd_run,
         "chaos": cmd_chaos,
         "trace": cmd_trace,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

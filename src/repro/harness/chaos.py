@@ -22,6 +22,7 @@ check or records a recovery that re-executed sequentially and passed.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -263,11 +264,16 @@ def run_chaos_case(
         if not result.transformed:
             raise LispError(f"transform refused: {result.reason}")
         curare.runner.eval_text(workload.setup)
+        # Scheduling randomness comes from this explicit stream, never
+        # the process-global `random` state (which fault plans and user
+        # code may touch): equal sched_seed ⇒ equal schedule, always.
         machine = Machine(
             interp,
             processors=processors,
             policy="random" if sched_seed is not None else "fifo",
             seed=sched_seed,
+            rng=(random.Random(sched_seed)
+                 if sched_seed is not None else None),
             faults=plan,
             race_detector=detector,
             lock_wait_timeout=lock_wait_timeout,

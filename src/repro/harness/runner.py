@@ -3,6 +3,7 @@ the three-step recipe every experiment repeats."""
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -84,6 +85,7 @@ def run_transformed(
     race_detector: Optional[RaceDetector] = None,
     lock_wait_timeout: Optional[int] = None,
     recorder: Optional[Recorder] = None,
+    rng: Optional[random.Random] = None,
 ) -> ExperimentRun:
     """Transform ``fname`` with Curare and run ``call`` on the machine.
 
@@ -103,7 +105,7 @@ def run_transformed(
     curare.runner.eval_text(setup)
     machine = Machine(
         interp, processors=processors, cost_model=cost_model,
-        policy=policy, seed=seed,
+        policy=policy, seed=seed, rng=rng,
         faults=faults, race_detector=race_detector,
         lock_wait_timeout=lock_wait_timeout,
         recorder=recorder,
@@ -118,6 +120,7 @@ def run_transformed(
         curare=curare_result, interp=interp,
     )
     run.extra["seed"] = seed
+    run.extra["machine"] = machine
     if recorder is not None:
         run.extra["recorder"] = recorder
         _record_run(recorder, fname, run)
@@ -179,6 +182,7 @@ def run_concurrent(
     race_detector: Optional[RaceDetector] = None,
     lock_wait_timeout: Optional[int] = None,
     recorder: Optional[Recorder] = None,
+    rng: Optional[random.Random] = None,
 ) -> ExperimentRun:
     """Run an (already concurrent) program directly on the machine."""
     interp = Interpreter()
@@ -187,7 +191,7 @@ def run_concurrent(
     runner.eval_text(setup)
     machine = Machine(
         interp, processors=processors, cost_model=cost_model,
-        policy=policy, seed=seed,
+        policy=policy, seed=seed, rng=rng,
         faults=faults, race_detector=race_detector,
         lock_wait_timeout=lock_wait_timeout,
         recorder=recorder,
@@ -198,6 +202,7 @@ def run_concurrent(
     run = ExperimentRun(
         write_str(shown), stats.total_time, stats=stats, interp=interp
     )
+    run.extra["machine"] = machine
     if recorder is not None:
         run.extra["recorder"] = recorder
         _record_run(recorder, "concurrent", run)

@@ -65,9 +65,17 @@ def structural_projection(trace: dict) -> dict:
             record.append(e.get("ts"))
         events.append(record)
     metrics = (trace.get("otherData") or {}).get("metrics") or {}
+    counters = {
+        name: value
+        for name, value in (metrics.get("counters") or {}).items()
+        # perf-cache counters split into hits/misses according to how
+        # warm the process-global caches already are — class (3)
+        # nondeterminism, so they are not part of the golden skeleton.
+        if not name.startswith("perf.cache.")
+    }
     return {
         "events": events,
-        "counters": dict(metrics.get("counters") or {}),
+        "counters": counters,
     }
 
 

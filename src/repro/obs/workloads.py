@@ -9,6 +9,7 @@ in ``tests/golden/`` stable.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Optional
 
@@ -148,5 +149,8 @@ def run_trace_workload(workload: TraceWorkload, recorder,
         assume_sapp=True,
         policy="random" if seed is not None else "fifo",
         seed=seed,
+        # Explicit stream: replays with equal seeds stay identical even
+        # if something else consumes the process-global `random` state.
+        rng=random.Random(seed) if seed is not None else None,
         recorder=recorder,
     )

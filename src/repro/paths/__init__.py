@@ -35,10 +35,23 @@ from repro.paths.regex import (
     parse_regex,
     word_regex,
 )
-from repro.paths.automata import NFA, build_nfa, matches, prefix_of_language, language_empty
+from repro.paths.automata import (
+    DFA,
+    NFA,
+    build_nfa,
+    determinize,
+    dfa_for,
+    intersection_empty,
+    language_empty,
+    matches,
+    minimize,
+    nfa_for,
+    prefix_of_language,
+)
 from repro.paths.transfer import (
     TransferFunction,
     conflict_distances,
+    conflict_distances_swept,
     conflicts_at_distance,
     min_conflict_distance,
 )
@@ -64,15 +77,22 @@ __all__ = [
     "Star",
     "Sym",
     "TransferFunction",
+    "DFA",
     "accessible",
     "build_nfa",
     "check_sapp",
     "conflict_distances",
+    "conflict_distances_swept",
     "conflicts_at_distance",
+    "determinize",
+    "dfa_for",
+    "intersection_empty",
     "language_empty",
     "links_from",
     "matches",
     "min_conflict_distance",
+    "minimize",
+    "nfa_for",
     "parse_accessor",
     "parse_regex",
     "path_accessor",

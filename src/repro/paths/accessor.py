@@ -6,17 +6,39 @@ Lisp ``(cadr l)``.  The paper writes these ``cdr.car``.
 
 Accessors are immutable and hashable; conflict detection is string
 algebra over them.
+
+Like the path regexes, accessors are hash-consed while the perf layer
+is enabled: structurally-equal words share one canonical object, so
+the analysis memo tables key on (near) pointer identity.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterator
 
+from repro.perf.cache import InternTable, perf_enabled
+
+_INTERN = InternTable("paths.accessor.intern")
+
 
 class Accessor:
     """An immutable word over the field alphabet."""
 
-    __slots__ = ("fields",)
+    __slots__ = ("fields", "_hash")
+
+    def __new__(cls, fields: tuple[str, ...] = ()) -> "Accessor":
+        if not isinstance(fields, tuple):
+            fields = tuple(fields)
+        if not perf_enabled():
+            return super().__new__(cls)
+        found = _INTERN.get(fields)
+        if found is not None:
+            return found
+        for f in fields:
+            if not isinstance(f, str) or not f:
+                # Leave the table unpolluted; __init__ raises the error.
+                return super().__new__(cls)
+        return _INTERN.put(fields, super().__new__(cls))
 
     def __init__(self, fields: tuple[str, ...] = ()):
         if not isinstance(fields, tuple):
@@ -70,10 +92,16 @@ class Accessor:
     # -- protocol ------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Accessor) and other.fields == self.fields
+        return self is other or (
+            isinstance(other, Accessor) and other.fields == self.fields
+        )
 
     def __hash__(self) -> int:
-        return hash(self.fields)
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(self.fields)
+            return self._hash
 
     def __repr__(self) -> str:
         return f"Accessor({self})"

@@ -1,17 +1,42 @@
-"""Thompson NFA construction and the prefix-language test.
+"""Thompson NFA construction, DFAs, and the prefix-language test.
 
 The conflict predicate (paper §2.1) is ``A1 ≤ t1...tp·A2`` "as long as
 the prefix operation matches a string against a regular expression".
 Concretely: *is the concrete word A1 a prefix of some word in L(R)?*
 That is :func:`prefix_of_language`, implemented by NFA simulation plus a
 precomputed can-reach-accept relation.
+
+The perf layer adds a deterministic tier on top of the Thompson NFAs:
+
+* :func:`nfa_for` memoizes Thompson construction per (hash-consed)
+  regex, so repeated conflict tests against the same transfer function
+  stop rebuilding the automaton.
+* :class:`DFA` with :func:`determinize` (subset construction),
+  :func:`minimize` (Moore partition refinement into a canonical,
+  BFS-numbered machine — ``minimize`` is idempotent and
+  structurally-equal automata compare equal), and
+  :func:`intersection_empty` (product-automaton emptiness — the
+  language form of the conflict test).
+* :func:`dfa_for` memoizes ``minimize(determinize(nfa_for(r)))``; the
+  word-vs-language prefix predicates then collapse to a single
+  deterministic run, which is the ``L(A1·Σ*) ∩ L(R) ≠ ∅`` product
+  specialized to a one-word left operand.
+
+All caches are registered in :mod:`repro.perf.cache` and report
+hit/miss counters through the obs recorder.  With the perf layer
+disabled every entry point falls back to the original NFA simulation.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.paths.regex import Alt, Cat, Empty, Eps, Regex, Star, Sym, _Empty, _Eps
+from repro.perf.cache import LRUCache, perf_enabled
+
+_NFA_CACHE = LRUCache("paths.nfa", maxsize=16384)
+_DFA_CACHE = LRUCache("paths.dfa", maxsize=8192)
+_INTERSECT_CACHE = LRUCache("paths.intersect", maxsize=65536)
 
 
 class NFA:
@@ -176,8 +201,266 @@ def build_nfa(regex: Regex) -> NFA:
     return nfa
 
 
+def nfa_for(regex: Regex) -> NFA:
+    """Memoized Thompson construction.
+
+    The returned NFA is shared between callers and must be treated as
+    immutable (simulation only — no ``add_transition``/``add_epsilon``).
+    """
+    return _NFA_CACHE.get_or_compute(regex, lambda: build_nfa(regex))
+
+
+# ---------------------------------------------------------------------------
+# DFAs: determinization, canonical minimization, intersection emptiness
+# ---------------------------------------------------------------------------
+
+
+class DFA:
+    """A deterministic automaton over the field alphabet.
+
+    Transitions are *partial*: a missing symbol means the dead (sink)
+    state, which is never materialized.  ``transitions[s]`` maps field →
+    next state; ``accepting[s]`` flags final states; ``start`` is always
+    state 0 for canonical (minimized) machines but kept explicit.
+
+    Instances compare and hash *structurally*, which combined with the
+    canonical numbering produced by :func:`minimize` makes minimized
+    DFAs of equal languages (over the same observed alphabet) compare
+    equal — the property the idempotence tests pin down.
+    """
+
+    __slots__ = ("transitions", "accepting", "start", "_reach_accept", "_hash")
+
+    def __init__(
+        self,
+        transitions: "list[dict[str, int]]",
+        accepting: "list[bool]",
+        start: int = 0,
+    ):
+        if len(transitions) != len(accepting):
+            raise ValueError("transitions/accepting length mismatch")
+        if transitions and not (0 <= start < len(transitions)):
+            raise ValueError("start state out of range")
+        self.transitions = transitions
+        self.accepting = accepting
+        self.start = start
+        self._reach_accept: Optional[list[bool]] = None
+
+    # -- simulation ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    def step(self, state: Optional[int], field: str) -> Optional[int]:
+        """One transition; ``None`` is the implicit dead state."""
+        if state is None:
+            return None
+        return self.transitions[state].get(field)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        state: Optional[int] = self.start
+        for field in word:
+            state = self.step(state, field)
+            if state is None:
+                return False
+        return self.accepting[state]
+
+    def alphabet(self) -> set[str]:
+        out: set[str] = set()
+        for row in self.transitions:
+            out.update(row)
+        return out
+
+    def can_reach_accept(self) -> list[bool]:
+        """Per-state: is some accepting state reachable (0+ steps)?"""
+        if self._reach_accept is None:
+            n = len(self.transitions)
+            preds: list[list[int]] = [[] for _ in range(n)]
+            for src, row in enumerate(self.transitions):
+                for dst in row.values():
+                    preds[dst].append(src)
+            reach = list(self.accepting)
+            stack = [s for s in range(n) if reach[s]]
+            while stack:
+                s = stack.pop()
+                for p in preds[s]:
+                    if not reach[p]:
+                        reach[p] = True
+                        stack.append(p)
+            self._reach_accept = reach
+        return self._reach_accept
+
+    # -- protocol -----------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (
+            self.start,
+            tuple(self.accepting),
+            tuple(tuple(sorted(row.items())) for row in self.transitions),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (
+            isinstance(other, DFA) and other._key() == self._key()
+        )
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(self._key())
+            return self._hash
+
+    def __repr__(self) -> str:
+        return f"<DFA {len(self.transitions)} states>"
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction.  Only live NFA state sets are expanded; the
+    dead set maps to the DFA's implicit sink."""
+    initial = nfa.initial()
+    index: dict[frozenset[int], int] = {initial: 0}
+    transitions: list[dict[str, int]] = [{}]
+    accepting: list[bool] = [nfa.accepts_in(initial)]
+    alphabet_by_state: list[set[str]] = []
+    for row in nfa.transitions:
+        alphabet_by_state.append(set(row))
+    worklist = [initial]
+    while worklist:
+        states = worklist.pop()
+        src = index[states]
+        fields: set[str] = set()
+        for s in states:
+            fields |= alphabet_by_state[s]
+        for field in sorted(fields):
+            nxt = nfa.step(states, field)
+            if not nxt:
+                continue
+            dst = index.get(nxt)
+            if dst is None:
+                dst = len(transitions)
+                index[nxt] = dst
+                transitions.append({})
+                accepting.append(nfa.accepts_in(nxt))
+                worklist.append(nxt)
+            transitions[src][field] = dst
+    return DFA(transitions, accepting, start=0)
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Moore partition refinement into a canonical minimal DFA.
+
+    The result is trim (unreachable states and the all-dead sink class
+    are dropped), numbered by breadth-first order from the start state
+    with symbols visited in sorted order — a canonical form, so
+    ``minimize`` is idempotent and language-equal inputs (over the same
+    observed alphabet) minimize to structurally-equal machines.
+    """
+    n = len(dfa.transitions)
+    if n == 0:
+        return DFA([{}], [False], start=0)
+    sigma = sorted(dfa.alphabet())
+    # Work over the completed automaton: state n is the sink.
+    sink = n
+    total = n + 1
+
+    def delta(state: int, field: str) -> int:
+        if state == sink:
+            return sink
+        return dfa.transitions[state].get(field, sink)
+
+    accepting = list(dfa.accepting) + [False]
+    # Partition ids; refine until stable.
+    block = [1 if accepting[s] else 0 for s in range(total)]
+    while True:
+        signature: dict[tuple, int] = {}
+        new_block = [0] * total
+        for s in range(total):
+            sig = (block[s],) + tuple(block[delta(s, f)] for f in sigma)
+            idx = signature.setdefault(sig, len(signature))
+            new_block[s] = idx
+        if new_block == block:
+            break
+        block = new_block
+    # Canonical renumbering: BFS from the start block, sorted symbols.
+    start_block = block[dfa.start]
+    sink_block = block[sink]
+    order: dict[int, int] = {start_block: 0}
+    queue = [start_block]
+    rep: dict[int, int] = {}
+    for s in range(total):
+        rep.setdefault(block[s], s)
+    new_transitions: list[dict[str, int]] = [{}]
+    new_accepting: list[bool] = [accepting[rep[start_block]]]
+    while queue:
+        b = queue.pop(0)
+        src = order[b]
+        state = rep[b]
+        for field in sigma:
+            db = block[delta(state, field)]
+            if db == sink_block:
+                continue  # stays implicit
+            dst = order.get(db)
+            if dst is None:
+                dst = len(new_transitions)
+                order[db] = dst
+                new_transitions.append({})
+                new_accepting.append(accepting[rep[db]])
+                queue.append(db)
+            new_transitions[src][field] = dst
+    return DFA(new_transitions, new_accepting, start=0)
+
+
+def dfa_for(regex: Regex) -> DFA:
+    """Memoized ``minimize(determinize(nfa_for(regex)))``."""
+    return _DFA_CACHE.get_or_compute(
+        regex, lambda: minimize(determinize(nfa_for(regex)))
+    )
+
+
+def _product_empty(a: DFA, b: DFA) -> bool:
+    """BFS over the product automaton; empty iff no jointly-accepting
+    product state is reachable."""
+    start = (a.start, b.start)
+    if not len(a) or not len(b):
+        return True
+    seen = {start}
+    stack = [start]
+    while stack:
+        sa, sb = stack.pop()
+        if a.accepting[sa] and b.accepting[sb]:
+            return False
+        row_a = a.transitions[sa]
+        row_b = b.transitions[sb]
+        # Intersection only moves on symbols both machines accept.
+        fields = row_a.keys() & row_b.keys()
+        for field in fields:
+            nxt = (row_a[field], row_b[field])
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return True
+
+
+def intersection_empty(r1: Union[Regex, DFA], r2: Union[Regex, DFA]) -> bool:
+    """True iff L(r1) ∩ L(r2) = ∅ (the conflict test in language form).
+
+    Memoized when both operands are regexes; DFA operands run the
+    product construction directly.
+    """
+    if isinstance(r1, Regex) and isinstance(r2, Regex):
+        return _INTERSECT_CACHE.get_or_compute(
+            (r1, r2), lambda: _product_empty(dfa_for(r1), dfa_for(r2))
+        )
+    a = r1 if isinstance(r1, DFA) else dfa_for(r1)
+    b = r2 if isinstance(r2, DFA) else dfa_for(r2)
+    return _product_empty(a, b)
+
+
 def matches(regex: Regex, word: Iterable[str]) -> bool:
     """Exact membership: word ∈ L(regex)."""
+    if perf_enabled():
+        return dfa_for(regex).accepts(word)
     nfa = build_nfa(regex)
     return nfa.accepts_in(nfa.run(word))
 
@@ -185,9 +468,19 @@ def matches(regex: Regex, word: Iterable[str]) -> bool:
 def prefix_of_language(word: Iterable[str], regex: Regex, nfa: Optional[NFA] = None) -> bool:
     """The paper's ≤ test: is ``word`` a prefix of some word in L(regex)?
 
-    Simulate the NFA over ``word``; afterwards any live state from which
-    accept is reachable witnesses a completion.
+    Equivalently: L(word·Σ*) ∩ L(regex) ≠ ∅.  On the fast path this is
+    one deterministic run over the cached minimal DFA (the product with
+    a single-word automaton degenerates to a run); the legacy path
+    simulates the NFA and consults its can-reach-accept relation.
     """
+    if nfa is None and perf_enabled():
+        dfa = dfa_for(regex)
+        state: Optional[int] = dfa.start
+        for field in word:
+            state = dfa.step(state, field)
+            if state is None:
+                return False
+        return dfa.can_reach_accept()[state]
     if nfa is None:
         nfa = build_nfa(regex)
     states = nfa.initial()
@@ -210,6 +503,18 @@ def language_word_is_prefix_of(
     reference is the modification: the written location t·A2 must lie on
     the earlier access's path A1, i.e. t·A2 ≤ A1.
     """
+    if nfa is None and perf_enabled():
+        dfa = dfa_for(regex)
+        state: Optional[int] = dfa.start
+        if dfa.accepting[state]:
+            return True
+        for field in word:
+            state = dfa.step(state, field)
+            if state is None:
+                return False
+            if dfa.accepting[state]:
+                return True
+        return False
     if nfa is None:
         nfa = build_nfa(regex)
     states = nfa.initial()
@@ -226,6 +531,9 @@ def language_word_is_prefix_of(
 
 def language_empty(regex: Regex) -> bool:
     """True iff L(regex) = ∅."""
+    if perf_enabled():
+        # A trim minimal DFA of an empty language has no accepting state.
+        return not any(dfa_for(regex).accepting)
     nfa = build_nfa(regex)
     reach = nfa.can_reach_accept()
     return not any(reach[s] for s in nfa.initial())

@@ -12,11 +12,27 @@ with ``+`` as derived form.  A small parser reads the paper's notation:
     ``(succ|pred)*`` any mix of succ/pred steps
     ``ε``            the identity transfer
     ``∅``            the empty language
+
+Nodes are **hash-consed**: while the perf layer is enabled (the
+default, see :mod:`repro.perf`), constructing a node that is
+structurally equal to an existing one returns the existing object, so
+structural equality collapses to pointer equality and every downstream
+memo key (NFA/DFA caches, transfer-function powers, conflict tests)
+hashes in near-constant time.  Interning happens in ``__new__``; the
+classes stay immutable and structurally comparable either way, so code
+that predates the perf layer is unaffected when interning is off.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Optional
+
+from repro.perf.cache import InternTable, perf_enabled
+
+# Hash-cons table for all regex nodes.  Keys embed child nodes, whose
+# (cached) structural hash/eq make lookups cheap; once children are
+# interned the comparisons are pointer tests.
+_INTERN = InternTable("paths.regex.intern")
 
 
 class Regex:
@@ -42,6 +58,14 @@ class _Empty(Regex):
 
     __slots__ = ()
 
+    def __new__(cls) -> "_Empty":
+        # Always a true singleton (it already was one by convention via
+        # the module-level ``Empty`` constant).
+        found = _INTERN.get(("∅",))
+        if found is not None:
+            return found
+        return _INTERN.put(("∅",), super().__new__(cls))
+
     def __repr__(self) -> str:
         return "∅"
 
@@ -57,6 +81,12 @@ class _Eps(Regex):
     paper's notation for an unchanged variable)."""
 
     __slots__ = ()
+
+    def __new__(cls) -> "_Eps":
+        found = _INTERN.get(("ε",))
+        if found is not None:
+            return found
+        return _INTERN.put(("ε",), super().__new__(cls))
 
     def __repr__(self) -> str:
         return "ε"
@@ -75,7 +105,18 @@ Eps = _Eps()
 class Sym(Regex):
     """A single field symbol."""
 
-    __slots__ = ("field",)
+    __slots__ = ("field", "_hash")
+
+    def __new__(cls, field: str) -> "Sym":
+        if not field:
+            raise ValueError("empty field name")
+        if not perf_enabled():
+            return super().__new__(cls)
+        key = ("sym", field)
+        found = _INTERN.get(key)
+        if found is not None:
+            return found
+        return _INTERN.put(key, super().__new__(cls))
 
     def __init__(self, field: str):
         if not field:
@@ -86,14 +127,29 @@ class Sym(Regex):
         return self.field
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Sym) and other.field == self.field
+        return self is other or (
+            isinstance(other, Sym) and other.field == self.field
+        )
 
     def __hash__(self) -> int:
-        return hash(("sym", self.field))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("sym", self.field))
+            return self._hash
 
 
 class Cat(Regex):
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "_hash")
+
+    def __new__(cls, left: Regex, right: Regex) -> "Cat":
+        if not perf_enabled():
+            return super().__new__(cls)
+        key = ("cat", left, right)
+        found = _INTERN.get(key)
+        if found is not None:
+            return found
+        return _INTERN.put(key, super().__new__(cls))
 
     def __init__(self, left: Regex, right: Regex):
         self.left = left
@@ -103,14 +159,30 @@ class Cat(Regex):
         return f"{_paren(self.left, Alt)}.{_paren(self.right, Alt)}"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Cat) and (other.left, other.right) == (self.left, self.right)
+        return self is other or (
+            isinstance(other, Cat)
+            and (other.left, other.right) == (self.left, self.right)
+        )
 
     def __hash__(self) -> int:
-        return hash(("cat", self.left, self.right))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("cat", self.left, self.right))
+            return self._hash
 
 
 class Alt(Regex):
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "_hash")
+
+    def __new__(cls, left: Regex, right: Regex) -> "Alt":
+        if not perf_enabled():
+            return super().__new__(cls)
+        key = ("alt", left, right)
+        found = _INTERN.get(key)
+        if found is not None:
+            return found
+        return _INTERN.put(key, super().__new__(cls))
 
     def __init__(self, left: Regex, right: Regex):
         self.left = left
@@ -120,14 +192,30 @@ class Alt(Regex):
         return f"{self.left!r}|{self.right!r}"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Alt) and (other.left, other.right) == (self.left, self.right)
+        return self is other or (
+            isinstance(other, Alt)
+            and (other.left, other.right) == (self.left, self.right)
+        )
 
     def __hash__(self) -> int:
-        return hash(("alt", self.left, self.right))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("alt", self.left, self.right))
+            return self._hash
 
 
 class Star(Regex):
-    __slots__ = ("inner",)
+    __slots__ = ("inner", "_hash")
+
+    def __new__(cls, inner: Regex) -> "Star":
+        if not perf_enabled():
+            return super().__new__(cls)
+        key = ("star", inner)
+        found = _INTERN.get(key)
+        if found is not None:
+            return found
+        return _INTERN.put(key, super().__new__(cls))
 
     def __init__(self, inner: Regex):
         self.inner = inner
@@ -136,10 +224,16 @@ class Star(Regex):
         return f"{_paren(self.inner, (Alt, Cat))}*"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Star) and other.inner == self.inner
+        return self is other or (
+            isinstance(other, Star) and other.inner == self.inner
+        )
 
     def __hash__(self) -> int:
-        return hash(("star", self.inner))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("star", self.inner))
+            return self._hash
 
 
 def Plus(inner: Regex) -> Regex:

@@ -22,8 +22,25 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional
 
 from repro.paths.accessor import Accessor
-from repro.paths.automata import NFA, build_nfa, prefix_of_language
+from repro.paths.automata import NFA, nfa_for, prefix_of_language
 from repro.paths.regex import Cat, Eps, Regex, parse_regex, word_regex
+from repro.perf.cache import LRUCache
+
+# τ^d composition chains recur across every (pair, distance) the survey
+# visits; with hash-consed regexes the memo keys are near-pointers.
+_POWER_CACHE = LRUCache("paths.power", maxsize=16384)
+
+# The top-level conflict predicates were memoized before the perf layer
+# existed (as functools.lru_cache tables); they stay always-on so the
+# bench baseline reproduces the pre-layer analyzer, but now they count
+# hits/misses like every other cache.
+_CONFLICT_CACHE = LRUCache("paths.conflict", maxsize=65536, always_on=True)
+_MINDIST_CACHE = LRUCache("paths.mindist", maxsize=65536, always_on=True)
+
+# One swept BFS answers the whole d ∈ [1, max_d] enumeration, replacing
+# max_d separate automaton tests; new with the perf layer, so not
+# always-on.
+_SWEEP_CACHE = LRUCache("paths.sweep", maxsize=65536)
 
 
 class TransferFunction:
@@ -45,17 +62,21 @@ class TransferFunction:
     @property
     def nfa(self) -> NFA:
         if self._nfa is None:
-            self._nfa = build_nfa(self.regex)
+            self._nfa = nfa_for(self.regex)
         return self._nfa
 
     def power(self, d: int) -> Regex:
-        """τ^d — the d-fold composition (τ^0 = ε)."""
+        """τ^d — the d-fold composition (τ^0 = ε), memoized."""
         if d < 0:
             raise ValueError("negative transfer power")
-        out: Regex = Eps
-        for _ in range(d):
-            out = self.regex if out is Eps else Cat(out, self.regex)
-        return out
+        if d == 0:
+            return Eps
+        if d == 1 or self.regex is Eps:
+            return self.regex
+        regex = self.regex
+        return _POWER_CACHE.get_or_compute(
+            (regex, d), lambda: Cat(self.power(d - 1), regex)
+        )
 
     def compose_accessor(self, d: int, accessor: Accessor) -> Regex:
         """The language τ^d ∘ A — all full access paths d invocations later."""
@@ -77,34 +98,6 @@ class TransferFunction:
         return hash(("tf", self.regex))
 
 
-from functools import lru_cache
-
-
-@lru_cache(maxsize=65536)
-def _conflicts_at_distance_cached(
-    a1_fields: tuple, a2_fields: tuple, regex: Regex, d: int, direction: str
-) -> bool:
-    return conflicts_at_distance(
-        Accessor(a1_fields), Accessor(a2_fields),
-        TransferFunction(regex), d, direction=direction,
-    )
-
-
-@lru_cache(maxsize=65536)
-def _min_conflict_distance_cached(
-    a1_fields: tuple,
-    a2_fields: tuple,
-    regex: Regex,
-    min_d: int,
-    max_d,
-    direction: str,
-):
-    return min_conflict_distance(
-        Accessor(a1_fields), Accessor(a2_fields), TransferFunction(regex),
-        min_d=min_d, max_d=max_d, direction=direction,
-    )
-
-
 def conflicts_at_distance_memo(
     a1: Accessor, a2: Accessor, tau: TransferFunction, d: int,
     direction: str = "write-first",
@@ -112,8 +105,9 @@ def conflicts_at_distance_memo(
     """Memoized :func:`conflicts_at_distance` — accessor words repeat
     heavily across a function's reference pairs, and regex nodes hash
     structurally, so caching removes the analyzer's quadratic NFA cost."""
-    return _conflicts_at_distance_cached(
-        a1.fields, a2.fields, tau.regex, d, direction
+    key = (a1.fields, a2.fields, tau.regex, d, direction)
+    return _CONFLICT_CACHE.get_or_compute(
+        key, lambda: conflicts_at_distance(a1, a2, tau, d, direction=direction)
     )
 
 
@@ -122,8 +116,12 @@ def min_conflict_distance_memo(
     min_d: int = 1, max_d=None, direction: str = "write-first",
 ):
     """Memoized :func:`min_conflict_distance`."""
-    return _min_conflict_distance_cached(
-        a1.fields, a2.fields, tau.regex, min_d, max_d, direction
+    key = (a1.fields, a2.fields, tau.regex, min_d, max_d, direction)
+    return _MINDIST_CACHE.get_or_compute(
+        key,
+        lambda: min_conflict_distance(
+            a1, a2, tau, min_d=min_d, max_d=max_d, direction=direction
+        ),
     )
 
 
@@ -186,6 +184,49 @@ def _one_step_relation(a1: Accessor, tau: TransferFunction) -> tuple[dict[int, s
     return steps, overshoot
 
 
+# The BFS below runs over "positions in A1" plus one synthetic state.
+# _OVER marks a τ-chain that overshot the end of A1; it is only a
+# success for write-first (the chain alone covers A1, so A1 is certainly
+# on the later access's path) — for write-second an overshooting chain
+# names a location *deeper* than A1's path.
+_OVER = -1
+
+
+def _position_success(
+    position: int, a1: Accessor, a2: Accessor, direction: str
+) -> bool:
+    """Does reaching ``position`` in A1 (after some τ-chain) conflict?"""
+    if position == _OVER:
+        return direction == "write-first"
+    remainder = a1.fields[position:]
+    if direction == "write-first":
+        # Conflict iff the remainder of A1 is a prefix of A2.
+        return (
+            len(remainder) <= len(a2.fields)
+            and a2.fields[: len(remainder)] == remainder
+        )
+    # write-second: conflict iff A2 is a prefix of the remainder.
+    return (
+        len(a2.fields) <= len(remainder)
+        and remainder[: len(a2.fields)] == a2.fields
+    )
+
+
+def _position_expand(
+    frontier: set[int], steps: dict[int, set[int]], overshoot: set[int]
+) -> set[int]:
+    """One more τ application from every position in ``frontier``."""
+    nxt: set[int] = set()
+    for p in frontier:
+        if p == _OVER:
+            nxt.add(_OVER)
+            continue
+        if p in overshoot:
+            nxt.add(_OVER)
+        nxt |= steps.get(p, set())
+    return nxt
+
+
 def min_conflict_distance(
     a1: Accessor,
     a2: Accessor,
@@ -204,39 +245,13 @@ def min_conflict_distance(
     """
     if direction not in ("write-first", "write-second"):
         raise ValueError(f"unknown direction {direction!r}")
-    m = len(a1)
     steps, overshoot = _one_step_relation(a1, tau)
-    # OVER is only a success for write-first (the τ-chain alone covers A1,
-    # so A1 is certainly on the later access's path); for write-second an
-    # overshooting chain names a location *deeper* than A1's path.
-    OVER = -1
 
     def success(position: int) -> bool:
-        if position == OVER:
-            return direction == "write-first"
-        remainder = a1.fields[position:]
-        if direction == "write-first":
-            # Conflict iff the remainder of A1 is a prefix of A2.
-            return (
-                len(remainder) <= len(a2.fields)
-                and a2.fields[: len(remainder)] == remainder
-            )
-        # write-second: conflict iff A2 is a prefix of the remainder.
-        return (
-            len(a2.fields) <= len(remainder)
-            and remainder[: len(a2.fields)] == a2.fields
-        )
+        return _position_success(position, a1, a2, direction)
 
     def expand(frontier: set[int]) -> set[int]:
-        nxt: set[int] = set()
-        for p in frontier:
-            if p == OVER:
-                nxt.add(OVER)
-                continue
-            if p in overshoot:
-                nxt.add(OVER)
-            nxt |= steps.get(p, set())
-        return nxt
+        return _position_expand(frontier, steps, overshoot)
 
     frontier: set[int] = {0}
     # Phase 1: advance to depth == min_d without pruning (frontier sets
@@ -261,6 +276,52 @@ def min_conflict_distance(
         frontier = {p for p in expand(frontier) if p not in visited}
         depth += 1
     return None
+
+
+def conflict_distances_swept(
+    a1: Accessor,
+    a2: Accessor,
+    tau: TransferFunction,
+    max_d: int,
+    min_d: int = 1,
+    direction: str = "write-first",
+) -> list[int]:
+    """All distances d in [min_d, max_d] with A1 ⊙_d A2, in one BFS.
+
+    Equivalent to :func:`conflict_distances` (the per-d enumeration) but
+    pays :func:`_one_step_relation` once instead of building one
+    automaton per distance: the frontier after d expansions is exactly
+    the set of A1-positions reachable by τ^d, so testing it per depth
+    answers every distance in a single sweep.  Memoized.
+    """
+    if direction not in ("write-first", "write-second"):
+        raise ValueError(f"unknown direction {direction!r}")
+    key = (a1.fields, a2.fields, tau.regex, min_d, max_d, direction)
+    return _SWEEP_CACHE.get_or_compute(
+        key, lambda: _sweep_distances(a1, a2, tau, min_d, max_d, direction)
+    )
+
+
+def _sweep_distances(
+    a1: Accessor,
+    a2: Accessor,
+    tau: TransferFunction,
+    min_d: int,
+    max_d: int,
+    direction: str,
+) -> list[int]:
+    steps, overshoot = _one_step_relation(a1, tau)
+    out: list[int] = []
+    frontier: set[int] = {0}
+    for d in range(1, max_d + 1):
+        frontier = _position_expand(frontier, steps, overshoot)
+        if not frontier:
+            break
+        if d >= min_d and any(
+            _position_success(p, a1, a2, direction) for p in frontier
+        ):
+            out.append(d)
+    return out
 
 
 def step_words(regex: Regex) -> Optional[list[tuple[str, ...]]]:

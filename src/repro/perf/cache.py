@@ -1,0 +1,276 @@
+"""Counting LRU caches and intern tables for the hot analysis paths.
+
+Curare's conflict analysis (§2 of the paper) spends nearly all of its
+time manipulating path regular expressions and the automata derived
+from them.  The same sub-expressions recur constantly — every accessor
+pair in a function shares the same transfer function, every distance
+``d`` in a survey re-composes ``tau^d`` — so the standard remedy from
+the abstract-interpretation literature applies: hash-cons the immutable
+structures and memoize the expensive derivations behind bounded caches.
+
+This module is the substrate for that layer:
+
+* :class:`LRUCache` — a bounded memo table with hit/miss/eviction
+  counters, registered by name so the observability layer can export
+  cache effectiveness as counters (``perf.cache.<name>.hits`` …).
+* :class:`InternTable` — an unbounded identity table used to hash-cons
+  regexes and accessors (structurally-equal values become
+  pointer-equal).  Interned objects are immortal by design; the tables
+  only hold the small alphabet of shapes a program's declarations can
+  generate.
+* A process-wide enable switch.  ``set_perf_enabled(False)`` (or the
+  :func:`perf_disabled` context manager) bypasses every cache that was
+  *introduced by the perf layer* while leaving ``always_on`` caches —
+  the memo tables that predate this layer — active.  The benchmark
+  harness uses this to measure an honest pre-optimization baseline in
+  the same process.
+
+Everything here is deliberately dependency-free: plain dicts with LRU
+ordering via ``dict`` move-to-end semantics, no threads, no clocks.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+__all__ = [
+    "LRUCache",
+    "InternTable",
+    "named_caches",
+    "cache_stats",
+    "clear_caches",
+    "perf_enabled",
+    "set_perf_enabled",
+    "perf_disabled",
+    "mark_cache_baseline",
+    "publish_cache_stats",
+]
+
+# Registry of every cache/intern table ever created, by name.  Names are
+# hierarchical ("paths.nfa", "paths.conflict", …) and must be unique.
+_REGISTRY: "Dict[str, LRUCache | InternTable]" = {}
+
+_ENABLED = True
+
+_MISSING = object()
+
+
+def perf_enabled() -> bool:
+    """True when the toggleable perf caches are active (the default)."""
+    return _ENABLED
+
+
+def set_perf_enabled(flag: bool) -> None:
+    """Globally enable/disable the perf-layer caches and interning.
+
+    ``always_on`` caches (memoization that existed before the perf
+    layer) are unaffected, so disabling reproduces the pre-layer
+    behaviour rather than something slower than it.
+    """
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextmanager
+def perf_disabled() -> Iterator[None]:
+    """Context manager: run a block with the perf caches bypassed."""
+    previous = _ENABLED
+    set_perf_enabled(False)
+    try:
+        yield
+    finally:
+        set_perf_enabled(previous)
+
+
+def _register(entry: "LRUCache | InternTable") -> None:
+    existing = _REGISTRY.get(entry.name)
+    if existing is not None and existing is not entry:
+        raise ValueError(f"duplicate perf cache name: {entry.name!r}")
+    _REGISTRY[entry.name] = entry
+
+
+class LRUCache:
+    """A bounded memo table with hit/miss/eviction counters.
+
+    Keys must be hashable; values are arbitrary.  Eviction is
+    least-recently-used, implemented with ordered-``dict`` move-to-end.
+    When the global perf switch is off (and the cache is not marked
+    ``always_on``) lookups bypass the table entirely and are counted as
+    ``bypasses`` — they do not pollute the hit/miss ratio.
+    """
+
+    __slots__ = ("name", "maxsize", "always_on", "hits", "misses",
+                 "evictions", "bypasses", "_data")
+
+    def __init__(self, name: str, maxsize: int = 65536,
+                 always_on: bool = False):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.name = name
+        self.maxsize = maxsize
+        self.always_on = always_on
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+        self._data: Dict[Any, Any] = {}
+        _register(self)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        if not (_ENABLED or self.always_on):
+            self.bypasses += 1
+            return compute()
+        data = self._data
+        value = data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            # Move to most-recently-used position.
+            del data[key]
+            data[key] = value
+            return value
+        self.misses += 1
+        value = compute()
+        data[key] = value
+        if len(data) > self.maxsize:
+            # dicts iterate in insertion order: the first key is LRU.
+            data.pop(next(iter(data)))
+            self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+class InternTable:
+    """An unbounded hash-cons table: one canonical object per key.
+
+    Used by :mod:`repro.paths.regex` and :mod:`repro.paths.accessor` to
+    make structurally-equal immutable values pointer-equal, which turns
+    the deep structural hashing/equality in every downstream memo key
+    into near-pointer operations.  Entries are never evicted — the key
+    population is bounded by the program's declaration alphabet, not by
+    the analysis workload.
+    """
+
+    __slots__ = ("name", "hits", "misses", "_data")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self._data: Dict[Any, Any] = {}
+        _register(self)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Any) -> Optional[Any]:
+        value = self._data.get(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> Any:
+        self.misses += 1
+        self._data[key] = value
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+def named_caches() -> "Dict[str, LRUCache | InternTable]":
+    """The live registry of caches and intern tables, by name."""
+    return dict(_REGISTRY)
+
+
+def cache_stats() -> Dict[str, Dict[str, Any]]:
+    """Snapshot of every registered cache's counters."""
+    return {name: entry.stats() for name, entry in sorted(_REGISTRY.items())}
+
+
+def clear_caches() -> None:
+    """Empty every registered cache (counters are preserved).
+
+    Intern tables are *not* cleared: live interned objects elsewhere in
+    the process must keep resolving to themselves, and clearing the
+    table while instances survive would silently break pointer
+    equality for new structurally-equal values.
+    """
+    for entry in _REGISTRY.values():
+        if isinstance(entry, LRUCache):
+            entry.clear()
+
+
+# Per-recorder snapshot of the last published (hits, misses, evictions)
+# so repeated publishes emit deltas, keeping recorder counters additive.
+_published: "weakref.WeakKeyDictionary[Any, Dict[str, tuple]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def mark_cache_baseline(recorder: Any) -> None:
+    """Snapshot the current counter totals for ``recorder`` without
+    emitting anything.
+
+    Called when a recorder is *attached* (e.g. by ``Curare``): later
+    publishes then export only the activity accrued while attached,
+    not whatever the process did beforehand.
+    """
+    if recorder is None:
+        return
+    last = _published.setdefault(recorder, {})
+    for name, entry in _REGISTRY.items():
+        stats = entry.stats()
+        last[name] = tuple(stats.get(f, 0) for f in ("hits", "misses",
+                                                     "evictions"))
+
+
+def publish_cache_stats(recorder: Any) -> None:
+    """Export cache hit/miss counters through an obs ``Recorder``.
+
+    Emits ``perf.cache.<name>.hits`` / ``.misses`` (and ``.evictions``
+    for LRU caches) as counter increments.  Safe to call repeatedly —
+    only the delta since the previous publish to *this* recorder is
+    emitted, so the recorder's counters track the true totals accrued
+    while it was attached.
+    """
+    if recorder is None:
+        return
+    last = _published.setdefault(recorder, {})
+    for name, entry in sorted(_REGISTRY.items()):
+        stats = entry.stats()
+        fields = ("hits", "misses", "evictions")
+        current = tuple(stats.get(f, 0) for f in fields)
+        previous = last.get(name, (0, 0, 0))
+        for field, now, before in zip(fields, current, previous):
+            delta = now - before
+            if delta:
+                recorder.count(f"perf.cache.{name}.{field}", delta)
+        last[name] = current

@@ -17,10 +17,29 @@ Determinism: the default FIFO policy is fully deterministic.  A seeded
 interleavings in tests — randomization may only *reorder ready picks*,
 never violate lock FIFO order, so transformed programs must still
 produce sequential results under it.
+
+Stepping: two steppers produce identical effect traces and statistics.
+
+* ``"ticker"`` — the original per-tick polling loop: advance the clock
+  one tick, decrement every busy processor, resume whoever hit zero.
+  Kept verbatim as the differential-testing reference, and used
+  automatically whenever a fault plan is attached (fault hooks are
+  defined to run every tick).
+* ``"heap"`` (default) — an event-heap scheduler.  Every engaged
+  processor has a known absolute wake time (its remaining busy charge
+  or context-switch overhead); a lazy min-heap of those wake times
+  yields the next interesting instant, and the machine advances the
+  clock in one batch, charging each processor ``delta`` ticks at once
+  and skipping the idle decrement loop in between.  Batches are capped
+  by ``max_time`` and by the earliest lock-watchdog deadline so both
+  raise at exactly the tick the ticker would.  Per-tick statistics
+  (concurrency samples, peak-live, busy counters) are reconstructed
+  exactly; nothing observable distinguishes the two steppers.
 """
 
 from __future__ import annotations
 
+import heapq
 import random as _random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -100,6 +119,12 @@ class Process:
     state: str = "ready"  # ready | running | blocked | done
     busy_remaining: int = 0
     block_since: int = 0
+    #: Tick at which the process entered a lock wait queue.  Set *only*
+    #: by the LockAcquire-blocked path (unlike ``block_since``, which any
+    #: blocking effect refreshes), so the lock-wait watchdog and the
+    #: ``machine.lock.wait_ticks`` histogram count lock-queue ticks only
+    #: and can never be inflated by an earlier future/queue block.
+    lock_wait_since: int = 0
     pending_reply: Any = None
     wake_reply: Any = None
     block_reason: Any = None
@@ -120,6 +145,11 @@ class _Cpu:
     overhead: int = 0  # remaining context-switch charge
     last_proc_id: Optional[int] = None
     busy_time: int = 0
+    #: Absolute tick at which this processor next needs attention (its
+    #: busy charge or overhead runs out).  Only maintained by the heap
+    #: stepper; ``None`` while disengaged.  Heap entries are validated
+    #: against this field on pop (lazy invalidation).
+    wake_at: Optional[int] = None
 
 
 @dataclass
@@ -166,6 +196,8 @@ class Machine:
         race_detector: Optional[RaceDetector] = None,
         lock_wait_timeout: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        rng: Optional[_random.Random] = None,
+        stepper: Optional[str] = None,
     ):
         if processors < 1:
             raise ValueError("need at least one processor")
@@ -176,9 +208,20 @@ class Machine:
         if policy not in ("fifo", "random"):
             raise ValueError(f"unknown scheduling policy {policy!r}")
         self.policy = policy
-        self.rng = _random.Random(seed)
+        #: Scheduling randomness is always a private stream: either the
+        #: caller hands in its own ``random.Random`` (so concurrent
+        #: harness drivers never interleave draws) or one is derived
+        #: from ``seed``.  The global ``random`` module is never touched.
+        self.rng = rng if rng is not None else _random.Random(seed)
         self.trace = trace if trace is not None else Trace()
         self.max_time = max_time
+        if stepper is None:
+            from repro.perf import default_stepper
+
+            stepper = default_stepper()
+        if stepper not in ("heap", "ticker"):
+            raise ValueError(f"unknown stepper {stepper!r}")
+        self.stepper = stepper
 
         self.time = 0
         self.locks = LockTable()
@@ -208,6 +251,18 @@ class Machine:
         #: with no recorder the machine's behavior and effect trace are
         #: byte-identical to an uninstrumented run.
         self.recorder = recorder
+        #: Fault plans hook every tick (stalls, spurious wakes), so the
+        #: heap stepper's multi-tick batches would starve them; chaos
+        #: runs always use the per-tick reference loop.
+        self._use_heap = self.stepper == "heap" and faults is None
+        self._step: Callable[[], None] = (
+            self._step_batched if self._use_heap else self._tick
+        )
+        #: Lazy event heap of (wake_at, cpu.index) for engaged cpus.
+        self._wake_heap: list[tuple[int, int]] = []
+        #: Incrementally-maintained count of processes not yet done —
+        #: replaces the ticker's O(processes) scan per loop iteration.
+        self._live = 0
 
     # -- process management -----------------------------------------------
 
@@ -228,6 +283,7 @@ class Machine:
         )
         self._next_proc_id += 1
         self.processes[proc.proc_id] = proc
+        self._live += 1
         if parent is not None and parent in self.processes:
             self.processes[parent].children.append(proc.proc_id)
         self.ready.append(proc)
@@ -271,11 +327,12 @@ class Machine:
         """Run until every process is done (or deadlock / time cap)."""
         while True:
             self._assign_cpus()
-            live = [p for p in self.processes.values() if p.state != "done"]
-            if not live:
+            if self._live == 0:
                 break
             if not any(cpu.proc or cpu.overhead for cpu in self.cpus):
-                blocked = [p for p in live if p.state == "blocked"]
+                blocked = [
+                    p for p in self.processes.values() if p.state == "blocked"
+                ]
                 if blocked and not self.ready:
                     if self._try_quiesce(blocked):
                         continue
@@ -286,7 +343,9 @@ class Machine:
                         clock=self.time,
                     )
             if self.time >= self.max_time:
-                blocked = [p for p in live if p.state == "blocked"]
+                blocked = [
+                    p for p in self.processes.values() if p.state == "blocked"
+                ]
                 raise MachineTimeout(
                     f"machine exceeded max_time={self.max_time} at "
                     f"t={self.time}; "
@@ -301,7 +360,7 @@ class Machine:
                 )
             if self.lock_wait_timeout is not None:
                 self._check_watchdog()
-            self._tick()
+            self._step()
         self.stats.total_time = self.time
         self.stats.cpu_busy = [cpu.busy_time for cpu in self.cpus]
         self.stats.lock_acquisitions = self.locks.acquisitions
@@ -330,6 +389,8 @@ class Machine:
             cpu.last_proc_id = proc.proc_id
             if cpu.overhead == 0:
                 self._kick(cpu)
+            if self._use_heap:
+                self._reschedule(cpu)
 
     def _try_quiesce(self, blocked: list[Process]) -> bool:
         """Quiescence termination: if every blocked process is waiting on a
@@ -397,7 +458,7 @@ class Machine:
                 )
             held = " held by " + " and ".join(holders) if holders else " (unheld)"
             return (
-                f"{who} waiting {self.time - proc.block_since} tick(s) "
+                f"{who} waiting {self.time - proc.lock_wait_since} tick(s) "
                 f"on lock {key!r}{held}"
             )
         if isinstance(reason, tuple) and reason:
@@ -405,7 +466,12 @@ class Machine:
         return f"{who} on {reason!r}"
 
     def _check_watchdog(self) -> None:
-        """Raise when any lock wait exceeds the configured timeout."""
+        """Raise when any lock wait exceeds the configured timeout.
+
+        Counts ticks since the process entered the lock queue
+        (``lock_wait_since``), never since some earlier block on a
+        future or queue — only lock-queue ticks can trip the watchdog.
+        """
         limit = self.lock_wait_timeout
         for proc in self.processes.values():
             if (
@@ -413,7 +479,7 @@ class Machine:
                 and isinstance(proc.block_reason, tuple)
                 and proc.block_reason
                 and proc.block_reason[0] == "lock"
-                and self.time - proc.block_since > limit
+                and self.time - proc.lock_wait_since > limit
             ):
                 blocked = [
                     p for p in self.processes.values() if p.state == "blocked"
@@ -485,8 +551,13 @@ class Machine:
 
     def _record_grant(self, rec: Recorder, pid: int, waiter: Process,
                       effect: Any) -> None:
-        """Close a waiter's ``lock.wait`` span and record the grant."""
-        waited = self.time - waiter.block_since
+        """Close a waiter's ``lock.wait`` span and record the grant.
+
+        ``waited`` counts lock-queue ticks only (``lock_wait_since``),
+        keeping the wait histogram honest for processes that blocked on
+        a future or queue earlier in their life.
+        """
+        waited = self.time - waiter.lock_wait_since
         rec.count("machine.lock.grants")
         rec.observe("machine.lock.wait_ticks", waited)
         rec.end("lock.wait", "machine", ts=self.time,
@@ -506,6 +577,7 @@ class Machine:
             proc = cpu.proc
 
     def _tick(self) -> None:
+        """The per-tick reference stepper (``stepper="ticker"``)."""
         self.time += 1
         if self.faults is not None:
             self.faults.on_tick(self)
@@ -531,6 +603,119 @@ class Machine:
         self.stats.concurrency_samples.append(busy_count)
         live = sum(1 for p in self.processes.values() if p.state != "done")
         self.stats.peak_live_processes = max(self.stats.peak_live_processes, live)
+
+    # -- the event-heap stepper --------------------------------------------
+
+    def _reschedule(self, cpu: _Cpu) -> None:
+        """Refresh a cpu's absolute wake time after (re)engagement.
+
+        Pushes a heap entry; earlier entries for the same cpu become
+        stale and are discarded lazily when they surface at the top.
+        Decrementing a charge never changes the *absolute* wake time, so
+        entries stay valid across batches without updates.
+        """
+        if cpu.overhead > 0:
+            wake = self.time + cpu.overhead
+        elif cpu.proc is not None and cpu.proc.busy_remaining > 0:
+            wake = self.time + cpu.proc.busy_remaining
+        else:
+            cpu.wake_at = None
+            return
+        if cpu.wake_at != wake:
+            cpu.wake_at = wake
+            heapq.heappush(self._wake_heap, (wake, cpu.index))
+
+    def _next_event_delta(self) -> int:
+        """Ticks until the next engaged cpu runs out of charge (≥ 1)."""
+        heap = self._wake_heap
+        now = self.time
+        while heap:
+            wake, index = heap[0]
+            if self.cpus[index].wake_at != wake:
+                heapq.heappop(heap)  # stale: superseded or disengaged
+                continue
+            return wake - now if wake > now else 1
+        return 1
+
+    def _earliest_lock_deadline(self) -> Optional[int]:
+        """First tick at which the lock-wait watchdog would fire."""
+        limit = self.lock_wait_timeout
+        earliest: Optional[int] = None
+        for proc in self.processes.values():
+            if (
+                proc.state == "blocked"
+                and isinstance(proc.block_reason, tuple)
+                and proc.block_reason
+                and proc.block_reason[0] == "lock"
+            ):
+                deadline = proc.lock_wait_since + limit + 1
+                if earliest is None or deadline < earliest:
+                    earliest = deadline
+        return earliest
+
+    def _step_batched(self) -> None:
+        """One event-heap step: advance straight to the next event.
+
+        The batch is capped so that ``max_time`` and the lock-wait
+        watchdog still observe exactly the tick at which the per-tick
+        loop would have raised.
+        """
+        delta = self._next_event_delta()
+        if delta > 1:
+            cap = self.max_time - self.time
+            if self.lock_wait_timeout is not None:
+                deadline = self._earliest_lock_deadline()
+                if deadline is not None and deadline - self.time < cap:
+                    cap = deadline - self.time
+            if delta > cap:
+                delta = cap if cap > 1 else 1
+        self._advance(delta)
+
+    def _advance(self, delta: int) -> None:
+        """Charge every engaged cpu ``delta`` ticks at once.
+
+        Equivalent to ``delta`` ticker iterations: by construction no
+        charge expires strictly inside the batch, so the intermediate
+        ticks are pure decrements — engagement, the busy count, and the
+        live-process count are all constant until the final tick's
+        kicks.  Per-tick statistics are therefore reconstructible: each
+        of the ``delta`` concurrency samples equals the batch's busy
+        count, mid-batch ticks observe the pre-kick live count, and the
+        final tick observes the post-kick one — matching the ticker's
+        sample-after-kick order.
+        """
+        self.time += delta
+        live_before = self._live
+        busy_count = 0
+        for cpu in self.cpus:
+            if cpu.overhead > 0:
+                cpu.overhead -= delta
+                cpu.busy_time += delta
+                busy_count += 1
+                if cpu.overhead == 0 and cpu.proc is not None:
+                    self._kick(cpu)
+                    self._reschedule(cpu)
+                continue
+            proc = cpu.proc
+            if proc is None:
+                continue
+            busy_count += 1
+            cpu.busy_time += delta
+            proc.busy_total += delta
+            if proc.busy_remaining > 0:
+                proc.busy_remaining -= delta
+            if proc.busy_remaining == 0:
+                self._kick(cpu)
+                self._reschedule(cpu)
+        samples = self.stats.concurrency_samples
+        if delta == 1:
+            samples.append(busy_count)
+        else:
+            samples.extend([busy_count] * delta)
+            if live_before > self.stats.peak_live_processes:
+                self.stats.peak_live_processes = live_before
+        if self._live > self.stats.peak_live_processes:
+            self.stats.peak_live_processes = self._live
 
     # -- effect handling ---------------------------------------------------
 
@@ -576,6 +761,7 @@ class Machine:
         proc.state = "done"
         proc.result = value
         proc.finish_time = self.time
+        self._live -= 1
         detector = self.race_detector
         if detector is not None:
             detector.on_finish(proc.proc_id)
@@ -717,6 +903,7 @@ class Machine:
                     args={"key": effect.key, "shared": effect.shared},
                 )
             proc.block_reason = ("lock", effect.key)
+            proc.lock_wait_since = self.time
             proc.pending_reply = None
             return 0, True, None
         if isinstance(effect, LockRelease):

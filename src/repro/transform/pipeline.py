@@ -139,6 +139,12 @@ class Curare:
         #: per-pass wall timings and conflict/lock counters.  ``None``
         #: costs nothing.
         self.recorder = recorder
+        if recorder is not None:
+            # Anchor the perf-cache export: this recorder reports only
+            # cache activity accrued while attached to this pipeline.
+            from repro.perf.cache import mark_cache_baseline
+
+            mark_cache_baseline(recorder)
         self.runner = SequentialRunner(interp)
         #: transformed name → original name, for sequential fallback:
         #: when the runtime detects that a declaration lied (a race, a
@@ -465,6 +471,11 @@ class Curare:
                 "locks_inserted": result.lock_count,
             },
         )
+        # Export the analysis-cache effectiveness accrued by this
+        # transform (delta since the last publish to this recorder).
+        from repro.perf.cache import publish_cache_stats
+
+        publish_cache_stats(rec)
 
     # -- helpers ---------------------------------------------------------------
 

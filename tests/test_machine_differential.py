@@ -1,0 +1,108 @@
+"""Differential test: the event-heap stepper is observationally
+identical to the per-tick ticker.
+
+The heap stepper (``Machine(stepper="heap")``, the default while the
+perf layer is enabled) batches ticks between scheduler events instead
+of polling every tick.  Its correctness argument: the batch delta never
+crosses a counter expiry, so every skipped tick would have been a pure
+decrement.  This test is the empirical lock-down — for every golden
+workload, both steppers must produce the *same effect trace, outputs,
+result, and machine statistics*, with and without a flight recorder.
+
+Effect traces are compared after canonicalizing process-global cons-cell
+ids (the interpreter allocates them from one process-wide counter, so
+their absolute values differ between in-process runs; the golden-trace
+projection handles them the same way).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Recorder, chrome_trace_dict
+from repro.obs.golden import diff_projections, structural_projection
+from repro.obs.workloads import run_trace_workload, trace_workloads
+from repro.perf import stepper_override
+from repro.sexpr.printer import write_str
+
+WORKLOADS = ("fig06", "fig07", "fig10")
+
+
+def _canonical_trace(machine):
+    """The effect trace with first-seen canonical ids in place of the
+    process-global integers inside ``loc`` tuples."""
+    ids: dict[int, str] = {}
+
+    def canon(value):
+        if isinstance(value, int):
+            if value not in ids:
+                ids[value] = f"#{len(ids)}"
+            return ids[value]
+        return value
+
+    events = []
+    for e in machine.trace:
+        loc = tuple(canon(x) for x in e.loc) if e.loc is not None else None
+        detail = write_str(e.detail) if e.kind == "output" else repr(e.detail)
+        events.append((e.seq, e.time, e.proc, e.kind, loc, detail))
+    return events
+
+
+def _run(name: str, stepper: str, with_recorder: bool):
+    recorder = Recorder() if with_recorder else None
+    with stepper_override(stepper):
+        run = run_trace_workload(trace_workloads()[name], recorder)
+    machine = run.extra["machine"]
+    assert machine.stepper == stepper
+    stats = run.stats
+    return {
+        "result": run.result_text,
+        "trace": _canonical_trace(machine),
+        "outputs": [write_str(o) for o in machine.outputs],
+        "stats": (
+            stats.total_time,
+            stats.processes,
+            stats.spawns,
+            stats.context_switches,
+            stats.lock_acquisitions,
+            stats.lock_contentions,
+            stats.cpu_busy,
+            stats.concurrency_samples,
+            stats.peak_live_processes,
+        ),
+        "projection": (
+            structural_projection(chrome_trace_dict(recorder))
+            if recorder is not None
+            else None
+        ),
+    }
+
+
+@pytest.mark.parametrize("with_recorder", [False, True],
+                         ids=["bare", "recorded"])
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_heap_stepper_matches_ticker(name, with_recorder):
+    ticker = _run(name, "ticker", with_recorder)
+    heap = _run(name, "heap", with_recorder)
+    assert heap["result"] == ticker["result"]
+    assert heap["outputs"] == ticker["outputs"]
+    assert heap["stats"] == ticker["stats"]
+    assert heap["trace"] == ticker["trace"]
+    if with_recorder:
+        assert diff_projections(ticker["projection"],
+                                heap["projection"]) == []
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_heap_stepper_matches_ticker_random_schedule(name):
+    """Same equivalence under the seeded random scheduling policy."""
+    with stepper_override("ticker"):
+        ticker = run_trace_workload(trace_workloads()[name], Recorder(),
+                                    seed=7)
+    with stepper_override("heap"):
+        heap = run_trace_workload(trace_workloads()[name], Recorder(),
+                                  seed=7)
+    assert heap.result_text == ticker.result_text
+    assert heap.stats.total_time == ticker.stats.total_time
+    assert (_canonical_trace(heap.extra["machine"])
+            == _canonical_trace(ticker.extra["machine"]))

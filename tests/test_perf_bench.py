@@ -1,0 +1,152 @@
+"""The perf bench harness: report structure, regression gate, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.bench import (
+    BENCH_CASES,
+    GATE_CASES,
+    compare_reports,
+    format_report,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """One cheap real suite run shared by the structure tests."""
+    return run_suite(repeats=1, cases=["a12_sapp", "fig07_replay"])
+
+
+class TestRunSuite:
+    def test_report_structure(self, small_report):
+        report = small_report
+        assert report["schema_version"] == 1
+        assert report["repeats"] == 1
+        assert set(report["cases"]) == {"a12_sapp", "fig07_replay"}
+        for case in report["cases"].values():
+            assert case["baseline_ms"] > 0
+            assert case["optimized_ms"] > 0
+            assert case["speedup"] == pytest.approx(
+                case["baseline_ms"] / case["optimized_ms"], rel=1e-2
+            )
+            assert case["normalized"] == pytest.approx(
+                case["optimized_ms"] / case["baseline_ms"], rel=1e-2
+            )
+
+    def test_cache_hit_rates_present(self, small_report):
+        rates = small_report["cache_hit_rates"]
+        assert rates, "optimized runs must touch at least one cache"
+        for entry in rates.values():
+            assert 0.0 <= entry["hit_rate"] <= 1.0
+
+    def test_combined_absent_without_gate_cases(self, small_report):
+        # Neither gate case (pipeline, fig10_replay) ran here.
+        assert "combined" not in small_report
+
+    def test_combined_present_with_gate_case(self):
+        report = run_suite(repeats=1, cases=["fig10_replay"])
+        combined = report["combined"]
+        assert combined["cases"] == ["fig10_replay"]
+        assert combined["speedup"] == pytest.approx(
+            combined["baseline_ms"] / combined["optimized_ms"], rel=1e-2
+        )
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite(repeats=1, cases=["nope"])
+
+    def test_format_report_renders(self, small_report):
+        text = format_report(small_report)
+        assert "a12_sapp" in text
+        assert "speedup" in text
+
+    def test_full_suite_has_all_cases(self):
+        assert set(GATE_CASES) <= set(BENCH_CASES)
+
+
+def _fake_report(**normalized):
+    """A synthetic report with given per-case normalized times."""
+    return {
+        "schema_version": 1,
+        "cases": {
+            name: {
+                "baseline_ms": 100.0,
+                "optimized_ms": 100.0 * norm,
+                "speedup": round(1.0 / norm, 3),
+                "normalized": norm,
+            }
+            for name, norm in normalized.items()
+        },
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        report = _fake_report(pipeline=0.4, fig10_replay=0.9)
+        assert compare_reports(report, report, 30.0) == []
+
+    def test_small_drift_within_threshold_passes(self):
+        baseline = _fake_report(pipeline=0.4)
+        current = _fake_report(pipeline=0.5)  # +25% < 30%
+        assert compare_reports(current, baseline, 30.0) == []
+
+    def test_synthetic_2x_regression_fails(self):
+        baseline = _fake_report(pipeline=0.4, fig10_replay=0.9)
+        current = _fake_report(pipeline=0.8, fig10_replay=1.8)
+        failures = compare_reports(current, baseline, 30.0)
+        assert len(failures) == 2
+        assert any("pipeline" in f for f in failures)
+
+    def test_missing_case_fails(self):
+        baseline = _fake_report(pipeline=0.4, fig10_replay=0.9)
+        current = _fake_report(pipeline=0.4)
+        failures = compare_reports(current, baseline, 30.0)
+        assert failures == ["fig10_replay: case missing from current report"]
+
+    def test_extra_current_cases_ignored(self):
+        baseline = _fake_report(pipeline=0.4)
+        current = _fake_report(pipeline=0.4, brand_new=5.0)
+        assert compare_reports(current, baseline, 30.0) == []
+
+
+class TestCliBench:
+    def test_writes_report_and_passes_self_compare(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert "a12_sapp" in report["cases"]
+        assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
+                     "--out", str(tmp_path / "second.json"),
+                     "--compare", str(out),
+                     "--max-regress", "400"]) == 0
+        assert "no perf regressions" in capsys.readouterr().out
+
+    def test_exits_nonzero_on_synthetic_regression(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        doctored = json.loads(out.read_text())
+        for case in doctored["cases"].values():
+            case["optimized_ms"] = case["optimized_ms"] / 2.0  # we "got slower"
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(doctored))
+        code = main(["bench", "--cases", "a12_sapp", "--repeats", "1",
+                     "--out", str(tmp_path / "cur.json"),
+                     "--compare", str(baseline_path),
+                     "--max-regress", "30"])
+        assert code == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_unknown_case_is_usage_error(self, capsys):
+        assert main(["bench", "--cases", "nope", "--out", ""]) == 2
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path):
+        assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
+                     "--out", "", "--compare",
+                     str(tmp_path / "missing.json")]) == 2
