@@ -1,0 +1,95 @@
+"""SCALE — cold-vs-warm sweep timing through the result cache.
+
+Runs the smoke grid twice through the sharded driver (2 workers) with
+one shared cache directory: the cold pass computes and stores every
+point; the warm pass must serve **every** point from the
+content-addressed cache (zero recomputation) and finish measurably
+faster.  The measured speedup is written to ``BENCH_scale.json`` at
+the repo root — the scale-out counterpart of ``BENCH_perf.json``.
+
+Acceptance bar (ISSUE 4): warm-cache rerun does zero recomputation and
+is faster than the cold run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.harness.report import format_table, shape_check
+from repro.obs import Recorder
+from repro.scale import grid_jobs, run_jobs
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+RESULT_JSON = REPO_ROOT / "BENCH_scale.json"
+GRID = "smoke"
+WORKERS = 2
+
+
+def one_sweep(cache_dir: str) -> "tuple[float, dict]":
+    """Time one sharded smoke sweep; returns (seconds, counters)."""
+    recorder = Recorder()
+    jobs = grid_jobs(GRID)
+    start = time.perf_counter()
+    outcomes = run_jobs(jobs, workers=WORKERS, cache_dir=cache_dir,
+                        recorder=recorder)
+    elapsed = time.perf_counter() - start
+    assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+    return elapsed, recorder.metrics.counter_values()
+
+
+def measure(cache_dir: str) -> dict:
+    cold_s, cold_counters = one_sweep(cache_dir)
+    warm_s, warm_counters = one_sweep(cache_dir)
+    jobs = len(grid_jobs(GRID))
+    return {
+        "grid": GRID,
+        "workers": WORKERS,
+        "jobs": jobs,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 3),
+        "cold_cache": {k: v for k, v in cold_counters.items()
+                       if k.startswith("scale.cache.")},
+        "warm_cache": {k: v for k, v in warm_counters.items()
+                       if k.startswith("scale.cache.")},
+    }
+
+
+def test_scale_sweep_bench(tmp_path, record_table):
+    result = measure(str(tmp_path / "cache"))
+    RESULT_JSON.write_text(json.dumps(result, indent=2) + "\n",
+                           encoding="utf-8")
+    table = format_table(
+        ["pass", "wall s", "hits", "misses"],
+        [
+            ("cold", f"{result['cold_s']:.4f}",
+             str(result["cold_cache"].get("scale.cache.hit", 0)),
+             str(result["cold_cache"].get("scale.cache.miss", 0))),
+            ("warm", f"{result['warm_s']:.4f}",
+             str(result["warm_cache"].get("scale.cache.hit", 0)),
+             str(result["warm_cache"].get("scale.cache.miss", 0))),
+        ],
+    )
+    zero_recompute = (
+        result["warm_cache"].get("scale.cache.hit", 0) == result["jobs"]
+        and result["warm_cache"].get("scale.cache.miss", 0) == 0
+        and result["warm_cache"].get("scale.cache.stores", 0) == 0
+    )
+    faster = result["warm_s"] < result["cold_s"]
+    checks = [
+        shape_check(
+            f"warm rerun serves all {result['jobs']} points from cache "
+            "(zero recomputation)",
+            zero_recompute,
+        ),
+        shape_check(
+            f"warm rerun is faster than cold "
+            f"({result['speedup']:.1f}x speedup)",
+            faster,
+        ),
+    ]
+    record_table("bench_scale_sweep", table + "\n" + "\n".join(checks))
+    assert zero_recompute, checks[0]
+    assert faster, checks[1]

@@ -18,6 +18,11 @@ Commands:
   optimized mode, median-of-N), write ``BENCH_perf.json``, and with
   ``--compare BASELINE.json --max-regress PCT`` gate on regressions
   (exit 1 when any case regresses beyond the threshold).
+* ``sweep``                   — run a parameter-sweep grid (fig06/
+  fig07/fig10 families + analytic-model validation) across
+  ``--workers`` OS processes through the persistent result cache,
+  writing one JSON report; exit 1 on failed points or (with
+  ``--min-hit-rate``) on a cold cache.
 
 ``run``, ``chaos``, and ``trace`` all take ``--profile`` (print phase
 timings and counters) and ``--trace-out PATH`` (write the recorded
@@ -160,6 +165,37 @@ def _build_parser() -> argparse.ArgumentParser:
                          default=[],
                          help="restrict to these cases (repeatable)")
 
+    p_sweep = sub.add_parser(
+        "sweep", parents=[obs_common],
+        help="run a sharded parameter sweep through the result cache",
+    )
+    p_sweep.add_argument("--grid", default="smoke",
+                         help="grid name (see --list; default: smoke)")
+    p_sweep.add_argument("--list", action="store_true",
+                         help="list the available grids and exit")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (0 = run inline in this "
+                              "process; default: 1)")
+    p_sweep.add_argument("--out", metavar="PATH", default=None,
+                         help="write the JSON report here "
+                              "(default: sweep-<grid>.json)")
+    p_sweep.add_argument("--cache-dir", metavar="DIR",
+                         default=".repro-cache",
+                         help="persistent result-cache directory "
+                              "(default: .repro-cache)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="bypass the persistent result cache")
+    p_sweep.add_argument("--job-timeout", type=float, default=300.0,
+                         metavar="SEC",
+                         help="per-job deadline in seconds; an overdue "
+                              "job's worker is terminated and respawned "
+                              "(default: 300)")
+    p_sweep.add_argument("--min-hit-rate", type=float, default=None,
+                         metavar="PCT",
+                         help="fail (exit 1) when the cache hit rate is "
+                              "below this percentage — the warm-cache CI "
+                              "assertion")
+
     p_trace = sub.add_parser(
         "trace", parents=[obs_common],
         help="flight-record a named paper workload",
@@ -182,7 +218,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _load(path: str, assume_sapp: bool, recorder=None) -> Curare:
     interp = Interpreter()
     curare = Curare(interp, assume_sapp=assume_sapp, recorder=recorder)
-    with open(path) as handle:
+    with open(path, encoding="utf-8") as handle:
         curare.load_program(handle.read())
     return curare
 
@@ -389,7 +425,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(format_report(report))
     if args.out:
         try:
-            with open(args.out, "w") as handle:
+            with open(args.out, "w", encoding="utf-8") as handle:
                 json.dump(report, handle, indent=2, sort_keys=True)
                 handle.write("\n")
         except OSError as err:
@@ -398,11 +434,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 2
         print(f";; report: {args.out}")
     if args.compare:
+        from repro.perf.bench import validate_report
+
         try:
-            with open(args.compare) as handle:
+            with open(args.compare, encoding="utf-8") as handle:
                 baseline = json.load(handle)
         except (OSError, ValueError) as err:
             print(f";; cannot read baseline {args.compare!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        problems = validate_report(baseline)
+        if problems:
+            print(f";; invalid baseline {args.compare!r}: {problems[0]}",
                   file=sys.stderr)
             return 2
         failures = compare_reports(report, baseline, args.max_regress)
@@ -414,6 +457,71 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f";; no perf regressions vs {args.compare} "
               f"(max allowed +{args.max_regress:.0f}%)")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.scale import (
+        build_report,
+        dumps_report,
+        format_sweep,
+        grid_jobs,
+        grid_names,
+        run_jobs,
+    )
+
+    if args.list:
+        for name in grid_names():
+            print(f"{name:<8} {len(grid_jobs(name))} point(s)")
+        return 0
+    try:
+        jobs = grid_jobs(args.grid)
+    except KeyError:
+        print(f";; unknown grid {args.grid!r}; "
+              f"choose from: {', '.join(grid_names())}", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print(";; --workers must be >= 0", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else args.cache_dir
+    recorder = _make_recorder(args)
+    start = time.perf_counter()
+    outcomes = run_jobs(
+        jobs,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        cache_dir=cache_dir,
+        recorder=recorder,
+    )
+    total_ms = (time.perf_counter() - start) * 1000.0
+    report = build_report(args.grid, outcomes, args.workers, cache_dir,
+                          total_ms)
+    print(format_sweep(report))
+    out = args.out if args.out is not None else f"sweep-{args.grid}.json"
+    if out:
+        try:
+            with open(out, "w", encoding="utf-8") as handle:
+                handle.write(dumps_report(report))
+        except OSError as err:
+            print(f";; cannot write report to {out!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        print(f";; report: {out}")
+    obs_code = _finish_observability(recorder, args)
+    if obs_code != 0:
+        return obs_code
+    if report["summary"]["failed"]:
+        return 1
+    if args.min_hit_rate is not None:
+        rate = report["cache"]["hit_rate"] * 100.0
+        if rate < args.min_hit_rate:
+            print(f";; cache hit rate {rate:.1f}% below required "
+                  f"{args.min_hit_rate:.1f}%", file=sys.stderr)
+            return 1
+        print(f";; cache hit rate {rate:.1f}% >= "
+              f"required {args.min_hit_rate:.1f}%")
     return 0
 
 
@@ -469,6 +577,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "chaos": cmd_chaos,
         "trace": cmd_trace,
         "bench": cmd_bench,
+        "sweep": cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,76 @@
+"""Observed-vs-predicted validation of the §4.1 allocation model.
+
+The sweep engine's ``model`` family measures a full server sweep on the
+simulated machine and hands the curve here; this module renders the
+verdict the paper's Figure 10 discussion makes informally: the measured
+curve falls steeply from S=1, flattens near S* = √(d(h+t)/h), and the
+empirical argmin lands in the same region as the analytic one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.model.allocation import (
+    execution_time,
+    optimal_servers,
+    optimal_servers_unclamped,
+    predicted_speedup,
+)
+
+
+def analytic_curve(d: int, h: float, t: float,
+                   servers: Iterable[int]) -> List[dict]:
+    """T(S) and predicted speedup at each requested server count."""
+    return [
+        {
+            "servers": s,
+            "analytic": round(execution_time(d, s, h, t), 4),
+            "predicted_speedup": round(predicted_speedup(d, s, h, t), 4),
+        }
+        for s in servers
+    ]
+
+
+def validate_allocation_model(
+    d: int, h: float, t: float, measured: Dict[int, int]
+) -> dict:
+    """Compare a measured {servers: makespan} curve to the model.
+
+    Returns a JSON-serializable verdict: the per-S curve (measured,
+    analytic, ratio), S* (real-valued and integer-clamped), the
+    empirical argmin, and the shape checks the figure benchmarks
+    assert — all derived from simulated ticks, hence deterministic.
+    """
+    if not measured:
+        raise ValueError("measured curve is empty")
+    curve = []
+    for s in sorted(measured):
+        analytic = execution_time(d, s, h, t)
+        curve.append(
+            {
+                "servers": s,
+                "measured": measured[s],
+                "analytic": round(analytic, 4),
+                "ratio": round(measured[s] / analytic, 4),
+            }
+        )
+    s_star = optimal_servers(d, h, t)
+    empirical_best = min(sorted(measured), key=lambda s: measured[s])
+    smin, smax = min(measured), max(measured)
+    ratios = [p["ratio"] for p in curve]
+    return {
+        "d": d,
+        "h_dyn": round(h, 4),
+        "t_dyn": round(t, 4),
+        "curve": curve,
+        "s_star": s_star,
+        "s_star_unclamped": round(optimal_servers_unclamped(d, h, t), 4),
+        "empirical_best": empirical_best,
+        "argmin_in_band": abs(empirical_best - s_star) <= max(4, s_star),
+        "falls_from_s1": measured[smin] > measured[empirical_best],
+        "flattens": measured[smax] <= measured[smin],
+        "max_ratio": max(ratios),
+        "min_ratio": min(ratios),
+        "within_2x": all(0.5 <= r <= 2.0 for r in ratios),
+    }

@@ -26,6 +26,7 @@ from repro.obs.recorder import (
     PID_HARNESS,
     PID_MACHINE,
     PID_PIPELINE,
+    PID_SCALE,
     Recorder,
     check_lock_wellformedness,
     check_monotonic_timestamps,
@@ -43,6 +44,7 @@ __all__ = [
     "PID_HARNESS",
     "PID_MACHINE",
     "PID_PIPELINE",
+    "PID_SCALE",
     "Recorder",
     "check_lock_wellformedness",
     "check_monotonic_timestamps",

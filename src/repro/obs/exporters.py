@@ -57,7 +57,7 @@ def jsonl_lines(recorder: Recorder) -> Iterator[str]:
 
 def write_jsonl(recorder: Recorder, dest: Union[str, TextIO]) -> None:
     if isinstance(dest, str):
-        with open(dest, "w") as handle:
+        with open(dest, "w", encoding="utf-8") as handle:
             write_jsonl(recorder, handle)
         return
     for line in jsonl_lines(recorder):
@@ -104,7 +104,7 @@ def chrome_trace_dict(recorder: Recorder) -> dict:
 
 def write_chrome_trace(recorder: Recorder, dest: Union[str, TextIO]) -> None:
     if isinstance(dest, str):
-        with open(dest, "w") as handle:
+        with open(dest, "w", encoding="utf-8") as handle:
             write_chrome_trace(recorder, handle)
         return
     dest.write(_dumps(chrome_trace_dict(recorder)))

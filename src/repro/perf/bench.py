@@ -24,10 +24,18 @@ Every case runs in two modes **in the same process**:
   tables stay active because they predate the layer).
 * *optimized* — the defaults: caches + interning on, heap stepper.
 
-Both modes call :func:`~repro.perf.clear_caches` at the start of every
-iteration, so each measured iteration is a cold start and the
+Both modes call :func:`~repro.perf.clear_caches` at every measured
+iteration boundary, so each measured iteration is a cold start and the
 comparison is cache-architecture versus cache-architecture, not warm
-versus cold.  Reported times are the median of ``repeats`` iterations.
+versus cold.  That claim is *enforced*, not assumed: after each clear
+the harness asserts every LRU cache is empty, and per-iteration
+hit/miss counter deltas are compared between the first and last
+iteration — identical deltas mean iteration N started from the same
+cache state as iteration 1, so process-global warmth cannot skew the
+baseline-vs-optimized ratio.  (Intern tables are exempt by design:
+interned objects are immortal, and the warm-up pass populates them
+before any measured iteration.)  Reported times are the median of
+``repeats`` iterations.
 
 The report is JSON (``BENCH_perf.json``).  Regression gating compares
 *normalized* time — ``optimized_ms / baseline_ms`` measured within one
@@ -249,14 +257,66 @@ BENCH_CASES: Dict[str, tuple[str, Callable[[], None]]] = {
 }
 
 
+def _assert_cold() -> None:
+    """Every LRU cache must be empty at an iteration boundary."""
+    dirty = [
+        name
+        for name, stats in cache_stats().items()
+        if "maxsize" in stats and stats["size"]  # LRU caches only
+    ]
+    if dirty:
+        raise RuntimeError(
+            f"caches not cold at iteration start: {', '.join(sorted(dirty))}"
+        )
+
+
+def _counter_snapshot() -> Dict[str, tuple]:
+    return {
+        name: (stats["hits"], stats["misses"], stats.get("bypasses", 0))
+        for name, stats in cache_stats().items()
+    }
+
+
+def _iteration_delta(
+    before: Dict[str, tuple], after: Dict[str, tuple]
+) -> Dict[str, tuple]:
+    return {
+        name: tuple(b - a for b, a in zip(now, before.get(name, (0,) * 3)))
+        for name, now in after.items()
+    }
+
+
 def _measure(fn: Callable[[], None], repeats: int) -> float:
-    """Median wall time of ``repeats`` cold-start iterations, in ms."""
+    """Median wall time of ``repeats`` cold-start iterations, in ms.
+
+    Enforces the cold-start claim at every measured-iteration boundary:
+    the caches are cleared *and verified empty* before each iteration,
+    and the per-iteration cache-counter deltas of the first and last
+    iteration must match exactly — a deterministic workload starting
+    from identical cache state produces identical hit/miss/bypass
+    profiles, so any mismatch means warmth leaked across iterations.
+    """
     times = []
+    deltas = []
     for _ in range(repeats):
         clear_caches()
+        _assert_cold()
+        before = _counter_snapshot()
         start = time.perf_counter()
         fn()
         times.append((time.perf_counter() - start) * 1000.0)
+        deltas.append(_iteration_delta(before, _counter_snapshot()))
+    if deltas[0] != deltas[-1]:
+        drifted = sorted(
+            name
+            for name in set(deltas[0]) | set(deltas[-1])
+            if deltas[0].get(name) != deltas[-1].get(name)
+        )
+        raise RuntimeError(
+            "cache state leaked across measured iterations "
+            f"(first vs last hit/miss/bypass deltas differ): "
+            f"{', '.join(drifted)}"
+        )
     return statistics.median(times)
 
 
@@ -291,6 +351,9 @@ def run_suite(
             "optimized_ms": round(optimized_ms, 3),
             "speedup": round(baseline_ms / optimized_ms, 3),
             "normalized": round(optimized_ms / baseline_ms, 4),
+            # _measure raises if any iteration starts warm or the
+            # first/last iteration cache profiles diverge.
+            "cold_start_verified": True,
         }
         for cache, stats in after.items():
             prior = before.get(cache, {})
@@ -325,6 +388,35 @@ def run_suite(
             "speedup": round(base_total / opt_total, 3),
         }
     return report
+
+
+def validate_report(obj: Any) -> list[str]:
+    """Schema-check a (baseline) report dict before comparing against it.
+
+    Returns a list of problems; empty means the report is usable by
+    :func:`compare_reports`.  The CLI turns a non-empty list into a
+    one-line exit-2 diagnostic instead of a ``KeyError``/``TypeError``
+    traceback from deep inside the comparison.
+    """
+    if not isinstance(obj, dict):
+        return [f"report must be a JSON object, got {type(obj).__name__}"]
+    cases = obj.get("cases")
+    if not isinstance(cases, dict) or not cases:
+        return ["missing or empty 'cases' object"]
+    problems: list[str] = []
+    for name, case in cases.items():
+        if not isinstance(case, dict):
+            problems.append(f"cases[{name!r}] is not an object")
+            continue
+        for fieldname in ("baseline_ms", "optimized_ms"):
+            value = case.get(fieldname)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value <= 0:
+                problems.append(
+                    f"cases[{name!r}].{fieldname} missing or not a "
+                    "positive number"
+                )
+    return problems
 
 
 def compare_reports(

@@ -1,0 +1,62 @@
+"""Scale-out experiment engine: sharded sweeps + a persistent cache.
+
+The paper's experimental claims (Figures 6/7/10, the §4.1 allocation
+model) are *curves over parameter sweeps* — server counts, processor
+counts, workload sizes.  Before this package every point was computed
+serially in one process, and every ``repro`` invocation re-derived the
+same automata and transforms from scratch.  Three pieces fix that:
+
+* :mod:`repro.scale.driver` — a sharded fan-out driver that runs sweep
+  jobs across ``multiprocessing`` worker processes with per-worker task
+  queues, per-job timeouts, and crash isolation: a worker that dies
+  marks its job failed and is respawned (the PR-1 robustness
+  vocabulary, applied to OS processes instead of simulated ones).
+* :mod:`repro.scale.cache` — a content-addressed persistent on-disk
+  result cache (key = SHA-256 of program source + declarations +
+  pipeline/cost-model config + code version), shared across worker
+  processes *and* across runs, with payload-hash integrity checks so a
+  corrupted entry is discarded and recomputed, never trusted.
+* :mod:`repro.scale.grids` / :mod:`repro.scale.jobs` — the sweep
+  families (fig06 / fig07 / fig10 / analytic-model validation) as
+  self-contained, picklable job specs, each fully deterministic on the
+  simulated machine.
+
+``repro sweep`` (the CLI) stitches them together and emits one JSON
+report (:mod:`repro.scale.report`) whose deterministic body is
+byte-identical across worker counts; wall-clock measurements live in a
+single separable ``"wall"`` section.  See ``docs/scaling.md``.
+"""
+
+from repro.scale.cache import (
+    ResultCache,
+    cache_key,
+    canonical_json,
+    code_version,
+)
+from repro.scale.driver import JobOutcome, run_jobs
+from repro.scale.grids import grid_jobs, grid_names
+from repro.scale.jobs import SweepJob, job_key_material, run_job
+from repro.scale.report import (
+    build_report,
+    dumps_report,
+    format_sweep,
+    strip_wall,
+)
+
+__all__ = [
+    "JobOutcome",
+    "ResultCache",
+    "SweepJob",
+    "build_report",
+    "cache_key",
+    "canonical_json",
+    "code_version",
+    "dumps_report",
+    "format_sweep",
+    "grid_jobs",
+    "grid_names",
+    "job_key_material",
+    "run_job",
+    "run_jobs",
+    "strip_wall",
+]

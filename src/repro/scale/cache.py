@@ -1,0 +1,172 @@
+"""Content-addressed persistent result cache for sweep jobs.
+
+Reusing an analysis/transform/simulation result is only sound when the
+cached output is *exactly* what a fresh computation would produce — the
+output-equivalence discipline of Blanchard & Loulergue (2017), pinned
+here with byte identity.  Two mechanisms enforce it:
+
+1. **The key covers every input.**  ``cache_key`` hashes (SHA-256) the
+   canonical JSON of the job's full key material: the generated Lisp
+   program source (declaim forms included), the pipeline configuration
+   (``assume_sapp``, transform mode, …), the cost-model charges, the
+   family + parameters, and :func:`code_version` — a digest of every
+   ``repro`` source file, so editing any analysis or transform code
+   invalidates the whole cache at once.  There is deliberately no
+   finer-grained invalidation: a stale hit is a wrong experiment.
+2. **Entries carry their own integrity hash.**  A cache file stores the
+   payload together with ``payload_sha256`` (hash of the payload's
+   canonical JSON).  On read, a missing file is a *miss*; an unreadable
+   / syntactically broken / hash-mismatching file is *invalid*: the
+   entry is deleted and the caller recomputes.  Corruption can degrade
+   performance, never correctness.
+
+Writes are atomic (``os.replace`` of a per-process temp file), so
+concurrent sweep workers sharing one cache directory race benignly:
+last writer wins with identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+#: Cache on-disk format version; bump to orphan all existing entries.
+CACHE_FORMAT = 1
+
+#: Lookup outcomes (the ``scale.cache.*`` counter vocabulary).
+HIT = "hit"
+MISS = "miss"
+INVALID = "invalid"
+OFF = "off"
+
+
+def canonical_json(obj: Any) -> str:
+    """The one serialization both hashing and byte-identity use."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=False)
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """SHA-256 over every ``repro`` source file, computed once.
+
+    Any edit anywhere in the package — analyses, transforms, the
+    machine, the cost model defaults — changes this digest and thereby
+    every cache key.  Coarse, but the only invalidation rule that can
+    never be wrong.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+def cache_key(material: dict) -> str:
+    """SHA-256 of the canonical JSON of a job's full key material."""
+    return sha256_text(canonical_json(material))
+
+
+class ResultCache:
+    """A directory of content-addressed, integrity-checked JSON entries.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` (fan-out keeps directory
+    listings short on big sweeps).  Counters accumulate per instance;
+    the sweep driver aggregates worker-side counts into the report and
+    the flight recorder.
+    """
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.invalid = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[str, Optional[dict]]:
+        """Return ``(status, payload)``; status is HIT, MISS, or INVALID.
+
+        INVALID covers every way an entry can be wrong — unreadable
+        file, malformed JSON, wrong envelope, format-version or key
+        mismatch, payload-hash mismatch — and always deletes the entry
+        so the slot is clean for the recompute's store.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS, None
+        except OSError:
+            self.invalid += 1
+            self._discard(path)
+            return INVALID, None
+        try:
+            entry = json.loads(raw)
+            payload = entry["payload"]
+            ok = (
+                entry.get("format") == CACHE_FORMAT
+                and entry.get("key") == key
+                and entry.get("payload_sha256")
+                == sha256_text(canonical_json(payload))
+            )
+        except (ValueError, TypeError, KeyError):
+            ok = False
+            payload = None
+        if not ok:
+            self.invalid += 1
+            self._discard(path)
+            return INVALID, None
+        self.hits += 1
+        return HIT, payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store a payload atomically under its key."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "code_version": code_version(),
+            "payload": payload,
+            "payload_sha256": sha256_text(canonical_json(payload)),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(canonical_json(entry) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already gone, or unremovable — recompute regardless
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalid": self.invalid,
+            "stores": self.stores,
+        }

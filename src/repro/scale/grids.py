@@ -1,0 +1,96 @@
+"""The sweep grids behind ``repro sweep --grid NAME``.
+
+Each grid is a list of :class:`~repro.scale.jobs.SweepJob` specs in a
+fixed, deterministic order (the order is part of the report contract).
+``smoke`` is the CI grid: one representative point per family, small
+enough to finish in seconds; the figure grids reproduce the paper's
+curves at useful resolution; ``full`` concatenates all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.scale.jobs import SweepJob
+
+
+def _job(family: str, **params) -> SweepJob:
+    coords = ",".join(f"{k}={params[k]}" for k in sorted(params))
+    return SweepJob(id=f"{family}/{coords}", family=family, params=params)
+
+
+def _fig06_grid(sizes=(4, 8, 12, 16)) -> List[SweepJob]:
+    return [_job("fig06", size=s) for s in sizes]
+
+
+def _fig07_grid(
+    shapes=((30, 0), (30, 30), (30, 90), (15, 105), (10, 110)),
+    processors=(4, 16),
+    depth=24,
+) -> List[SweepJob]:
+    return [
+        _job("fig07", head=h, tail=t, processors=p, depth=depth)
+        for p in processors
+        for h, t in shapes
+    ]
+
+
+def _fig10_grid(
+    servers=(1, 2, 3, 4, 6, 8, 12, 16), depth=32, head=8, tail=40
+) -> List[SweepJob]:
+    return [
+        _job("fig10", depth=depth, head=head, tail=tail, servers=s)
+        for s in servers
+    ]
+
+
+def _model_grid() -> List[SweepJob]:
+    return [
+        _job("model", depth=d, head=h, tail=t,
+             servers=[1, 2, 4, 8, 12, 16])
+        for d, h, t in ((32, 8, 40), (24, 16, 48))
+    ]
+
+
+def _smoke_grid() -> List[SweepJob]:
+    return [
+        _job("fig06", size=6),
+        _job("fig06", size=8),
+        _job("fig07", head=20, tail=60, processors=4, depth=12),
+        _job("fig07", head=20, tail=0, processors=4, depth=12),
+        _job("fig10", depth=16, head=8, tail=40, servers=2),
+        _job("fig10", depth=16, head=8, tail=40, servers=4),
+        _job("model", depth=16, head=8, tail=40, servers=[1, 2, 4, 8]),
+    ]
+
+
+def _full_grid() -> List[SweepJob]:
+    return _fig06_grid() + _fig07_grid() + _fig10_grid() + _model_grid()
+
+
+_GRIDS: Dict[str, Callable[[], List[SweepJob]]] = {
+    "smoke": _smoke_grid,
+    "fig06": _fig06_grid,
+    "fig07": _fig07_grid,
+    "fig10": _fig10_grid,
+    "model": _model_grid,
+    "full": _full_grid,
+}
+
+
+def grid_names() -> List[str]:
+    return list(_GRIDS)
+
+
+def grid_jobs(name: str) -> List[SweepJob]:
+    """The jobs of a named grid, in report order."""
+    factory = _GRIDS.get(name)
+    if factory is None:
+        raise KeyError(name)
+    jobs = factory()
+    seen = set()
+    for job in jobs:
+        if job.id in seen:
+            raise ValueError(f"duplicate job id in grid {name!r}: {job.id}")
+        seen.add(job.id)
+    return jobs

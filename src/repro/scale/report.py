@@ -1,0 +1,161 @@
+"""Sweep report assembly: one JSON document per ``repro sweep``.
+
+The report has a strict determinism contract: everything outside the
+``"wall"`` section is a pure function of (grid, cache starting state) —
+running the same grid with ``--workers 8`` or ``--workers 1`` must
+produce byte-identical deterministic sections.  All wall-clock
+measurements, the worker count, and anything else that may legitimately
+differ between runs live under ``"wall"``; :func:`strip_wall` removes
+exactly that section, and the tests compare :func:`dumps_report` bytes
+of the stripped documents.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.scale.driver import OK, JobOutcome
+
+SCHEMA_VERSION = 1
+
+#: Top-level keys exempt from the byte-identity contract.
+WALL_KEYS = ("wall",)
+
+
+def build_report(
+    grid: str,
+    outcomes: List[JobOutcome],
+    workers: int,
+    cache_dir: "str | None",
+    total_wall_ms: float,
+) -> Dict[str, Any]:
+    """Assemble the report dict from a sweep's outcomes."""
+    points = [
+        {
+            "id": o.job.id,
+            "family": o.job.family,
+            "params": dict(o.job.params),
+            "status": o.status,
+            "cache": o.cache,
+            "error": o.error,
+            "result": o.payload,
+        }
+        for o in outcomes
+    ]
+    cache = {
+        "enabled": cache_dir is not None,
+        "hits": sum(1 for o in outcomes if o.cache == "hit"),
+        "misses": sum(1 for o in outcomes if o.cache == "miss"),
+        "invalid": sum(1 for o in outcomes if o.cache == "invalid"),
+    }
+    lookups = cache["hits"] + cache["misses"] + cache["invalid"]
+    cache["hit_rate"] = round(cache["hits"] / lookups, 4) if lookups else 0.0
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "grid": grid,
+        "points": points,
+        "summary": _summarize(outcomes),
+        "cache": cache,
+        "wall": {
+            "workers": workers,
+            "total_ms": round(total_wall_ms, 3),
+            "per_point_ms": {o.job.id: round(o.wall_ms, 3)
+                             for o in outcomes},
+            "python": sys.version.split()[0],
+            "cache_dir": cache_dir,
+        },
+    }
+
+
+def _summarize(outcomes: List[JobOutcome]) -> Dict[str, Any]:
+    """Per-family rollups, including observed-vs-predicted aggregates
+    for the families that carry an analytic prediction."""
+    summary: Dict[str, Any] = {
+        "jobs": len(outcomes),
+        "ok": sum(1 for o in outcomes if o.status == OK),
+        "failed": [o.job.id for o in outcomes if o.status != OK],
+        "families": {},
+    }
+    by_family: Dict[str, List[JobOutcome]] = {}
+    for o in outcomes:
+        by_family.setdefault(o.job.family, []).append(o)
+    for family, group in sorted(by_family.items()):
+        entry: Dict[str, Any] = {
+            "points": len(group),
+            "ok": sum(1 for o in group if o.status == OK),
+        }
+        ratios = [
+            o.payload["ratio"]
+            for o in group
+            if o.status == OK and o.payload and "ratio" in o.payload
+        ]
+        if ratios:
+            entry["observed_vs_predicted"] = {
+                "min_ratio": min(ratios),
+                "max_ratio": max(ratios),
+                "mean_ratio": round(sum(ratios) / len(ratios), 4),
+            }
+        if family == "model":
+            entry["model_validated"] = all(
+                o.payload.get("argmin_in_band") and o.payload.get("within_2x")
+                for o in group
+                if o.status == OK and o.payload
+            )
+        if family == "fig06":
+            entry["results_match_sequential"] = all(
+                o.payload.get("results_match")
+                for o in group
+                if o.status == OK and o.payload
+            )
+        summary["families"][family] = entry
+    return summary
+
+
+def strip_wall(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic body: the report minus its wall-time section."""
+    return {k: v for k, v in report.items() if k not in WALL_KEYS}
+
+
+def dumps_report(report: Dict[str, Any]) -> str:
+    """The canonical on-disk serialization (stable key order)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def format_sweep(report: Dict[str, Any]) -> str:
+    """Human-readable sweep summary for the CLI."""
+    summary = report["summary"]
+    cache = report["cache"]
+    wall = report["wall"]
+    lines = [
+        f";; sweep: grid={report['grid']} jobs={summary['jobs']} "
+        f"ok={summary['ok']} workers={wall['workers']} "
+        f"wall={wall['total_ms']:.0f}ms"
+    ]
+    for family, entry in summary["families"].items():
+        parts = [f";;   {family:<6} {entry['ok']}/{entry['points']} ok"]
+        ovp = entry.get("observed_vs_predicted")
+        if ovp:
+            parts.append(
+                f"observed/predicted in [{ovp['min_ratio']:.2f}, "
+                f"{ovp['max_ratio']:.2f}] (mean {ovp['mean_ratio']:.2f})"
+            )
+        if "model_validated" in entry:
+            parts.append(f"model_validated={entry['model_validated']}")
+        if "results_match_sequential" in entry:
+            parts.append(
+                f"matches_sequential={entry['results_match_sequential']}"
+            )
+        lines.append(" — ".join(parts))
+    if cache["enabled"]:
+        lines.append(
+            f";;   cache: {cache['hits']} hit(s), {cache['misses']} "
+            f"miss(es), {cache['invalid']} invalid, hit rate "
+            f"{cache['hit_rate']:.1%}"
+        )
+    else:
+        lines.append(";;   cache: disabled")
+    if summary["failed"]:
+        lines.append(f";;   FAILED point(s): {', '.join(summary['failed'])}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Lint guard: every builtin text-mode ``open()`` must pass ``encoding=``.
+
+This is ruff's PLW1514 (unspecified-encoding) as an AST walk, enforced
+in-tree so the rule holds even where ruff is not installed.  Without an
+explicit encoding, ``open()`` falls back to the locale's preferred
+encoding, and reports/traces written on one machine can fail to parse
+on another (PEP 597).  Binary-mode opens are exempt — bytes have no
+encoding.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _mode_argument(call: ast.Call) -> str | None:
+    """The literal mode string of an ``open()`` call, if statically known."""
+    if len(call.args) >= 2:
+        node = call.args[1]
+    else:
+        node = next((kw.value for kw in call.keywords
+                     if kw.arg == "mode"), None)
+    if node is None:
+        return "r"  # default mode is text
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None  # dynamic mode: can't prove text, don't flag
+
+
+def _violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id == "open"):
+            continue  # only the builtin; obj.open() is out of scope
+        mode = _mode_argument(node)
+        if mode is None or "b" in mode:
+            continue
+        if any(kw.arg == "encoding" for kw in node.keywords):
+            continue
+        if len(node.args) >= 4:  # open(file, mode, buffering, encoding)
+            continue
+        problems.append(f"{path.relative_to(SRC.parent)}:{node.lineno}: "
+                        "text-mode open() without encoding= (PLW1514)")
+    return problems
+
+
+def test_no_text_open_without_encoding():
+    problems = []
+    for path in sorted(SRC.rglob("*.py")):
+        problems.extend(_violations(path))
+    assert not problems, "\n".join(problems)

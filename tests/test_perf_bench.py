@@ -13,6 +13,7 @@ from repro.perf.bench import (
     compare_reports,
     format_report,
     run_suite,
+    validate_report,
 )
 
 
@@ -150,3 +151,50 @@ class TestCliBench:
         assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
                      "--out", "", "--compare",
                      str(tmp_path / "missing.json")]) == 2
+
+    def test_malformed_json_baseline_exits_2(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not valid json", encoding="utf-8")
+        assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
+                     "--out", "", "--compare", str(baseline)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read baseline" in err
+        assert len(err.strip().splitlines()) == 1, "one-line diagnostic"
+
+    def test_wrong_schema_baseline_exits_2(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"schema_version": 1, "cases": {
+            "pipeline": {"baseline_ms": "fast", "optimized_ms": 1.0},
+        }}), encoding="utf-8")
+        assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
+                     "--out", "", "--compare", str(baseline)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid baseline" in err
+        assert len(err.strip().splitlines()) == 1, "one-line diagnostic"
+
+
+class TestValidateReport:
+    def test_real_report_is_valid(self, small_report):
+        assert validate_report(small_report) == []
+
+    def test_non_object_report(self):
+        assert validate_report([1, 2]) == [
+            "report must be a JSON object, got list"]
+
+    def test_missing_cases(self):
+        assert validate_report({}) == ["missing or empty 'cases' object"]
+        assert validate_report({"cases": {}}) == [
+            "missing or empty 'cases' object"]
+
+    def test_non_object_case(self):
+        problems = validate_report({"cases": {"pipeline": 3}})
+        assert problems == ["cases['pipeline'] is not an object"]
+
+    def test_bad_timing_fields(self):
+        problems = validate_report({"cases": {
+            "a": {"optimized_ms": 1.0},            # missing baseline_ms
+            "b": {"baseline_ms": True, "optimized_ms": 1.0},   # bool
+            "c": {"baseline_ms": 0.0, "optimized_ms": 1.0},    # non-positive
+        }})
+        assert len(problems) == 3
+        assert all("_ms" in p for p in problems)

@@ -1,0 +1,120 @@
+"""The content-addressed result cache: keys, integrity, poisoning."""
+
+from __future__ import annotations
+
+import json
+
+from repro.scale.cache import (
+    CACHE_FORMAT,
+    HIT,
+    INVALID,
+    MISS,
+    ResultCache,
+    cache_key,
+    canonical_json,
+    code_version,
+    sha256_text,
+)
+from repro.scale.grids import grid_jobs
+from repro.scale.jobs import SweepJob, job_key_material, run_job
+
+PAYLOAD = {"result": 42, "nested": {"b": 2, "a": 1}}
+
+
+class TestKeys:
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1})
+
+    def test_key_changes_with_any_material_field(self):
+        base = {"family": "fig06", "params": {"size": 8}, "program": "(f)"}
+        assert cache_key(base) == cache_key(dict(base))
+        for field, value in (("family", "fig07"),
+                             ("params", {"size": 9}),
+                             ("program", "(g)")):
+            changed = dict(base, **{field: value})
+            assert cache_key(changed) != cache_key(base), field
+
+    def test_job_material_covers_program_and_code_version(self):
+        job = SweepJob(id="fig06/size=6", family="fig06",
+                       params={"size": 6})
+        material = job_key_material(job)
+        assert material["program"], "fig06 jobs must hash their source"
+        assert material["code_version"] == code_version()
+        assert len(cache_key(material)) == 64  # hex SHA-256
+
+    def test_code_version_is_stable_within_process(self):
+        assert code_version() == code_version()
+
+
+class TestRoundTrip:
+    def test_put_get_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"k": 1})
+        assert cache.get(key) == (MISS, None)
+        cache.put(key, PAYLOAD)
+        status, cached = cache.get(key)
+        assert status == HIT
+        assert canonical_json(cached) == canonical_json(PAYLOAD)
+        assert cache.stats() == {"hits": 1, "misses": 1, "invalid": 0,
+                                 "stores": 1}
+
+    def test_cached_equals_fresh_compute(self, tmp_path):
+        """The acceptance contract: cached bytes == fresh bytes."""
+        cache = ResultCache(tmp_path)
+        job = grid_jobs("smoke")[0]
+        key = cache_key(job_key_material(job))
+        fresh = run_job(job)
+        cache.put(key, fresh)
+        _, cached = cache.get(key)
+        assert canonical_json(cached) == canonical_json(fresh)
+        assert canonical_json(cached) == canonical_json(run_job(job))
+
+
+class TestPoisoning:
+    def _store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"k": "poison"})
+        cache.put(key, PAYLOAD)
+        return cache, key, cache.path_for(key)
+
+    def test_tampered_payload_detected_by_hash(self, tmp_path):
+        cache, key, path = self._store(tmp_path)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["payload"]["result"] = 43  # poison: hash no longer matches
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(key) == (INVALID, None)
+        assert not path.exists(), "poisoned entry must be discarded"
+        # The slot is clean: recompute stores, next lookup hits.
+        assert cache.get(key) == (MISS, None)
+        cache.put(key, PAYLOAD)
+        assert cache.get(key)[0] == HIT
+
+    def test_malformed_json_entry(self, tmp_path):
+        cache, key, path = self._store(tmp_path)
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.get(key) == (INVALID, None)
+        assert not path.exists()
+
+    def test_wrong_format_version(self, tmp_path):
+        cache, key, path = self._store(tmp_path)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["format"] = CACHE_FORMAT + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(key) == (INVALID, None)
+
+    def test_key_mismatch(self, tmp_path):
+        """An entry copied to the wrong slot must not be served."""
+        cache, key, path = self._store(tmp_path)
+        other = cache_key({"k": "other"})
+        target = cache.path_for(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(path.read_text(encoding="utf-8"),
+                          encoding="utf-8")
+        assert cache.get(other) == (INVALID, None)
+
+    def test_integrity_hash_matches_canonical_payload(self, tmp_path):
+        _, _, path = self._store(tmp_path)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        assert entry["payload_sha256"] == sha256_text(
+            canonical_json(entry["payload"]))

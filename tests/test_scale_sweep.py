@@ -1,0 +1,150 @@
+"""End-to-end sweeps: determinism across worker counts, warm cache, CLI.
+
+The determinism contract under test: everything in a sweep report
+outside the top-level ``"wall"`` key is a pure function of (grid, cache
+starting state).  Worker count, scheduling order, and which worker
+computed a point must not leak into the body.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Recorder
+from repro.scale import (
+    build_report,
+    dumps_report,
+    grid_jobs,
+    run_jobs,
+    strip_wall,
+)
+
+SMOKE = grid_jobs("smoke")
+
+
+def _report(outcomes, workers, cache_dir, grid="smoke"):
+    return build_report(grid, outcomes, workers=workers,
+                        cache_dir=cache_dir, total_wall_ms=0.0)
+
+
+class TestWorkerCountDeterminism:
+    def test_two_workers_byte_identical_to_serial(self, tmp_path):
+        """The acceptance bar: --workers 2 == serial, modulo wall."""
+        d_serial = tmp_path / "serial"
+        d_sharded = tmp_path / "sharded"
+        serial = run_jobs(SMOKE, workers=0, cache_dir=str(d_serial))
+        sharded = run_jobs(SMOKE, workers=2, cache_dir=str(d_sharded))
+        a = dumps_report(strip_wall(_report(serial, 0, str(d_serial))))
+        b = dumps_report(strip_wall(_report(sharded, 2, str(d_sharded))))
+        assert a == b
+
+    def test_one_worker_byte_identical_to_two(self, tmp_path):
+        jobs = [j for j in SMOKE if j.family == "fig06"]
+        one = run_jobs(jobs, workers=1, cache_dir=str(tmp_path / "w1"))
+        two = run_jobs(jobs, workers=2, cache_dir=str(tmp_path / "w2"))
+        assert dumps_report(strip_wall(_report(one, 1, "x"))) == \
+            dumps_report(strip_wall(_report(two, 2, "x")))
+
+    def test_strip_wall_removes_only_wall(self, tmp_path):
+        outcomes = run_jobs(SMOKE[:1], workers=0)
+        report = _report(outcomes, 0, None)
+        stripped = strip_wall(report)
+        assert "wall" in report and "wall" not in stripped
+        assert set(report) - set(stripped) == {"wall"}
+
+
+class TestWarmCache:
+    def test_warm_rerun_does_zero_recomputation(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_jobs(SMOKE, workers=2, cache_dir=cache_dir)
+        recorder = Recorder()
+        warm = run_jobs(SMOKE, workers=2, cache_dir=cache_dir,
+                        recorder=recorder)
+        counters = recorder.metrics.counter_values()
+        assert counters["scale.cache.hit"] == len(SMOKE)
+        assert counters.get("scale.cache.miss", 0) == 0
+        assert counters.get("scale.cache.stores", 0) == 0
+        assert all(o.cache == "hit" for o in warm)
+
+    def test_warm_payloads_byte_identical_to_cold(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_jobs(SMOKE, workers=0, cache_dir=cache_dir)
+        warm = run_jobs(SMOKE, workers=2, cache_dir=cache_dir)
+        for c, w in zip(cold, warm):
+            assert json.dumps(c.payload, sort_keys=True) == \
+                json.dumps(w.payload, sort_keys=True)
+
+
+class TestReportBody:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("sweep")
+        outcomes = run_jobs(SMOKE, workers=0, cache_dir=str(d))
+        return _report(outcomes, 0, str(d))
+
+    def test_schema_and_points(self, report):
+        assert report["schema_version"] == 1
+        assert report["grid"] == "smoke"
+        assert len(report["points"]) == len(SMOKE)
+        assert [p["id"] for p in report["points"]] == [j.id for j in SMOKE]
+
+    def test_summary_validates_paper_claims(self, report):
+        summary = report["summary"]
+        assert summary["ok"] == len(SMOKE)
+        assert summary["failed"] == []
+        families = summary["families"]
+        assert families["fig06"]["results_match_sequential"] is True
+        assert families["model"]["model_validated"] is True
+        for family in ("fig07", "fig10"):
+            ratios = families[family]["observed_vs_predicted"]
+            assert 0.5 <= ratios["min_ratio"] <= ratios["max_ratio"] <= 2.0
+
+    def test_cache_section(self, report):
+        cache = report["cache"]
+        assert cache["enabled"] is True
+        assert cache["misses"] == len(SMOKE)
+        assert cache["hit_rate"] == 0.0
+
+
+class TestCliSweep:
+    def test_list_grids(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "fig10" in out
+
+    def test_unknown_grid_is_usage_error(self, capsys):
+        assert main(["sweep", "--grid", "nope"]) == 2
+        assert "unknown grid" in capsys.readouterr().err
+
+    def test_negative_workers_is_usage_error(self):
+        assert main(["sweep", "--grid", "smoke", "--workers", "-1"]) == 2
+
+    def test_smoke_sweep_and_hit_rate_gate(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        cache_dir = str(tmp_path / "cache")
+        # Cold: runs everything; a 90% hit-rate demand must fail (exit 1).
+        assert main(["sweep", "--grid", "smoke", "--workers", "2",
+                     "--cache-dir", cache_dir, "--out", str(out),
+                     "--min-hit-rate", "90"]) == 1
+        assert "below required" in capsys.readouterr().err
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["cache"]["misses"] == len(SMOKE)
+        # Warm: all hits, the same gate passes.
+        assert main(["sweep", "--grid", "smoke", "--workers", "2",
+                     "--cache-dir", cache_dir, "--out", str(out),
+                     "--min-hit-rate", "90"]) == 0
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["cache"]["hits"] == len(SMOKE)
+        assert report["cache"]["hit_rate"] == 1.0
+
+    def test_no_cache_reports_disabled(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        jobs_arg = ["sweep", "--grid", "model", "--workers", "0",
+                    "--no-cache", "--out", str(out)]
+        assert main(jobs_arg) == 0
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["cache"]["enabled"] is False
+        assert "cache: disabled" in capsys.readouterr().out
