@@ -23,6 +23,15 @@ which worker computed a point is deliberately *not* part of the
 outcome.  ``workers=0`` runs the same loop inline (no subprocesses, no
 timeouts) — the reference path the byte-identity tests compare against.
 
+Known hazard (accepted): workers share one ``multiprocessing.Queue``
+for results, and terminating a worker while its queue feeder thread
+holds the shared pipe lock can, per the multiprocessing docs, corrupt
+the queue for the survivors.  The health check narrows the window by
+draining the queue immediately before any termination, and a sweep
+whose queue does break still terminates (every undelivered job is
+reported ``crashed``), but per-worker result pipes would be needed to
+close the window entirely.
+
 Observability: with a recorder attached the parent emits one
 ``scale.job`` span per job (wall clock, ``pid=PID_SCALE``, one track
 per worker slot), ``scale.job.*`` status counters, ``scale.cache.*``
@@ -238,6 +247,16 @@ def _run_sharded(
 def _dispatch(pool, state: _SweepState, jobs, job_timeout, recorder) -> None:
     while state.idle and state.next_job < len(jobs):
         wid = state.idle.pop()
+        if not pool[wid].proc.is_alive():
+            # A slot can reach the idle list with a dead process when a
+            # health-check drain resolved the worker's final result
+            # after the process exited.  Dispatching to its (unread)
+            # task queue would strand the job, so replace the worker
+            # first.
+            pool[wid] = pool[wid].respawn()
+            state.respawns += 1
+            if recorder is not None:
+                recorder.count("scale.worker.respawns")
         index = state.next_job
         state.next_job += 1
         now = time.monotonic()
@@ -265,21 +284,34 @@ def _finish(pool, state: _SweepState, jobs, msg, recorder) -> None:
 def _check_health(pool, state: _SweepState, jobs, result_q, recorder) -> None:
     now = time.monotonic()
     for wid in list(state.busy):
-        index, deadline, started = state.busy[wid]
+        # Re-read instead of trusting the snapshot: the drain below runs
+        # _finish, which can resolve (and delete) OTHER workers' busy
+        # entries before the loop reaches them.
+        claimed = state.busy.get(wid)
+        if claimed is None:
+            continue  # an earlier drain this pass already resolved it
+        index, deadline, started = claimed
         timed_out = deadline is not None and now > deadline
         dead = not pool[wid].proc.is_alive()
-        if dead and not timed_out:
-            # The worker may have posted its result just before dying;
-            # drain the queue once before declaring the job crashed.
-            try:
-                while True:
-                    _finish(pool, state, jobs, result_q.get_nowait(),
-                            recorder)
-            except queue_mod.Empty:
-                pass
-            if wid not in state.busy:
-                continue  # the drain resolved it
         if not (timed_out or dead):
+            continue
+        # The worker may have posted its result just before dying or
+        # right at its deadline; drain the queue once before giving up
+        # on the job.  For a timed-out worker this also narrows the
+        # window in which terminate() could land while the worker's
+        # queue feeder thread holds the shared result pipe (see the
+        # module docstring).
+        try:
+            while True:
+                _finish(pool, state, jobs, result_q.get_nowait(),
+                        recorder)
+        except queue_mod.Empty:
+            pass
+        if wid not in state.busy:
+            # The drain resolved this worker's job.  If the process is
+            # dead, _finish still put the slot on the idle list — that
+            # is fine: _dispatch respawns dead idle workers before
+            # handing them a job.
             continue
         status = TIMEOUT if timed_out else CRASHED
         outcome = JobOutcome(

@@ -9,6 +9,9 @@ keep going.
 
 from __future__ import annotations
 
+import queue as queue_mod
+import time
+
 import pytest
 
 from repro.obs import Recorder, check_span_balance
@@ -18,6 +21,9 @@ from repro.scale.driver import (
     OK,
     TIMEOUT,
     JobOutcome,
+    _check_health,
+    _dispatch,
+    _SweepState,
     run_jobs,
 )
 from repro.scale.jobs import SweepJob
@@ -81,6 +87,107 @@ class TestShardedFaults:
     def test_cache_off_reports_off_even_on_faults(self):
         outcomes = run_jobs([_probe("x", behavior="raise")], workers=1)
         assert outcomes[0].cache == "off"
+
+
+class _FakeProc:
+    def __init__(self, alive: bool):
+        self.alive = alive
+
+    def is_alive(self) -> bool:
+        return self.alive
+
+
+class _FakeTaskQ:
+    def __init__(self):
+        self.items = []
+
+    def put(self, item) -> None:
+        self.items.append(item)
+
+
+class _FakeHandle:
+    """Stands in for _WorkerHandle so queue races replay deterministically."""
+
+    def __init__(self, worker_id: int, alive: bool):
+        self.worker_id = worker_id
+        self.proc = _FakeProc(alive)
+        self.task_q = _FakeTaskQ()
+        self.cache_dir = None
+
+    def respawn(self) -> "_FakeHandle":
+        return _FakeHandle(self.worker_id, alive=True)
+
+
+class _FakeResultQ:
+    def __init__(self, items=()):
+        self.items = list(items)
+
+    def get_nowait(self):
+        if not self.items:
+            raise queue_mod.Empty
+        return self.items.pop(0)
+
+
+class TestHealthCheckRaces:
+    """Replays of interleavings real processes can't hit on demand."""
+
+    def test_drain_resolving_other_worker_does_not_keyerror(self):
+        # Worker 0 died without answering; worker 1 posted its result
+        # between the parent's poll and the health check.  Draining on
+        # worker 0's behalf resolves worker 1's busy entry mid-loop, so
+        # the loop must tolerate worker 1 vanishing from state.busy.
+        jobs = [_probe("a", value=1), _probe("b", value=2)]
+        pool = {0: _FakeHandle(0, alive=False),
+                1: _FakeHandle(1, alive=True)}
+        now = time.monotonic()
+        state = _SweepState(outcomes=[None, None],
+                            busy={0: (0, None, now), 1: (1, None, now)},
+                            next_job=2)
+        result_q = _FakeResultQ([(1, 1, OK, {"value": 2}, "", "off")])
+        _check_health(pool, state, jobs, result_q, recorder=None)
+        assert state.outcomes[0].status == CRASHED
+        assert state.outcomes[1].status == OK
+        assert state.outcomes[1].payload == {"value": 2}
+        assert state.done == 2
+        assert state.busy == {}
+        assert state.respawns == 1  # only the dead worker
+
+    def test_dispatch_respawns_dead_idle_worker(self):
+        # A dead worker whose final result the drain recovered goes
+        # back on the idle list; the next dispatch must respawn it
+        # rather than strand a job on a task queue nothing reads.
+        jobs = [_probe("a", value=1), _probe("b", value=2)]
+        dead = _FakeHandle(0, alive=False)
+        pool = {0: dead}
+        now = time.monotonic()
+        state = _SweepState(outcomes=[None, None],
+                            busy={0: (0, None, now)}, next_job=1)
+        result_q = _FakeResultQ([(0, 0, OK, {"value": 1}, "", "off")])
+        _check_health(pool, state, jobs, result_q, recorder=None)
+        assert state.outcomes[0].status == OK  # drain won, no crash record
+        assert state.idle == [0]
+        _dispatch(pool, state, jobs, job_timeout=None, recorder=None)
+        assert pool[0] is not dead
+        assert pool[0].proc.is_alive()
+        assert state.respawns == 1
+        assert pool[0].task_q.items == [(1, jobs[1])]
+        assert dead.task_q.items == []  # nothing landed on the dead queue
+
+    def test_timed_out_worker_with_posted_result_is_not_terminated(self):
+        # The result arrived right at the deadline: the drain must win
+        # and the (alive) worker must survive untouched.
+        jobs = [_probe("a", value=1)]
+        handle = _FakeHandle(0, alive=True)
+        pool = {0: handle}
+        started = time.monotonic() - 10.0
+        state = _SweepState(outcomes=[None],
+                            busy={0: (0, started + 1.0, started)},
+                            next_job=1)
+        result_q = _FakeResultQ([(0, 0, OK, {"value": 1}, "", "off")])
+        _check_health(pool, state, jobs, result_q, recorder=None)
+        assert state.outcomes[0].status == OK
+        assert state.respawns == 0
+        assert pool[0] is handle
 
 
 class TestShardedHappyPath:
