@@ -1,0 +1,278 @@
+"""Serve benchmark: throughput and latency of ``repro serve`` under
+concurrent clients on a fig06/fig07/fig10 request mix.
+
+Three things are measured and written to ``BENCH_serve.json``
+(enveloped, ``kind: serve-bench``):
+
+* throughput (requests/s) and p50/p99 latency at 1, 4, and 16
+  concurrent clients over NDJSON sockets;
+* the 4-client speedup over 1 client — the acceptance gate is >= 2x.
+  The engine itself is GIL-bound, so the win comes from single-flight
+  coalescing: clients issuing the same content-addressed request
+  self-synchronize on one computation instead of queueing N;
+* correctness: for each workload in the mix, the server's ``result``
+  must be byte-identical (canonical JSON, modulo the ``wall`` section)
+  to what ``python -m repro run ... --json`` prints for the same input.
+
+Runnable standalone (``python benchmarks/bench_serve.py``) or under
+pytest like its siblings (records the human table to
+``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:  # standalone invocation
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro import api
+from repro.envelope import KIND_SERVE, dumps, wrap
+from repro.serve import ReproServer, ServeConfig, decode_response, request_line
+
+CLIENT_SCALES = (1, 4, 16)
+ROUNDS = 12  # each client cycles the whole mix this many times
+WORKERS = 4
+BACKLOG = 64  # roomy: 16 clients must never see `overloaded`
+DEADLINE_MS = 30_000.0
+
+FIG06_SRC = """
+(defun burn (n) (let ((i 0)) (while (< i n) (setq i (1+ i))) i))
+(defun walk (l) (when l (burn 30) (walk (cdr l)) (burn 30)))
+(setq data (list 1 2 3 4 5 6 7 8))
+"""
+
+FIG07_SRC = """
+(declaim (sapp f5 l))
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+(setq data (list 1 2 3 4 5 6 7 8))
+"""
+
+FIG10_SRC = FIG07_SRC.replace(
+    "(list 1 2 3 4 5 6 7 8)",
+    "(list 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16)",
+)
+
+# (name, params-for-the-run-op, equivalent CLI argv tail)
+MIX = (
+    ("fig06_timeline",
+     {"source": FIG06_SRC, "expr": "(walk data)"},
+     []),
+    ("fig07_cri",
+     {"source": FIG07_SRC,
+      "expr": "(progn (f5-cc data) (identity data))",
+      "transform": ["f5"], "processors": 4},
+     ["--transform", "f5", "--processors", "4"]),
+    ("fig10_exec_time",
+     {"source": FIG10_SRC,
+      "expr": "(progn (f5-cc data) (identity data))",
+      "transform": ["f5"], "processors": 8},
+     ["--transform", "f5", "--processors", "8"]),
+)
+
+
+def _recv_line(sock: socket.socket, buf: bytearray) -> bytes:
+    while b"\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        buf.extend(chunk)
+    line, _, rest = bytes(buf).partition(b"\n")
+    buf[:] = rest
+    return line
+
+
+def _client(address, client_id: int, barrier: threading.Barrier,
+            latencies: list, errors: list) -> None:
+    sock = socket.create_connection(address)
+    buf = bytearray()
+    try:
+        barrier.wait()
+        for round_no in range(ROUNDS):
+            for name, params, _ in MIX:
+                rid = f"c{client_id}-r{round_no}-{name}"
+                t0 = time.perf_counter()
+                sock.sendall(request_line("run", params, rid,
+                                          deadline_ms=DEADLINE_MS))
+                response = decode_response(_recv_line(sock, buf))
+                elapsed = (time.perf_counter() - t0) * 1000.0
+                if response.get("ok"):
+                    latencies.append((name, elapsed))
+                else:
+                    errors.append((rid, response.get("error")))
+    finally:
+        sock.close()
+
+
+def _percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def measure_scale(address, clients: int) -> dict:
+    barrier = threading.Barrier(clients + 1)
+    latencies: list = []
+    errors: list = []
+    threads = [
+        threading.Thread(target=_client,
+                         args=(address, i, barrier, latencies, errors),
+                         daemon=True)
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError(f"{len(errors)} failed requests: {errors[:3]}")
+    flat = [ms for _, ms in latencies]
+    return {
+        "clients": clients,
+        "requests": len(flat),
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(len(flat) / wall_s, 2),
+        "p50_ms": round(_percentile(flat, 0.50), 3),
+        "p99_ms": round(_percentile(flat, 0.99), 3),
+    }
+
+
+def _cli_json(params, argv_tail) -> dict:
+    """Run the same request through the one-shot CLI."""
+    with tempfile.NamedTemporaryFile("w", suffix=".lisp", delete=False,
+                                     encoding="utf-8") as handle:
+        handle.write(params["source"])
+        path = handle.name
+    try:
+        argv = [sys.executable, "-m", "repro", "run", path,
+                "-e", params["expr"], "--json"] + argv_tail
+        proc = subprocess.run(
+            argv, capture_output=True, text=True, check=True,
+            env={**__import__("os").environ, "PYTHONPATH": str(REPO / "src")},
+        )
+        return json.loads(proc.stdout)
+    finally:
+        pathlib.Path(path).unlink()
+
+
+def check_correctness(address) -> dict:
+    """Server responses must match the CLI byte-for-byte modulo wall."""
+    sock = socket.create_connection(address)
+    buf = bytearray()
+    cases = {}
+    try:
+        for name, params, argv_tail in MIX:
+            sock.sendall(request_line("run", params, f"check-{name}",
+                                      deadline_ms=DEADLINE_MS))
+            response = decode_response(_recv_line(sock, buf))
+            assert response.get("ok"), response
+            served = api.canonical_json(api.strip_wall(response["result"]))
+            cli = api.canonical_json(api.strip_wall(_cli_json(params,
+                                                              argv_tail)))
+            cases[name] = served == cli
+    finally:
+        sock.close()
+    return cases
+
+
+def run_benchmark() -> dict:
+    config = ServeConfig(workers=WORKERS, backlog=BACKLOG,
+                         default_deadline_ms=DEADLINE_MS)
+    server = ReproServer(config)
+    address = server.start()
+    runner = threading.Thread(target=server.serve_forever, daemon=True)
+    runner.start()
+    t0 = time.perf_counter()
+    try:
+        scales = {str(n): measure_scale(address, n) for n in CLIENT_SCALES}
+        correctness = check_correctness(address)
+    finally:
+        server.request_drain()
+        server.stop(timeout=10.0)
+    one = scales["1"]["throughput_rps"]
+    four = scales["4"]["throughput_rps"]
+    return {
+        "mix": [name for name, _, _ in MIX],
+        "rounds_per_client": ROUNDS,
+        "server": {"workers": WORKERS, "backlog": BACKLOG},
+        "scales": scales,
+        "speedup_4_vs_1": round(four / one, 2),
+        "speedup_16_vs_1": round(
+            scales["16"]["throughput_rps"] / one, 2),
+        "correctness": {
+            "byte_identical_modulo_wall": all(correctness.values()),
+            "cases": correctness,
+        },
+        "wall": {"ms": round((time.perf_counter() - t0) * 1000.0, 3)},
+    }
+
+
+def format_report(body: dict) -> str:
+    lines = [
+        f"request mix: {', '.join(body['mix'])}"
+        f"  ({body['rounds_per_client']} rounds/client)",
+        f"server: {body['server']['workers']} workers,"
+        f" backlog {body['server']['backlog']}",
+        "",
+        f"{'clients':>8} {'requests':>9} {'rps':>9} "
+        f"{'p50 ms':>9} {'p99 ms':>9}",
+    ]
+    for key in sorted(body["scales"], key=int):
+        s = body["scales"][key]
+        lines.append(
+            f"{s['clients']:>8} {s['requests']:>9} "
+            f"{s['throughput_rps']:>9.1f} {s['p50_ms']:>9.2f} "
+            f"{s['p99_ms']:>9.2f}")
+    lines += [
+        "",
+        f"speedup 4 vs 1 clients:  {body['speedup_4_vs_1']:.2f}x"
+        "  (gate: >= 2x, via single-flight coalescing)",
+        f"speedup 16 vs 1 clients: {body['speedup_16_vs_1']:.2f}x",
+        "byte-identical to CLI (modulo wall): "
+        + ("yes" if body["correctness"]["byte_identical_modulo_wall"]
+           else "NO"),
+    ]
+    return "\n".join(lines)
+
+
+def test_serve_throughput(record_table):
+    body = run_benchmark()
+    record_table("serve_throughput", format_report(body))
+    assert body["correctness"]["byte_identical_modulo_wall"] is True
+    assert body["speedup_4_vs_1"] >= 2.0
+    for scale in body["scales"].values():
+        assert scale["requests"] == scale["clients"] * ROUNDS * len(MIX)
+
+
+def main() -> int:
+    body = run_benchmark()
+    out = REPO / "BENCH_serve.json"
+    out.write_text(dumps(wrap(KIND_SERVE, body)), encoding="utf-8")
+    print(format_report(body))
+    print(f"\nwrote {out}")
+    if not body["correctness"]["byte_identical_modulo_wall"]:
+        print("FAIL: server responses differ from CLI", file=sys.stderr)
+        return 1
+    if body["speedup_4_vs_1"] < 2.0:
+        print("FAIL: 4-client speedup below the 2x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

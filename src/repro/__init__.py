@@ -15,37 +15,80 @@ The package layers, bottom to top:
   sequentializability checking
 * :mod:`repro.model`     — the paper's closed-form performance model
 * :mod:`repro.harness`   — workload generators and experiment helpers
+* :mod:`repro.api`       — the stable public facade (start here)
+* :mod:`repro.serve`     — the concurrent analysis service hosting it
 
-Quickstart::
+Quickstart — the supported entry point is the :mod:`repro.api` facade
+(the CLI and the ``repro serve`` service are thin shells over it)::
 
-    from repro import Curare, Interpreter, Machine
+    import repro
 
-    interp = Interpreter()
-    curare = Curare(interp, assume_sapp=True)
-    curare.load_program('''
+    SOURCE = '''
+        (declaim (sapp f l))
         (defun f (l)
           (cond ((null l) nil)
                 ((null (cdr l)) (f (cdr l)))
                 (t (setf (cadr l) (+ (car l) (cadr l)))
                    (f (cdr l)))))
-    ''')
-    result = curare.transform("f")
-    print(result.report())
+        (setq data (list 1 2 3 4))
+    '''
+    report = repro.analyze(SOURCE, "f")
+    print(report.text)
 
-    curare.runner.eval_text("(setq data (list 1 2 3 4))")
-    machine = Machine(interp, processors=4)
-    machine.spawn_text("(f-cc data)")
-    machine.run()
+    result = repro.run(SOURCE, "(progn (f-cc data) (identity data))",
+                       repro.RunOptions(processors=4, transform=("f",)))
+    print(result.value, result.mean_concurrency)
+    print(result.to_json(indent=2))   # deterministic modulo "wall"
+
+The engine types (``Curare``, ``Interpreter``, ``Machine``, ...)
+remain exported for tests and notebooks that drive the internals
+directly, but hosting layers go through the facade only.
 """
 
+from repro.api import (
+    AnalysisResult,
+    ApiError,
+    BadRequest,
+    EngineError,
+    RunOptions,
+    RunResult,
+    SweepOptions,
+    SweepReport,
+    TransformOptions,
+    TransformRefused,
+    TransformResult,
+    analyze,
+    run,
+    sweep,
+    sweep_grids,
+    transform,
+)
+from repro.declare import DeclarationRegistry
 from repro.lisp import Interpreter, SequentialRunner
 from repro.runtime import CostModel, Machine, run_server_pool
 from repro.transform import Curare
-from repro.declare import DeclarationRegistry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # the stable facade
+    "AnalysisResult",
+    "ApiError",
+    "BadRequest",
+    "EngineError",
+    "RunOptions",
+    "RunResult",
+    "SweepOptions",
+    "SweepReport",
+    "TransformOptions",
+    "TransformRefused",
+    "TransformResult",
+    "analyze",
+    "run",
+    "sweep",
+    "sweep_grids",
+    "transform",
+    # engine types (for tests/notebooks driving internals)
     "CostModel",
     "Curare",
     "DeclarationRegistry",

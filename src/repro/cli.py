@@ -1,5 +1,13 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
+Every engine-touching command is a thin shell around the stable
+:mod:`repro.api` facade — the CLI parses flags, calls ``api.analyze`` /
+``api.transform`` / ``api.run`` / ``api.sweep``, renders the returned
+result, and maps :class:`repro.api.ApiError` codes onto exit codes.
+The ``repro serve`` service hosts the *same* facade, which is what
+makes CLI output and served responses byte-comparable (the parity
+tests hold both to it).
+
 Commands:
 
 * ``analyze FILE -f NAME``    — run the §2/§3 analysis, print the
@@ -8,26 +16,33 @@ Commands:
   transformed source (plus wrapper forms).
 * ``run FILE -e EXPR``        — evaluate the program and an expression
   on the simulated machine; prints the value and machine statistics.
+* ``serve``                   — host the facade as a long-lived
+  concurrent NDJSON socket service (see :mod:`repro.serve`).
 * ``chaos``                   — sweep the paper workloads across the
   seeded fault matrix and assert sequentializability survives every
-  plan (exit 1 on any silent wrong answer).
+  plan (exit 1 on any silent wrong answer); ``--out`` writes the
+  robustness report as a versioned envelope.
 * ``trace WORKLOAD``          — run a named paper workload with the
   flight recorder armed end to end and export the trace
   (``--trace-out``, Chrome ``trace_event`` or JSONL format).
 * ``bench``                   — run the pinned perf suite (baseline vs
-  optimized mode, median-of-N), write ``BENCH_perf.json``, and with
+  optimized mode, median-of-N), write the enveloped report, and with
   ``--compare BASELINE.json --max-regress PCT`` gate on regressions
   (exit 1 when any case regresses beyond the threshold).
 * ``sweep``                   — run a parameter-sweep grid (fig06/
   fig07/fig10 families + analytic-model validation) across
   ``--workers`` OS processes through the persistent result cache,
-  writing one JSON report; exit 1 on failed points or (with
+  writing one enveloped JSON report; exit 1 on failed points or (with
   ``--min-hit-rate``) on a cold cache.
 
-``run``, ``chaos``, and ``trace`` all take ``--profile`` (print phase
-timings and counters) and ``--trace-out PATH`` (write the recorded
-trace; ``--trace-format`` picks the encoding).  Exit code 2 flags a
-usage error: unknown workload/plan, or an unwritable trace path.
+``analyze``, ``transform``, and ``run`` take ``--json`` to print the
+facade result's deterministic JSON instead of the human rendering.
+``run``, ``chaos``, ``sweep``, ``serve``, and ``trace`` all take
+``--profile`` (print phase timings and counters) and ``--trace-out
+PATH`` (write the recorded trace; ``--trace-format`` picks the
+encoding).  Exit code 2 flags a usage error: unknown
+workload/plan/grid, an unreadable input, or an unwritable output path.
+Running ``repro`` with no subcommand prints help and exits 2.
 
 Every file-taking command reads ``(declaim ...)`` forms from the file.
 """
@@ -35,14 +50,11 @@ Every file-taking command reads ``(declaim ...)`` forms from the file.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
-from repro.lisp.interpreter import Interpreter
-from repro.runtime.clock import CostModel, FREE_SYNC
-from repro.runtime.machine import Machine
-from repro.sexpr.printer import pretty_str, write_str
-from repro.transform.pipeline import Curare
+from repro import api
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,13 +62,17 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Curare: restructure Lisp programs for concurrent execution",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command")
 
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("file", help="Lisp source file (with declaim forms)")
     common.add_argument(
         "--assume-sapp", action="store_true",
         help="treat every parameter as SAPP-declared (experiment mode)",
+    )
+    common.add_argument(
+        "--json", action="store_true",
+        help="print the facade result as deterministic JSON",
     )
 
     obs_common = argparse.ArgumentParser(add_help=False)
@@ -123,6 +139,35 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--timeline", action="store_true",
                        help="print the occupancy sparkline and process gantt")
 
+    p_serve = sub.add_parser(
+        "serve", parents=[obs_common],
+        help="host the analysis facade as a concurrent NDJSON service",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="bind port (default: 0 = ephemeral; the "
+                              "bound port is printed on startup)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="worker threads executing engine requests "
+                              "(default: 4)")
+    p_serve.add_argument("--backlog", type=int, default=16,
+                         help="admission queue beyond the workers; further "
+                              "requests are rejected with 'overloaded' "
+                              "(default: 16)")
+    p_serve.add_argument("--deadline-ms", type=float, default=30_000.0,
+                         help="default per-request deadline when the "
+                              "request carries none (default: 30000)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SEC",
+                         help="max seconds to wait for in-flight work on "
+                              "shutdown (default: 30)")
+    p_serve.add_argument("--chaos-seed", type=int, default=None,
+                         help="inject seeded request faults (rejections + "
+                              "delays) in front of real work")
+    p_serve.add_argument("--chaos-budget", type=int, default=64,
+                         help="max chaos faults injected (default: 64)")
+
     p_chaos = sub.add_parser(
         "chaos", parents=[obs_common],
         help="sweep paper workloads across the seeded fault matrix",
@@ -143,6 +188,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--misdeclared", action="store_true",
                          help="also attack the intentionally mis-declared "
                               "workload (must recover, not fail)")
+    p_chaos.add_argument("--out", metavar="PATH", default=None,
+                         help="write the robustness report as a versioned "
+                              "JSON envelope")
 
     p_bench = sub.add_parser(
         "bench",
@@ -215,12 +263,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load(path: str, assume_sapp: bool, recorder=None) -> Curare:
-    interp = Interpreter()
-    curare = Curare(interp, assume_sapp=assume_sapp, recorder=recorder)
-    with open(path, encoding="utf-8") as handle:
-        curare.load_program(handle.read())
-    return curare
+def _read_source(path: str) -> Optional[str]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as err:
+        print(f";; cannot read {path!r}: {err}", file=sys.stderr)
+        return None
+
+
+def _api_error(err: api.ApiError) -> int:
+    """Map a facade error onto a one-line diagnostic and an exit code:
+    caller mistakes are usage errors (2), engine refusals/failures are
+    run failures (1)."""
+    print(f";; {err}", file=sys.stderr)
+    return 2 if err.code == "bad_request" else 1
 
 
 def _make_recorder(args: argparse.Namespace):
@@ -260,121 +317,150 @@ def _finish_observability(recorder, args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis.report import explain
-
-    curare = _load(args.file, args.assume_sapp)
-    analysis = curare.analyze(args.function)
-    print(explain(analysis).render())
+    source = _read_source(args.file)
+    if source is None:
+        return 2
+    try:
+        result = api.analyze(source, args.function,
+                             assume_sapp=args.assume_sapp)
+    except api.ApiError as err:
+        return _api_error(err)
+    print(result.to_json(indent=2) if args.json else result.text, end=""
+          if args.json else "\n")
     return 0
 
 
 def cmd_transform(args: argparse.Namespace) -> int:
-    curare = _load(args.file, args.assume_sapp)
-    if args.whole_program:
-        from repro.transform.program import transform_program
-
-        program_result = transform_program(
-            curare,
-            suffix=args.suffix,
-            mode=args.mode,
-            early_release=args.early_release,
-            use_delay=args.use_delay,
-            prefer_dps=not args.no_dps,
-        )
-        print(program_result.report())
-        for outcome in program_result.transformed.values():
-            print()
-            print(pretty_str(outcome.final_form))
-            for form in outcome.extra_forms:
-                print(pretty_str(form))
-        return 0
-    result = curare.transform(
-        args.function,
-        suffix=args.suffix,
+    source = _read_source(args.file)
+    if source is None:
+        return 2
+    options = api.TransformOptions(
         mode=args.mode,
+        suffix=args.suffix,
         early_release=args.early_release,
         use_delay=args.use_delay,
         prefer_dps=not args.no_dps,
+        whole_program=args.whole_program,
+        assume_sapp=args.assume_sapp,
     )
-    print(result.report())
-    if result.transformed:
+    try:
+        result = api.transform(source, args.function, options)
+    except api.ApiError as err:
+        return _api_error(err)
+    if args.json:
+        print(result.to_json(indent=2), end="")
+        return 0 if result.transformed else 1
+    print(result.report_text)
+    for group in result.forms:
         print()
-        print(pretty_str(result.final_form))
-        for form in result.extra_forms:
-            print(pretty_str(form))
-        return 0
-    return 1
+        for form in group:
+            print(form)
+    return 0 if result.transformed else 1
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     recorder = _make_recorder(args)
-    curare = _load(args.file, args.assume_sapp, recorder=recorder)
-    for name in args.transform:
-        outcome = curare.transform(name)
-        if not outcome.transformed:
-            print(f";; could not transform {name}: {outcome.reason}",
-                  file=sys.stderr)
-            return 1
-    cost = FREE_SYNC if args.free_sync else CostModel()
-    faults = None
-    if args.faults is not None:
-        from repro.runtime.faults import fault_matrix
-
-        plans = {p.name: p for p in fault_matrix(args.seed or 0)}
-        if args.faults not in plans:
-            print(f";; unknown fault plan {args.faults!r}; "
-                  f"choose from: {', '.join(sorted(plans))}", file=sys.stderr)
-            return 2
-        faults = plans[args.faults]
-    detector = None
-    if args.race_check:
-        from repro.runtime.racecheck import RaceDetector
-
-        detector = RaceDetector()
-    machine = Machine(
-        curare.interp,
+    source = _read_source(args.file)
+    if source is None:
+        return 2
+    options = api.RunOptions(
         processors=args.processors,
-        cost_model=cost,
-        policy="random" if args.seed is not None else "fifo",
+        transform=tuple(args.transform),
+        assume_sapp=args.assume_sapp,
+        free_sync=args.free_sync,
         seed=args.seed,
-        faults=faults,
-        race_detector=detector,
+        faults=args.faults,
+        race_check=args.race_check,
         lock_wait_timeout=args.lock_wait_timeout,
+        timeline=args.timeline,
+    )
+    try:
+        result = api.run(source, args.expr, options, recorder=recorder)
+    except api.ApiError as err:
+        return _api_error(err)
+    if args.json:
+        print(result.to_json(indent=2), end="")
+        return _finish_observability(recorder, args)
+    print(f";; value: {result.value}")
+    for output in result.outputs:
+        print(f";; output: {output}")
+    print(
+        f";; machine: {result.total_time} steps, {result.processes} "
+        f"process(es), mean concurrency {result.mean_concurrency:.2f}, "
+        f"utilization {result.utilization:.2f}"
+    )
+    if result.seed is not None:
+        print(f";; seed: {result.seed} (scheduling"
+              + (" + fault plan)" if result.fault_plan is not None else ")"))
+    if result.fault_plan is not None:
+        print(f";; faults: {result.fault_plan}")
+    if result.races is not None:
+        print(f";; races: {result.races}")
+    if result.timeline is not None:
+        print(result.timeline)
+    return _finish_observability(recorder, args)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import ReproServer, RequestFaultPlan, ServeConfig
+
+    if args.workers < 1 or args.backlog < 0:
+        print(";; serve: --workers must be >= 1 and --backlog >= 0",
+              file=sys.stderr)
+        return 2
+    recorder = _make_recorder(args)
+    chaos = None
+    if args.chaos_seed is not None:
+        chaos = RequestFaultPlan(args.chaos_seed, budget=args.chaos_budget)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backlog=args.backlog,
+        default_deadline_ms=args.deadline_ms,
+        drain_timeout=args.drain_timeout,
+        chaos=chaos,
         recorder=recorder,
     )
-    main = machine.spawn_text(args.expr)
-    stats = machine.run()
-    print(f";; value: {write_str(main.result)}")
-    for output in machine.outputs:
-        print(f";; output: {write_str(output)}")
-    print(
-        f";; machine: {stats.total_time} steps, {stats.processes} "
-        f"process(es), mean concurrency {stats.mean_concurrency:.2f}, "
-        f"utilization {stats.utilization:.2f}"
-    )
-    if args.seed is not None:
-        print(f";; seed: {args.seed} (scheduling"
-              + (" + fault plan)" if faults is not None else ")"))
-    if faults is not None:
-        print(f";; faults: {faults.describe()}")
-    if detector is not None:
-        print(f";; races: {detector.summary()}")
-    if args.timeline:
-        from repro.harness.timeline import occupancy_sparkline, process_gantt
+    server = ReproServer(config)
+    try:
+        host, port = server.start()
+    except OSError as err:
+        print(f";; serve: cannot bind {args.host}:{args.port}: {err}",
+              file=sys.stderr)
+        return 2
+    print(f";; serve: listening on {host}:{port} "
+          f"({config.workers} worker(s), backlog {config.backlog})",
+          flush=True)
+    if chaos is not None:
+        print(f";; serve: chaos {chaos.describe()}", flush=True)
 
-        print(occupancy_sparkline(stats, processors=args.processors))
-        print(process_gantt(machine))
+    def _request_drain(_signum, _frame):
+        print(";; serve: drain requested", flush=True)
+        server.request_drain()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _request_drain)
+    server.serve_forever()
+    counters = server.service.counters()
+    print(f";; serve: drained "
+          f"({counters.get('serve.request.ok', 0)} ok, "
+          f"{counters.get('serve.request.rejected', 0)} rejected, "
+          f"{counters.get('serve.request.deadline_exceeded', 0)} "
+          f"deadline-exceeded)", flush=True)
     return _finish_observability(recorder, args)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.harness.chaos import (
         chaos_sweep,
+        fault_matrix,
         misdeclared_workload,
         paper_workloads,
     )
-    from repro.harness.report import format_robustness
-    from repro.runtime.faults import fault_matrix
+    from repro.harness.report import format_robustness, robustness_envelope
 
     plans = fault_matrix(args.seed, budget=args.budget)
     if args.plans:
@@ -398,6 +484,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         recorder=recorder,
     )
     print(format_robustness(report))
+    if args.out:
+        from repro.envelope import dumps
+
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(dumps(robustness_envelope(report)))
+        except OSError as err:
+            print(f";; cannot write report to {args.out!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        print(f";; report: {args.out}")
     obs_code = _finish_observability(recorder, args)
     if obs_code != 0:
         return obs_code
@@ -405,8 +502,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    import json
-
+    from repro.envelope import KIND_PERF, EnvelopeError, dumps, unwrap, wrap
     from repro.perf.bench import (
         BENCH_CASES,
         compare_reports,
@@ -426,8 +522,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         try:
             with open(args.out, "w", encoding="utf-8") as handle:
-                json.dump(report, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+                handle.write(dumps(wrap(KIND_PERF, report)))
         except OSError as err:
             print(f";; cannot write report to {args.out!r}: {err}",
                   file=sys.stderr)
@@ -438,9 +533,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         try:
             with open(args.compare, encoding="utf-8") as handle:
-                baseline = json.load(handle)
+                baseline_doc = json.load(handle)
         except (OSError, ValueError) as err:
             print(f";; cannot read baseline {args.compare!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = unwrap(baseline_doc, KIND_PERF)
+        except EnvelopeError as err:
+            print(f";; invalid baseline {args.compare!r}: {err}",
                   file=sys.stderr)
             return 2
         problems = validate_report(baseline)
@@ -461,49 +562,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    import time
-
-    from repro.scale import (
-        build_report,
-        dumps_report,
-        format_sweep,
-        grid_jobs,
-        grid_names,
-        run_jobs,
-    )
-
     if args.list:
-        for name in grid_names():
-            print(f"{name:<8} {len(grid_jobs(name))} point(s)")
+        for name, points in api.sweep_grids().items():
+            print(f"{name:<8} {points} point(s)")
         return 0
-    try:
-        jobs = grid_jobs(args.grid)
-    except KeyError:
-        print(f";; unknown grid {args.grid!r}; "
-              f"choose from: {', '.join(grid_names())}", file=sys.stderr)
-        return 2
-    if args.workers < 0:
-        print(";; --workers must be >= 0", file=sys.stderr)
-        return 2
     cache_dir = None if args.no_cache else args.cache_dir
     recorder = _make_recorder(args)
-    start = time.perf_counter()
-    outcomes = run_jobs(
-        jobs,
+    options = api.SweepOptions(
         workers=args.workers,
         job_timeout=args.job_timeout,
         cache_dir=cache_dir,
-        recorder=recorder,
     )
-    total_ms = (time.perf_counter() - start) * 1000.0
-    report = build_report(args.grid, outcomes, args.workers, cache_dir,
-                          total_ms)
-    print(format_sweep(report))
+    try:
+        report = api.sweep(args.grid, options, recorder=recorder)
+    except api.ApiError as err:
+        return _api_error(err)
+    print(report.format())
     out = args.out if args.out is not None else f"sweep-{args.grid}.json"
     if out:
+        from repro.envelope import dumps
+
         try:
             with open(out, "w", encoding="utf-8") as handle:
-                handle.write(dumps_report(report))
+                handle.write(dumps(report.to_dict()))
         except OSError as err:
             print(f";; cannot write report to {out!r}: {err}",
                   file=sys.stderr)
@@ -512,10 +593,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     obs_code = _finish_observability(recorder, args)
     if obs_code != 0:
         return obs_code
-    if report["summary"]["failed"]:
+    if report.failed:
         return 1
     if args.min_hit_rate is not None:
-        rate = report["cache"]["hit_rate"] * 100.0
+        rate = report.hit_rate * 100.0
         if rate < args.min_hit_rate:
             print(f";; cache hit rate {rate:.1f}% below required "
                   f"{args.min_hit_rate:.1f}%", file=sys.stderr)
@@ -569,11 +650,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(sys.stderr)
+        return 2
     handlers = {
         "analyze": cmd_analyze,
         "transform": cmd_transform,
         "run": cmd_run,
+        "serve": cmd_serve,
         "chaos": cmd_chaos,
         "trace": cmd_trace,
         "bench": cmd_bench,

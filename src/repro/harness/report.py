@@ -1,8 +1,10 @@
-"""Tiny reporting helpers for benchmark output."""
+"""Tiny reporting helpers for benchmark output, plus the JSON form of
+the chaos sweep's robustness report (a :mod:`repro.envelope` envelope
+of kind ``"robustness"``, written by ``repro chaos --out``)."""
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Dict, Iterable, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
@@ -67,3 +69,43 @@ def format_robustness(report: Any) -> str:
         "every run passed sequentializability or recovered sequentially",
     ))
     return "\n".join(lines)
+
+
+def robustness_body(report: Any) -> Dict[str, Any]:
+    """The JSON body of a chaos sweep report (deterministic under
+    fixed seeds; there is no wall section — every field derives from
+    the simulated machine)."""
+    return {
+        "cells": [
+            {
+                "workload": o.workload,
+                "plan": o.plan,
+                "fault_seed": o.fault_seed,
+                "sched_seed": o.sched_seed,
+                "status": o.status,
+                "detail": o.detail,
+                "races": o.races,
+                "faults_injected": o.faults_injected,
+                "recovery_cause": o.recovery_cause,
+                "concurrent_time": o.concurrent_time,
+                "cross_check_agrees": o.cross_check_agrees,
+            }
+            for o in report.outcomes
+        ],
+        "summary": {
+            "runs": report.runs,
+            "passed": report.passed,
+            "recovered": report.recovered,
+            "failed": report.failed,
+            "total_faults": report.total_faults,
+            "total_races": report.total_races,
+            "ok": report.ok,
+        },
+    }
+
+
+def robustness_envelope(report: Any) -> Dict[str, Any]:
+    """The enveloped document ``repro chaos --out`` writes."""
+    from repro.envelope import KIND_ROBUSTNESS, wrap
+
+    return wrap(KIND_ROBUSTNESS, robustness_body(report))

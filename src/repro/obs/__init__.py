@@ -27,6 +27,7 @@ from repro.obs.recorder import (
     PID_MACHINE,
     PID_PIPELINE,
     PID_SCALE,
+    PID_SERVE,
     Recorder,
     check_lock_wellformedness,
     check_monotonic_timestamps,
@@ -45,6 +46,7 @@ __all__ = [
     "PID_MACHINE",
     "PID_PIPELINE",
     "PID_SCALE",
+    "PID_SERVE",
     "Recorder",
     "check_lock_wellformedness",
     "check_monotonic_timestamps",

@@ -40,12 +40,14 @@ PID_PIPELINE = 0  # Curare passes (wall clock)
 PID_MACHINE = 1  # simulated machine (tick clock)
 PID_HARNESS = 2  # harness rollups (wall clock)
 PID_SCALE = 3  # sweep driver (wall clock; one track per worker slot)
+PID_SERVE = 4  # analysis service (wall clock; one track per pool thread)
 
 PID_NAMES = {
     PID_PIPELINE: "curare pipeline (wall µs)",
     PID_MACHINE: "machine (simulated ticks)",
     PID_HARNESS: "harness (wall µs)",
     PID_SCALE: "sweep driver (wall µs)",
+    PID_SERVE: "analysis service (wall µs)",
 }
 
 #: Event phases (a subset of the Chrome trace_event phases).

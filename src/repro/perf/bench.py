@@ -57,8 +57,6 @@ from repro.perf import (
     stepper_override,
 )
 
-SCHEMA_VERSION = 1
-
 #: The acceptance gate is the combined speedup over these cases.
 GATE_CASES = ("pipeline", "fig10_replay")
 
@@ -329,8 +327,9 @@ def run_suite(
     if unknown:
         raise ValueError(f"unknown bench case(s): {', '.join(unknown)}")
 
+    # The envelope (schema_version / kind / body) is added by writers:
+    # this is the body of a "perf-bench" report (see repro.envelope).
     report: Dict[str, Any] = {
-        "schema_version": SCHEMA_VERSION,
         "repeats": repeats,
         "python": sys.version.split()[0],
         "cases": {},

@@ -1,27 +1,24 @@
 """Sweep report assembly: one JSON document per ``repro sweep``.
 
-The report has a strict determinism contract: everything outside the
-``"wall"`` section is a pure function of (grid, cache starting state) —
-running the same grid with ``--workers 8`` or ``--workers 1`` must
-produce byte-identical deterministic sections.  All wall-clock
-measurements, the worker count, and anything else that may legitimately
-differ between runs live under ``"wall"``; :func:`strip_wall` removes
+The document is a :mod:`repro.envelope` envelope of kind ``"sweep"``:
+``{"schema_version": 1, "kind": "sweep", "body": {...}}``.  The body
+has a strict determinism contract: everything outside its ``"wall"``
+section is a pure function of (grid, cache starting state) — running
+the same grid with ``--workers 8`` or ``--workers 1`` must produce
+byte-identical deterministic sections.  All wall-clock measurements,
+the worker count, and anything else that may legitimately differ
+between runs live under ``body["wall"]``; :func:`strip_wall` removes
 exactly that section, and the tests compare :func:`dumps_report` bytes
 of the stripped documents.
 """
 
 from __future__ import annotations
 
-import json
 import sys
 from typing import Any, Dict, List
 
+from repro.envelope import KIND_SWEEP, dumps, strip_wall as _strip_body, wrap
 from repro.scale.driver import OK, JobOutcome
-
-SCHEMA_VERSION = 1
-
-#: Top-level keys exempt from the byte-identity contract.
-WALL_KEYS = ("wall",)
 
 
 def build_report(
@@ -31,7 +28,7 @@ def build_report(
     cache_dir: "str | None",
     total_wall_ms: float,
 ) -> Dict[str, Any]:
-    """Assemble the report dict from a sweep's outcomes."""
+    """Assemble the enveloped report from a sweep's outcomes."""
     points = [
         {
             "id": o.job.id,
@@ -52,8 +49,7 @@ def build_report(
     }
     lookups = cache["hits"] + cache["misses"] + cache["invalid"]
     cache["hit_rate"] = round(cache["hits"] / lookups, 4) if lookups else 0.0
-    return {
-        "schema_version": SCHEMA_VERSION,
+    body = {
         "grid": grid,
         "points": points,
         "summary": _summarize(outcomes),
@@ -67,6 +63,7 @@ def build_report(
             "cache_dir": cache_dir,
         },
     }
+    return wrap(KIND_SWEEP, body)
 
 
 def _summarize(outcomes: List[JobOutcome]) -> Dict[str, Any]:
@@ -114,22 +111,24 @@ def _summarize(outcomes: List[JobOutcome]) -> Dict[str, Any]:
 
 
 def strip_wall(report: Dict[str, Any]) -> Dict[str, Any]:
-    """The deterministic body: the report minus its wall-time section."""
-    return {k: v for k, v in report.items() if k not in WALL_KEYS}
+    """The deterministic document: the envelope with the body's
+    wall-time section removed."""
+    return {**report, "body": _strip_body(report["body"])}
 
 
 def dumps_report(report: Dict[str, Any]) -> str:
     """The canonical on-disk serialization (stable key order)."""
-    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+    return dumps(report)
 
 
 def format_sweep(report: Dict[str, Any]) -> str:
     """Human-readable sweep summary for the CLI."""
-    summary = report["summary"]
-    cache = report["cache"]
-    wall = report["wall"]
+    body = report["body"]
+    summary = body["summary"]
+    cache = body["cache"]
+    wall = body["wall"]
     lines = [
-        f";; sweep: grid={report['grid']} jobs={summary['jobs']} "
+        f";; sweep: grid={body['grid']} jobs={summary['jobs']} "
         f"ok={summary['ok']} workers={wall['workers']} "
         f"wall={wall['total_ms']:.0f}ms"
     ]

@@ -1,0 +1,50 @@
+"""``repro serve`` — a long-lived concurrent analysis service.
+
+The service hosts the stable :mod:`repro.api` facade behind a
+newline-delimited-JSON socket protocol with a worker thread pool,
+bounded admission (explicit backpressure), per-request deadlines and
+cancellation, single-flight coalescing of identical in-flight
+requests, warm shared :mod:`repro.perf` caches, chaos-mode request
+faults, and graceful drain.  See :mod:`repro.serve.protocol` for the
+wire format and :mod:`repro.serve.server` for the architecture.
+"""
+
+from repro.serve.chaos import FAULT_DELAY, FAULT_REJECT, RequestFaultPlan
+from repro.serve.protocol import (
+    CONTROL_OPS,
+    ENGINE_OPS,
+    ERROR_CODES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    decode_response,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+    request_line,
+)
+from repro.serve.server import AnalysisService, ReproServer, ServeConfig
+
+__all__ = [
+    "AnalysisService",
+    "CONTROL_OPS",
+    "ENGINE_OPS",
+    "ERROR_CODES",
+    "FAULT_DELAY",
+    "FAULT_REJECT",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReproServer",
+    "Request",
+    "RequestFaultPlan",
+    "ServeConfig",
+    "decode_response",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "request_line",
+]

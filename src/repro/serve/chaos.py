@@ -1,0 +1,92 @@
+"""Chaos-mode request faults for the analysis service.
+
+The PR-1 fault layer perturbs the *simulated machine's* timing to
+attack the sequential-equivalence guarantee; this module applies the
+same trust-but-verify discipline to the *hosting* layer.  A seeded
+:class:`RequestFaultPlan` injects two semantics-preserving pressures in
+front of real requests:
+
+* **reject** — the request is refused with the same structured
+  ``overloaded`` error organic backpressure produces (tagged
+  ``"fault": "inject-reject"`` so tests can tell them apart);
+* **delay** — the worker sleeps before computing, driving slow-path
+  machinery: deadline expiry, coalesced waiters timing out at
+  different moments, drain with stragglers in flight.
+
+Faults never corrupt a response body: a chaos-mode server still
+returns either a correct result or a structured error — the serving
+analogue of "no silent wrong answers".
+
+Determinism: the plan owns a private ``random.Random(seed)`` consumed
+once per admission decision in arrival order, and each kind has a
+finite budget, so a chaos smoke run is bounded and (for a fixed
+arrival order) replayable.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Optional, Tuple
+
+FAULT_REJECT = "inject-reject"
+FAULT_DELAY = "inject-delay"
+
+
+class RequestFaultPlan:
+    """Seeded, budgeted request-fault injection for the server."""
+
+    name = "serve-mixed"
+
+    def __init__(
+        self,
+        seed: int,
+        reject_rate: float = 0.15,
+        delay_rate: float = 0.25,
+        delay_ms: Tuple[float, float] = (5.0, 120.0),
+        budget: int = 64,
+    ):
+        self.seed = seed
+        self.reject_rate = reject_rate
+        self.delay_rate = delay_rate
+        self.delay_ms = delay_ms
+        self.budget = budget
+        self.injected: dict[str, int] = {FAULT_REJECT: 0, FAULT_DELAY: 0}
+        self._rng = random.Random(seed)
+        # Arrival order is decided under this lock so concurrent
+        # connections draw from one deterministic stream.
+        self._lock = threading.Lock()
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def on_request(self) -> Optional[Tuple[str, float]]:
+        """Decide the fault for one arriving engine request.
+
+        Returns ``None`` (no fault), ``(FAULT_REJECT, 0)``, or
+        ``(FAULT_DELAY, milliseconds)``.
+        """
+        with self._lock:
+            if self.total_injected >= self.budget:
+                return None
+            roll = self._rng.random()
+            if roll < self.reject_rate:
+                self.injected[FAULT_REJECT] += 1
+                return FAULT_REJECT, 0.0
+            if roll < self.reject_rate + self.delay_rate:
+                lo, hi = self.delay_ms
+                delay = self._rng.uniform(lo, hi)
+                self.injected[FAULT_DELAY] += 1
+                return FAULT_DELAY, delay
+            return None
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(seed={self.seed}): "
+            f"reject@{self.reject_rate:.0%} delay@{self.delay_rate:.0%} "
+            f"{self.delay_ms[0]:.0f}-{self.delay_ms[1]:.0f}ms, "
+            f"budget {self.budget}, injected {self.total_injected} "
+            f"({self.injected[FAULT_REJECT]} reject, "
+            f"{self.injected[FAULT_DELAY]} delay)"
+        )

@@ -1,0 +1,192 @@
+"""The ``repro serve`` wire protocol: newline-delimited JSON.
+
+One request per line, one response line per request, responses carry
+the request's ``id`` (they may be written in any order; this server
+answers a connection's requests in order because each connection
+processes one request at a time).
+
+Request::
+
+    {"id": "r1", "op": "run", "params": {...}, "deadline_ms": 5000}
+
+* ``id`` — caller-chosen correlation token (string or number; echoed).
+* ``op`` — one of ``analyze`` / ``transform`` / ``run`` / ``sweep``
+  (engine requests, executed on the worker pool) or ``health`` /
+  ``stats`` (served inline, never queued, never rejected).
+* ``params`` — keyword arguments of the matching :mod:`repro.api`
+  facade call (e.g. for ``run``: ``source``, ``expr``, plus any
+  :class:`repro.api.RunOptions` field).
+* ``deadline_ms`` — optional per-request deadline; the server default
+  applies when absent.
+
+Success response::
+
+    {"v": 1, "id": "r1", "ok": true, "op": "run",
+     "result": {...}, "wall_ms": 12.3}
+
+``result`` is exactly the facade result's ``to_dict()`` — byte-
+identical (modulo its ``wall`` section) to what ``repro run --json``
+prints for the same inputs.
+
+Error response::
+
+    {"v": 1, "id": "r1", "ok": false,
+     "error": {"code": "overloaded", "message": "..."}, "wall_ms": 0.1}
+
+Error codes (stable vocabulary):
+
+* ``bad_request``        — malformed JSON, unknown op, bad params.
+* ``overloaded``         — admission queue full; the 429-style
+  backpressure signal.  Retry later; the server never queues unboundedly.
+* ``deadline_exceeded``  — the deadline elapsed before the result.
+* ``shutting_down``      — the server is draining; no new work.
+* ``transform_refused``  — Curare declined a prerequisite transform.
+* ``engine_error``       — the engine failed on well-formed input.
+* ``internal``           — unexpected server-side failure.
+
+An injected chaos fault (``--chaos-seed``) adds ``"fault": <kind>`` to
+the error object so clients and tests can tell synthetic pressure from
+organic pressure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+PROTOCOL_VERSION = 1
+
+#: Engine ops run on the worker pool; control ops are served inline.
+ENGINE_OPS = ("analyze", "transform", "run", "sweep")
+CONTROL_OPS = ("health", "stats")
+OPS = ENGINE_OPS + CONTROL_OPS
+
+ERR_BAD_REQUEST = "bad_request"
+ERR_OVERLOADED = "overloaded"
+ERR_DEADLINE = "deadline_exceeded"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_TRANSFORM_REFUSED = "transform_refused"
+ERR_ENGINE = "engine_error"
+ERR_INTERNAL = "internal"
+
+ERROR_CODES = (
+    ERR_BAD_REQUEST,
+    ERR_OVERLOADED,
+    ERR_DEADLINE,
+    ERR_SHUTTING_DOWN,
+    ERR_TRANSFORM_REFUSED,
+    ERR_ENGINE,
+    ERR_INTERNAL,
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed, validated request line."""
+
+    id: Union[str, int, None]
+    op: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    deadline_ms: Optional[float] = None
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be accepted; carries the request id
+    when one could be recovered from the malformed document."""
+
+    def __init__(self, message: str, request_id: Any = None):
+        super().__init__(message)
+        self.request_id = request_id
+
+
+def parse_request(line: str) -> Request:
+    """Parse one NDJSON request line; raises :class:`ProtocolError`."""
+    try:
+        obj = json.loads(line)
+    except ValueError as err:
+        raise ProtocolError(f"malformed JSON: {err}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(obj).__name__}"
+        )
+    request_id = obj.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise ProtocolError("'id' must be a string or number")
+    op = obj.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; choose from: {', '.join(OPS)}",
+            request_id,
+        )
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be an object", request_id)
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) \
+                or isinstance(deadline_ms, bool) or deadline_ms <= 0:
+            raise ProtocolError(
+                "'deadline_ms' must be a positive number", request_id
+            )
+        deadline_ms = float(deadline_ms)
+    return Request(id=request_id, op=op, params=params,
+                   deadline_ms=deadline_ms)
+
+
+def ok_response(request_id: Any, op: str, result: Dict[str, Any],
+                wall_ms: float) -> Dict[str, Any]:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "op": op,
+        "result": result,
+        "wall_ms": round(wall_ms, 3),
+    }
+
+
+def error_response(request_id: Any, code: str, message: str,
+                   wall_ms: float = 0.0,
+                   fault: Optional[str] = None) -> Dict[str, Any]:
+    assert code in ERROR_CODES, code
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if fault is not None:
+        error["fault"] = fault
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error,
+        "wall_ms": round(wall_ms, 3),
+    }
+
+
+def encode(response: Dict[str, Any]) -> bytes:
+    """One response line: canonical JSON + newline."""
+    return (json.dumps(response, sort_keys=True, separators=(",", ":"),
+                       ensure_ascii=False) + "\n").encode("utf-8")
+
+
+def decode_response(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Client-side helper: parse one response line."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ProtocolError("response must be a JSON object")
+    return obj
+
+
+def request_line(op: str, params: Optional[Dict[str, Any]] = None,
+                 request_id: Any = None,
+                 deadline_ms: Optional[float] = None) -> bytes:
+    """Client-side helper: build one request line."""
+    obj: Dict[str, Any] = {"op": op}
+    if request_id is not None:
+        obj["id"] = request_id
+    if params:
+        obj["params"] = params
+    if deadline_ms is not None:
+        obj["deadline_ms"] = deadline_ms
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")

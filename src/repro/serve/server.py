@@ -1,0 +1,513 @@
+"""A long-lived concurrent analysis service over :mod:`repro.api`.
+
+Two layers:
+
+* :class:`AnalysisService` — socket-free engine host: a thread pool
+  over the facade with **bounded admission** (explicit ``overloaded``
+  rejection once ``workers + backlog`` requests are in the house —
+  never unbounded queueing), **per-request deadlines** (a waiter whose
+  deadline passes gets ``deadline_exceeded``; when *every* waiter of a
+  computation has given up the computation is cancelled before it
+  starts), **single-flight coalescing** (identical in-flight requests,
+  keyed on the content-addressed digest of ``(op, params)``, compute
+  once and fan the result out to every waiter), and **graceful drain**
+  (new engine work refused with ``shutting_down``; in-flight work
+  completes and is delivered).
+* :class:`ReproServer` — the NDJSON/TCP front: one reader thread per
+  connection, one request processed per connection at a time,
+  responses written in request order.
+
+Correctness contract: a response body is exactly the facade result's
+``to_dict()``, so a served answer is byte-identical (modulo ``wall``)
+to a single-shot ``repro <op> --json`` invocation — the hosting layer
+preserves the engine's output-equivalence guarantee.  Coalescing is
+sound for the same reason the result cache is: facade calls are
+deterministic modulo wall, so one computation *is* every identical
+computation.
+
+Because all requests share one process, the :mod:`repro.perf` caches
+(automata derivations, interned regexes) stay warm across requests —
+the service gets the warm-path speedups ``repro bench`` measures
+without any per-request work.
+
+Observability: with a recorder attached the service emits
+``serve.request`` spans on the ``PID_SERVE`` track (one lane per pool
+thread) and ``serve.request.*`` counters; the same counters back the
+``stats`` op.  Chaos mode (:mod:`repro.serve.chaos`) injects seeded
+rejections and delays in front of real work to exercise the
+backpressure and deadline paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro import api
+from repro.serve.chaos import FAULT_REJECT, RequestFaultPlan
+from repro.serve.protocol import (
+    CONTROL_OPS,
+    ERR_BAD_REQUEST,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+    ERROR_CODES,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service + server configuration (the ``repro serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 → ephemeral; the bound port is printed/returned
+    workers: int = 4
+    backlog: int = 16  # admission beyond the workers; 429 past this
+    default_deadline_ms: float = 30_000.0
+    drain_timeout: float = 30.0
+    chaos: Optional[RequestFaultPlan] = None
+    recorder: Any = None
+
+
+class _Flight:
+    """One in-flight computation; every coalesced waiter shares it."""
+
+    __slots__ = ("key", "op", "event", "cancel", "waiters", "outcome")
+
+    def __init__(self, key: str, op: str):
+        self.key = key
+        self.op = op
+        self.event = threading.Event()
+        self.cancel = threading.Event()
+        self.waiters = 1
+        # (True, result_dict) | (False, error_code, message)
+        self.outcome: Optional[Tuple] = None
+
+
+class AnalysisService:
+    """The engine host: thread pool + admission + coalescing + drain."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="repro-serve"
+        )
+        self._slots = threading.Semaphore(config.workers + config.backlog)
+        self._flights: Dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._obs_lock = threading.Lock()
+        self._tids: Dict[int, int] = {}
+        self._draining = False
+        self._started = time.perf_counter()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._obs_lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+            if self.config.recorder is not None:
+                self.config.recorder.count(name, n)
+
+    def _track(self) -> int:
+        """Dense per-pool-thread track id for the PID_SERVE lane."""
+        ident = threading.get_ident()
+        with self._obs_lock:
+            if ident not in self._tids:
+                self._tids[ident] = len(self._tids)
+            return self._tids[ident]
+
+    def _span(self, ph: str, tid: int, args: Optional[dict] = None) -> None:
+        recorder = self.config.recorder
+        if recorder is None:
+            return
+        from repro.obs.recorder import PID_SERVE
+
+        with self._obs_lock:
+            recorder.event("serve.request", "serve", ph=ph,
+                           pid=PID_SERVE, tid=tid, args=args or {})
+
+    @property
+    def in_flight(self) -> int:
+        with self._flights_lock:
+            return len(self._flights)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def counters(self) -> Dict[str, int]:
+        with self._obs_lock:
+            return dict(sorted(self._counters.items()))
+
+    # -- request handling --------------------------------------------------
+
+    def handle(self, request: Request) -> Dict[str, Any]:
+        """Serve one request; always returns a response document."""
+        start = time.perf_counter()
+        if request.op in CONTROL_OPS:
+            self._count("serve.control")
+            body = (self._health() if request.op == "health"
+                    else self._stats())
+            return ok_response(request.id, request.op, body,
+                              (time.perf_counter() - start) * 1000.0)
+        if self._draining:
+            self._count("serve.request.shutting_down")
+            return error_response(
+                request.id, ERR_SHUTTING_DOWN,
+                "server is draining; no new work accepted",
+                (time.perf_counter() - start) * 1000.0,
+            )
+        delay_ms = 0.0
+        if self.config.chaos is not None:
+            fault = self.config.chaos.on_request()
+            if fault is not None:
+                self._count("serve.request.fault_injected")
+                kind, value = fault
+                if kind == FAULT_REJECT:
+                    self._count("serve.request.rejected")
+                    return error_response(
+                        request.id, ERR_OVERLOADED,
+                        "chaos fault: synthetic admission rejection; "
+                        "retry later",
+                        (time.perf_counter() - start) * 1000.0,
+                        fault=kind,
+                    )
+                delay_ms = value
+        deadline_s = (request.deadline_ms
+                      if request.deadline_ms is not None
+                      else self.config.default_deadline_ms) / 1000.0
+        deadline_end = start + deadline_s
+        key = api.content_digest({"op": request.op, "params": request.params})
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.waiters += 1
+                self._count("serve.request.coalesced")
+            else:
+                if not self._slots.acquire(blocking=False):
+                    self._count("serve.request.rejected")
+                    return error_response(
+                        request.id, ERR_OVERLOADED,
+                        f"admission queue full "
+                        f"({self.config.workers} worker(s) + "
+                        f"{self.config.backlog} queued); retry later",
+                        (time.perf_counter() - start) * 1000.0,
+                    )
+                flight = _Flight(key, request.op)
+                self._flights[key] = flight
+                self._count("serve.request.accepted")
+                self._executor.submit(self._compute, flight,
+                                      dict(request.params), delay_ms)
+        finished = flight.event.wait(max(0.0,
+                                         deadline_end - time.perf_counter()))
+        if not finished:
+            with self._flights_lock:
+                flight.waiters -= 1
+                if flight.waiters == 0 and not flight.event.is_set():
+                    # Nobody is waiting any more: cancel the compute
+                    # cooperatively (it checks before touching the engine).
+                    flight.cancel.set()
+            self._count("serve.request.deadline_exceeded")
+            return error_response(
+                request.id, ERR_DEADLINE,
+                f"deadline of {deadline_s * 1000.0:.0f}ms exceeded",
+                (time.perf_counter() - start) * 1000.0,
+            )
+        with self._flights_lock:
+            flight.waiters -= 1
+        outcome = flight.outcome
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        assert outcome is not None
+        if outcome[0]:
+            self._count("serve.request.ok")
+            return ok_response(request.id, request.op, outcome[1], wall_ms)
+        _, code, message = outcome
+        self._count(f"serve.request.error.{code}")
+        return error_response(request.id, code, message, wall_ms)
+
+    # -- the pool side -----------------------------------------------------
+
+    def _compute(self, flight: _Flight, params: Dict[str, Any],
+                 delay_ms: float) -> None:
+        tid = self._track()
+        self._span("B", tid, {"op": flight.op, "key": flight.key[:12]})
+        status = "ok"
+        try:
+            if delay_ms:
+                # Chaos delay; interruptible so a cancelled flight does
+                # not hold its admission slot for the full delay.
+                flight.cancel.wait(delay_ms / 1000.0)
+            if flight.cancel.is_set():
+                status = "cancelled"
+                self._count("serve.request.cancelled")
+                outcome: Tuple = (False, ERR_DEADLINE,
+                                  "cancelled before execution: every "
+                                  "waiter's deadline expired")
+            else:
+                outcome = (True, self._engine_call(flight.op, params))
+        except api.ApiError as err:
+            status = err.code
+            code = err.code if err.code in ERROR_CODES else ERR_INTERNAL
+            outcome = (False, code, str(err))
+        except (TypeError, ValueError) as err:
+            status = ERR_BAD_REQUEST
+            outcome = (False, ERR_BAD_REQUEST, f"bad params: {err}")
+        except Exception as err:  # noqa: BLE001 - a request must never
+            status = ERR_INTERNAL  # take the pool down
+            outcome = (False, ERR_INTERNAL,
+                       f"{type(err).__name__}: {err}")
+        finally:
+            with self._flights_lock:
+                del self._flights[flight.key]
+                flight.outcome = outcome
+            flight.event.set()
+            self._slots.release()
+            self._span("E", tid, {"op": flight.op, "status": status})
+
+    def _engine_call(self, op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one engine op onto the facade; raises on bad params."""
+        decls = tuple(params.pop("decls", ()))
+        if op == "run":
+            source = _required_str(params, "source")
+            expr = _required_str(params, "expr")
+            options = _options(api.RunOptions, params)
+            return api.run(source, expr, options, decls=decls).to_dict()
+        if op == "analyze":
+            source = _required_str(params, "source")
+            function = _required_str(params, "function")
+            assume_sapp = bool(params.pop("assume_sapp", False))
+            _reject_unknown(params, "analyze")
+            return api.analyze(source, function, decls=decls,
+                               assume_sapp=assume_sapp).to_dict()
+        if op == "transform":
+            source = _required_str(params, "source")
+            function = _required_str(params, "function")
+            options = _options(api.TransformOptions, params)
+            return api.transform(source, function, options,
+                                 decls=decls).to_dict()
+        if op == "sweep":
+            grid = _required_str(params, "grid")
+            options = _options(api.SweepOptions, params)
+            if options.workers != 0:
+                raise api.BadRequest(
+                    "serve executes sweeps inline; params.workers must "
+                    "be 0 (the service's thread pool is the concurrency)"
+                )
+            return api.sweep(grid, options).to_dict()
+        raise api.BadRequest(f"unknown engine op {op!r}")
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "kind": "health",
+            "status": "draining" if self._draining else "ok",
+            "in_flight": self.in_flight,
+        }
+
+    def _stats(self) -> Dict[str, Any]:
+        from repro.perf import cache_stats
+
+        perf = {
+            name: {"hits": stats["hits"], "misses": stats["misses"]}
+            for name, stats in sorted(cache_stats().items())
+            if stats["hits"] + stats["misses"]
+        }
+        body: Dict[str, Any] = {
+            "kind": "stats",
+            "status": "draining" if self._draining else "ok",
+            "workers": self.config.workers,
+            "backlog": self.config.backlog,
+            "default_deadline_ms": self.config.default_deadline_ms,
+            "in_flight": self.in_flight,
+            "counters": self.counters(),
+            "perf_caches": perf,
+            "uptime_s": round(time.perf_counter() - self._started, 3),
+        }
+        if self.config.chaos is not None:
+            body["chaos"] = self.config.chaos.describe()
+        return body
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Refuse new engine work; in-flight work keeps running."""
+        self._draining = True
+
+    def drain(self) -> None:
+        """Block until every in-flight computation has completed."""
+        self.begin_drain()
+        self._executor.shutdown(wait=True)
+
+    def close(self) -> None:
+        self.drain()
+
+
+def _required_str(params: Dict[str, Any], name: str) -> str:
+    value = params.pop(name, None)
+    if not isinstance(value, str) or not value:
+        raise api.BadRequest(f"params.{name} (string) is required")
+    return value
+
+
+def _options(cls, params: Dict[str, Any]):
+    """Build a facade options dataclass from the remaining params."""
+    known = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = [k for k in params if k not in known]
+    if unknown:
+        raise api.BadRequest(
+            f"unknown param(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    coerced = dict(params)
+    if "transform" in coerced and isinstance(coerced["transform"], list):
+        coerced["transform"] = tuple(coerced["transform"])
+    try:
+        return cls(**coerced)
+    except TypeError as err:
+        raise api.BadRequest(f"bad params: {err}") from None
+
+
+def _reject_unknown(params: Dict[str, Any], op: str) -> None:
+    if params:
+        raise api.BadRequest(
+            f"unknown param(s) for {op}: {', '.join(sorted(params))}"
+        )
+
+
+class ReproServer:
+    """The NDJSON/TCP front over an :class:`AnalysisService`."""
+
+    _ACCEPT_POLL = 0.2
+
+    def __init__(self, config: ServeConfig = ServeConfig()):
+        self.config = config
+        self.service = AnalysisService(config)
+        self._sock = None
+        self._drain_requested = threading.Event()
+        self._drained = threading.Event()
+        self._conn_threads: list = []
+        self._conn_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) actually bound; valid after :meth:`start`."""
+        assert self._sock is not None, "server not started"
+        return self._sock.getsockname()[:2]
+
+    def start(self) -> Tuple[str, int]:
+        import socket
+
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(64)
+        sock.settimeout(self._ACCEPT_POLL)
+        self._sock = sock
+        return self.address
+
+    def request_drain(self) -> None:
+        """Ask the accept loop to stop and drain; idempotent, safe from
+        signal handlers and other threads."""
+        self._drain_requested.set()
+
+    def serve_forever(self) -> None:
+        """Accept connections until drain is requested, then drain:
+        stop accepting, refuse new engine requests, finish and deliver
+        in-flight work, and return."""
+        import socket as socket_mod
+
+        if self._sock is None:
+            self.start()
+        try:
+            while not self._drain_requested.is_set():
+                try:
+                    conn, _addr = self._sock.accept()
+                except socket_mod.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._handle_conn, args=(conn,), daemon=True
+                )
+                with self._conn_lock:
+                    self._conn_threads.append(thread)
+                thread.start()
+        finally:
+            self._drain()
+
+    def _drain(self) -> None:
+        self.service.begin_drain()
+        deadline = time.monotonic() + self.config.drain_timeout
+        with self._conn_lock:
+            threads = list(self._conn_threads)
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        self.service.drain()
+        if self._sock is not None:
+            self._sock.close()
+        self._drained.set()
+
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Request drain and wait for :meth:`serve_forever` to finish
+        (for embedders running it on another thread)."""
+        self.request_drain()
+        return self._drained.wait(timeout)
+
+    # -- connections -------------------------------------------------------
+
+    def _handle_conn(self, conn) -> None:
+        import socket as socket_mod
+
+        conn.settimeout(self._ACCEPT_POLL)
+        buf = b""
+        try:
+            while True:
+                try:
+                    chunk = conn.recv(65536)
+                except socket_mod.timeout:
+                    if self._drain_requested.is_set():
+                        break
+                    continue
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                buf += chunk
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    response = self._process_line(line)
+                    if response:
+                        try:
+                            conn.sendall(response)
+                        except OSError:
+                            return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _process_line(self, line: bytes) -> bytes:
+        text = line.decode("utf-8", errors="replace").strip()
+        if not text:
+            return b""
+        try:
+            request = parse_request(text)
+        except ProtocolError as err:
+            self.service._count("serve.request.bad_request")
+            return encode(error_response(err.request_id, ERR_BAD_REQUEST,
+                                         str(err)))
+        return encode(self.service.handle(request))

@@ -1,0 +1,107 @@
+"""CLI ↔ facade parity: ``repro <op> --json`` must print exactly the
+facade result's JSON — identical modulo the ``"wall"`` section.  This
+is the contract that lets the server, the CLI, and library callers
+trust they are seeing the same engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cli import main
+
+FIG5 = """
+(declaim (sapp f5 l))
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+(setq data (list 1 2 3 4))
+"""
+
+
+@pytest.fixture
+def fig5_file(tmp_path):
+    path = tmp_path / "fig5.lisp"
+    path.write_text(FIG5, encoding="utf-8")
+    return str(path)
+
+
+def _cli_json(capsys, argv):
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def _modulo_wall(doc):
+    return api.canonical_json(api.strip_wall(doc))
+
+
+class TestRunParity:
+    def test_plain_run(self, fig5_file, capsys):
+        cli = _cli_json(capsys, ["run", fig5_file, "-e", "(+ 20 22)",
+                                 "--json"])
+        facade = api.run(FIG5, "(+ 20 22)").to_dict()
+        assert _modulo_wall(cli) == _modulo_wall(facade)
+
+    def test_transform_run_with_seed_and_faults(self, fig5_file, capsys):
+        argv = ["run", fig5_file, "--transform", "f5",
+                "-e", "(progn (f5-cc data) (identity data))",
+                "--seed", "3", "--faults", "mixed", "--race-check",
+                "--json"]
+        cli = _cli_json(capsys, argv)
+        facade = api.run(
+            FIG5, "(progn (f5-cc data) (identity data))",
+            api.RunOptions(transform=("f5",), seed=3, faults="mixed",
+                           race_check=True)).to_dict()
+        assert _modulo_wall(cli) == _modulo_wall(facade)
+        assert cli["value"] == "(1 3 6 10)"
+
+    def test_json_and_human_agree_on_value(self, fig5_file, capsys):
+        cli = _cli_json(capsys, ["run", fig5_file, "-e", "(+ 1 2)",
+                                 "--json"])
+        assert main(["run", fig5_file, "-e", "(+ 1 2)"]) == 0
+        human = capsys.readouterr().out
+        assert f";; value: {cli['value']}" in human
+
+
+class TestAnalyzeParity:
+    def test_analysis_json(self, fig5_file, capsys):
+        cli = _cli_json(capsys, ["analyze", fig5_file, "-f", "f5",
+                                 "--json"])
+        facade = api.analyze(FIG5, "f5").to_dict()
+        assert _modulo_wall(cli) == _modulo_wall(facade)
+        assert cli["kind"] == "analysis"
+
+    def test_text_field_matches_human_rendering(self, fig5_file, capsys):
+        cli = _cli_json(capsys, ["analyze", fig5_file, "-f", "f5",
+                                 "--json"])
+        assert main(["analyze", fig5_file, "-f", "f5"]) == 0
+        human = capsys.readouterr().out
+        assert cli["text"].strip() == human.strip()
+
+
+class TestTransformParity:
+    def test_transform_json(self, fig5_file, capsys):
+        cli = _cli_json(capsys, ["transform", fig5_file, "-f", "f5",
+                                 "--json"])
+        facade = api.transform(FIG5, "f5").to_dict()
+        assert _modulo_wall(cli) == _modulo_wall(facade)
+
+    def test_emitted_forms_match_human_output(self, fig5_file, capsys):
+        cli = _cli_json(capsys, ["transform", fig5_file, "-f", "f5",
+                                 "--json"])
+        assert main(["transform", fig5_file, "-f", "f5"]) == 0
+        human = capsys.readouterr().out
+        for group in cli["forms"]:
+            for form in group:
+                assert form in human
+
+    def test_untransformable_json_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "plain.lisp"
+        path.write_text("(defun g (x) (* x 2))", encoding="utf-8")
+        assert main(["transform", str(path), "-f", "g", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["transformed"] is False

@@ -293,3 +293,45 @@ class TestObservabilityFlags:
         assert validate_chrome_trace(trace) == []
         names = {e["name"] for e in trace["traceEvents"]}
         assert "chaos.cell" in names and "chaos.sweep" in names
+
+
+SUBCOMMANDS = ["analyze", "transform", "run", "serve", "chaos", "bench",
+               "sweep", "trace"]
+
+
+class TestHelpAndExitCodes:
+    """The CLI's exit-code contract: bare ``repro`` prints help and
+    exits 2; ``--help`` always exits 0."""
+
+    def test_no_subcommand_prints_help_and_exits_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        for name in SUBCOMMANDS:
+            assert name in err
+
+    def test_top_level_help_exits_0(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--help"])
+        assert info.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name", SUBCOMMANDS)
+    def test_every_subcommand_help_exits_0(self, name, capsys):
+        with pytest.raises(SystemExit) as info:
+            main([name, "--help"])
+        assert info.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["frobnicate"])
+        assert info.value.code == 2
+
+    def test_serve_rejects_zero_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_backlog(self, capsys):
+        assert main(["serve", "--backlog", "-1"]) == 2
+        assert "backlog" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""The versioned report envelope: wrap/validate/unwrap, legacy shims,
+and the writers that now share it (bench, sweep, chaos)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.envelope import (
+    KIND_PERF,
+    KIND_ROBUSTNESS,
+    KIND_SWEEP,
+    KNOWN_KINDS,
+    SCHEMA_VERSION,
+    EnvelopeError,
+    dumps,
+    legacy_kind,
+    strip_wall,
+    unwrap,
+    validate_envelope,
+    wrap,
+)
+
+
+class TestWrap:
+    def test_roundtrip(self):
+        env = wrap(KIND_PERF, {"cases": {}})
+        assert env == {"schema_version": SCHEMA_VERSION,
+                       "kind": KIND_PERF, "body": {"cases": {}}}
+        assert validate_envelope(env) == []
+        assert unwrap(env, KIND_PERF) == {"cases": {}}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            wrap("mystery", {})
+
+    def test_non_dict_body_rejected(self):
+        with pytest.raises(TypeError):
+            wrap(KIND_PERF, [1, 2])
+
+
+class TestValidate:
+    def test_non_object(self):
+        assert validate_envelope([1]) == [
+            "report must be a JSON object, got list"]
+
+    def test_missing_fields(self):
+        problems = validate_envelope({})
+        assert len(problems) == 3  # version, kind, body
+
+    def test_future_version_rejected(self):
+        env = wrap(KIND_SWEEP, {})
+        env["schema_version"] = SCHEMA_VERSION + 1
+        assert any("newer" in p for p in validate_envelope(env))
+
+    def test_kind_mismatch(self):
+        env = wrap(KIND_SWEEP, {})
+        assert validate_envelope(env, KIND_PERF) == [
+            f"expected kind {KIND_PERF!r}, found {KIND_SWEEP!r}"]
+
+    def test_every_known_kind_validates(self):
+        for kind in KNOWN_KINDS:
+            assert validate_envelope(wrap(kind, {})) == []
+
+
+class TestLegacyShim:
+    """Old checked-in baselines keep working for one release."""
+
+    def test_legacy_perf_shape_detected(self):
+        assert legacy_kind({"schema_version": 1, "cases": {}}) == KIND_PERF
+
+    def test_legacy_sweep_shape_detected(self):
+        assert legacy_kind({"grid": "smoke", "points": []}) == KIND_SWEEP
+
+    def test_enveloped_doc_is_not_legacy(self):
+        assert legacy_kind(wrap(KIND_PERF, {"cases": {}})) is None
+
+    def test_unwrap_legacy_warns_and_returns_body(self):
+        legacy = {"schema_version": 1,
+                  "cases": {"pipeline": {"baseline_ms": 2.0,
+                                         "optimized_ms": 1.0}}}
+        with pytest.warns(DeprecationWarning, match="pre-envelope"):
+            body = unwrap(legacy, KIND_PERF)
+        assert body is legacy
+
+    def test_unwrap_garbage_raises(self):
+        with pytest.raises(EnvelopeError):
+            unwrap({"hello": "world"}, KIND_PERF)
+
+    def test_unwrap_wrong_kind_raises(self):
+        with pytest.raises(EnvelopeError, match="expected kind"):
+            unwrap(wrap(KIND_SWEEP, {}), KIND_PERF)
+
+
+class TestStripWall:
+    def test_removes_only_wall(self):
+        body = {"a": 1, "wall": {"ms": 3.0}, "b": 2}
+        assert strip_wall(body) == {"a": 1, "b": 2}
+
+    def test_noop_without_wall(self):
+        assert strip_wall({"a": 1}) == {"a": 1}
+
+
+class TestDumps:
+    def test_stable_and_parseable(self):
+        env = wrap(KIND_ROBUSTNESS, {"b": 2, "a": 1})
+        text = dumps(env)
+        assert text.endswith("\n")
+        assert json.loads(text) == env
+        assert text == dumps(json.loads(text))  # idempotent
+
+
+class TestWritersShareEnvelope:
+    """The three report writers all produce the same top-level shape."""
+
+    def test_sweep_report_is_enveloped(self):
+        from repro.scale import build_report, grid_jobs, run_jobs
+
+        jobs = grid_jobs("model")
+        report = build_report("model", run_jobs(jobs, workers=0), 0, None, 1.0)
+        assert validate_envelope(report, KIND_SWEEP) == []
+
+    def test_chaos_report_is_enveloped(self):
+        from repro.harness.chaos import chaos_sweep, fault_matrix, paper_workloads
+        from repro.harness.report import robustness_envelope
+
+        plans = [p for p in fault_matrix(1) if p.name == "mixed"]
+        report = chaos_sweep(paper_workloads(5)[:1], seed=1, plans=plans)
+        env = robustness_envelope(report)
+        assert validate_envelope(env, KIND_ROBUSTNESS) == []
+        assert env["body"]["summary"]["runs"] == report.runs
+
+    def test_bench_cli_writes_envelope(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert validate_envelope(doc, KIND_PERF) == []
+
+    def test_chaos_cli_writes_envelope(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "chaos.json"
+        assert main(["chaos", "--size", "5", "--plans", "mixed",
+                     "--seed", "1", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert validate_envelope(doc, KIND_ROBUSTNESS) == []
+        assert doc["body"]["summary"]["ok"] is True

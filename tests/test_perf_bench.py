@@ -26,7 +26,8 @@ def small_report():
 class TestRunSuite:
     def test_report_structure(self, small_report):
         report = small_report
-        assert report["schema_version"] == 1
+        # run_suite returns the *body*; writers wrap it in the envelope.
+        assert "schema_version" not in report
         assert report["repeats"] == 1
         assert set(report["cases"]) == {"a12_sapp", "fig07_replay"}
         for case in report["cases"].values():
@@ -71,9 +72,8 @@ class TestRunSuite:
 
 
 def _fake_report(**normalized):
-    """A synthetic report with given per-case normalized times."""
+    """A synthetic report body with given per-case normalized times."""
     return {
-        "schema_version": 1,
         "cases": {
             name: {
                 "baseline_ms": 100.0,
@@ -121,7 +121,9 @@ class TestCliBench:
         assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
                      "--out", str(out)]) == 0
         report = json.loads(out.read_text())
-        assert "a12_sapp" in report["cases"]
+        assert report["schema_version"] == 1
+        assert report["kind"] == "perf-bench"
+        assert "a12_sapp" in report["body"]["cases"]
         assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
                      "--out", str(tmp_path / "second.json"),
                      "--compare", str(out),
@@ -133,7 +135,7 @@ class TestCliBench:
         assert main(["bench", "--cases", "a12_sapp", "--repeats", "1",
                      "--out", str(out)]) == 0
         doctored = json.loads(out.read_text())
-        for case in doctored["cases"].values():
+        for case in doctored["body"]["cases"].values():
             case["optimized_ms"] = case["optimized_ms"] / 2.0  # we "got slower"
         baseline_path = tmp_path / "baseline.json"
         baseline_path.write_text(json.dumps(doctored))

@@ -52,8 +52,9 @@ class TestWorkerCountDeterminism:
         outcomes = run_jobs(SMOKE[:1], workers=0)
         report = _report(outcomes, 0, None)
         stripped = strip_wall(report)
-        assert "wall" in report and "wall" not in stripped
-        assert set(report) - set(stripped) == {"wall"}
+        assert "wall" in report["body"] and "wall" not in stripped["body"]
+        assert set(report["body"]) - set(stripped["body"]) == {"wall"}
+        assert set(report) == set(stripped)  # envelope keys untouched
 
 
 class TestWarmCache:
@@ -87,12 +88,14 @@ class TestReportBody:
 
     def test_schema_and_points(self, report):
         assert report["schema_version"] == 1
-        assert report["grid"] == "smoke"
-        assert len(report["points"]) == len(SMOKE)
-        assert [p["id"] for p in report["points"]] == [j.id for j in SMOKE]
+        assert report["kind"] == "sweep"
+        body = report["body"]
+        assert body["grid"] == "smoke"
+        assert len(body["points"]) == len(SMOKE)
+        assert [p["id"] for p in body["points"]] == [j.id for j in SMOKE]
 
     def test_summary_validates_paper_claims(self, report):
-        summary = report["summary"]
+        summary = report["body"]["summary"]
         assert summary["ok"] == len(SMOKE)
         assert summary["failed"] == []
         families = summary["families"]
@@ -103,7 +106,7 @@ class TestReportBody:
             assert 0.5 <= ratios["min_ratio"] <= ratios["max_ratio"] <= 2.0
 
     def test_cache_section(self, report):
-        cache = report["cache"]
+        cache = report["body"]["cache"]
         assert cache["enabled"] is True
         assert cache["misses"] == len(SMOKE)
         assert cache["hit_rate"] == 0.0
@@ -131,14 +134,14 @@ class TestCliSweep:
                      "--min-hit-rate", "90"]) == 1
         assert "below required" in capsys.readouterr().err
         report = json.loads(out.read_text(encoding="utf-8"))
-        assert report["cache"]["misses"] == len(SMOKE)
+        assert report["body"]["cache"]["misses"] == len(SMOKE)
         # Warm: all hits, the same gate passes.
         assert main(["sweep", "--grid", "smoke", "--workers", "2",
                      "--cache-dir", cache_dir, "--out", str(out),
                      "--min-hit-rate", "90"]) == 0
         report = json.loads(out.read_text(encoding="utf-8"))
-        assert report["cache"]["hits"] == len(SMOKE)
-        assert report["cache"]["hit_rate"] == 1.0
+        assert report["body"]["cache"]["hits"] == len(SMOKE)
+        assert report["body"]["cache"]["hit_rate"] == 1.0
 
     def test_no_cache_reports_disabled(self, tmp_path, capsys):
         out = tmp_path / "sweep.json"
@@ -146,5 +149,5 @@ class TestCliSweep:
                     "--no-cache", "--out", str(out)]
         assert main(jobs_arg) == 0
         report = json.loads(out.read_text(encoding="utf-8"))
-        assert report["cache"]["enabled"] is False
+        assert report["body"]["cache"]["enabled"] is False
         assert "cache: disabled" in capsys.readouterr().out
