@@ -5,19 +5,19 @@ hook sites are a ``None`` check, and with one armed the cost must stay
 small relative to the run itself.  This benchmark times the figure-10
 trace workload (transform + machine run, the ``repro trace fig10``
 path) with the recorder off and on, interleaved to be fair to both, and
-writes the measured overhead to ``BENCH_observability.json`` at the
-repo root.
+writes the measured overhead to ``BENCH_observability.json``
+(enveloped, ``kind: obs-bench``) at the repo root.
 
 Acceptance bar (ISSUE 2): recorded-run overhead **< 25 %**.
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
 import statistics
 import time
 
+from repro.envelope import KIND_OBS, dumps, wrap
 from repro.harness.report import format_table, shape_check
 from repro.obs import Recorder
 from repro.obs.workloads import run_trace_workload, trace_workloads
@@ -67,7 +67,8 @@ def measure() -> dict:
 
 def test_obs_overhead(benchmark, record_table):
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
-    RESULT_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    RESULT_JSON.write_text(dumps(wrap(KIND_OBS, result)),
+                           encoding="utf-8")
     table = format_table(
         ["recorder", "median s", "overhead"],
         [

@@ -4,8 +4,9 @@ Runs the smoke grid twice through the sharded driver (2 workers) with
 one shared cache directory: the cold pass computes and stores every
 point; the warm pass must serve **every** point from the
 content-addressed cache (zero recomputation) and finish measurably
-faster.  The measured speedup is written to ``BENCH_scale.json`` at
-the repo root — the scale-out counterpart of ``BENCH_perf.json``.
+faster.  The measured speedup is written to ``BENCH_scale.json``
+(enveloped, ``kind: scale-bench``) at the repo root — the scale-out
+counterpart of ``BENCH_perf.json``.
 
 Acceptance bar (ISSUE 4): warm-cache rerun does zero recomputation and
 is faster than the cold run.
@@ -13,10 +14,10 @@ is faster than the cold run.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
+from repro.envelope import KIND_SCALE, dumps, wrap
 from repro.harness.report import format_table, shape_check
 from repro.obs import Recorder
 from repro.scale import grid_jobs, run_jobs
@@ -59,7 +60,7 @@ def measure(cache_dir: str) -> dict:
 
 def test_scale_sweep_bench(tmp_path, record_table):
     result = measure(str(tmp_path / "cache"))
-    RESULT_JSON.write_text(json.dumps(result, indent=2) + "\n",
+    RESULT_JSON.write_text(dumps(wrap(KIND_SCALE, result)),
                            encoding="utf-8")
     table = format_table(
         ["pass", "wall s", "hits", "misses"],

@@ -1,0 +1,209 @@
+"""CI smoke test for the fault-tolerant fleet: 3 process-pool
+``repro serve`` backends behind a ``repro route`` shard router, a
+concurrent client burst — and, mid-burst, one backend ``kill -9``'d
+and another gracefully bled from the ring via the router's ``drain``
+op.  The gate:
+
+* **zero client-visible failures** — every request in the burst must
+  come back ``ok`` (the router absorbs the kill via failover and the
+  drain via retry-on-``shutting_down``);
+* **byte-identical results** — a sample of routed responses must equal
+  the in-process facade's answer, canonical-JSON modulo ``wall``;
+* the router's own counters must show the machinery actually engaged
+  (failovers or breaker skips after the kill; a bled backend).
+
+Writes the router's Chrome trace next to the repo root (override with
+``--trace-out``) so CI can upload it as an artifact.  Exit 0 on
+success, 1 with diagnostics.  Run as
+``PYTHONPATH=src python scripts/fleet_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import threading
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro import api
+from repro.fleet.client import BackendClient
+from repro.fleet.testbed import spawn_backend, spawn_router, wait_healthy
+from repro.serve.server import engine_call
+
+FIG5 = """
+(declaim (sapp f5 l))
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+(setq data (list 1 2 3 4))
+"""
+
+OPS = ("run", "analyze", "transform")
+
+FAILURES: list = []
+
+
+def fail(message: str) -> None:
+    FAILURES.append(message)
+    print(f"FAIL: {message}", file=sys.stderr)
+
+
+def request_for(index: int):
+    """A distinct-digest request (comment suffix varies the source)."""
+    source = f"{FIG5}\n; fleet-smoke variant {index}\n"
+    op = OPS[index % len(OPS)]
+    if op == "run":
+        params = {"source": source,
+                  "expr": "(progn (f5-cc data) (identity data))",
+                  "transform": ["f5"]}
+    else:
+        params = {"source": source, "function": "f5"}
+    return op, params
+
+
+def modulo_wall(doc: dict) -> str:
+    return api.canonical_json(api.strip_wall(doc))
+
+
+def burst(router_spec: str, clients: int, per_client: int,
+          mid_burst, results: dict) -> None:
+    """``clients`` threads, each issuing ``per_client`` requests; the
+    ``mid_burst`` hook fires once, from the burst's midpoint."""
+    host, _, port = router_spec.rpartition(":")
+    barrier = threading.Barrier(clients)
+    fired = threading.Event()
+    lock = threading.Lock()
+    progress = {"done": 0}
+    total = clients * per_client
+
+    def one_client(client_id: int) -> None:
+        client = BackendClient(f"smoke-{client_id}", host, int(port),
+                               connect_timeout_s=5.0)
+        barrier.wait()
+        for j in range(per_client):
+            index = client_id * per_client + j
+            op, params = request_for(index)
+            rid = f"smoke-{index}"
+            try:
+                response = client.call(op, params, request_id=rid,
+                                       deadline_ms=60_000.0,
+                                       timeout_s=120.0)
+            except Exception as err:  # noqa: BLE001 — report, not raise
+                fail(f"{rid}: transport error {err!r}")
+                continue
+            if not response.get("ok"):
+                fail(f"{rid}: {response.get('error')}")
+            else:
+                with lock:
+                    results[index] = (op, params, response["result"])
+            with lock:
+                progress["done"] += 1
+                fire = (progress["done"] >= total // 2
+                        and not fired.is_set())
+                if fire:
+                    fired.set()
+            if fire:
+                mid_burst()
+
+    threads = [threading.Thread(target=one_client, args=(i,))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def verify_sample(results: dict, every: int) -> None:
+    """Spot-check routed results against the in-process facade."""
+    checked = 0
+    for index in sorted(results)[::every]:
+        op, params, result = results[index]
+        expected = engine_call(op, dict(params))
+        if modulo_wall(result) != modulo_wall(expected):
+            fail(f"request {index} ({op}): routed result diverges "
+                 "from the facade")
+        checked += 1
+    print(f"ok: {checked} sampled results byte-identical modulo wall")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--per-client", type=int, default=6)
+    parser.add_argument("--trace-out", default=str(REPO / "fleet_smoke_trace.json"))
+    args = parser.parse_args()
+
+    backends = [spawn_backend(executor="process", workers=1, backlog=32)
+                for _ in range(3)]
+    specs = [b.spec for b in backends]
+    router = spawn_router(specs, extra_args=[
+        "--attempts", "4", "--trace-out", args.trace_out,
+        "--trace-format", "chrome"])
+    print(f"fleet smoke: router {router.spec} over {', '.join(specs)}")
+    try:
+        for spec in specs:
+            wait_healthy(spec)
+        wait_healthy(router.spec, expect_backends=3)
+        print("ok: 3 process-pool backends + router all healthy")
+
+        victim, bleed = backends[0], backends[1]
+        host, _, port = router.spec.rpartition(":")
+        control = BackendClient("control", host, int(port),
+                                connect_timeout_s=5.0)
+
+        def mid_burst() -> None:
+            victim.sigkill()
+            print(f"ok: kill -9 backend {victim.spec} (pid {victim.pid}) "
+                  "mid-burst")
+            response = control.call("drain", {"backend": bleed.spec},
+                                    timeout_s=30.0)
+            if not response.get("ok"):
+                fail(f"drain op failed: {response.get('error')}")
+            else:
+                status = response["result"]["status"]
+                ring = response["result"]["ring"]
+                print(f"ok: bled backend {bleed.spec} ({status}); "
+                      f"ring now {ring}")
+
+        results: dict = {}
+        burst(router.spec, args.clients, args.per_client, mid_burst,
+              results)
+        total = args.clients * args.per_client
+        if len(results) == total and not FAILURES:
+            print(f"ok: {total} concurrent requests, zero "
+                  "client-visible failures across kill -9 + drain")
+        verify_sample(results, every=max(1, total // 8))
+
+        stats = control.call("stats", timeout_s=30.0)["result"]
+        counters = stats["counters"]
+        engaged = counters.get("fleet.route.failovers", 0) \
+            + counters.get("fleet.route.breaker_skips", 0)
+        if engaged == 0:
+            fail("router never failed over or breaker-skipped — the "
+                 "kill was not absorbed by the routing machinery")
+        else:
+            print(f"ok: routing machinery engaged ({engaged} "
+                  "failovers/breaker-skips)")
+        if counters.get("fleet.backend.drained", 0) < 1:
+            fail("router counters show no drained backend")
+    finally:
+        exit_code = router.terminate()
+        print(f"router drained (exit {exit_code}); trace at "
+              f"{args.trace_out}")
+        for backend in backends:
+            backend.terminate()
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("fleet smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,11 +17,19 @@ Commands:
 * ``run FILE -e EXPR``        — evaluate the program and an expression
   on the simulated machine; prints the value and machine statistics.
 * ``serve``                   — host the facade as a long-lived
-  concurrent NDJSON socket service (see :mod:`repro.serve`).
+  concurrent NDJSON socket service (see :mod:`repro.serve`);
+  ``--executor process`` runs engine calls in a respawning
+  worker-process farm with crash isolation.
+* ``route``                   — shard-route NDJSON requests across a
+  fleet of ``serve`` backends with health probes, retries, circuit
+  breakers, graceful drain and sequential fallback (see
+  :mod:`repro.fleet`).
 * ``chaos``                   — sweep the paper workloads across the
   seeded fault matrix and assert sequentializability survives every
   plan (exit 1 on any silent wrong answer); ``--out`` writes the
-  robustness report as a versioned envelope.
+  robustness report as a versioned envelope; ``--fleet`` attacks a
+  real router-over-backends fleet (seeded blackholes, slow sends, a
+  mid-run ``kill -9``) instead of the simulated machine.
 * ``trace WORKLOAD``          — run a named paper workload with the
   flight recorder armed end to end and export the trace
   (``--trace-out``, Chrome ``trace_event`` or JSONL format).
@@ -37,7 +45,8 @@ Commands:
 
 ``analyze``, ``transform``, and ``run`` take ``--json`` to print the
 facade result's deterministic JSON instead of the human rendering.
-``run``, ``chaos``, ``sweep``, ``serve``, and ``trace`` all take
+``run``, ``chaos``, ``sweep``, ``serve``, ``route``, and ``trace``
+all take
 ``--profile`` (print phase timings and counters) and ``--trace-out
 PATH`` (write the recorded trace; ``--trace-format`` picks the
 encoding).  Exit code 2 flags a usage error: unknown
@@ -162,10 +171,61 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="SEC",
                          help="max seconds to wait for in-flight work on "
                               "shutdown (default: 30)")
+    p_serve.add_argument("--executor", choices=["thread", "process"],
+                         default="thread",
+                         help="where engine calls run: 'thread' (in the "
+                              "pool thread; default) or 'process' (a "
+                              "respawning worker-process farm with crash "
+                              "isolation and real cancellation)")
     p_serve.add_argument("--chaos-seed", type=int, default=None,
                          help="inject seeded request faults (rejections + "
                               "delays) in front of real work")
     p_serve.add_argument("--chaos-budget", type=int, default=64,
+                         help="max chaos faults injected (default: 64)")
+
+    p_route = sub.add_parser(
+        "route", parents=[obs_common],
+        help="shard-route requests across a fleet of serve backends",
+    )
+    p_route.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_route.add_argument("--port", type=int, default=0,
+                         help="bind port (default: 0 = ephemeral)")
+    p_route.add_argument("--backend", metavar="HOST:PORT", action="append",
+                         default=[], required=True,
+                         help="a serve backend to route to (repeatable)")
+    p_route.add_argument("--vnodes", type=int, default=64,
+                         help="virtual nodes per backend on the hash ring "
+                              "(default: 64)")
+    p_route.add_argument("--attempts", type=int, default=3,
+                         help="max tries per request across backends "
+                              "(default: 3)")
+    p_route.add_argument("--connect-timeout", type=float, default=1.0,
+                         metavar="SEC",
+                         help="per-backend connect timeout (default: 1)")
+    p_route.add_argument("--request-timeout", type=float, default=30.0,
+                         metavar="SEC",
+                         help="per-attempt response timeout (default: 30)")
+    p_route.add_argument("--deadline-ms", type=float, default=30_000.0,
+                         help="default per-request deadline when the "
+                              "request carries none (default: 30000)")
+    p_route.add_argument("--seed", type=int, default=0,
+                         help="retry-jitter RNG seed (default: 0)")
+    p_route.add_argument("--cache-size", type=int, default=256,
+                         help="router result-cache entries; 0 disables "
+                              "(default: 256)")
+    p_route.add_argument("--no-fallback", action="store_true",
+                         help="answer 'unavailable' instead of sequential "
+                              "in-process fallback when every backend "
+                              "is down")
+    p_route.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SEC",
+                         help="max seconds to wait for in-flight work on "
+                              "shutdown (default: 30)")
+    p_route.add_argument("--chaos-seed", type=int, default=None,
+                         help="inject seeded fleet faults (backend "
+                              "blackholes + slow sends) into routing")
+    p_route.add_argument("--chaos-budget", type=int, default=64,
                          help="max chaos faults injected (default: 64)")
 
     p_chaos = sub.add_parser(
@@ -191,6 +251,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--out", metavar="PATH", default=None,
                          help="write the robustness report as a versioned "
                               "JSON envelope")
+    p_chaos.add_argument("--fleet", action="store_true",
+                         help="attack the serve fleet instead of the "
+                              "simulated machine: spawn real backends "
+                              "behind a shard router, inject seeded "
+                              "routing faults (blackhole/slow) and one "
+                              "kill -9, and assert every client request "
+                              "still gets a correct typed answer")
+    p_chaos.add_argument("--fleet-backends", type=int, default=3,
+                         help="fleet mode: backend processes (default: 3)")
+    p_chaos.add_argument("--fleet-requests", type=int, default=24,
+                         help="fleet mode: distinct client requests "
+                              "(default: 24)")
+    p_chaos.add_argument("--fleet-no-kill", action="store_true",
+                         help="fleet mode: skip the mid-run kill -9")
 
     p_bench = sub.add_parser(
         "bench",
@@ -421,6 +495,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backlog=args.backlog,
         default_deadline_ms=args.deadline_ms,
         drain_timeout=args.drain_timeout,
+        executor=args.executor,
         chaos=chaos,
         recorder=recorder,
     )
@@ -432,7 +507,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     print(f";; serve: listening on {host}:{port} "
-          f"({config.workers} worker(s), backlog {config.backlog})",
+          f"({config.workers} {config.executor} worker(s), "
+          f"backlog {config.backlog})",
           flush=True)
     if chaos is not None:
         print(f";; serve: chaos {chaos.describe()}", flush=True)
@@ -453,7 +529,77 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return _finish_observability(recorder, args)
 
 
+def cmd_route(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.fleet.router import RouterConfig, ShardRouter, parse_backend
+    from repro.serve import FleetFaultPlan
+
+    try:
+        for spec in args.backend:
+            parse_backend(spec)
+    except ValueError as err:
+        print(f";; route: {err}", file=sys.stderr)
+        return 2
+    if args.attempts < 1 or args.vnodes < 1:
+        print(";; route: --attempts and --vnodes must be >= 1",
+              file=sys.stderr)
+        return 2
+    recorder = _make_recorder(args)
+    chaos = None
+    if args.chaos_seed is not None:
+        chaos = FleetFaultPlan(args.chaos_seed, budget=args.chaos_budget)
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        backends=tuple(args.backend),
+        vnodes=args.vnodes,
+        connect_timeout_s=args.connect_timeout,
+        request_timeout_s=args.request_timeout,
+        default_deadline_ms=args.deadline_ms,
+        attempts=args.attempts,
+        seed=args.seed,
+        fallback=not args.no_fallback,
+        cache_size=args.cache_size,
+        drain_timeout=args.drain_timeout,
+        chaos=chaos,
+        recorder=recorder,
+    )
+    router = ShardRouter(config)
+    try:
+        host, port = router.start()
+    except OSError as err:
+        print(f";; route: cannot bind {args.host}:{args.port}: {err}",
+              file=sys.stderr)
+        return 2
+    print(f";; route: listening on {host}:{port} "
+          f"({len(config.backends)} backend(s), "
+          f"{config.attempts} attempt(s), "
+          f"fallback {'on' if config.fallback else 'off'})",
+          flush=True)
+    if chaos is not None:
+        print(f";; route: chaos {chaos.describe()}", flush=True)
+
+    def _request_drain(_signum, _frame):
+        print(";; route: drain requested", flush=True)
+        router.request_drain()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _request_drain)
+    router.serve_forever()
+    counters = router.counters()
+    print(f";; route: drained "
+          f"({counters.get('fleet.request.ok', 0)} ok, "
+          f"{counters.get('fleet.route.failovers', 0)} failover(s), "
+          f"{counters.get('fleet.fallback', 0)} fallback(s), "
+          f"{counters.get('fleet.cache.hits', 0)} cache hit(s))",
+          flush=True)
+    return _finish_observability(recorder, args)
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.fleet:
+        return _cmd_chaos_fleet(args)
     from repro.harness.chaos import (
         chaos_sweep,
         fault_matrix,
@@ -499,6 +645,36 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if obs_code != 0:
         return obs_code
     return 0 if report.ok else 1
+
+
+def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.chaosrun import format_fleet_chaos, run_fleet_chaos
+
+    recorder = _make_recorder(args)
+    report = run_fleet_chaos(
+        seed=args.seed,
+        backends=args.fleet_backends,
+        requests=args.fleet_requests,
+        kill_one=not args.fleet_no_kill,
+        budget=args.budget,
+        recorder=recorder,
+    )
+    print(format_fleet_chaos(report))
+    if args.out:
+        from repro.envelope import KIND_ROBUSTNESS, dumps, wrap
+
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(dumps(wrap(KIND_ROBUSTNESS, report)))
+        except OSError as err:
+            print(f";; cannot write report to {args.out!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        print(f";; report: {args.out}")
+    obs_code = _finish_observability(recorder, args)
+    if obs_code != 0:
+        return obs_code
+    return 0 if report["ok"] else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -660,6 +836,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "transform": cmd_transform,
         "run": cmd_run,
         "serve": cmd_serve,
+        "route": cmd_route,
         "chaos": cmd_chaos,
         "trace": cmd_trace,
         "bench": cmd_bench,

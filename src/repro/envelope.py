@@ -26,16 +26,17 @@ Rules:
   run-to-run-variable measurements live under ``body["wall"]`` by
   convention; :func:`strip_wall` removes exactly that key, which is how
   byte-identity contracts are stated uniformly across kinds.
-* Readers go through :func:`unwrap`, which also accepts the two legacy
-  pre-envelope shapes (perf and sweep) for one release, emitting a
-  :class:`DeprecationWarning` — old checked-in baselines keep working
-  while they are regenerated.
+* Readers go through :func:`unwrap`, which raises
+  :class:`EnvelopeError` on anything that is not a valid envelope of
+  the expected kind.  (The pre-envelope perf/sweep report shapes were
+  accepted for exactly one release, with a ``DeprecationWarning``;
+  that migration window is over and the shims are gone — regenerate
+  any remaining pre-envelope baseline.)
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from typing import Any, Dict, List, Optional
 
 #: Version of the envelope contract itself.
@@ -46,14 +47,17 @@ KIND_PERF = "perf-bench"
 KIND_SWEEP = "sweep"
 KIND_ROBUSTNESS = "robustness"
 KIND_SERVE = "serve-bench"
+KIND_FLEET = "fleet-bench"
+KIND_OBS = "obs-bench"
+KIND_SCALE = "scale-bench"
 
-KNOWN_KINDS = (KIND_PERF, KIND_SWEEP, KIND_ROBUSTNESS, KIND_SERVE)
+KNOWN_KINDS = (KIND_PERF, KIND_SWEEP, KIND_ROBUSTNESS, KIND_SERVE,
+               KIND_FLEET, KIND_OBS, KIND_SCALE)
 
 
 class EnvelopeError(ValueError):
-    """A report document that is not a usable envelope (and not an
-    accepted legacy shape).  CLIs map this to a one-line exit-2
-    diagnostic instead of a traceback."""
+    """A report document that is not a usable envelope.  CLIs map this
+    to a one-line exit-2 diagnostic instead of a traceback."""
 
 
 def wrap(kind: str, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -99,38 +103,14 @@ def validate_envelope(obj: Any, kind: Optional[str] = None) -> List[str]:
     return problems
 
 
-def legacy_kind(obj: Any) -> Optional[str]:
-    """Guess the kind of a pre-envelope report shape, or None.
-
-    Only the two shapes that ever shipped are recognized: the perf
-    suite report (top-level ``"cases"``) and the sweep report
-    (top-level ``"grid"`` + ``"points"``).
-    """
-    if not isinstance(obj, dict) or "kind" in obj:
-        return None
-    if "cases" in obj and "grid" not in obj:
-        return KIND_PERF
-    if "grid" in obj and "points" in obj:
-        return KIND_SWEEP
-    return None
-
-
 def unwrap(obj: Any, kind: str) -> Dict[str, Any]:
     """Return the body of an envelope of the given kind.
 
-    A legacy pre-envelope document of the same kind is accepted with a
-    :class:`DeprecationWarning` and returned as the body — the
-    one-release migration shim for checked-in baselines.  Anything else
-    that fails :func:`validate_envelope` raises :class:`EnvelopeError`.
+    Anything that fails :func:`validate_envelope` raises
+    :class:`EnvelopeError` — including the long-retired pre-envelope
+    perf/sweep shapes (their one-release migration shim was removed;
+    regenerate the report).
     """
-    if legacy_kind(obj) == kind:
-        warnings.warn(
-            f"pre-envelope {kind} report shape is deprecated; regenerate "
-            "the report to get the schema_version/kind/body envelope",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return obj
     problems = validate_envelope(obj, kind)
     if problems:
         raise EnvelopeError(problems[0])

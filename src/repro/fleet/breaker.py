@@ -1,0 +1,187 @@
+"""Per-backend circuit breaker: closed → open → half-open → closed.
+
+The router keeps one breaker per backend.  Its job is to convert a
+*pattern* of failures into a *decision* to stop sending traffic — so a
+dead backend costs one connect timeout per cooldown period instead of
+one per request — and then to re-admit traffic gradually, through a
+bounded probe budget, so recovery cannot be trampled by a thundering
+herd of retries.
+
+States:
+
+* **closed** — normal operation.  Failures are counted in a sliding
+  logical window; ``failure_threshold`` consecutive failures trip the
+  breaker to *open* (a success resets the streak).
+* **open** — all admission refused for a cooldown period.  Each
+  consecutive trip doubles the cooldown (``cooldown_s`` up to
+  ``max_cooldown_s``) — the same exponential-backoff discipline the
+  health prober uses, so a flapping backend converges to quiet.
+* **half-open** — after the cooldown, up to ``probe_budget`` requests
+  are admitted as probes; any failure re-opens (doubling the
+  cooldown), while ``probe_budget`` successes close the breaker and
+  reset the cooldown.
+
+The clock is injected (``clock=time.monotonic`` by default) so the
+whole state machine is unit-testable with a fake clock — no sockets,
+no sleeps, no real time.  Thread-safe: every transition happens under
+one lock, and the half-open probe budget is enforced atomically (the
+Hypothesis property test in ``tests/test_fleet_breaker.py`` hammers
+exactly that invariant: never more than ``probe_budget`` admissions
+per half-open episode).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+STATES = (CLOSED, OPEN, HALF_OPEN)
+
+
+class CircuitBreaker:
+    """One backend's admission gate.
+
+    Usage::
+
+        if breaker.allow():
+            try: ... ; breaker.record_success()
+            except TransportError: breaker.record_failure()
+        else:
+            ...  # skip this backend in the failover itinerary
+
+    ``allow()`` consumes a probe slot when half-open.  The budget is
+    per half-open *episode*: slots are never returned, so at most
+    ``probe_budget`` requests are admitted between entering half-open
+    and the next transition out of it, however admissions and outcome
+    reports interleave.
+    """
+
+    def __init__(self,
+                 failure_threshold: int = 3,
+                 cooldown_s: float = 0.5,
+                 max_cooldown_s: float = 30.0,
+                 probe_budget: int = 1,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[
+                     Callable[[str, str], Any]] = None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0 or max_cooldown_s < cooldown_s:
+            raise ValueError("need 0 < cooldown_s <= max_cooldown_s")
+        if probe_budget < 1:
+            raise ValueError("probe_budget must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.max_cooldown_s = max_cooldown_s
+        self.probe_budget = probe_budget
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0  # consecutive, while closed
+        self._trips = 0  # consecutive opens; drives exponential cooldown
+        self._opened_at = 0.0
+        self._probes_out = 0  # admitted but unreported, while half-open
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "consecutive_failures": self._failures,
+                "trips": self._trips,
+                "cooldown_s": self._current_cooldown(),
+            }
+
+    # -- internals (call with lock held) -----------------------------------
+
+    def _current_cooldown(self) -> float:
+        if self._trips == 0:
+            return self.cooldown_s
+        return min(self.cooldown_s * (2 ** (self._trips - 1)),
+                   self.max_cooldown_s)
+
+    def _effective_state(self) -> str:
+        """OPEN lazily becomes HALF_OPEN once the cooldown elapses."""
+        if self._state == OPEN and (
+                self._clock() - self._opened_at >= self._current_cooldown()):
+            self._transition(HALF_OPEN)
+            self._probes_out = 0
+        return self._state
+
+    def _transition(self, to: str) -> None:
+        frm, self._state = self._state, to
+        if frm != to and self._on_transition is not None:
+            self._on_transition(frm, to)
+
+    def _trip(self) -> None:
+        self._trips += 1
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._transition(OPEN)
+
+    # -- the protocol ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request be sent to this backend right now?
+
+        Closed: always.  Open: never.  Half-open: only while the probe
+        budget lasts — each ``True`` consumes one probe slot.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return True
+            if state == OPEN:
+                return False
+            if self._probes_out >= self.probe_budget:
+                return False
+            self._probes_out += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                self._failures = 0
+                return
+            if state == HALF_OPEN:
+                # One full budget of successes closes the breaker.  A
+                # reported success does NOT free an admission slot: the
+                # budget bounds total admissions per half-open episode,
+                # not concurrency — otherwise a fast backend could be
+                # probed more than ``probe_budget`` times before the
+                # episode resolves.
+                self._failures += 1
+                if self._failures >= self.probe_budget:
+                    self._failures = 0
+                    self._trips = 0
+                    self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._trip()
+            elif state == HALF_OPEN:
+                # A failed probe re-opens immediately, cooldown doubled.
+                self._trip()
+
+    def force_open(self) -> None:
+        """Administrative trip (used when a drain wants traffic stopped
+        before the backend actually goes away)."""
+        with self._lock:
+            self._trip()

@@ -1,0 +1,106 @@
+"""The router's transport to one backend: NDJSON over a short-lived
+TCP connection.
+
+One connection per call, by design.  The router's failure model is
+"backends die at any instant, including mid-response" (the fleet smoke
+test ``kill -9``'s one mid-burst); connection-per-call means every
+failure surfaces at a single, well-defined point in exactly one
+request, typed by *when* it happened:
+
+* ``connect`` — could not reach the backend at all.  Nothing was sent;
+  always safe to retry elsewhere.
+* ``timeout`` — connected, but no full response within the budget.
+* ``closed`` — the connection died mid-exchange (the backend was
+  killed under the request).
+
+All three are transport failures; the facade call is deterministic and
+side-effect-free, so the router retries every one of them on the next
+backend in the itinerary.  (Classic idempotency hand-wringing about
+``closed`` — "did the work happen?" — does not apply: even if it did,
+re-doing it elsewhere yields the identical answer.)
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import decode_response, request_line
+
+#: Failure kinds, ordered by how much of the exchange completed.
+FAIL_CONNECT = "connect"
+FAIL_TIMEOUT = "timeout"
+FAIL_CLOSED = "closed"
+
+
+class BackendError(Exception):
+    """A transport-level failure talking to one backend."""
+
+    def __init__(self, kind: str, backend: str, message: str):
+        super().__init__(f"[{backend}] {kind}: {message}")
+        self.kind = kind
+        self.backend = backend
+
+
+class BackendClient:
+    """Issues single requests to one ``host:port`` backend."""
+
+    def __init__(self, name: str, host: str, port: int,
+                 connect_timeout_s: float = 1.0):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+
+    def call(self, op: str, params: Optional[Dict[str, Any]] = None,
+             request_id: Any = None, deadline_ms: Optional[float] = None,
+             timeout_s: float = 30.0) -> Dict[str, Any]:
+        """One request → the decoded response document.
+
+        Raises :class:`BackendError` on transport failure; protocol-
+        level errors (``ok: false`` responses) are returned, not
+        raised — the caller decides which codes are retryable.
+        """
+        line = request_line(op, params, request_id=request_id,
+                            deadline_ms=deadline_ms)
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s)
+        except (socket.timeout, OSError) as err:
+            raise BackendError(FAIL_CONNECT, self.name, str(err)) from None
+        try:
+            sock.settimeout(max(0.01, timeout_s))
+            try:
+                sock.sendall(line)
+                buf = b""
+                while b"\n" not in buf:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        raise BackendError(
+                            FAIL_CLOSED, self.name,
+                            "connection closed before a full response "
+                            "(backend died mid-request?)")
+                    buf += chunk
+            except socket.timeout:
+                raise BackendError(
+                    FAIL_TIMEOUT, self.name,
+                    f"no response within {timeout_s:.3f}s") from None
+            except BackendError:
+                raise
+            except OSError as err:
+                raise BackendError(FAIL_CLOSED, self.name,
+                                   str(err)) from None
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        return decode_response(buf.split(b"\n", 1)[0])
+
+    def probe(self, timeout_s: float = 1.0) -> bool:
+        """One ``health`` round-trip; True iff the backend answered ok."""
+        try:
+            response = self.call("health", timeout_s=timeout_s)
+        except (BackendError, ValueError):
+            return False
+        return bool(response.get("ok"))

@@ -1,0 +1,265 @@
+"""A respawning process-pool engine for the analysis service.
+
+``repro serve --executor process`` hosts each engine call in a worker
+*process* instead of a pool thread.  This buys three things the thread
+executor cannot offer:
+
+* **GIL escape** — CPU-bound analysis runs on real OS processes, so a
+  multi-core host computes distinct requests genuinely in parallel;
+* **crash isolation** — a worker that segfaults, is ``kill -9``'d, or
+  calls ``os._exit`` produces a *typed* ``engine_error`` response for
+  the request it was computing (never a dropped connection or a dead
+  server), and the worker slot is respawned before the next call;
+* **real cancellation** — when every waiter of a coalesced flight has
+  abandoned it, the worker computing it is terminated mid-flight and
+  respawned, instead of burning a core to completion.
+
+The shape deliberately mirrors the sweep driver's worker farm
+(:mod:`repro.scale.driver`): private per-worker task queues, a
+kill→respawn discipline, and graceful sentinel shutdown.  One hazard
+class is *designed away* here rather than narrowed: each worker posts
+results to its **own** queue, so terminating a worker can only ever
+corrupt state that dies with it — there is no shared result pipe for a
+kill to poison (the known-hazard note in the driver's docstring).
+
+Workers also watch for parent death: if the serving process is
+``kill -9``'d, orphaned workers notice their parent pid changed within
+a second and exit instead of leaking (the fleet smoke test kills whole
+backends and must not strand children).
+
+The worker executes :func:`repro.serve.server.engine_call` — the exact
+dispatch the thread executor runs — so the two executors cannot drift
+apart semantically, and responses stay byte-identical (modulo
+``wall``) to the one-shot CLI whatever hosts the computation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import api
+
+#: How often a blocked caller re-checks for cancellation / worker death.
+_POLL_S = 0.05
+#: Worker-side idle poll; bounds how long an orphan outlives its parent.
+_PARENT_POLL_S = 1.0
+
+
+class WorkerCrash(api.EngineError):
+    """The worker process died under a request.  A typed facade error
+    (``code == "engine_error"``), so hosting layers render it as a
+    structured response — crash isolation, not crash propagation."""
+
+
+def _pool_worker_main(worker_id: int, task_q, result_q) -> None:
+    """Worker loop: execute engine calls until the ``None`` sentinel.
+
+    Every outcome — success or failure — is posted as a message; only
+    a hard death (crash, kill, cancellation termination) leaves a call
+    unanswered, and the parent detects that via ``is_alive``.
+    """
+    from repro.serve.server import engine_call
+
+    parent = os.getppid()
+    while True:
+        try:
+            item = task_q.get(timeout=_PARENT_POLL_S)
+        except queue_mod.Empty:
+            if os.getppid() != parent:
+                return  # orphaned: the serving process is gone
+            continue
+        if item is None:
+            return
+        op, params = item
+        try:
+            result_q.put(("ok", engine_call(op, params)))
+        except api.ApiError as err:
+            result_q.put(("error", err.code, str(err)))
+        except (TypeError, ValueError) as err:
+            result_q.put(("error", "bad_request", f"bad params: {err}"))
+        except Exception as err:  # noqa: BLE001 - a request must never
+            result_q.put(("error", "internal",  # take the worker down
+                          f"{type(err).__name__}: {err}"))
+
+
+class _PoolWorker:
+    """One worker slot: process + private task/result queues."""
+
+    def __init__(self, ctx, worker_id: int):
+        self.ctx = ctx
+        self.worker_id = worker_id
+        self.task_q = ctx.Queue()
+        self.result_q = ctx.Queue()
+        self.proc = ctx.Process(
+            target=_pool_worker_main,
+            args=(worker_id, self.task_q, self.result_q),
+            daemon=True,
+        )
+        self.proc.start()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=2.0)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(timeout=2.0)
+
+    def stop(self) -> None:
+        """Graceful shutdown: sentinel, short join, then force."""
+        try:
+            self.task_q.put(None)
+        except (OSError, ValueError):
+            pass
+        self.proc.join(timeout=2.0)
+        self.kill()
+
+
+class ProcessEngine:
+    """A fixed-size farm of engine worker processes.
+
+    ``call`` checks a worker out, runs one engine op on it, and returns
+    the result — raising the same typed :class:`repro.api.ApiError`
+    vocabulary the inline facade raises, plus :class:`WorkerCrash` when
+    the worker died under the request.  Thread-safe: the service's pool
+    threads each check out a distinct worker.
+    """
+
+    def __init__(self, workers: int = 4,
+                 on_count: Optional[Callable[[str], Any]] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            self._ctx = multiprocessing.get_context("spawn")
+        self._on_count = on_count
+        self._closed = False
+        self._lock = threading.Lock()
+        self._next_id = workers
+        self._idle: "queue_mod.Queue[_PoolWorker]" = queue_mod.Queue()
+        self._all: List[_PoolWorker] = []
+        for worker_id in range(workers):
+            worker = _PoolWorker(self._ctx, worker_id)
+            self._all.append(worker)
+            self._idle.put(worker)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self._on_count is not None:
+            self._on_count(name)
+
+    def worker_pids(self) -> List[int]:
+        """Live worker pids (test/chaos hook: kill one to prove
+        isolation)."""
+        with self._lock:
+            return [w.pid for w in self._all if w.proc.is_alive()]
+
+    def _respawn(self, dead: _PoolWorker) -> _PoolWorker:
+        dead.kill()
+        with self._lock:
+            replacement = _PoolWorker(self._ctx, self._next_id)
+            self._next_id += 1
+            self._all[self._all.index(dead)] = replacement
+        self._count("serve.pool.respawns")
+        return replacement
+
+    # -- the one public operation ------------------------------------------
+
+    def call(self, op: str, params: Dict[str, Any],
+             cancel: Optional[threading.Event] = None) -> Dict[str, Any]:
+        """Run one engine op on a checked-out worker process."""
+        worker = self._idle.get()
+        if not worker.proc.is_alive():
+            # Killed while idle (nothing was lost): respawn silently
+            # instead of failing an innocent request.
+            worker = self._respawn(worker)
+        try:
+            worker, outcome = self._call_on(worker, op, params, cancel)
+        finally:
+            self._idle.put(worker)
+        kind = outcome[0]
+        if kind == "ok":
+            return outcome[1]
+        if kind == "crash":
+            raise WorkerCrash(outcome[1])
+        if kind == "cancelled":
+            raise WorkerCrash(outcome[1])  # nobody is waiting; typed anyway
+        _, code, message = outcome
+        raise _API_ERRORS.get(code, api.EngineError)(message)
+
+    def _call_on(self, worker: _PoolWorker, op: str, params: Dict[str, Any],
+                 cancel: Optional[threading.Event],
+                 ) -> Tuple[_PoolWorker, Tuple]:
+        """Returns (worker-to-return-to-pool, outcome tuple)."""
+        try:
+            worker.task_q.put((op, dict(params)))
+        except (OSError, ValueError):
+            return self._respawn(worker), (
+                "crash", "worker task queue unusable; worker respawned")
+        while True:
+            try:
+                msg = worker.result_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                if cancel is not None and cancel.is_set():
+                    # Nobody wants the answer: stop burning the core.
+                    self._count("serve.pool.cancelled_kills")
+                    return self._respawn(worker), (
+                        "cancelled",
+                        "cancelled mid-computation: every waiter's "
+                        "deadline expired; worker terminated")
+                if not worker.proc.is_alive():
+                    # Died under the request — but it may have posted
+                    # the result in its final breath; drain once more.
+                    try:
+                        msg = worker.result_q.get_nowait()
+                    except queue_mod.Empty:
+                        self._count("serve.pool.crashes")
+                        return self._respawn(worker), (
+                            "crash",
+                            f"worker process (pid {worker.pid}) died "
+                            f"while computing {op!r}; worker respawned, "
+                            "request failed with no partial effects")
+                    return self._respawn(worker), msg
+                continue
+            return worker, msg
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker (graceful sentinel, then force)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drain the idle queue so no call can check out a dying worker.
+        drained: List[_PoolWorker] = []
+        deadline = time.monotonic() + 5.0
+        with self._lock:
+            expected = len(self._all)
+        while len(drained) < expected and time.monotonic() < deadline:
+            try:
+                drained.append(self._idle.get(timeout=0.2))
+            except queue_mod.Empty:
+                continue
+        with self._lock:
+            workers = list(self._all)
+        for worker in workers:
+            worker.stop()
+
+
+_API_ERRORS = {
+    "bad_request": api.BadRequest,
+    "transform_refused": api.TransformRefused,
+    "engine_error": api.EngineError,
+    "internal": api.EngineError,
+}

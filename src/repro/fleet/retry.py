@@ -1,0 +1,87 @@
+"""Retry policy: when to try again, and how long to wait.
+
+The router retries a request on the *next* backend in the failover
+itinerary only when the failure says nothing about the request itself:
+
+* transport failures — connect refused/reset, connect or read timeout,
+  connection closed mid-response (the backend died under us);
+* explicit pressure — ``overloaded`` (bounded admission queue full)
+  and ``shutting_down`` (backend draining): both mean "a healthy
+  server declined", and the facade call is deterministic and
+  side-effect-free, so re-sending elsewhere is always sound.
+
+Everything else is **definitive** and must not be retried:
+``bad_request`` / ``transform_refused`` would fail identically
+everywhere; ``engine_error`` / ``internal`` already consumed a worker
+and is deterministic, so a second backend would burn another worker to
+produce the same answer; ``deadline_exceeded`` means the client's
+budget is spent — retrying past it only wastes fleet capacity.
+
+Delays are exponential with bounded decorrelated jitter:
+``delay(attempt) ∈ [base * 2^attempt / 2, base * 2^attempt]``, capped
+at ``max_delay_s``.  The jitter RNG is injected so property tests can
+drive the bounds deterministically (``tests/test_fleet_retry.py``
+checks every sampled delay against :meth:`RetryPolicy.delay_bounds`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Error codes that are safe to retry on another backend.
+RETRYABLE_CODES = frozenset({"overloaded", "shutting_down"})
+#: Error codes that must never be retried (definitive outcomes).
+DEFINITIVE_CODES = frozenset({
+    "bad_request", "transform_refused", "engine_error", "internal",
+    "deadline_exceeded", "unavailable",
+})
+
+
+def retryable_code(code: str) -> bool:
+    """Is a *protocol-level* error response worth retrying elsewhere?
+
+    Unknown codes are treated as definitive: a vocabulary we don't
+    recognize might not be idempotent-safe, and the stable-vocabulary
+    contract says new retryable codes are added here first.
+    """
+    return code in RETRYABLE_CODES
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts, and how long between them.
+
+    ``attempts`` counts tries, not retries: ``attempts=3`` means the
+    original send plus up to two more.  The delay for retry ``i``
+    (0-based) is uniform in ``delay_bounds(i)``.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    rng: random.Random = field(default_factory=random.Random, repr=False,
+                               compare=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay_s <= 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 < base_delay_s <= max_delay_s")
+
+    def delay_bounds(self, attempt: int) -> Tuple[float, float]:
+        """Closed interval the ``attempt``-th retry delay falls in."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        high = min(self.base_delay_s * (2 ** attempt), self.max_delay_s)
+        return (high / 2.0, high)
+
+    def delay_s(self, attempt: int) -> float:
+        """A jittered delay before the ``attempt``-th retry (0-based)."""
+        low, high = self.delay_bounds(attempt)
+        return self.rng.uniform(low, high)
+
+    def should_retry(self, attempt: int) -> bool:
+        """May a failure on try ``attempt`` (0-based) be retried?"""
+        return attempt + 1 < self.attempts

@@ -1,0 +1,134 @@
+"""Consistent hashing: which backend owns a request digest.
+
+The router keys every engine request by its content digest
+(:func:`repro.api.content_digest` over ``{"op", "params"}``) and maps
+the digest onto a ring of backends with the classic
+virtual-node construction: each backend contributes ``vnodes`` points
+on a 2^64 ring (SHA-256 of ``"name#i"``), and a key is owned by the
+first point clockwise from the key's own hash.
+
+Why this instead of ``hash(key) % n``:
+
+* **Stability under churn** — draining or losing one backend of N
+  remaps only ~1/N of the key space; a modulus remaps nearly all of
+  it, which would empty every backend's single-flight/cache locality
+  at exactly the moment the fleet is degraded.
+* **A natural failover order** — walking clockwise past the owner
+  yields each remaining backend exactly once (:meth:`HashRing.lookup`
+  deduplicates vnodes), so "owner, then successor, then..." is a
+  deterministic retry itinerary that every router replica would agree
+  on.
+
+Pure data structure: no sockets, no clock, no randomness beyond the
+hash itself — property-tested directly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+#: Default virtual nodes per backend.  Enough that a 3-backend ring
+#: splits within a few percent of evenly; cheap enough to rebuild on
+#: every membership change (rebuilds are rare: join/drain/death).
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    """A stable position on the 2^64 ring."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable-feeling consistent-hash ring over backend names.
+
+    Mutations (:meth:`add` / :meth:`remove`) rebuild the sorted point
+    list; lookups are ``O(log(n * vnodes))`` bisects.  Not thread-safe
+    by itself — the router serializes membership changes under its own
+    lock and lookups tolerate a stale snapshot (a request routed to a
+    just-drained backend is caught by the retry layer).
+    """
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []  # sorted (position, name)
+        self._keys: List[int] = []  # positions only, for bisect
+        self._members: Dict[str, bool] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, name: str) -> None:
+        if not name:
+            raise ValueError("backend name must be non-empty")
+        if name in self._members:
+            return
+        self._members[name] = True
+        self._rebuild()
+
+    def remove(self, name: str) -> None:
+        if name not in self._members:
+            return
+        del self._members[name]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        points = [
+            (_point(f"{name}#{i}"), name)
+            for name in self._members
+            for i in range(self.vnodes)
+        ]
+        points.sort()
+        self._points = points
+        self._keys = [pos for pos, _ in points]
+
+    @property
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, key: str) -> List[str]:
+        """The failover itinerary for ``key``: owner first, then each
+        remaining backend in clockwise vnode order, each exactly once.
+
+        Empty list when the ring is empty (total outage — the router
+        then falls back to sequential in-process execution).
+        """
+        if not self._points:
+            return []
+        start = bisect.bisect_left(self._keys, _point(key))
+        order: List[str] = []
+        seen = set()
+        n = len(self._points)
+        for i in range(n):
+            name = self._points[(start + i) % n][1]
+            if name not in seen:
+                seen.add(name)
+                order.append(name)
+                if len(seen) == len(self._members):
+                    break
+        return order
+
+    def owner(self, key: str) -> str:
+        """The single owning backend (raises on an empty ring)."""
+        order = self.lookup(key)
+        if not order:
+            raise LookupError("hash ring is empty")
+        return order[0]
+
+    def spread(self, keys: List[str]) -> Dict[str, int]:
+        """Owner histogram for a key sample (balance diagnostics)."""
+        out: Dict[str, int] = {name: 0 for name in self._members}
+        for key in keys:
+            out[self.owner(key)] += 1
+        return out

@@ -1,0 +1,703 @@
+"""The shard router: ``repro route``.
+
+An NDJSON/TCP front (the same wire protocol as ``repro serve``) that
+owns no engine of its own — it consistent-hashes each engine request
+across a fleet of ``repro serve`` backends and absorbs their failures.
+Per request, in order:
+
+1. **Cache** — the request's content digest is looked up in a bounded
+   LRU of successful results.  Sound for the same reason single-flight
+   coalescing is: facade calls are deterministic modulo ``wall``, so a
+   previous answer *is* this answer.
+2. **Ring** — :class:`~repro.fleet.ring.HashRing` maps the digest to a
+   failover itinerary (owner first, then each surviving backend once).
+3. **Breakers** — backends whose circuit breaker refuses admission are
+   skipped without a connect attempt.
+4. **Send, retry** — transport failures (connect/timeout/closed) and
+   explicit pressure (``overloaded`` / ``shutting_down``) move to the
+   next backend after a jittered backoff
+   (:class:`~repro.fleet.retry.RetryPolicy`); definitive outcomes
+   (``bad_request``, ``engine_error``, ...) are returned as-is, never
+   retried.  Transport failures feed the breaker; pressure responses
+   do not (a server that says "overloaded" is alive and correct).
+5. **Fallback** — when no backend could answer, the router degrades to
+   *sequential in-process* execution over :mod:`repro.api` (one at a
+   time, under a lock — a limping fleet, not a dead one).  With
+   fallback disabled it returns the ``unavailable`` error instead.
+
+Draining: the ``drain`` control op with ``params.backend`` bleeds one
+backend out of the ring — membership changes first, then the backend
+itself is asked to drain, so stragglers racing the membership change
+get ``shutting_down`` and retry onto the new owner.  Without
+``params.backend`` the router itself drains.
+
+The connection front is a single event-loop thread (selector-based),
+not thread-per-connection: cache hits and cheap control ops are
+answered inline, in strict arrival order — which keeps the hot-path
+latency distribution flat — while cache misses are dispatched to a
+small pool of routing threads (they block on backend sockets, backoff
+sleeps and the sequential fallback).  Responses to pipelined requests
+on one connection may be answered out of order; responses carry the
+request ``id``.
+
+Every decision is observable: ``fleet.*`` counters, and with a
+recorder attached, ``fleet.request`` spans on the ``PID_FLEET`` track
+(one lane per serving thread) whose args carry the route taken.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import api
+from repro.fleet.breaker import CircuitBreaker
+from repro.fleet.client import BackendClient, BackendError
+from repro.fleet.health import HealthProber
+from repro.fleet.retry import RetryPolicy, retryable_code
+from repro.fleet.ring import HashRing
+from repro.serve.chaos import FAULT_BLACKHOLE, FAULT_SLOW, FleetFaultPlan
+from repro.serve.protocol import (
+    CONTROL_OPS,
+    ERR_BAD_REQUEST,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_UNAVAILABLE,
+    ERROR_CODES,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serve.server import NdjsonServer, engine_call
+
+
+def parse_backend(spec: str) -> Tuple[str, str, int]:
+    """``"host:port"`` → (name, host, port); name is the spec itself."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"backend must be host:port, got {spec!r}")
+    return spec, host, int(port)
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Router topology + policy (the ``repro route`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    backends: Tuple[str, ...] = ()  # "host:port" specs
+    vnodes: int = 64
+    connect_timeout_s: float = 1.0
+    request_timeout_s: float = 30.0  # transport cap per attempt
+    default_deadline_ms: float = 30_000.0
+    attempts: int = 3
+    retry_base_delay_s: float = 0.05
+    retry_max_delay_s: float = 2.0
+    seed: int = 0  # retry jitter RNG
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 0.5
+    breaker_max_cooldown_s: float = 30.0
+    breaker_probe_budget: int = 1
+    probe_interval_s: float = 0.5
+    probe_max_interval_s: float = 10.0
+    fallback: bool = True
+    cache_size: int = 256  # successful results; 0 disables
+    io_workers: int = 16  # threads for cache-miss routing
+    drain_timeout: float = 30.0
+    chaos: Optional[FleetFaultPlan] = None
+    recorder: Any = None
+
+
+class _Backend:
+    """One fleet member: client + breaker + send accounting."""
+
+    __slots__ = ("client", "breaker", "sent", "ok", "failed")
+
+    def __init__(self, client: BackendClient, breaker: CircuitBreaker):
+        self.client = client
+        self.breaker = breaker
+        self.sent = 0
+        self.ok = 0
+        self.failed = 0
+
+
+class _Conn:
+    """One accepted connection on the event-loop front."""
+
+    __slots__ = ("sock", "buf", "lock")
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buf = bytearray()
+        self.lock = threading.Lock()  # serializes interleaved replies
+
+
+class ShardRouter(NdjsonServer):
+    """The self-healing NDJSON front over a fleet of backends."""
+
+    def __init__(self, config: RouterConfig = RouterConfig()):
+        super().__init__(host=config.host, port=config.port,
+                         drain_timeout=config.drain_timeout)
+        self.config = config
+        self._ring = HashRing(vnodes=config.vnodes)
+        self._backends: Dict[str, _Backend] = {}
+        self._members_lock = threading.Lock()
+        self._retry = RetryPolicy(
+            attempts=config.attempts,
+            base_delay_s=config.retry_base_delay_s,
+            max_delay_s=config.retry_max_delay_s,
+            rng=Random(config.seed),
+        )
+        self._counters: Dict[str, int] = {}
+        self._obs_lock = threading.Lock()
+        self._tids: Dict[int, int] = {}
+        self._cache: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._fallback_lock = threading.Lock()
+        self._started = time.perf_counter()
+        for spec in config.backends:
+            self.add_backend(spec)
+        self._prober = HealthProber(
+            clients={name: b.client for name, b in self._backends.items()},
+            breakers={name: b.breaker for name, b in self._backends.items()},
+            interval_s=config.probe_interval_s,
+            max_interval_s=config.probe_max_interval_s,
+            probe_timeout_s=config.connect_timeout_s,
+            on_change=self._on_health_change,
+        )
+
+    # -- membership --------------------------------------------------------
+
+    def add_backend(self, spec: str) -> None:
+        name, host, port = parse_backend(spec)
+        with self._members_lock:
+            if name in self._backends:
+                return
+            client = BackendClient(
+                name, host, port,
+                connect_timeout_s=self.config.connect_timeout_s)
+            breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+                max_cooldown_s=self.config.breaker_max_cooldown_s,
+                probe_budget=self.config.breaker_probe_budget,
+                on_transition=self._breaker_transition(name),
+            )
+            self._backends[name] = _Backend(client, breaker)
+            self._ring.add(name)
+
+    def bleed_backend(self, name: str,
+                      stop_backend: bool = True) -> Dict[str, Any]:
+        """Graceful drain: remove a backend from the ring, then (by
+        default) ask the backend process itself to drain and exit.
+
+        Ring first, backend second: requests racing the change get
+        ``shutting_down`` from the backend, which is retryable, and
+        land on the ring's new owner.
+        """
+        with self._members_lock:
+            backend = self._backends.pop(name, None)
+            self._ring.remove(name)
+        self._prober.forget(name)
+        if backend is None:
+            return {"kind": "drain", "status": "unknown-backend",
+                    "backend": name, "ring": self.ring_members()}
+        self._count("fleet.backend.drained")
+        status = "bled"
+        if stop_backend:
+            try:
+                backend.client.call("drain", timeout_s=2.0)
+                status = "bled+stopped"
+            except (BackendError, ValueError):
+                status = "bled (backend unreachable)"
+        return {"kind": "drain", "status": status, "backend": name,
+                "ring": self.ring_members()}
+
+    def ring_members(self) -> List[str]:
+        with self._members_lock:
+            return self._ring.members
+
+    # -- observability -----------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._obs_lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+            if self.config.recorder is not None:
+                self.config.recorder.count(name, n)
+
+    def counters(self) -> Dict[str, int]:
+        with self._obs_lock:
+            return dict(sorted(self._counters.items()))
+
+    def _breaker_transition(self, name: str):
+        def on_transition(frm: str, to: str) -> None:
+            del frm
+            self._count(f"fleet.breaker.{to}")
+        del name
+        return on_transition
+
+    def _on_health_change(self, name: str, healthy: bool) -> None:
+        del name
+        self._count("fleet.health.up" if healthy else "fleet.health.down")
+
+    def _track(self) -> int:
+        """Dense per-connection-thread track id for PID_FLEET."""
+        ident = threading.get_ident()
+        with self._obs_lock:
+            if ident not in self._tids:
+                self._tids[ident] = len(self._tids)
+            return self._tids[ident]
+
+    def _span(self, ph: str, tid: int, args: Optional[dict] = None) -> None:
+        recorder = self.config.recorder
+        if recorder is None:
+            return
+        from repro.obs.recorder import PID_FLEET
+
+        with self._obs_lock:
+            recorder.event("fleet.request", "fleet", ph=ph,
+                           pid=PID_FLEET, tid=tid, args=args or {})
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        address = super().start()
+        self._prober.start()
+        return address
+
+    def on_drain(self) -> None:
+        self._prober.stop()
+
+    # -- the event-loop front ----------------------------------------------
+    #
+    # Unlike the engine server (thread per connection; requests *block*
+    # on engine work), the router's hot path — a cache hit — is pure
+    # in-memory lookup.  Serving it from a single event-loop thread
+    # answers hits in strict arrival order, which keeps the latency
+    # distribution flat: no herd of connection threads racing for the
+    # interpreter, no request overtaken N times by later arrivals.
+    # Cache misses (which block on backend sockets, backoff sleeps and
+    # the sequential fallback) are handed to a small pool of routing
+    # threads; their replies are written back under a per-connection
+    # lock.  Pipelined requests on one connection may therefore be
+    # answered out of order — responses carry the request ``id``.
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections on one event-loop thread until
+        drain is requested, then drain: stop accepting, let dispatched
+        routing work finish and deliver, and return."""
+        import selectors
+        from concurrent.futures import ThreadPoolExecutor
+
+        if self._sock is None:
+            self.start()
+        selector = selectors.DefaultSelector()
+        selector.register(self._sock, selectors.EVENT_READ, None)
+        conns: Dict[Any, _Conn] = {}
+        pool = ThreadPoolExecutor(max_workers=self.config.io_workers,
+                                  thread_name_prefix="route-io")
+        try:
+            while not self._drain_requested.is_set():
+                for key, _events in selector.select(self._ACCEPT_POLL):
+                    if key.data is None:
+                        self._accept_conn(selector, conns)
+                    else:
+                        self._service_conn(selector, conns, key.data, pool)
+        finally:
+            # In-flight routed work completes and replies before the
+            # connections close: a drain is graceful, not a reset.
+            pool.shutdown(wait=True)
+            for conn in conns.values():
+                try:
+                    conn.sock.close()
+                except OSError:
+                    pass
+            selector.close()
+            self._drain()
+
+    def _accept_conn(self, selector, conns) -> None:
+        try:
+            sock, _addr = self._sock.accept()
+        except OSError:
+            return
+        sock.setblocking(True)  # reads are readiness-gated via the selector
+        conn = _Conn(sock)
+        conns[sock] = conn
+        import selectors
+
+        selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _service_conn(self, selector, conns, conn: _Conn, pool) -> None:
+        try:
+            chunk = conn.sock.recv(65536)
+        except OSError:
+            chunk = b""
+        if not chunk:
+            selector.unregister(conn.sock)
+            conns.pop(conn.sock, None)
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+            return
+        conn.buf.extend(chunk)
+        while b"\n" in conn.buf:
+            line, _, rest = bytes(conn.buf).partition(b"\n")
+            conn.buf[:] = rest
+            self._dispatch_line(conn, line, pool)
+
+    def _dispatch_line(self, conn: _Conn, line: bytes, pool) -> None:
+        text = line.decode("utf-8", errors="replace").strip()
+        if not text:
+            return
+        start = time.perf_counter()
+        try:
+            request = parse_request(text)
+        except ProtocolError as err:
+            self.on_bad_request()
+            self._reply(conn, encode(error_response(
+                err.request_id, ERR_BAD_REQUEST, str(err))))
+            return
+        if request.op in CONTROL_OPS:
+            if request.op == "drain" and request.params.get("backend"):
+                # Bleeding a backend round-trips to it; off the loop.
+                pool.submit(self._control_reply, conn, request)
+            else:
+                self._reply(conn, encode(self._handle_control(request)))
+            return
+        key = api.content_digest({"op": request.op,
+                                  "params": request.params})
+        if self._cache_peek(key):
+            self._reply(conn, encode(self._route(request, key, start)))
+        else:
+            pool.submit(self._routed_reply, conn, request, key, start)
+
+    def _control_reply(self, conn: _Conn, request: Request) -> None:
+        self._reply(conn, encode(self._handle_control(request)))
+
+    def _routed_reply(self, conn: _Conn, request: Request, key: str,
+                      start: float) -> None:
+        try:
+            payload = encode(self._route(request, key, start))
+        except Exception as err:  # noqa: BLE001 — never lose a reply
+            self._count(f"fleet.request.error.{ERR_INTERNAL}")
+            payload = encode(error_response(
+                request.id, ERR_INTERNAL,
+                f"{type(err).__name__}: {err}"))
+        self._reply(conn, payload)
+
+    def _reply(self, conn: _Conn, payload: bytes) -> None:
+        try:
+            with conn.lock:
+                conn.sock.sendall(payload)
+        except OSError:
+            pass  # client went away; the route already ran
+
+    def _cache_peek(self, key: str) -> bool:
+        if self.config.cache_size <= 0:
+            return False
+        with self._cache_lock:
+            return key in self._cache
+
+    # -- request handling --------------------------------------------------
+
+    def handle_request(self, request: Request) -> Dict[str, Any]:
+        if request.op in CONTROL_OPS:
+            return self._handle_control(request)
+        return self._route(request)
+
+    def on_bad_request(self) -> None:
+        self._count("fleet.request.bad_request")
+
+    def _handle_control(self, request: Request) -> Dict[str, Any]:
+        start = time.perf_counter()
+        self._count("fleet.control")
+        if request.op == "drain":
+            backend = request.params.get("backend")
+            if backend is not None:
+                if not isinstance(backend, str):
+                    return error_response(
+                        request.id, ERR_BAD_REQUEST,
+                        "params.backend must be a host:port string")
+                body = self.bleed_backend(backend)
+            else:
+                self.request_drain()
+                body = {"kind": "drain", "status": "draining",
+                        "ring": self.ring_members()}
+        elif request.op == "health":
+            body = self._health()
+        else:
+            body = self._stats()
+        return ok_response(request.id, request.op, body,
+                           (time.perf_counter() - start) * 1000.0)
+
+    def _health(self) -> Dict[str, Any]:
+        probes = self._prober.snapshot()
+        with self._members_lock:
+            backends = {
+                name: {
+                    "breaker": backend.breaker.state,
+                    "healthy": probes.get(name, {}).get("healthy"),
+                }
+                for name, backend in sorted(self._backends.items())
+            }
+        return {
+            "kind": "health",
+            "role": "router",
+            "status": "draining" if self._drain_requested.is_set() else "ok",
+            "ring": self.ring_members(),
+            "backends": backends,
+        }
+
+    def _stats(self) -> Dict[str, Any]:
+        probes = self._prober.snapshot()
+        with self._members_lock:
+            backends = {
+                name: {
+                    "breaker": backend.breaker.snapshot(),
+                    "probe": probes.get(name),
+                    "sent": backend.sent,
+                    "ok": backend.ok,
+                    "failed": backend.failed,
+                }
+                for name, backend in sorted(self._backends.items())
+            }
+        with self._cache_lock:
+            cache_entries = len(self._cache)
+        body: Dict[str, Any] = {
+            "kind": "stats",
+            "role": "router",
+            "status": "draining" if self._drain_requested.is_set() else "ok",
+            "ring": self.ring_members(),
+            "vnodes": self.config.vnodes,
+            "attempts": self.config.attempts,
+            "fallback": self.config.fallback,
+            "cache": {"size": self.config.cache_size,
+                      "entries": cache_entries},
+            "backends": backends,
+            "counters": self.counters(),
+            "uptime_s": round(time.perf_counter() - self._started, 3),
+        }
+        if self.config.chaos is not None:
+            body["chaos"] = self.config.chaos.describe()
+        return body
+
+    # -- the routing core --------------------------------------------------
+
+    def _route(self, request: Request, key: Optional[str] = None,
+               start: Optional[float] = None) -> Dict[str, Any]:
+        # ``start`` is when the request line was parsed (so time queued
+        # behind the routing pool counts against the deadline).
+        if start is None:
+            start = time.perf_counter()
+        tid = self._track()
+        if key is None:
+            key = api.content_digest({"op": request.op,
+                                      "params": request.params})
+        self._span("B", tid, {"op": request.op, "key": key[:12]})
+        route = "?"
+        try:
+            response, route = self._route_inner(request, key, start)
+            return response
+        finally:
+            self._span("E", tid, {"op": request.op, "route": route})
+
+    def _route_inner(self, request: Request, key: str,
+                     start: float) -> Tuple[Dict[str, Any], str]:
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._count("fleet.cache.hits")
+            self._count("fleet.request.ok")
+            wall_ms = (time.perf_counter() - start) * 1000.0
+            return (ok_response(request.id, request.op, cached, wall_ms),
+                    "cache")
+        self._count("fleet.cache.misses")
+        deadline_s = (request.deadline_ms
+                      if request.deadline_ms is not None
+                      else self.config.default_deadline_ms) / 1000.0
+        deadline_end = start + deadline_s
+        with self._members_lock:
+            itinerary = self._ring.lookup(key)
+        failures: List[str] = []
+        retries = 0
+        for position, name in enumerate(itinerary):
+            if retries >= self._retry.attempts:
+                break
+            with self._members_lock:
+                backend = self._backends.get(name)
+            if backend is None:
+                continue  # bled from the ring after the lookup
+            if not backend.breaker.allow():
+                self._count("fleet.route.breaker_skips")
+                failures.append(f"{name}: breaker open")
+                continue
+            remaining = deadline_end - time.perf_counter()
+            if remaining <= 0:
+                self._count("fleet.request.deadline_exceeded")
+                return (error_response(
+                    request.id, ERR_DEADLINE,
+                    f"deadline of {deadline_s * 1000.0:.0f}ms exceeded "
+                    f"while routing (tried: {'; '.join(failures) or 'none'})",
+                    (time.perf_counter() - start) * 1000.0), "deadline")
+            if position > 0:
+                self._count("fleet.route.failovers")
+            outcome = self._send(backend, request, remaining)
+            kind = outcome[0]
+            if kind == "ok":
+                self._cache_put(key, outcome[1])
+                self._count("fleet.request.ok")
+                wall_ms = (time.perf_counter() - start) * 1000.0
+                return (ok_response(request.id, request.op, outcome[1],
+                                    wall_ms),
+                        name if position == 0 else f"failover:{name}")
+            if kind == "definitive":
+                code, message = outcome[1], outcome[2]
+                self._count(f"fleet.request.error.{code}")
+                return (error_response(
+                    request.id, code, message,
+                    (time.perf_counter() - start) * 1000.0), f"{name}:{code}")
+            # Retryable (transport failure or pressure): back off with
+            # jitter before the next backend, budget permitting.
+            failures.append(f"{name}: {outcome[1]}")
+            if self._retry.should_retry(retries):
+                delay = self._retry.delay_s(retries)
+                self._count("fleet.route.retries")
+                if deadline_end - time.perf_counter() > delay:
+                    time.sleep(delay)
+            retries += 1
+        return self._degrade(request, key, start, failures)
+
+    def _send(self, backend: _Backend, request: Request,
+              remaining_s: float) -> Tuple:
+        """One attempt against one backend.
+
+        Returns ``("ok", result)``, ``("definitive", code, message)``,
+        or ``("retryable", why)``.  Transport failures feed the
+        breaker; protocol responses of any kind count as the backend
+        being alive (success for the breaker's purposes).
+        """
+        name = backend.client.name
+        if self.config.chaos is not None:
+            fault = self.config.chaos.on_send(name)
+            if fault is not None:
+                kind, value = fault
+                if kind == FAULT_BLACKHOLE:
+                    # Synthetic connect failure: consumed without
+                    # touching the network, but fed to the breaker like
+                    # the real thing.
+                    self._count("fleet.fault.blackhole")
+                    backend.breaker.record_failure()
+                    with self._obs_lock:
+                        backend.failed += 1
+                    return ("retryable", "chaos blackhole (synthetic "
+                                         "connect failure)")
+                if kind == FAULT_SLOW:
+                    self._count("fleet.fault.slow")
+                    time.sleep(min(value / 1000.0, max(0.0, remaining_s)))
+        timeout_s = min(remaining_s, self.config.request_timeout_s)
+        with self._obs_lock:
+            backend.sent += 1
+        try:
+            response = backend.client.call(
+                request.op, request.params, request_id=request.id,
+                deadline_ms=remaining_s * 1000.0, timeout_s=timeout_s)
+        except BackendError as err:
+            self._count(f"fleet.transport.{err.kind}")
+            backend.breaker.record_failure()
+            with self._obs_lock:
+                backend.failed += 1
+            return ("retryable", f"transport {err.kind}")
+        except ValueError as err:
+            # Unparseable response line: treat like a mid-exchange close.
+            self._count("fleet.transport.garbled")
+            backend.breaker.record_failure()
+            with self._obs_lock:
+                backend.failed += 1
+            return ("retryable", f"garbled response: {err}")
+        backend.breaker.record_success()
+        if response.get("ok"):
+            with self._obs_lock:
+                backend.ok += 1
+            return ("ok", response.get("result", {}))
+        error = response.get("error") or {}
+        code = error.get("code", ERR_INTERNAL)
+        message = error.get("message", "backend error")
+        if code not in ERROR_CODES:
+            code = ERR_INTERNAL
+        if retryable_code(code):
+            self._count(f"fleet.pressure.{code}")
+            with self._obs_lock:
+                backend.failed += 1
+            return ("retryable", f"pressure: {code}")
+        return ("definitive", code, f"[{name}] {message}")
+
+    def _degrade(self, request: Request, key: str, start: float,
+                 failures: List[str]) -> Tuple[Dict[str, Any], str]:
+        """Every backend failed (or none exist): fall back or refuse."""
+        tried = "; ".join(failures) if failures else "no backends in ring"
+        if not self.config.fallback:
+            self._count("fleet.request.unavailable")
+            return (error_response(
+                request.id, ERR_UNAVAILABLE,
+                f"no backend available ({tried}) and sequential "
+                "fallback is disabled",
+                (time.perf_counter() - start) * 1000.0), "unavailable")
+        self._count("fleet.fallback")
+        # Sequential on purpose: the router host is the last line of
+        # defense, not a second fleet — one request at a time bounds
+        # the blast radius of a total backend outage.
+        with self._fallback_lock:
+            try:
+                result = engine_call(request.op, dict(request.params))
+            except api.ApiError as err:
+                code = err.code if err.code in ERROR_CODES else ERR_INTERNAL
+                self._count(f"fleet.request.error.{code}")
+                return (error_response(
+                    request.id, code, str(err),
+                    (time.perf_counter() - start) * 1000.0),
+                    f"fallback:{code}")
+            except (TypeError, ValueError) as err:
+                self._count(f"fleet.request.error.{ERR_BAD_REQUEST}")
+                return (error_response(
+                    request.id, ERR_BAD_REQUEST, f"bad params: {err}",
+                    (time.perf_counter() - start) * 1000.0),
+                    "fallback:bad_request")
+            except Exception as err:  # noqa: BLE001 - the last line of
+                self._count(f"fleet.request.error.{ERR_INTERNAL}")  # defense
+                return (error_response(
+                    request.id, ERR_INTERNAL,
+                    f"{type(err).__name__}: {err}",
+                    (time.perf_counter() - start) * 1000.0),
+                    "fallback:internal")
+        self._cache_put(key, result)
+        self._count("fleet.request.ok")
+        return (ok_response(request.id, request.op, result,
+                            (time.perf_counter() - start) * 1000.0),
+                "fallback")
+
+    # -- the response cache ------------------------------------------------
+
+    def _cache_get(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.config.cache_size <= 0:
+            return None
+        with self._cache_lock:
+            result = self._cache.get(key)
+            if result is not None:
+                self._cache.move_to_end(key)
+            return result
+
+    def _cache_put(self, key: str, result: Dict[str, Any]) -> None:
+        if self.config.cache_size <= 0:
+            return
+        with self._cache_lock:
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.config.cache_size:
+                self._cache.popitem(last=False)

@@ -41,6 +41,7 @@ PID_MACHINE = 1  # simulated machine (tick clock)
 PID_HARNESS = 2  # harness rollups (wall clock)
 PID_SCALE = 3  # sweep driver (wall clock; one track per worker slot)
 PID_SERVE = 4  # analysis service (wall clock; one track per pool thread)
+PID_FLEET = 5  # shard router (wall clock; one track per connection thread)
 
 PID_NAMES = {
     PID_PIPELINE: "curare pipeline (wall µs)",
@@ -48,6 +49,7 @@ PID_NAMES = {
     PID_HARNESS: "harness (wall µs)",
     PID_SCALE: "sweep driver (wall µs)",
     PID_SERVE: "analysis service (wall µs)",
+    PID_FLEET: "shard router (wall µs)",
 }
 
 #: Event phases (a subset of the Chrome trace_event phases).

@@ -9,7 +9,15 @@ faults, and graceful drain.  See :mod:`repro.serve.protocol` for the
 wire format and :mod:`repro.serve.server` for the architecture.
 """
 
-from repro.serve.chaos import FAULT_DELAY, FAULT_REJECT, RequestFaultPlan
+from repro.serve.chaos import (
+    FAULT_BLACKHOLE,
+    FAULT_DELAY,
+    FAULT_KILL,
+    FAULT_REJECT,
+    FAULT_SLOW,
+    FleetFaultPlan,
+    RequestFaultPlan,
+)
 from repro.serve.protocol import (
     CONTROL_OPS,
     ENGINE_OPS,
@@ -25,15 +33,31 @@ from repro.serve.protocol import (
     parse_request,
     request_line,
 )
-from repro.serve.server import AnalysisService, ReproServer, ServeConfig
+from repro.serve.server import (
+    EXECUTOR_PROCESS,
+    EXECUTOR_THREAD,
+    EXECUTORS,
+    AnalysisService,
+    NdjsonServer,
+    ReproServer,
+    ServeConfig,
+)
 
 __all__ = [
     "AnalysisService",
     "CONTROL_OPS",
     "ENGINE_OPS",
     "ERROR_CODES",
+    "EXECUTOR_PROCESS",
+    "EXECUTOR_THREAD",
+    "EXECUTORS",
+    "FAULT_BLACKHOLE",
     "FAULT_DELAY",
+    "FAULT_KILL",
     "FAULT_REJECT",
+    "FAULT_SLOW",
+    "FleetFaultPlan",
+    "NdjsonServer",
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",

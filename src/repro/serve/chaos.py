@@ -32,6 +32,11 @@ from typing import Optional, Tuple
 FAULT_REJECT = "inject-reject"
 FAULT_DELAY = "inject-delay"
 
+#: Fleet-level (router → backend) fault kinds.
+FAULT_BLACKHOLE = "inject-blackhole"
+FAULT_SLOW = "inject-slow"
+FAULT_KILL = "inject-kill"
+
 
 class RequestFaultPlan:
     """Seeded, budgeted request-fault injection for the server."""
@@ -89,4 +94,98 @@ class RequestFaultPlan:
             f"budget {self.budget}, injected {self.total_injected} "
             f"({self.injected[FAULT_REJECT]} reject, "
             f"{self.injected[FAULT_DELAY]} delay)"
+        )
+
+
+class FleetFaultPlan:
+    """Seeded, budgeted *router-level* fault injection.
+
+    Where :class:`RequestFaultPlan` pressures one server's admission
+    path, this plan pressures the router → backend transport — the
+    machinery the fleet exists to survive:
+
+    * **blackhole** — the router treats the chosen backend as
+      unreachable for this send (a synthetic connect failure, consumed
+      without touching the network), driving the retry/failover path
+      and, repeated, the circuit breaker;
+    * **slow** — the send is delayed (slow-loris-shaped latency),
+      driving per-request timeouts and p99 inflation;
+    * **kill** — the decision to ``kill -9`` one live backend process;
+      the plan only *decides* (returns the fault so the chaos runner,
+      which owns the subprocesses, performs the kill), keeping this
+      module free of process management.
+
+    The invariant under every one of these is the fleet contract:
+    clients still receive either a correct result (byte-identical
+    modulo ``wall`` to the one-shot CLI) or a typed error — faults may
+    move latency and routing, never answers.
+
+    Determinism matches :class:`RequestFaultPlan`: one private seeded
+    RNG consumed in send order under a lock, finite per-kind budgets.
+    """
+
+    name = "fleet-mixed"
+
+    def __init__(
+        self,
+        seed: int,
+        blackhole_rate: float = 0.10,
+        slow_rate: float = 0.10,
+        kill_rate: float = 0.0,
+        slow_ms: Tuple[float, float] = (20.0, 250.0),
+        budget: int = 64,
+    ):
+        self.seed = seed
+        self.blackhole_rate = blackhole_rate
+        self.slow_rate = slow_rate
+        self.kill_rate = kill_rate
+        self.slow_ms = slow_ms
+        self.budget = budget
+        self.injected: dict[str, int] = {
+            FAULT_BLACKHOLE: 0, FAULT_SLOW: 0, FAULT_KILL: 0,
+        }
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def on_send(self, backend: str) -> Optional[Tuple[str, float]]:
+        """Decide the fault for one router → backend send.
+
+        Returns ``None``, ``(FAULT_BLACKHOLE, 0)``, ``(FAULT_SLOW,
+        milliseconds)``, or ``(FAULT_KILL, 0)``.  ``backend`` is not
+        consulted for the decision (the stream stays replayable however
+        the ring assigns owners); it exists for callers' logging.
+        """
+        del backend
+        with self._lock:
+            if self.total_injected >= self.budget:
+                return None
+            roll = self._rng.random()
+            if roll < self.blackhole_rate:
+                self.injected[FAULT_BLACKHOLE] += 1
+                return FAULT_BLACKHOLE, 0.0
+            if roll < self.blackhole_rate + self.slow_rate:
+                lo, hi = self.slow_ms
+                delay = self._rng.uniform(lo, hi)
+                self.injected[FAULT_SLOW] += 1
+                return FAULT_SLOW, delay
+            if roll < self.blackhole_rate + self.slow_rate + self.kill_rate:
+                self.injected[FAULT_KILL] += 1
+                return FAULT_KILL, 0.0
+            return None
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(seed={self.seed}): "
+            f"blackhole@{self.blackhole_rate:.0%} "
+            f"slow@{self.slow_rate:.0%} "
+            f"{self.slow_ms[0]:.0f}-{self.slow_ms[1]:.0f}ms "
+            f"kill@{self.kill_rate:.0%}, "
+            f"budget {self.budget}, injected {self.total_injected} "
+            f"({self.injected[FAULT_BLACKHOLE]} blackhole, "
+            f"{self.injected[FAULT_SLOW]} slow, "
+            f"{self.injected[FAULT_KILL]} kill)"
         )

@@ -12,7 +12,11 @@ Request::
 * ``id`` — caller-chosen correlation token (string or number; echoed).
 * ``op`` — one of ``analyze`` / ``transform`` / ``run`` / ``sweep``
   (engine requests, executed on the worker pool) or ``health`` /
-  ``stats`` (served inline, never queued, never rejected).
+  ``stats`` / ``drain`` (control requests, served inline, never
+  queued, never rejected).  ``drain`` asks a server to bleed out
+  gracefully; sent to the shard router with ``params.backend`` it
+  instead bleeds one backend out of the hash ring (see
+  :mod:`repro.fleet.router`).
 * ``params`` — keyword arguments of the matching :mod:`repro.api`
   facade call (e.g. for ``run``: ``source``, ``expr``, plus any
   :class:`repro.api.RunOptions` field).
@@ -40,8 +44,12 @@ Error codes (stable vocabulary):
   backpressure signal.  Retry later; the server never queues unboundedly.
 * ``deadline_exceeded``  — the deadline elapsed before the result.
 * ``shutting_down``      — the server is draining; no new work.
+* ``unavailable``        — (router only) no backend could answer and
+  sequential fallback was disabled; the 503-style total-outage signal.
 * ``transform_refused``  — Curare declined a prerequisite transform.
-* ``engine_error``       — the engine failed on well-formed input.
+* ``engine_error``       — the engine failed on well-formed input
+  (including a crashed process-pool worker — crash isolation turns a
+  dead worker into this typed error, never a dropped connection).
 * ``internal``           — unexpected server-side failure.
 
 An injected chaos fault (``--chaos-seed``) adds ``"fault": <kind>`` to
@@ -59,13 +67,14 @@ PROTOCOL_VERSION = 1
 
 #: Engine ops run on the worker pool; control ops are served inline.
 ENGINE_OPS = ("analyze", "transform", "run", "sweep")
-CONTROL_OPS = ("health", "stats")
+CONTROL_OPS = ("health", "stats", "drain")
 OPS = ENGINE_OPS + CONTROL_OPS
 
 ERR_BAD_REQUEST = "bad_request"
 ERR_OVERLOADED = "overloaded"
 ERR_DEADLINE = "deadline_exceeded"
 ERR_SHUTTING_DOWN = "shutting_down"
+ERR_UNAVAILABLE = "unavailable"
 ERR_TRANSFORM_REFUSED = "transform_refused"
 ERR_ENGINE = "engine_error"
 ERR_INTERNAL = "internal"
@@ -75,6 +84,7 @@ ERROR_CODES = (
     ERR_OVERLOADED,
     ERR_DEADLINE,
     ERR_SHUTTING_DOWN,
+    ERR_UNAVAILABLE,
     ERR_TRANSFORM_REFUSED,
     ERR_ENGINE,
     ERR_INTERNAL,

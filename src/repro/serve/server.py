@@ -1,41 +1,56 @@
 """A long-lived concurrent analysis service over :mod:`repro.api`.
 
-Two layers:
+Three layers:
 
 * :class:`AnalysisService` — socket-free engine host: a thread pool
   over the facade with **bounded admission** (explicit ``overloaded``
   rejection once ``workers + backlog`` requests are in the house —
   never unbounded queueing), **per-request deadlines** (a waiter whose
   deadline passes gets ``deadline_exceeded``; when *every* waiter of a
-  computation has given up the computation is cancelled before it
-  starts), **single-flight coalescing** (identical in-flight requests,
-  keyed on the content-addressed digest of ``(op, params)``, compute
-  once and fan the result out to every waiter), and **graceful drain**
-  (new engine work refused with ``shutting_down``; in-flight work
-  completes and is delivered).
-* :class:`ReproServer` — the NDJSON/TCP front: one reader thread per
-  connection, one request processed per connection at a time,
-  responses written in request order.
+  computation has given up — or every waiter's deadline has already
+  expired by the time a worker picks the job up — the computation is
+  cancelled before it touches the engine), **single-flight coalescing**
+  (identical in-flight requests, keyed on the content-addressed digest
+  of ``(op, params)``, compute once and fan the result out to every
+  waiter), and **graceful drain** (new engine work refused with
+  ``shutting_down``; in-flight work completes and is delivered).
+
+  Two executors host the actual engine call.  The default ``thread``
+  executor computes inline on the pool thread — cheap, but CPU-bound
+  work is GIL-serialized and an engine crash is a process crash.  The
+  ``process`` executor (:mod:`repro.fleet.pool`) checks a worker
+  *process* out of a respawning farm: CPU-bound work escapes the GIL,
+  a segfaulted/killed worker yields a typed ``engine_error`` response
+  (never a dropped connection) and is respawned, and cancellation is
+  real — an abandoned computation's worker is terminated mid-flight.
+* :class:`NdjsonServer` — a reusable NDJSON/TCP front: one reader
+  thread per connection, one request processed per connection at a
+  time, responses written in request order, graceful drain.  The shard
+  router (:mod:`repro.fleet.router`) subclasses it.
+* :class:`ReproServer` — the NDJSON front bound to an
+  :class:`AnalysisService` (the ``repro serve`` process).
 
 Correctness contract: a response body is exactly the facade result's
 ``to_dict()``, so a served answer is byte-identical (modulo ``wall``)
 to a single-shot ``repro <op> --json`` invocation — the hosting layer
-preserves the engine's output-equivalence guarantee.  Coalescing is
-sound for the same reason the result cache is: facade calls are
-deterministic modulo wall, so one computation *is* every identical
-computation.
+preserves the engine's output-equivalence guarantee *whatever the
+executor*.  Coalescing is sound for the same reason the result cache
+is: facade calls are deterministic modulo wall, so one computation
+*is* every identical computation.
 
-Because all requests share one process, the :mod:`repro.perf` caches
-(automata derivations, interned regexes) stay warm across requests —
-the service gets the warm-path speedups ``repro bench`` measures
-without any per-request work.
+Because all thread-executor requests share one process, the
+:mod:`repro.perf` caches (automata derivations, interned regexes) stay
+warm across requests; process-executor workers are forked from the
+serving process and inherit whatever was warm at spawn time.
 
 Observability: with a recorder attached the service emits
 ``serve.request`` spans on the ``PID_SERVE`` track (one lane per pool
 thread) and ``serve.request.*`` counters; the same counters back the
-``stats`` op.  Chaos mode (:mod:`repro.serve.chaos`) injects seeded
-rejections and delays in front of real work to exercise the
-backpressure and deadline paths.
+``stats`` op, which also surfaces queue-wait aggregates (how long
+accepted requests sat in admission before a worker picked them up).
+Chaos mode (:mod:`repro.serve.chaos`) injects seeded rejections and
+delays in front of real work to exercise the backpressure and deadline
+paths.
 """
 
 from __future__ import annotations
@@ -65,6 +80,11 @@ from repro.serve.protocol import (
     parse_request,
 )
 
+#: Executor kinds for :class:`ServeConfig.executor`.
+EXECUTOR_THREAD = "thread"
+EXECUTOR_PROCESS = "process"
+EXECUTORS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -76,6 +96,7 @@ class ServeConfig:
     backlog: int = 16  # admission beyond the workers; 429 past this
     default_deadline_ms: float = 30_000.0
     drain_timeout: float = 30.0
+    executor: str = EXECUTOR_THREAD  # "thread" | "process"
     chaos: Optional[RequestFaultPlan] = None
     recorder: Any = None
 
@@ -83,9 +104,10 @@ class ServeConfig:
 class _Flight:
     """One in-flight computation; every coalesced waiter shares it."""
 
-    __slots__ = ("key", "op", "event", "cancel", "waiters", "outcome")
+    __slots__ = ("key", "op", "event", "cancel", "waiters", "outcome",
+                 "submitted", "latest_deadline")
 
-    def __init__(self, key: str, op: str):
+    def __init__(self, key: str, op: str, deadline_end: float):
         self.key = key
         self.op = op
         self.event = threading.Event()
@@ -93,22 +115,81 @@ class _Flight:
         self.waiters = 1
         # (True, result_dict) | (False, error_code, message)
         self.outcome: Optional[Tuple] = None
+        self.submitted = time.perf_counter()
+        # The latest deadline over every waiter: when it has passed,
+        # nobody can still use the result — the compute is doomed.
+        self.latest_deadline = deadline_end
+
+
+def engine_call(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one engine op onto the facade; raises on bad params.
+
+    Module-level (not a service method) so the process-pool worker
+    (:mod:`repro.fleet.pool`) executes exactly the same dispatch — the
+    executors cannot drift apart semantically.
+    """
+    params = dict(params)
+    decls = tuple(params.pop("decls", ()))
+    if op == "run":
+        source = _required_str(params, "source")
+        expr = _required_str(params, "expr")
+        options = _options(api.RunOptions, params)
+        return api.run(source, expr, options, decls=decls).to_dict()
+    if op == "analyze":
+        source = _required_str(params, "source")
+        function = _required_str(params, "function")
+        assume_sapp = bool(params.pop("assume_sapp", False))
+        _reject_unknown(params, "analyze")
+        return api.analyze(source, function, decls=decls,
+                           assume_sapp=assume_sapp).to_dict()
+    if op == "transform":
+        source = _required_str(params, "source")
+        function = _required_str(params, "function")
+        options = _options(api.TransformOptions, params)
+        return api.transform(source, function, options,
+                             decls=decls).to_dict()
+    if op == "sweep":
+        grid = _required_str(params, "grid")
+        options = _options(api.SweepOptions, params)
+        if options.workers != 0:
+            raise api.BadRequest(
+                "serve executes sweeps inline; params.workers must "
+                "be 0 (the service's own pool is the concurrency)"
+            )
+        return api.sweep(grid, options).to_dict()
+    raise api.BadRequest(f"unknown engine op {op!r}")
 
 
 class AnalysisService:
-    """The engine host: thread pool + admission + coalescing + drain."""
+    """The engine host: worker pool + admission + coalescing + drain."""
 
     def __init__(self, config: ServeConfig):
+        if config.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {config.executor!r}; "
+                f"choose from: {', '.join(EXECUTORS)}"
+            )
         self.config = config
         self._executor = ThreadPoolExecutor(
             max_workers=config.workers, thread_name_prefix="repro-serve"
         )
+        self._engine = None
+        if config.executor == EXECUTOR_PROCESS:
+            # Imported lazily: repro.fleet imports repro.serve, so the
+            # module-level direction must stay serve ← fleet.
+            from repro.fleet.pool import ProcessEngine
+
+            self._engine = ProcessEngine(
+                workers=config.workers,
+                on_count=self._count,
+            )
         self._slots = threading.Semaphore(config.workers + config.backlog)
         self._flights: Dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._obs_lock = threading.Lock()
         self._tids: Dict[int, int] = {}
+        self._queue_wait = {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
         self._draining = False
         self._started = time.perf_counter()
 
@@ -119,6 +200,13 @@ class AnalysisService:
             self._counters[name] = self._counters.get(name, 0) + n
             if self.config.recorder is not None:
                 self.config.recorder.count(name, n)
+
+    def _observe_queue_wait(self, waited_ms: float) -> None:
+        with self._obs_lock:
+            stats = self._queue_wait
+            stats["count"] += 1
+            stats["total_ms"] += waited_ms
+            stats["max_ms"] = max(stats["max_ms"], waited_ms)
 
     def _track(self) -> int:
         """Dense per-pool-thread track id for the PID_SERVE lane."""
@@ -151,6 +239,18 @@ class AnalysisService:
         with self._obs_lock:
             return dict(sorted(self._counters.items()))
 
+    def queue_wait_stats(self) -> Dict[str, float]:
+        """Aggregate admission-queue wait: how long accepted engine
+        requests sat before a worker started computing them."""
+        with self._obs_lock:
+            stats = dict(self._queue_wait)
+        count = stats.pop("count")
+        return {
+            "count": count,
+            "mean_ms": round(stats["total_ms"] / count, 3) if count else 0.0,
+            "max_ms": round(stats["max_ms"], 3),
+        }
+
     # -- request handling --------------------------------------------------
 
     def handle(self, request: Request) -> Dict[str, Any]:
@@ -158,8 +258,15 @@ class AnalysisService:
         start = time.perf_counter()
         if request.op in CONTROL_OPS:
             self._count("serve.control")
-            body = (self._health() if request.op == "health"
-                    else self._stats())
+            if request.op == "drain":
+                self.begin_drain()
+                body: Dict[str, Any] = {"kind": "drain",
+                                        "status": "draining",
+                                        "in_flight": self.in_flight}
+            elif request.op == "health":
+                body = self._health()
+            else:
+                body = self._stats()
             return ok_response(request.id, request.op, body,
                               (time.perf_counter() - start) * 1000.0)
         if self._draining:
@@ -194,6 +301,8 @@ class AnalysisService:
             flight = self._flights.get(key)
             if flight is not None:
                 flight.waiters += 1
+                flight.latest_deadline = max(flight.latest_deadline,
+                                             deadline_end)
                 self._count("serve.request.coalesced")
             else:
                 if not self._slots.acquire(blocking=False):
@@ -205,7 +314,7 @@ class AnalysisService:
                         f"{self.config.backlog} queued); retry later",
                         (time.perf_counter() - start) * 1000.0,
                     )
-                flight = _Flight(key, request.op)
+                flight = _Flight(key, request.op, deadline_end)
                 self._flights[key] = flight
                 self._count("serve.request.accepted")
                 self._executor.submit(self._compute, flight,
@@ -217,7 +326,9 @@ class AnalysisService:
                 flight.waiters -= 1
                 if flight.waiters == 0 and not flight.event.is_set():
                     # Nobody is waiting any more: cancel the compute
-                    # cooperatively (it checks before touching the engine).
+                    # cooperatively (it checks before touching the
+                    # engine, and the process executor terminates a
+                    # worker already computing).
                     flight.cancel.set()
             self._count("serve.request.deadline_exceeded")
             return error_response(
@@ -242,7 +353,10 @@ class AnalysisService:
     def _compute(self, flight: _Flight, params: Dict[str, Any],
                  delay_ms: float) -> None:
         tid = self._track()
-        self._span("B", tid, {"op": flight.op, "key": flight.key[:12]})
+        queued_ms = (time.perf_counter() - flight.submitted) * 1000.0
+        self._observe_queue_wait(queued_ms)
+        self._span("B", tid, {"op": flight.op, "key": flight.key[:12],
+                              "queued_ms": round(queued_ms, 3)})
         status = "ok"
         try:
             if delay_ms:
@@ -255,8 +369,18 @@ class AnalysisService:
                 outcome: Tuple = (False, ERR_DEADLINE,
                                   "cancelled before execution: every "
                                   "waiter's deadline expired")
+            elif time.perf_counter() >= flight.latest_deadline:
+                # Doomed while queued: every waiter's deadline already
+                # passed, so computing would burn a worker on a result
+                # nobody can receive.
+                status = "expired_in_queue"
+                self._count("serve.request.cancelled")
+                self._count("serve.request.expired_in_queue")
+                outcome = (False, ERR_DEADLINE,
+                           "not executed: request deadline expired "
+                           "while queued in admission")
             else:
-                outcome = (True, self._engine_call(flight.op, params))
+                outcome = (True, self._engine_call(flight, params))
         except api.ApiError as err:
             status = err.code
             code = err.code if err.code in ERROR_CODES else ERR_INTERNAL
@@ -276,37 +400,13 @@ class AnalysisService:
             self._slots.release()
             self._span("E", tid, {"op": flight.op, "status": status})
 
-    def _engine_call(self, op: str, params: Dict[str, Any]) -> Dict[str, Any]:
-        """Dispatch one engine op onto the facade; raises on bad params."""
-        decls = tuple(params.pop("decls", ()))
-        if op == "run":
-            source = _required_str(params, "source")
-            expr = _required_str(params, "expr")
-            options = _options(api.RunOptions, params)
-            return api.run(source, expr, options, decls=decls).to_dict()
-        if op == "analyze":
-            source = _required_str(params, "source")
-            function = _required_str(params, "function")
-            assume_sapp = bool(params.pop("assume_sapp", False))
-            _reject_unknown(params, "analyze")
-            return api.analyze(source, function, decls=decls,
-                               assume_sapp=assume_sapp).to_dict()
-        if op == "transform":
-            source = _required_str(params, "source")
-            function = _required_str(params, "function")
-            options = _options(api.TransformOptions, params)
-            return api.transform(source, function, options,
-                                 decls=decls).to_dict()
-        if op == "sweep":
-            grid = _required_str(params, "grid")
-            options = _options(api.SweepOptions, params)
-            if options.workers != 0:
-                raise api.BadRequest(
-                    "serve executes sweeps inline; params.workers must "
-                    "be 0 (the service's thread pool is the concurrency)"
-                )
-            return api.sweep(grid, options).to_dict()
-        raise api.BadRequest(f"unknown engine op {op!r}")
+    def _engine_call(self, flight: _Flight,
+                     params: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute the engine op on the configured executor."""
+        if self._engine is not None:
+            return self._engine.call(flight.op, params,
+                                     cancel=flight.cancel)
+        return engine_call(flight.op, params)
 
     def _health(self) -> Dict[str, Any]:
         return {
@@ -326,11 +426,13 @@ class AnalysisService:
         body: Dict[str, Any] = {
             "kind": "stats",
             "status": "draining" if self._draining else "ok",
+            "executor": self.config.executor,
             "workers": self.config.workers,
             "backlog": self.config.backlog,
             "default_deadline_ms": self.config.default_deadline_ms,
             "in_flight": self.in_flight,
             "counters": self.counters(),
+            "queue_wait": self.queue_wait_stats(),
             "perf_caches": perf,
             "uptime_s": round(time.perf_counter() - self._started, 3),
         }
@@ -348,6 +450,8 @@ class AnalysisService:
         """Block until every in-flight computation has completed."""
         self.begin_drain()
         self._executor.shutdown(wait=True)
+        if self._engine is not None:
+            self._engine.close()
 
     def close(self) -> None:
         self.drain()
@@ -385,19 +489,39 @@ def _reject_unknown(params: Dict[str, Any], op: str) -> None:
         )
 
 
-class ReproServer:
-    """The NDJSON/TCP front over an :class:`AnalysisService`."""
+class NdjsonServer:
+    """A reusable NDJSON/TCP front: accept loop, one reader thread per
+    connection, graceful drain.  Subclasses implement
+    :meth:`handle_request` (and may override the drain hooks)."""
 
     _ACCEPT_POLL = 0.2
 
-    def __init__(self, config: ServeConfig = ServeConfig()):
-        self.config = config
-        self.service = AnalysisService(config)
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 drain_timeout: float = 30.0):
+        self._host = host
+        self._port = port
+        self._drain_timeout = drain_timeout
         self._sock = None
         self._drain_requested = threading.Event()
         self._drained = threading.Event()
         self._conn_threads: list = []
         self._conn_lock = threading.Lock()
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def handle_request(self, request: Request) -> Dict[str, Any]:
+        """Serve one parsed request; must return a response document."""
+        raise NotImplementedError
+
+    def on_bad_request(self) -> None:
+        """Counter hook for unparseable lines."""
+
+    def on_drain_begin(self) -> None:
+        """Runs when drain starts, before connections are joined —
+        refuse new work here so a chatty client cannot stall drain."""
+
+    def on_drain(self) -> None:
+        """Release subclass resources; runs after connections drain."""
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -412,7 +536,7 @@ class ReproServer:
 
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind((self.config.host, self.config.port))
+        sock.bind((self._host, self._port))
         sock.listen(64)
         sock.settimeout(self._ACCEPT_POLL)
         self._sock = sock
@@ -425,8 +549,7 @@ class ReproServer:
 
     def serve_forever(self) -> None:
         """Accept connections until drain is requested, then drain:
-        stop accepting, refuse new engine requests, finish and deliver
-        in-flight work, and return."""
+        stop accepting, finish and deliver in-flight work, and return."""
         import socket as socket_mod
 
         if self._sock is None:
@@ -449,13 +572,14 @@ class ReproServer:
             self._drain()
 
     def _drain(self) -> None:
-        self.service.begin_drain()
-        deadline = time.monotonic() + self.config.drain_timeout
+        self.on_drain_begin()
+        deadline = time.monotonic() + self._drain_timeout
         with self._conn_lock:
             threads = list(self._conn_threads)
         for thread in threads:
-            thread.join(max(0.0, deadline - time.monotonic()))
-        self.service.drain()
+            if thread is not threading.current_thread():
+                thread.join(max(0.0, deadline - time.monotonic()))
+        self.on_drain()
         if self._sock is not None:
             self._sock.close()
         self._drained.set()
@@ -507,7 +631,35 @@ class ReproServer:
         try:
             request = parse_request(text)
         except ProtocolError as err:
-            self.service._count("serve.request.bad_request")
+            self.on_bad_request()
             return encode(error_response(err.request_id, ERR_BAD_REQUEST,
                                          str(err)))
-        return encode(self.service.handle(request))
+        return encode(self.handle_request(request))
+
+
+class ReproServer(NdjsonServer):
+    """The NDJSON/TCP front over an :class:`AnalysisService`."""
+
+    def __init__(self, config: ServeConfig = ServeConfig()):
+        super().__init__(host=config.host, port=config.port,
+                         drain_timeout=config.drain_timeout)
+        self.config = config
+        self.service = AnalysisService(config)
+
+    def handle_request(self, request: Request) -> Dict[str, Any]:
+        if request.op == "drain":
+            # A remote drain stops the accept loop too (the service
+            # refuses new engine work the moment handle() sees the op).
+            response = self.service.handle(request)
+            self.request_drain()
+            return response
+        return self.service.handle(request)
+
+    def on_bad_request(self) -> None:
+        self.service._count("serve.request.bad_request")
+
+    def on_drain_begin(self) -> None:
+        self.service.begin_drain()
+
+    def on_drain(self) -> None:
+        self.service.drain()

@@ -1,5 +1,7 @@
-"""The versioned report envelope: wrap/validate/unwrap, legacy shims,
-and the writers that now share it (bench, sweep, chaos)."""
+"""The versioned report envelope: wrap/validate/unwrap and the writers
+that share it (bench, sweep, chaos).  The one-release legacy-shape
+shim is gone: pre-envelope documents are now *rejected*, which this
+file locks down."""
 
 from __future__ import annotations
 
@@ -15,7 +17,6 @@ from repro.envelope import (
     SCHEMA_VERSION,
     EnvelopeError,
     dumps,
-    legacy_kind,
     strip_wall,
     unwrap,
     validate_envelope,
@@ -64,25 +65,28 @@ class TestValidate:
             assert validate_envelope(wrap(kind, {})) == []
 
 
-class TestLegacyShim:
-    """Old checked-in baselines keep working for one release."""
+class TestLegacyShapesRejected:
+    """The one-release migration window is over: pre-envelope perf and
+    sweep shapes now raise like any other malformed document (the old
+    shim accepted them with a DeprecationWarning)."""
 
-    def test_legacy_perf_shape_detected(self):
-        assert legacy_kind({"schema_version": 1, "cases": {}}) == KIND_PERF
-
-    def test_legacy_sweep_shape_detected(self):
-        assert legacy_kind({"grid": "smoke", "points": []}) == KIND_SWEEP
-
-    def test_enveloped_doc_is_not_legacy(self):
-        assert legacy_kind(wrap(KIND_PERF, {"cases": {}})) is None
-
-    def test_unwrap_legacy_warns_and_returns_body(self):
+    def test_legacy_perf_shape_rejected(self):
         legacy = {"schema_version": 1,
                   "cases": {"pipeline": {"baseline_ms": 2.0,
                                          "optimized_ms": 1.0}}}
-        with pytest.warns(DeprecationWarning, match="pre-envelope"):
-            body = unwrap(legacy, KIND_PERF)
-        assert body is legacy
+        with pytest.raises(EnvelopeError):
+            unwrap(legacy, KIND_PERF)
+
+    def test_legacy_sweep_shape_rejected(self):
+        with pytest.raises(EnvelopeError):
+            unwrap({"schema_version": 1, "grid": "smoke", "points": []},
+                   KIND_SWEEP)
+
+    def test_rejection_does_not_warn(self, recwarn):
+        with pytest.raises(EnvelopeError):
+            unwrap({"schema_version": 1, "cases": {}}, KIND_PERF)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
 
     def test_unwrap_garbage_raises(self):
         with pytest.raises(EnvelopeError):

@@ -1,0 +1,220 @@
+"""The circuit breaker state machine — pure unit tests on a fake
+clock (no sockets, no sleeps), plus a Hypothesis property that the
+half-open probe budget is never exceeded."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(clock, transitions=None, **kwargs):
+    defaults = dict(failure_threshold=3, cooldown_s=1.0,
+                    max_cooldown_s=8.0, probe_budget=2)
+    defaults.update(kwargs)
+    on_transition = None
+    if transitions is not None:
+        on_transition = lambda frm, to: transitions.append((frm, to))  # noqa: E731
+    return CircuitBreaker(clock=clock, on_transition=on_transition,
+                          **defaults)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never hit 3 consecutive
+
+    def test_threshold_consecutive_failures_trip(self):
+        transitions = []
+        breaker = make_breaker(FakeClock(), transitions)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert transitions == [(CLOSED, OPEN)]
+
+
+class TestOpenToHalfOpen:
+    def test_cooldown_elapses_into_half_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(0.99)
+        assert not breaker.allow()
+        clock.advance(0.02)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+    def test_cooldown_doubles_per_consecutive_trip(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.snapshot()["cooldown_s"] == 1.0
+        clock.advance(1.01)
+        assert breaker.allow()  # the half-open probe
+        breaker.record_failure()  # probe fails: re-open, doubled
+        assert breaker.state == OPEN
+        assert breaker.snapshot()["cooldown_s"] == 2.0
+        clock.advance(1.5)
+        assert breaker.state == OPEN  # 1.5 < 2.0: still open
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+
+    def test_cooldown_is_capped(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, cooldown_s=1.0, max_cooldown_s=4.0)
+        for trip in range(6):
+            for _ in range(3):
+                breaker.record_failure()
+            clock.advance(100.0)
+            assert breaker.allow()
+            breaker.record_failure()  # fail every probe: keep tripping
+        assert breaker.snapshot()["cooldown_s"] == 4.0
+
+
+class TestHalfOpen:
+    def _half_open(self, clock, **kwargs):
+        breaker = make_breaker(clock, **kwargs)
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        clock.advance(breaker.cooldown_s + 0.01)
+        assert breaker.state == HALF_OPEN
+        return breaker
+
+    def test_probe_budget_bounds_admission(self):
+        breaker = self._half_open(FakeClock(), probe_budget=2)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # budget spent, outcomes unreported
+
+    def test_budget_worth_of_successes_closes(self):
+        transitions = []
+        breaker = self._half_open(FakeClock(), transitions=transitions,
+                                  probe_budget=2)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one success is not enough
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert transitions[-1] == (OPEN, HALF_OPEN) or \
+            transitions[-1] == (HALF_OPEN, CLOSED)
+        assert (HALF_OPEN, CLOSED) in transitions
+
+    def test_close_resets_the_cooldown_ladder(self):
+        clock = FakeClock()
+        breaker = self._half_open(clock, probe_budget=1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.snapshot()["cooldown_s"] == 1.0  # back to base
+
+    def test_probe_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = self._half_open(clock, probe_budget=2)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_reported_probe_frees_a_slot(self):
+        breaker = self._half_open(FakeClock(), probe_budget=1)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()  # budget 1: closes the breaker
+        assert breaker.state == CLOSED
+
+
+class TestForceOpen:
+    def test_administrative_trip(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.allow()
+        breaker.force_open()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"cooldown_s": 0.0},
+        {"cooldown_s": 5.0, "max_cooldown_s": 1.0},
+        {"probe_budget": 0},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_breaker(FakeClock(), **kwargs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    probe_budget=st.integers(min_value=1, max_value=4),
+    actions=st.lists(
+        st.sampled_from(["allow", "success", "failure", "tick"]),
+        min_size=1, max_size=60,
+    ),
+)
+def test_half_open_never_admits_more_than_the_probe_budget(
+        probe_budget, actions):
+    """Property: within any single half-open episode (between entering
+    HALF_OPEN and the next transition out of it), the number of
+    admitted requests never exceeds ``probe_budget`` — whatever
+    interleaving of admissions, outcome reports, and clock ticks
+    occurs."""
+    clock = FakeClock()
+    episodes = []  # admission counts, one per half-open episode
+
+    def on_transition(frm, to):
+        if to == HALF_OPEN:
+            episodes.append(0)
+
+    breaker = CircuitBreaker(failure_threshold=2, cooldown_s=1.0,
+                             max_cooldown_s=4.0, probe_budget=probe_budget,
+                             clock=clock, on_transition=on_transition)
+    # Trip it so the schedule can reach half-open at all.
+    breaker.record_failure()
+    breaker.record_failure()
+    for action in actions:
+        if action == "allow":
+            in_half_open = breaker.state == HALF_OPEN
+            admitted = breaker.allow()
+            if admitted and in_half_open:
+                episodes[-1] += 1
+                assert episodes[-1] <= probe_budget, (
+                    f"episode admitted {episodes[-1]} > "
+                    f"budget {probe_budget}")
+        elif action == "success":
+            breaker.record_success()
+        elif action == "failure":
+            breaker.record_failure()
+        else:
+            clock.advance(0.7)
+    assert all(count <= probe_budget for count in episodes)

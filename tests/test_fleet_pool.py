@@ -1,0 +1,181 @@
+"""The process-pool engine: executor parity, typed errors, crash
+isolation (kill -9 a worker), respawn, and cancellation."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.fleet.pool import ProcessEngine, WorkerCrash
+from repro.serve.server import engine_call
+
+FIG5 = """
+(declaim (sapp f5 l))
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+(setq data (list 1 2 3 4))
+"""
+
+#: ~40µs of simulated work per iteration — (spin 20000) is slow enough
+#: to reliably kill/cancel mid-computation.
+SLOW_SRC = "(defun spin (n) (let ((i 0)) (while (< i n) (setq i (1+ i))) i))"
+
+
+@pytest.fixture
+def counts():
+    out: dict = {}
+
+    def bump(name: str) -> None:
+        out[name] = out.get(name, 0) + 1
+
+    bump.seen = out  # type: ignore[attr-defined]
+    return bump
+
+
+@pytest.fixture
+def engine(counts):
+    pool = ProcessEngine(workers=1, on_count=counts)
+    yield pool
+    pool.close()
+
+
+def slow_params(n=20000):
+    return {"source": SLOW_SRC, "expr": f"(spin {n})", "processors": 1}
+
+
+class TestParity:
+    def test_result_matches_inline_executor_byte_for_byte(self, engine):
+        """The fleet contract at the pool layer: a worker process and
+        the in-thread dispatch produce identical results modulo wall —
+        they literally run the same ``engine_call``."""
+        params = {"source": FIG5, "function": "f5"}
+        inline = engine_call("analyze", dict(params))
+        pooled = engine.call("analyze", dict(params))
+        assert api.canonical_json(api.strip_wall(pooled)) == \
+            api.canonical_json(api.strip_wall(inline))
+
+    def test_run_op(self, engine):
+        result = engine.call("run", {
+            "source": FIG5,
+            "expr": "(progn (f5-cc data) (identity data))",
+            "transform": ["f5"],
+        })
+        assert result["value"] == "(1 3 6 10)"
+
+
+class TestTypedErrors:
+    def test_bad_request_crosses_the_process_boundary(self, engine):
+        with pytest.raises(api.BadRequest):
+            engine.call("analyze", {"source": FIG5})  # missing function
+
+    def test_unknown_op_is_bad_request(self, engine):
+        with pytest.raises(api.BadRequest):
+            engine.call("mystery", {})
+
+    def test_worker_survives_a_failed_request(self, engine):
+        with pytest.raises(api.ApiError):
+            engine.call("analyze", {"source": "(((", "function": "f"})
+        # Same worker, next request fine — errors never kill workers.
+        result = engine.call("analyze", {"source": FIG5, "function": "f5"})
+        assert result["function"] == "f5"
+
+
+class TestCrashIsolation:
+    def test_kill_mid_computation_yields_typed_error_and_respawn(
+            self, engine, counts):
+        outcome = {}
+
+        def call():
+            try:
+                outcome["result"] = engine.call("run", slow_params())
+            except api.ApiError as err:
+                outcome["error"] = err
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        victim = None
+        while time.monotonic() < deadline and victim is None:
+            pids = engine.worker_pids()
+            victim = pids[0] if pids else None
+        assert victim is not None
+        time.sleep(0.1)  # let the request reach the worker
+        os.kill(victim, signal.SIGKILL)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert "error" in outcome, f"call returned {outcome.get('result')}"
+        err = outcome["error"]
+        assert isinstance(err, WorkerCrash)
+        assert err.code == "engine_error"
+        assert "died" in str(err)
+        assert counts.seen.get("serve.pool.crashes") == 1
+        assert counts.seen.get("serve.pool.respawns", 0) >= 1
+
+    def test_pool_keeps_working_after_a_crash(self, engine):
+        pids = engine.worker_pids()
+        os.kill(pids[0], signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and engine.worker_pids():
+            time.sleep(0.02)  # wait until the death is observable
+        # Idle kill: nothing was lost, the next call respawns silently
+        # and succeeds.
+        result = engine.call("analyze", {"source": FIG5, "function": "f5"})
+        assert result["function"] == "f5"
+        new_pids = engine.worker_pids()
+        assert new_pids and new_pids != pids
+
+
+class TestCancellation:
+    def test_cancel_terminates_the_worker_mid_computation(
+            self, engine, counts):
+        cancel = threading.Event()
+        outcome = {}
+
+        def call():
+            try:
+                outcome["result"] = engine.call("run", slow_params(200000),
+                                                cancel=cancel)
+            except api.ApiError as err:
+                outcome["error"] = err
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        time.sleep(0.2)  # the worker is now computing
+        before = set(engine.worker_pids())
+        cancel.set()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert "error" in outcome
+        assert "cancelled" in str(outcome["error"])
+        assert counts.seen.get("serve.pool.cancelled_kills") == 1
+        # The computing worker was terminated and replaced.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            after = set(engine.worker_pids())
+            if after and after != before:
+                break
+        assert set(engine.worker_pids()) != before
+
+
+class TestLifecycle:
+    def test_close_reaps_every_worker(self, counts):
+        pool = ProcessEngine(workers=2, on_count=counts)
+        pids = pool.worker_pids()
+        assert len(pids) == 2
+        pool.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and pool.worker_pids():
+            time.sleep(0.05)
+        assert pool.worker_pids() == []
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessEngine(workers=0)

@@ -1,0 +1,99 @@
+"""The retry policy: what is retryable, and jittered-backoff bounds
+(a Hypothesis property against ``delay_bounds``)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.retry import (
+    DEFINITIVE_CODES,
+    RETRYABLE_CODES,
+    RetryPolicy,
+    retryable_code,
+)
+from repro.serve.protocol import ERROR_CODES
+
+
+class TestRetryableVocabulary:
+    def test_pressure_codes_are_retryable(self):
+        assert retryable_code("overloaded")
+        assert retryable_code("shutting_down")
+
+    @pytest.mark.parametrize("code", sorted(DEFINITIVE_CODES))
+    def test_definitive_codes_are_not(self, code):
+        assert not retryable_code(code)
+
+    def test_unknown_codes_default_to_definitive(self):
+        assert not retryable_code("some-future-code")
+
+    def test_vocabulary_is_partitioned(self):
+        """Every stable protocol error code is classified exactly once
+        — a new code cannot silently default to a retry behavior
+        nobody decided on."""
+        assert RETRYABLE_CODES | DEFINITIVE_CODES >= set(ERROR_CODES)
+        assert not RETRYABLE_CODES & DEFINITIVE_CODES
+
+
+class TestPolicyShape:
+    def test_attempts_counts_tries(self):
+        policy = RetryPolicy(attempts=3)
+        assert policy.should_retry(0)
+        assert policy.should_retry(1)
+        assert not policy.should_retry(2)
+
+    def test_single_attempt_never_retries(self):
+        assert not RetryPolicy(attempts=1).should_retry(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"attempts": 0},
+        {"base_delay_s": 0.0},
+        {"base_delay_s": 3.0, "max_delay_s": 1.0},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_bounds_double_then_cap(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5)
+        assert policy.delay_bounds(0) == (0.05, 0.1)
+        assert policy.delay_bounds(1) == (0.1, 0.2)
+        assert policy.delay_bounds(2) == (0.2, 0.4)
+        assert policy.delay_bounds(3) == (0.25, 0.5)  # capped
+        assert policy.delay_bounds(10) == (0.25, 0.5)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_bounds(-1)
+
+    def test_seeded_rng_is_reproducible(self):
+        a = RetryPolicy(rng=random.Random(7))
+        b = RetryPolicy(rng=random.Random(7))
+        assert [a.delay_s(i) for i in range(5)] == \
+            [b.delay_s(i) for i in range(5)]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    base=st.floats(min_value=0.001, max_value=1.0,
+                   allow_nan=False, allow_infinity=False),
+    cap_factor=st.floats(min_value=1.0, max_value=100.0,
+                         allow_nan=False, allow_infinity=False),
+    attempt=st.integers(min_value=0, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_every_sampled_delay_respects_its_bounds(base, cap_factor,
+                                                 attempt, seed):
+    """Property: for any config and any attempt, the jittered delay
+    always lands inside ``delay_bounds(attempt)`` — so backoff can be
+    reasoned about (and asserted on) without controlling the RNG."""
+    policy = RetryPolicy(base_delay_s=base, max_delay_s=base * cap_factor,
+                         rng=random.Random(seed))
+    low, high = policy.delay_bounds(attempt)
+    assert 0 < low <= high <= policy.max_delay_s
+    for _ in range(5):
+        delay = policy.delay_s(attempt)
+        assert low <= delay <= high

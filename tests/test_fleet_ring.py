@@ -1,0 +1,115 @@
+"""The consistent-hash ring: ownership stability, failover itineraries,
+and balance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.ring import HashRing
+
+BACKENDS = ["10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"]
+
+
+def make_ring(members=BACKENDS, vnodes=64):
+    ring = HashRing(vnodes=vnodes)
+    for name in members:
+        ring.add(name)
+    return ring
+
+
+def keys(n):
+    return [f"digest-{i:04d}" for i in range(n)]
+
+
+class TestMembership:
+    def test_add_remove_contains(self):
+        ring = make_ring()
+        assert len(ring) == 3
+        assert BACKENDS[0] in ring
+        ring.remove(BACKENDS[0])
+        assert BACKENDS[0] not in ring
+        assert ring.members == sorted(BACKENDS[1:])
+
+    def test_add_is_idempotent(self):
+        ring = make_ring()
+        ring.add(BACKENDS[0])
+        assert len(ring) == 3
+
+    def test_remove_absent_is_noop(self):
+        ring = make_ring()
+        ring.remove("10.9.9.9:1")
+        assert len(ring) == 3
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_ring().add("")
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+class TestLookup:
+    def test_empty_ring_returns_empty_itinerary(self):
+        assert HashRing().lookup("anything") == []
+        with pytest.raises(LookupError):
+            HashRing().owner("anything")
+
+    def test_deterministic(self):
+        a, b = make_ring(), make_ring()
+        for key in keys(50):
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_itinerary_covers_every_backend_exactly_once(self):
+        ring = make_ring()
+        for key in keys(50):
+            order = ring.lookup(key)
+            assert sorted(order) == sorted(BACKENDS)
+
+    def test_owner_heads_the_itinerary(self):
+        ring = make_ring()
+        for key in keys(20):
+            assert ring.owner(key) == ring.lookup(key)[0]
+
+    def test_single_member_owns_everything(self):
+        ring = make_ring(members=BACKENDS[:1])
+        for key in keys(20):
+            assert ring.lookup(key) == BACKENDS[:1]
+
+
+class TestStabilityUnderChurn:
+    def test_removal_only_remaps_the_lost_backends_keys(self):
+        """The consistent-hashing point: draining one backend of three
+        must not move keys between the survivors."""
+        ring = make_ring()
+        before = {key: ring.owner(key) for key in keys(300)}
+        ring.remove(BACKENDS[2])
+        for key, old_owner in before.items():
+            new_owner = ring.owner(key)
+            if old_owner != BACKENDS[2]:
+                assert new_owner == old_owner
+            else:
+                assert new_owner in BACKENDS[:2]
+
+    def test_failover_target_matches_post_removal_owner(self):
+        """The retry itinerary and the post-drain ring agree: the
+        second stop for a key IS who owns it once the owner is gone —
+        so retries and rebalanced traffic land on the same backend."""
+        ring = make_ring()
+        sample = keys(100)
+        itineraries = {key: ring.lookup(key) for key in sample}
+        ring.remove(BACKENDS[1])
+        for key in sample:
+            old = itineraries[key]
+            expected = old[1] if old[0] == BACKENDS[1] else old[0]
+            assert ring.owner(key) == expected
+
+    def test_spread_is_roughly_balanced(self):
+        ring = make_ring(vnodes=64)
+        spread = ring.spread(keys(3000))
+        for name, count in spread.items():
+            assert count > 0, f"{name} owns nothing"
+            # 3 backends x 64 vnodes: each should own 1/3 +/- a wide
+            # tolerance (this guards against gross imbalance, not
+            # statistical perfection).
+            assert 0.15 < count / 3000 < 0.55, spread

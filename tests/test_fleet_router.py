@@ -1,0 +1,308 @@
+"""The shard router end-to-end (in-process backends): routing parity,
+the response cache, failover around a dead backend, circuit breaking,
+sequential fallback, graceful backend bleed, and blackhole chaos."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro import api
+from repro.fleet.client import BackendClient, BackendError
+from repro.fleet.router import RouterConfig, ShardRouter, parse_backend
+from repro.serve import FleetFaultPlan, ReproServer, ServeConfig
+from repro.serve.server import engine_call
+
+FIG5 = """
+(declaim (sapp f5 l))
+(defun f5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f5 (cdr l)))))
+(setq data (list 1 2 3 4))
+"""
+
+
+def analyze_params(variant=0):
+    return {"source": f"{FIG5}\n; variant {variant}\n", "function": "f5"}
+
+
+def _free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class Fleet:
+    """N in-process thread-executor backends + one router."""
+
+    def __init__(self, backends=2, **router_kwargs):
+        self.servers = []
+        self.threads = []
+        specs = []
+        for _ in range(backends):
+            server = ReproServer(ServeConfig(workers=2))
+            host, port = server.start()
+            thread = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            thread.start()
+            self.servers.append(server)
+            self.threads.append(thread)
+            specs.append(f"{host}:{port}")
+        defaults = dict(
+            backends=tuple(specs),
+            connect_timeout_s=0.3,
+            retry_base_delay_s=0.01,
+            retry_max_delay_s=0.05,
+            breaker_cooldown_s=0.2,
+            probe_interval_s=10.0,  # probing quiet unless a test wants it
+        )
+        defaults.update(router_kwargs)
+        self.router = ShardRouter(RouterConfig(**defaults))
+        host, port = self.router.start()
+        self.router_thread = threading.Thread(
+            target=self.router.serve_forever, daemon=True)
+        self.router_thread.start()
+        self.client = BackendClient("router", host, port,
+                                    connect_timeout_s=2.0)
+
+    def call(self, op, params=None, **kwargs):
+        kwargs.setdefault("timeout_s", 60.0)
+        return self.client.call(op, params, **kwargs)
+
+    def kill_backend(self, index):
+        """Hard-stop one backend (its port goes connect-refused)."""
+        self.servers[index].stop(timeout=5.0)
+        self.threads[index].join(timeout=5.0)
+
+    def close(self):
+        self.router.stop(timeout=10.0)
+        self.router_thread.join(timeout=10.0)
+        for server, thread in zip(self.servers, self.threads):
+            server.stop(timeout=5.0)
+            thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def fleet():
+    f = Fleet(backends=2)
+    yield f
+    f.close()
+
+
+class TestParseBackend:
+    def test_valid(self):
+        assert parse_backend("10.0.0.1:7000") == \
+            ("10.0.0.1:7000", "10.0.0.1", 7000)
+
+    @pytest.mark.parametrize("spec", ["nohost", "host:", ":7000",
+                                      "host:notaport"])
+    def test_invalid(self, spec):
+        with pytest.raises(ValueError):
+            parse_backend(spec)
+
+
+class TestRoutingParity:
+    def test_routed_result_matches_facade_modulo_wall(self, fleet):
+        params = analyze_params()
+        response = fleet.call("analyze", params)
+        assert response["ok"] is True
+        expected = engine_call("analyze", dict(params))
+        assert api.canonical_json(api.strip_wall(response["result"])) == \
+            api.canonical_json(api.strip_wall(expected))
+
+    def test_definitive_error_passes_through_untouched(self, fleet):
+        response = fleet.call("analyze", {"source": FIG5})  # no function
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        counters = fleet.router.counters()
+        assert counters.get("fleet.route.retries", 0) == 0  # never retried
+
+
+class TestResponseCache:
+    def test_identical_request_is_served_from_cache(self, fleet):
+        params = analyze_params()
+        first = fleet.call("analyze", params)
+        second = fleet.call("analyze", params)
+        assert first["ok"] and second["ok"]
+        assert api.canonical_json(first["result"]) == \
+            api.canonical_json(second["result"])
+        counters = fleet.router.counters()
+        assert counters.get("fleet.cache.hits", 0) == 1
+        assert counters.get("fleet.cache.misses", 0) == 1
+
+    def test_cache_is_bounded(self):
+        f = Fleet(backends=1, cache_size=2)
+        try:
+            for variant in range(4):
+                f.call("analyze", analyze_params(variant))
+            assert len(f.router._cache) <= 2
+        finally:
+            f.close()
+
+    def test_errors_are_never_cached(self, fleet):
+        for _ in range(2):
+            response = fleet.call("analyze", {"source": FIG5})
+            assert response["error"]["code"] == "bad_request"
+        assert fleet.router.counters().get("fleet.cache.hits", 0) == 0
+
+
+class TestFailover:
+    def test_requests_survive_a_dead_backend(self, fleet):
+        fleet.kill_backend(0)
+        for variant in range(6):
+            response = fleet.call("analyze", analyze_params(variant))
+            assert response["ok"] is True, response
+        counters = fleet.router.counters()
+        # With 6 distinct digests over 2 backends, some owner was the
+        # dead one: the router must have failed over (or skipped via a
+        # tripped breaker) rather than erroring.
+        assert counters.get("fleet.route.failovers", 0) \
+            + counters.get("fleet.route.breaker_skips", 0) > 0
+
+    def test_repeated_failures_trip_the_breaker(self, fleet):
+        fleet.kill_backend(0)
+        for variant in range(10):
+            fleet.call("analyze", analyze_params(variant))
+        counters = fleet.router.counters()
+        assert counters.get("fleet.breaker.open", 0) >= 1
+        snapshot = fleet.router._stats()["backends"]
+        states = {name: b["breaker"]["state"]
+                  for name, b in snapshot.items()}
+        assert "open" in states.values() or "half_open" in states.values()
+
+
+class TestFallback:
+    def _dead_specs(self, n=2):
+        return tuple(f"127.0.0.1:{_free_port()}" for _ in range(n))
+
+    def test_sequential_fallback_when_every_backend_is_down(self):
+        router = ShardRouter(RouterConfig(
+            backends=self._dead_specs(),
+            connect_timeout_s=0.2,
+            retry_base_delay_s=0.01,
+            retry_max_delay_s=0.02,
+            probe_interval_s=10.0,
+        ))
+        host, port = router.start()
+        thread = threading.Thread(target=router.serve_forever, daemon=True)
+        thread.start()
+        client = BackendClient("router", host, port, connect_timeout_s=2.0)
+        try:
+            params = analyze_params()
+            response = client.call("analyze", params, timeout_s=60.0)
+            assert response["ok"] is True
+            expected = engine_call("analyze", dict(params))
+            assert api.canonical_json(api.strip_wall(response["result"])) \
+                == api.canonical_json(api.strip_wall(expected))
+            assert router.counters().get("fleet.fallback", 0) == 1
+        finally:
+            router.stop(timeout=10.0)
+            thread.join(timeout=10.0)
+
+    def test_unavailable_when_fallback_disabled(self):
+        router = ShardRouter(RouterConfig(
+            backends=self._dead_specs(),
+            connect_timeout_s=0.2,
+            retry_base_delay_s=0.01,
+            retry_max_delay_s=0.02,
+            probe_interval_s=10.0,
+            fallback=False,
+        ))
+        host, port = router.start()
+        thread = threading.Thread(target=router.serve_forever, daemon=True)
+        thread.start()
+        client = BackendClient("router", host, port, connect_timeout_s=2.0)
+        try:
+            response = client.call("analyze", analyze_params(),
+                                   timeout_s=60.0)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "unavailable"
+        finally:
+            router.stop(timeout=10.0)
+            thread.join(timeout=10.0)
+
+
+class TestDrain:
+    def test_drain_op_bleeds_one_backend_from_the_ring(self, fleet):
+        victim = fleet.router.ring_members()[0]
+        response = fleet.call("drain", {"backend": victim})
+        assert response["ok"] is True
+        assert victim not in response["result"]["ring"]
+        assert fleet.router.ring_members() == \
+            [m for m in response["result"]["ring"]]
+        # The survivor carries all traffic.
+        for variant in range(4):
+            assert fleet.call("analyze",
+                              analyze_params(variant))["ok"] is True
+
+    def test_bleeding_an_unknown_backend_is_reported(self, fleet):
+        response = fleet.call("drain", {"backend": "10.9.9.9:1"})
+        assert response["ok"] is True
+        assert response["result"]["status"] == "unknown-backend"
+
+    def test_drain_without_backend_drains_the_router(self, fleet):
+        response = fleet.call("drain")
+        assert response["ok"] is True
+        assert response["result"]["status"] == "draining"
+        assert fleet.router._drained.wait(10.0)
+
+
+class TestControlOps:
+    def test_health_reports_ring_and_breakers(self, fleet):
+        body = fleet.call("health")["result"]
+        assert body["kind"] == "health"
+        assert body["role"] == "router"
+        assert len(body["ring"]) == 2
+        assert all(b["breaker"] == "closed"
+                   for b in body["backends"].values())
+
+    def test_stats_reports_counters_and_cache(self, fleet):
+        fleet.call("analyze", analyze_params())
+        body = fleet.call("stats")["result"]
+        assert body["kind"] == "stats"
+        assert body["counters"].get("fleet.request.ok") == 1
+        assert body["cache"]["entries"] == 1
+        assert set(body["backends"]) == set(body["ring"])
+
+
+class TestChaosBlackhole:
+    def test_blackholed_sends_fail_over_and_still_answer(self):
+        plan = FleetFaultPlan(seed=7, blackhole_rate=1.0, slow_rate=0.0,
+                              budget=3)
+        f = Fleet(backends=2, chaos=plan, cache_size=0)
+        try:
+            for variant in range(5):
+                response = f.call("analyze", analyze_params(variant))
+                assert response["ok"] is True, response
+            counters = f.router.counters()
+            assert counters.get("fleet.fault.blackhole", 0) == 3
+            assert plan.injected["inject-blackhole"] == 3
+        finally:
+            f.close()
+
+    def test_fault_stream_is_deterministic(self):
+        a = FleetFaultPlan(seed=42, budget=32)
+        b = FleetFaultPlan(seed=42, budget=32)
+        decisions_a = [a.on_send("x") for _ in range(64)]
+        decisions_b = [b.on_send("y") for _ in range(64)]
+        assert decisions_a == decisions_b
+
+
+class TestTransportClient:
+    def test_connect_failure_is_typed(self):
+        client = BackendClient("dead", "127.0.0.1", _free_port(),
+                               connect_timeout_s=0.2)
+        with pytest.raises(BackendError) as exc_info:
+            client.call("health", timeout_s=1.0)
+        assert exc_info.value.kind == "connect"
+
+    def test_probe_is_false_for_a_dead_backend(self):
+        client = BackendClient("dead", "127.0.0.1", _free_port(),
+                               connect_timeout_s=0.2)
+        assert client.probe(timeout_s=0.5) is False

@@ -27,11 +27,16 @@ FORBIDDEN = {
     "transform",
 }
 
-# Facade and cross-cutting support packages.
-ALLOWED = {"api", "envelope", "harness", "obs", "perf", "serve"}
+# Facade and cross-cutting support packages.  ``fleet`` is a hosting
+# layer like ``serve``: its process pool and shard router run engine
+# work exclusively through the facade (the pool worker literally
+# executes ``serve.server.engine_call``), never the engine directly.
+ALLOWED = {"api", "envelope", "fleet", "harness", "obs", "perf", "serve"}
 
-THIN_CALLERS = [SRC / "repro" / "cli.py"] + sorted(
-    (SRC / "repro" / "serve").glob("*.py")
+THIN_CALLERS = (
+    [SRC / "repro" / "cli.py"]
+    + sorted((SRC / "repro" / "serve").glob("*.py"))
+    + sorted((SRC / "repro" / "fleet").glob("*.py"))
 )
 
 

@@ -23,6 +23,7 @@ from repro.serve import (
     request_line,
 )
 from repro.serve.protocol import ProtocolError
+from repro.serve.server import _Flight
 
 FIG5 = """
 (declaim (sapp f5 l))
@@ -221,6 +222,61 @@ class TestDeadlines:
             service.close()
 
 
+class TestQueueWait:
+    def test_stats_reports_admission_queue_wait(self, service):
+        service.handle(_request("run", _run_params()))
+        stats = service.handle(_request("stats", {}))["result"]
+        wait = stats["queue_wait"]
+        assert wait["count"] == 1
+        assert wait["mean_ms"] >= 0.0
+        assert wait["max_ms"] >= 0.0
+
+    def test_queued_request_accrues_wait(self):
+        service = AnalysisService(ServeConfig(workers=1, backlog=2))
+        try:
+            blocker = threading.Thread(
+                target=lambda: service.handle(
+                    _request("run", _slow_params())))
+            blocker.start()
+            while service.in_flight == 0:
+                time.sleep(0.005)
+            # This one sits in admission behind the blocker.
+            service.handle(_request("run", _run_params(), request_id="q"))
+            blocker.join()
+            wait = service.queue_wait_stats()
+            assert wait["count"] == 2
+            # The queued request waited for most of the blocker's run.
+            assert wait["max_ms"] > 50.0
+        finally:
+            service.close()
+
+
+class TestExpiredInQueue:
+    def test_doomed_flight_is_refused_not_executed(self):
+        """A flight whose every waiter deadline passed while it sat in
+        admission must not reach the engine.  The natural trigger is a
+        race window (worker dequeues between deadline expiry and the
+        last waiter's cancel), so this drives the worker path directly
+        with an already-expired flight."""
+        service = AnalysisService(ServeConfig(workers=1, backlog=1))
+        try:
+            flight = _Flight("doomed", "run",
+                             time.perf_counter() - 1.0)  # already past
+            service._flights["doomed"] = flight
+            assert service._slots.acquire(blocking=False)
+            service._compute(flight, _run_params(), 0.0)
+            assert flight.outcome is not None
+            ok, code, message = flight.outcome
+            assert ok is False
+            assert code == "deadline_exceeded"
+            assert "while queued" in message
+            counters = service.counters()
+            assert counters["serve.request.expired_in_queue"] == 1
+            assert counters["serve.request.cancelled"] == 1
+        finally:
+            service.close()
+
+
 class TestCoalescing:
     def test_identical_inflight_requests_compute_once(self):
         service = AnalysisService(ServeConfig(workers=1, backlog=4))
@@ -397,6 +453,23 @@ class TestServer:
         assert health["result"]["status"] == "draining"
         service.close()
 
+    def test_drain_control_op_over_the_wire(self):
+        server = ReproServer(ServeConfig(workers=2, backlog=4))
+        server.start()
+        runner = threading.Thread(target=server.serve_forever, daemon=True)
+        runner.start()
+        sock, stream = self._connect(server)
+        stream.write(request_line("drain", request_id="bye"))
+        stream.flush()
+        response = decode_response(stream.readline())
+        sock.close()
+        assert response["ok"] is True
+        assert response["result"]["status"] == "draining"
+        # The op both answers and actually drains the server.
+        assert server.stop(timeout=10) is True
+        runner.join(timeout=10)
+        assert server.service.draining is True
+
     def test_no_worker_thread_leak_after_drain(self):
         server = ReproServer(ServeConfig(workers=4, backlog=4))
         server.start()
@@ -418,3 +491,53 @@ class TestServer:
                 break
             time.sleep(0.05)
         assert not leaked, f"leaked worker threads: {leaked}"
+
+
+class TestProcessExecutor:
+    """The process-pool backend mode end-to-end: same wire protocol,
+    crash isolation under SIGKILL."""
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            AnalysisService(ServeConfig(workers=1, executor="bogus"))
+
+    def test_round_trip_and_idle_crash_recovery(self):
+        import os
+        import signal
+
+        server = ReproServer(ServeConfig(workers=1, backlog=4,
+                                         executor="process"))
+        server.start()
+        runner = threading.Thread(target=server.serve_forever, daemon=True)
+        runner.start()
+        try:
+            sock = socket.create_connection(server.address, timeout=30)
+            stream = sock.makefile("rwb")
+            stream.write(request_line("run", _run_params(),
+                                      request_id="p1"))
+            stream.flush()
+            first = decode_response(stream.readline())
+            assert first["ok"] is True
+            assert first["result"]["value"] == "(1 3 6 10)"
+            # kill -9 the (idle) engine worker: the next request must
+            # still be served, by a silently respawned worker.
+            pids = server.service._engine.worker_pids()
+            assert pids
+            os.kill(pids[0], signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while time.time() < deadline and \
+                    server.service._engine.worker_pids():
+                time.sleep(0.02)
+            stream.write(request_line(
+                "analyze", {"source": FIG5, "function": "f5"},
+                request_id="p2"))
+            stream.flush()
+            second = decode_response(stream.readline())
+            assert second["ok"] is True, second
+            assert second["result"]["transformable"] is True
+            sock.close()
+            counters = server.service.counters()
+            assert counters.get("serve.pool.respawns", 0) >= 1
+        finally:
+            assert server.stop(timeout=15) is True
+            runner.join(timeout=10)
