@@ -39,12 +39,18 @@ from repro.paths.transfer import (
     conflicts_at_distance_memo,
     min_conflict_distance_memo,
 )
-from repro.perf.cache import perf_enabled
+from repro.perf.cache import LRUCache, perf_enabled
 from repro.sexpr.datum import Symbol
 
 #: Cap for the enumerated distances in reports (the min distance itself
 #: comes from the exact BFS and is not capped).
 DISTANCE_ENUM_CAP = 8
+
+# A pair verdict depends only on the two refs' (accessor, is_write,
+# unbounded) triples and the transfer regex; reference-dense corpora
+# repeat those shapes heavily across functions, so the four underlying
+# direction queries collapse to one lookup.
+_PAIR_CACHE = LRUCache("analysis.pair", maxsize=65536)
 
 
 @dataclass
@@ -510,6 +516,41 @@ def _enum_distances_memo(a1, a2, tau, direction):
     ]
 
 
+def _pair_conflicts_memo(
+    a: MemoryRef,
+    b: MemoryRef,
+    tau: Optional[TransferFunction],
+    canonicalizer=None,
+) -> Optional[tuple[Optional[int], list[int]]]:
+    """Memoized :func:`_pair_conflicts` for the identity-canonicalizer
+    case (the non-identity variant's key would need the declared inverse
+    pairs; it is rare and stays uncached).  Distances are stored as a
+    tuple and re-listed per caller so the cached value is never aliased
+    into a mutable :class:`Conflict`."""
+    if canonicalizer is not None and not canonicalizer.is_identity():
+        return _pair_conflicts(a, b, tau, canonicalizer)
+    key = (
+        a.accessor.fields if a.accessor is not None else None,
+        a.is_write,
+        a.unbounded,
+        b.accessor.fields if b.accessor is not None else None,
+        b.is_write,
+        b.unbounded,
+        tau.regex if tau is not None else None,
+    )
+
+    def compute() -> Optional[tuple[Optional[int], tuple[int, ...]]]:
+        result = _pair_conflicts(a, b, tau)
+        if result is None:
+            return None
+        return (result[0], tuple(result[1]))
+
+    frozen = _PAIR_CACHE.get_or_compute(key, compute)
+    if frozen is None:
+        return None
+    return (frozen[0], list(frozen[1]))
+
+
 def _pair_conflicts(
     a: MemoryRef,
     b: MemoryRef,
@@ -711,7 +752,7 @@ def analyze_function(
             if i == j and not a.is_write:
                 continue
             tau = variables.transfer(a.param)
-            result = _pair_conflicts(a, b, tau, canonicalizer)
+            result = _pair_conflicts_memo(a, b, tau, canonicalizer)
             if result is None:
                 continue
             distance, distances = result

@@ -219,6 +219,10 @@ class RunOptions:
     race_check: bool = False
     lock_wait_timeout: Optional[int] = None
     timeline: bool = False
+    # "interpreter" | "compiled" | None (None = perf-layer default:
+    # compiled when the perf layer is enabled).  Both evaluators emit
+    # identical effect streams; the interpreter is the reference.
+    eval_mode: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -512,6 +516,14 @@ def run(
         from repro.runtime.racecheck import RaceDetector
 
         detector = RaceDetector()
+    if options.eval_mode is not None:
+        from repro.perf import EVAL_MODES
+
+        if options.eval_mode not in EVAL_MODES:
+            raise BadRequest(
+                f"unknown eval mode {options.eval_mode!r}; "
+                f"choose from: {', '.join(EVAL_MODES)}"
+            )
     machine = Machine(
         curare.interp,
         processors=options.processors,
@@ -522,6 +534,7 @@ def run(
         race_detector=detector,
         lock_wait_timeout=options.lock_wait_timeout,
         recorder=recorder,
+        eval_mode=options.eval_mode,
     )
     try:
         main = machine.spawn_text(expr)

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional
 
@@ -147,6 +148,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="abort if any process waits on a lock this long")
     p_run.add_argument("--timeline", action="store_true",
                        help="print the occupancy sparkline and process gantt")
+    p_run.add_argument("--eval-mode", choices=["interpreter", "compiled"],
+                       default=None,
+                       help="Lisp evaluation strategy (default: compiled "
+                            "when the perf layer is on; both emit "
+                            "identical effect streams)")
 
     p_serve = sub.add_parser(
         "serve", parents=[obs_common],
@@ -280,8 +286,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="PCT",
                          help="allowed regression in normalized time, "
                               "percent (default: 30)")
+    p_bench.add_argument("--min-speedup", type=float, default=None,
+                         metavar="FLOOR",
+                         help="per-case speedup floor: exit 1 if any "
+                              "case's baseline/optimized ratio falls "
+                              "below FLOOR (no baseline file needed)")
+    p_bench.add_argument("--markdown", metavar="PATH", default=None,
+                         help="append a per-case markdown table to PATH "
+                              "(default: $GITHUB_STEP_SUMMARY when set)")
     p_bench.add_argument("--repeats", type=int, default=5,
-                         help="iterations per case per mode; the median "
+                         help="iterations per case per mode; the minimum "
                               "is reported (default: 5)")
     p_bench.add_argument("--cases", metavar="NAME", action="append",
                          default=[],
@@ -447,6 +461,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         race_check=args.race_check,
         lock_wait_timeout=args.lock_wait_timeout,
         timeline=args.timeline,
+        eval_mode=args.eval_mode,
     )
     try:
         result = api.run(source, args.expr, options, recorder=recorder)
@@ -683,6 +698,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         BENCH_CASES,
         compare_reports,
         format_report,
+        markdown_report,
+        min_speedup_failures,
+        missing_cases,
         run_suite,
     )
 
@@ -693,20 +711,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f";; unknown bench case(s): {', '.join(unknown)}; "
                   f"choose from: {', '.join(BENCH_CASES)}", file=sys.stderr)
             return 2
-    report = run_suite(repeats=args.repeats, cases=cases)
-    print(format_report(report))
-    if args.out:
-        try:
-            with open(args.out, "w", encoding="utf-8") as handle:
-                handle.write(dumps(wrap(KIND_PERF, report)))
-        except OSError as err:
-            print(f";; cannot write report to {args.out!r}: {err}",
-                  file=sys.stderr)
-            return 2
-        print(f";; report: {args.out}")
+    baseline = None
     if args.compare:
         from repro.perf.bench import validate_report
 
+        # Read the baseline *before* the suite runs: failing fast beats
+        # failing after minutes of measurement, and --out may name the
+        # same file (its default is the checked-in baseline path) — the
+        # gate must compare against the pre-run contents, not whatever
+        # was just written over them.
         try:
             with open(args.compare, encoding="utf-8") as handle:
                 baseline_doc = json.load(handle)
@@ -725,6 +738,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f";; invalid baseline {args.compare!r}: {problems[0]}",
                   file=sys.stderr)
             return 2
+    report = run_suite(repeats=args.repeats, cases=cases)
+    print(format_report(report))
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(dumps(wrap(KIND_PERF, report)))
+        except OSError as err:
+            print(f";; cannot write report to {args.out!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        print(f";; report: {args.out}")
+    summary_path = args.markdown or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        try:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(markdown_report(report))
+        except OSError as err:
+            print(f";; cannot write markdown summary to "
+                  f"{summary_path!r}: {err}", file=sys.stderr)
+            return 2
+        print(f";; markdown summary: {summary_path}")
+    if baseline is not None:
+        absent = missing_cases(report, baseline)
+        if absent:
+            ran = ", ".join(report.get("cases", {})) or "none"
+            print(f";; baseline {args.compare!r} has case(s) missing from "
+                  f"the current run: {', '.join(absent)} (ran: {ran}); "
+                  "pass matching --cases or regenerate the baseline",
+                  file=sys.stderr)
+            return 2
         failures = compare_reports(report, baseline, args.max_regress)
         if failures:
             print(";; perf regression(s) vs "
@@ -734,6 +777,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f";; no perf regressions vs {args.compare} "
               f"(max allowed +{args.max_regress:.0f}%)")
+    if args.min_speedup is not None:
+        floor_failures = min_speedup_failures(report, args.min_speedup)
+        if floor_failures:
+            print(f";; per-case speedup floor {args.min_speedup:.2f}x "
+                  "violated:")
+            for failure in floor_failures:
+                print(f";;   {failure}")
+            return 1
+        print(f";; all cases at or above the {args.min_speedup:.2f}x "
+              "speedup floor")
     return 0
 
 

@@ -1,9 +1,12 @@
 """Dominator analysis over the expression-level CFG.
 
-Classic iterative dataflow (Cooper-Harvey-Kennedy style, but with full
-dominator *sets* since our CFGs are small): ``dom(n)`` is the set of
-vertices on every ENTRY→n path.  Head/tail partitioning (paper §3.1)
-asks: is this node dominated by a recursive-call vertex?
+Cooper-Harvey-Kennedy iterative algorithm over *immediate* dominators:
+walking two RPO-numbered idom chains to their meet point replaces the
+full-set intersections of the textbook dataflow (which allocated O(V)
+sets per vertex per pass).  The full sets — ``dom(n)`` is the set of
+vertices on every ENTRY→n path — are materialized once at the end by
+unioning down the idom tree in RPO order.  Head/tail partitioning
+(paper §3.1) asks: is this node dominated by a recursive-call vertex?
 """
 
 from __future__ import annotations
@@ -18,26 +21,47 @@ def compute_dominators(cfg: CFG) -> dict[object, set[object]]:
     order = cfg.reverse_postorder()
     reachable = _reachable(cfg)
     vertices = [v for v in order if v in reachable]
-    all_vs = set(vertices)
-    dom: dict[object, set[object]] = {v: set(all_vs) for v in vertices}
-    dom[ENTRY] = {ENTRY}
+    rpo = {v: i for i, v in enumerate(vertices)}
+    idom: dict[object, object] = {ENTRY: ENTRY}
+
+    def intersect(a: object, b: object) -> object:
+        while a is not b and a != b:
+            while rpo[a] > rpo[b]:
+                a = idom[a]
+            while rpo[b] > rpo[a]:
+                b = idom[b]
+        return a
+
     changed = True
     while changed:
         changed = False
         for v in vertices:
             if v == ENTRY:
                 continue
-            preds = [p for p in cfg.preds.get(v, ()) if p in reachable]
-            if preds:
-                new = set(dom[preds[0]])
-                for p in preds[1:]:
-                    new &= dom[p]
-            else:
-                new = set()
-            new.add(v)
-            if new != dom[v]:
-                dom[v] = new
+            # RPO guarantees at least one predecessor is already
+            # processed the first time we reach v.
+            new: object = None
+            for p in cfg.preds.get(v, ()):
+                if p in idom:
+                    new = p if new is None else intersect(new, p)
+            if new is not None and idom.get(v) != new:
+                idom[v] = new
                 changed = True
+
+    # Materialize the sets: idom[v] precedes v in RPO, so dom[idom[v]]
+    # is complete by the time v is visited.
+    dom: dict[object, set[object]] = {ENTRY: {ENTRY}}
+    for v in vertices:
+        if v == ENTRY:
+            continue
+        parent = idom.get(v)
+        if parent is None:
+            dom[v] = {v}
+        else:
+            parent_dom = dom[parent]
+            full = set(parent_dom)
+            full.add(v)
+            dom[v] = full
     return dom
 
 

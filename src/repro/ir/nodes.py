@@ -20,7 +20,7 @@ Design notes:
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.sexpr.datum import Symbol
 
@@ -36,15 +36,34 @@ class Node:
         self.node_id = next(_node_ids)
         self.source = source
 
-    def children(self) -> Iterator["Node"]:
-        """Direct sub-nodes in evaluation order."""
-        return iter(())
+    def children(self) -> Sequence["Node"]:
+        """Direct sub-nodes in evaluation order.
+
+        Returns a sequence (tuple or list), not a generator: walks touch
+        every node and the per-node generator frame was measurable.  The
+        returned sequence may alias internal state — treat it read-only.
+        """
+        return ()
 
     def walk(self) -> Iterator["Node"]:
-        """Pre-order traversal of this subtree."""
-        yield self
-        for child in self.children():
-            yield from child.walk()
+        """Pre-order traversal of this subtree.
+
+        Materialized eagerly into a list: a tight append loop beats a
+        generator resumption per node, walks dominate analysis time, and
+        IR trees are small enough that early-exiting callers lose almost
+        nothing to the full traversal.
+        """
+        out: list["Node"] = []
+        append = out.append
+        stack = [self]
+        pop = stack.pop
+        while stack:
+            node = pop()
+            append(node)
+            children = node.children()
+            if children:
+                stack.extend(reversed(children))
+        return iter(out)
 
     def __repr__(self) -> str:
         from repro.ir.unparse import unparse
@@ -121,8 +140,8 @@ class FieldAccess(Node):
         self.fields = fields
         self.accessor_names = accessor_names if accessor_names is not None else fields
 
-    def children(self) -> Iterator[Node]:
-        yield self.base
+    def children(self) -> Sequence[Node]:
+        return (self.base,)
 
 
 class Place:
@@ -170,10 +189,11 @@ class Setf(Node):
         self.place = place
         self.value = value
 
-    def children(self) -> Iterator[Node]:
-        if isinstance(self.place, FieldPlace):
-            yield self.place.base
-        yield self.value
+    def children(self) -> Sequence[Node]:
+        place = self.place
+        if isinstance(place, FieldPlace):
+            return (place.base, self.value)
+        return (self.value,)
 
 
 # Keep the name Setq importable for readability at call sites that build
@@ -191,11 +211,10 @@ class If(Node):
         self.then = then
         self.els = els
 
-    def children(self) -> Iterator[Node]:
-        yield self.test
-        yield self.then
+    def children(self) -> Sequence[Node]:
         if self.els is not None:
-            yield self.els
+            return (self.test, self.then, self.els)
+        return (self.test, self.then)
 
 
 class Progn(Node):
@@ -205,8 +224,8 @@ class Progn(Node):
         super().__init__(source)
         self.body = body
 
-    def children(self) -> Iterator[Node]:
-        return iter(self.body)
+    def children(self) -> Sequence[Node]:
+        return self.body
 
 
 class Let(Node):
@@ -226,10 +245,8 @@ class Let(Node):
         self.body = body
         self.sequential = sequential
 
-    def children(self) -> Iterator[Node]:
-        for _name, init in self.bindings:
-            yield init
-        yield from self.body
+    def children(self) -> Sequence[Node]:
+        return [init for _name, init in self.bindings] + self.body
 
     def bound_names(self) -> set[Symbol]:
         return {name for name, _ in self.bindings}
@@ -243,9 +260,8 @@ class While(Node):
         self.test = test
         self.body = body
 
-    def children(self) -> Iterator[Node]:
-        yield self.test
-        yield from self.body
+    def children(self) -> Sequence[Node]:
+        return [self.test, *self.body]
 
 
 class And(Node):
@@ -255,8 +271,8 @@ class And(Node):
         super().__init__(source)
         self.args = args
 
-    def children(self) -> Iterator[Node]:
-        return iter(self.args)
+    def children(self) -> Sequence[Node]:
+        return self.args
 
 
 class Or(Node):
@@ -266,8 +282,8 @@ class Or(Node):
         super().__init__(source)
         self.args = args
 
-    def children(self) -> Iterator[Node]:
-        return iter(self.args)
+    def children(self) -> Sequence[Node]:
+        return self.args
 
 
 class Call(Node):
@@ -283,8 +299,8 @@ class Call(Node):
         self.is_self_call = False
         self.callsite_index: Optional[int] = None
 
-    def children(self) -> Iterator[Node]:
-        return iter(self.args)
+    def children(self) -> Sequence[Node]:
+        return self.args
 
 
 class Lambda(Node):
@@ -295,8 +311,8 @@ class Lambda(Node):
         self.params = params
         self.body = body
 
-    def children(self) -> Iterator[Node]:
-        return iter(self.body)
+    def children(self) -> Sequence[Node]:
+        return self.body
 
 
 class Spawn(Node):
@@ -308,8 +324,8 @@ class Spawn(Node):
         super().__init__(source)
         self.call = call
 
-    def children(self) -> Iterator[Node]:
-        yield self.call
+    def children(self) -> Sequence[Node]:
+        return (self.call,)
 
 
 class FutureExpr(Node):
@@ -321,8 +337,8 @@ class FutureExpr(Node):
         super().__init__(source)
         self.expr = expr
 
-    def children(self) -> Iterator[Node]:
-        yield self.expr
+    def children(self) -> Sequence[Node]:
+        return (self.expr,)
 
 
 class FuncDef:
@@ -337,8 +353,18 @@ class FuncDef:
         self.source = source
 
     def walk(self) -> Iterator[Node]:
-        for node in self.body:
-            yield from node.walk()
+        out: list[Node] = []
+        append = out.append
+        stack = list(self.body)
+        stack.reverse()
+        pop = stack.pop
+        while stack:
+            node = pop()
+            append(node)
+            children = node.children()
+            if children:
+                stack.extend(reversed(children))
+        return iter(out)
 
     def self_calls(self) -> list[Call]:
         return [n for n in self.walk() if isinstance(n, Call) and n.is_self_call]

@@ -6,14 +6,34 @@ language features simply by changing its final, code-generator stage",
 §4).  Round-tripping a lowered function yields an equivalent — not
 textually identical — program: ``cond``/``when``/``dolist`` come back as
 ``if``/``let``/``while``.
+
+Dispatch is a dict keyed on the concrete node class rather than an
+``isinstance`` chain: calls — the most common node — sat at the bottom
+of the old chain, and unparsing runs once per function per transform.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Callable, Dict
 
 from repro.ir import nodes as N
-from repro.sexpr.datum import Cons, Symbol, intern, lisp_list
+from repro.sexpr.datum import Symbol, intern, lisp_list
+
+_QUOTE = intern("quote")
+_FUNCTION = intern("function")
+_SETQ = intern("setq")
+_SETF = intern("setf")
+_IF = intern("if")
+_PROGN = intern("progn")
+_LET = intern("let")
+_LET_STAR = intern("let*")
+_WHILE = intern("while")
+_AND = intern("and")
+_OR = intern("or")
+_LAMBDA = intern("lambda")
+_SPAWN = intern("spawn")
+_FUTURE = intern("future")
+_DEFUN = intern("defun")
 
 
 def _sym(name: str) -> Symbol:
@@ -45,73 +65,122 @@ def _access_form(base_form: Any, fields: tuple[str, ...], names: tuple[str, ...]
     return form
 
 
+def _un_const(node: N.Const) -> Any:
+    value = node.value
+    if isinstance(value, (int, float, str)) or value is None or value is True:
+        return value
+    return lisp_list(_QUOTE, value)
+
+
+def _un_quote(node: N.Quote) -> Any:
+    datum = node.datum
+    if isinstance(datum, (int, float, str)) or datum is None or datum is True:
+        return datum
+    return lisp_list(_QUOTE, datum)
+
+
+def _un_var(node: N.Var) -> Any:
+    return node.name
+
+
+def _un_function_ref(node: N.FunctionRef) -> Any:
+    return lisp_list(_FUNCTION, node.name)
+
+
+def _un_field_access(node: N.FieldAccess) -> Any:
+    return _access_form(unparse(node.base), node.fields, node.accessor_names)
+
+
+def _un_setf(node: N.Setf) -> Any:
+    place = node.place
+    value = unparse(node.value)
+    if isinstance(place, N.VarPlace):
+        return lisp_list(_SETQ, place.name, value)
+    assert isinstance(place, N.FieldPlace)
+    place_form = _access_form(unparse(place.base), place.fields, place.accessor_names)
+    return lisp_list(_SETF, place_form, value)
+
+
+def _un_if(node: N.If) -> Any:
+    if node.els is None:
+        return lisp_list(_IF, unparse(node.test), unparse(node.then))
+    return lisp_list(_IF, unparse(node.test), unparse(node.then), unparse(node.els))
+
+
+def _un_progn(node: N.Progn) -> Any:
+    return lisp_list(_PROGN, *[unparse(n) for n in node.body])
+
+
+def _un_let(node: N.Let) -> Any:
+    head = _LET_STAR if node.sequential else _LET
+    bindings = lisp_list(
+        *[lisp_list(name, unparse(init)) for name, init in node.bindings]
+    )
+    return lisp_list(head, bindings, *[unparse(n) for n in node.body])
+
+
+def _un_while(node: N.While) -> Any:
+    return lisp_list(_WHILE, unparse(node.test), *[unparse(n) for n in node.body])
+
+
+def _un_and(node: N.And) -> Any:
+    return lisp_list(_AND, *[unparse(n) for n in node.args])
+
+
+def _un_or(node: N.Or) -> Any:
+    return lisp_list(_OR, *[unparse(n) for n in node.args])
+
+
+def _un_call(node: N.Call) -> Any:
+    return lisp_list(node.fn, *[unparse(a) for a in node.args])
+
+
+def _un_lambda(node: N.Lambda) -> Any:
+    return lisp_list(
+        _LAMBDA, lisp_list(*node.params), *[unparse(n) for n in node.body]
+    )
+
+
+def _un_spawn(node: N.Spawn) -> Any:
+    return lisp_list(_SPAWN, unparse(node.call))
+
+
+def _un_future(node: N.FutureExpr) -> Any:
+    return lisp_list(_FUTURE, unparse(node.expr))
+
+
+_DISPATCH: Dict[type, Callable[[Any], Any]] = {
+    N.Call: _un_call,
+    N.Var: _un_var,
+    N.Const: _un_const,
+    N.FieldAccess: _un_field_access,
+    N.Setf: _un_setf,
+    N.If: _un_if,
+    N.Let: _un_let,
+    N.While: _un_while,
+    N.Progn: _un_progn,
+    N.Quote: _un_quote,
+    N.FunctionRef: _un_function_ref,
+    N.And: _un_and,
+    N.Or: _un_or,
+    N.Lambda: _un_lambda,
+    N.Spawn: _un_spawn,
+    N.FutureExpr: _un_future,
+}
+
+
 def unparse(node: N.Node) -> Any:
     """Convert one IR node back to an S-expression."""
-    if isinstance(node, N.Const):
-        value = node.value
-        if isinstance(value, (int, float, str)) or value is None or value is True:
-            return value
-        return lisp_list(_sym("quote"), value)
-    if isinstance(node, N.Quote):
-        datum = node.datum
-        if isinstance(datum, (int, float, str)) or datum is None or datum is True:
-            return datum
-        return lisp_list(_sym("quote"), datum)
-    if isinstance(node, N.Var):
-        return node.name
-    if isinstance(node, N.FunctionRef):
-        return lisp_list(_sym("function"), node.name)
-    if isinstance(node, N.FieldAccess):
-        return _access_form(unparse(node.base), node.fields, node.accessor_names)
-    if isinstance(node, N.Setf):
-        place = node.place
-        value = unparse(node.value)
-        if isinstance(place, N.VarPlace):
-            return lisp_list(_sym("setq"), place.name, value)
-        assert isinstance(place, N.FieldPlace)
-        place_form = _access_form(unparse(place.base), place.fields, place.accessor_names)
-        return lisp_list(_sym("setf"), place_form, value)
-    if isinstance(node, N.If):
-        if node.els is None:
-            return lisp_list(_sym("if"), unparse(node.test), unparse(node.then))
-        return lisp_list(
-            _sym("if"), unparse(node.test), unparse(node.then), unparse(node.els)
-        )
-    if isinstance(node, N.Progn):
-        return lisp_list(_sym("progn"), *[unparse(n) for n in node.body])
-    if isinstance(node, N.Let):
-        head = "let*" if node.sequential else "let"
-        bindings = lisp_list(
-            *[lisp_list(name, unparse(init)) for name, init in node.bindings]
-        )
-        return lisp_list(_sym(head), bindings, *[unparse(n) for n in node.body])
-    if isinstance(node, N.While):
-        return lisp_list(
-            _sym("while"), unparse(node.test), *[unparse(n) for n in node.body]
-        )
-    if isinstance(node, N.And):
-        return lisp_list(_sym("and"), *[unparse(n) for n in node.args])
-    if isinstance(node, N.Or):
-        return lisp_list(_sym("or"), *[unparse(n) for n in node.args])
-    if isinstance(node, N.Call):
-        return lisp_list(node.fn, *[unparse(a) for a in node.args])
-    if isinstance(node, N.Lambda):
-        return lisp_list(
-            _sym("lambda"),
-            lisp_list(*node.params),
-            *[unparse(n) for n in node.body],
-        )
-    if isinstance(node, N.Spawn):
-        return lisp_list(_sym("spawn"), unparse(node.call))
-    if isinstance(node, N.FutureExpr):
-        return lisp_list(_sym("future"), unparse(node.expr))
-    raise TypeError(f"cannot unparse {node!r}")
+    handler = _DISPATCH.get(node.__class__)
+    if handler is None:
+        raise TypeError(f"cannot unparse {node!r}")
+    return handler(node)
 
 
 def unparse_function(func: N.FuncDef) -> Any:
     """Emit a full ``(defun ...)`` form for a lowered function."""
     return lisp_list(
-        _sym("defun"),
+        _DEFUN,
         func.name,
         lisp_list(*func.params),
         *[unparse(n) for n in func.body],

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import copy
 from typing import Callable, Optional
 
 from repro.ir import nodes as N
@@ -56,9 +55,31 @@ def assigned_variables(node: N.Node) -> set[Symbol]:
     return out
 
 
+# Flattened __slots__ per node class, resolved once.  ``copy.copy`` on a
+# slotted instance detours through ``__reduce_ex__``/``_reconstruct``; a
+# direct slot-for-slot copy is several times cheaper and transforms clone
+# whole function bodies on every analysis run.
+_SLOTS_CACHE: dict[type, tuple[str, ...]] = {}
+
+
+def _shallow_clone(node: N.Node) -> N.Node:
+    cls = node.__class__
+    slots = _SLOTS_CACHE.get(cls)
+    if slots is None:
+        names: list[str] = []
+        for klass in cls.__mro__:
+            declared = getattr(klass, "__slots__", ())
+            names.extend((declared,) if isinstance(declared, str) else declared)
+        slots = _SLOTS_CACHE[cls] = tuple(names)
+    new = cls.__new__(cls)
+    for name in slots:
+        setattr(new, name, getattr(node, name))
+    return new
+
+
 def copy_node(node: N.Node) -> N.Node:
     """Deep-copy an IR subtree with *fresh node ids*."""
-    new = copy.copy(node)
+    new = _shallow_clone(node)
     new.node_id = next(N._node_ids)
     if isinstance(node, N.FieldAccess):
         new.base = copy_node(node.base)

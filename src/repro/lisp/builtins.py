@@ -17,6 +17,7 @@ the read-write variant; ``touch`` forces a future.
 from __future__ import annotations
 
 import itertools
+import operator
 from typing import Any
 
 from repro.lisp.effects import (
@@ -80,6 +81,14 @@ def _truthy(value: Any) -> bool:
 
 
 def _bi_add(*args: Any) -> Any:
+    if len(args) == 2:
+        # Loop increments are two-argument adds on real numbers; type()
+        # (not isinstance) also excludes bool.
+        a, b = args
+        ta = type(a)
+        tb = type(b)
+        if (ta is int or ta is float) and (tb is int or tb is float):
+            return a + b
     total: Any = 0
     for a in args:
         total += _require_number(a, "+")
@@ -87,6 +96,12 @@ def _bi_add(*args: Any) -> Any:
 
 
 def _bi_sub(first: Any, *rest: Any) -> Any:
+    if len(rest) == 1:
+        a = rest[0]
+        ta = type(first)
+        tb = type(a)
+        if (ta is int or ta is float) and (tb is int or tb is float):
+            return first - a
     _require_number(first, "-")
     if not rest:
         return -first
@@ -117,13 +132,50 @@ def _bi_div(first: Any, *rest: Any) -> Any:
     return out
 
 
-def _num_compare(op: str, *args: Any):
-    for a in args:
-        _require_number(a, op)
-    import operator
+_COMPARE_FNS = {
+    "=": operator.eq,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
 
-    fn = {"=": operator.eq, "<": operator.lt, ">": operator.gt, "<=": operator.le, ">=": operator.ge}[op]
-    return _lisp_bool(all(fn(a, b) for a, b in zip(args, args[1:])))
+
+def _make_compare(op: str) -> Any:
+    """A comparison builtin specialized to one operator.
+
+    Loop tests execute these constantly; binding the operator function
+    in a closure avoids a dispatch-dict lookup and an extra call frame
+    per comparison.
+    """
+    fn = _COMPARE_FNS[op]
+
+    def compare(*args: Any) -> Any:
+        if len(args) == 2:
+            # Two-argument compares on real numbers are the loop-test hot
+            # path; type() (not isinstance) also excludes bool.
+            a, b = args
+            ta = type(a)
+            tb = type(b)
+            if (ta is int or ta is float) and (tb is int or tb is float):
+                return True if fn(a, b) else None
+        for a in args:
+            _require_number(a, op)
+        return _lisp_bool(all(fn(a, b) for a, b in zip(args, args[1:])))
+
+    return compare
+
+
+def _bi_inc(a: Any) -> Any:
+    if type(a) is int:
+        return a + 1
+    return _require_number(a, "1+") + 1
+
+
+def _bi_dec(a: Any) -> Any:
+    if type(a) is int:
+        return a - 1
+    return _require_number(a, "1-") - 1
 
 
 def _bi_eq(a: Any, b: Any) -> Any:
@@ -553,13 +605,13 @@ def install_builtins(interp: Any) -> None:
         B("*", _bi_mul),
         B("/", _bi_div),
         B("mod", lambda a, b: _require_number(a, "mod") % _require_number(b, "mod")),
-        B("1+", lambda a: _require_number(a, "1+") + 1),
-        B("1-", lambda a: _require_number(a, "1-") - 1),
-        B("=", lambda *a: _num_compare("=", *a)),
-        B("<", lambda *a: _num_compare("<", *a)),
-        B(">", lambda *a: _num_compare(">", *a)),
-        B("<=", lambda *a: _num_compare("<=", *a)),
-        B(">=", lambda *a: _num_compare(">=", *a)),
+        B("1+", _bi_inc),
+        B("1-", _bi_dec),
+        B("=", _make_compare("=")),
+        B("<", _make_compare("<")),
+        B(">", _make_compare(">")),
+        B("<=", _make_compare("<=")),
+        B(">=", _make_compare(">=")),
         B("min", lambda *a: min(_require_number(x, "min") for x in a)),
         B("max", lambda *a: max(_require_number(x, "max") for x in a)),
         B("abs", lambda a: abs(_require_number(a, "abs"))),

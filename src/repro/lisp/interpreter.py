@@ -80,6 +80,9 @@ class Interpreter:
         # accessor name -> (StructType, field); filled by defstruct.
         self.struct_accessors: dict[str, tuple[StructType, str]] = {}
         self.source_forms: dict[Symbol, Any] = {}  # defun name -> source
+        # Lazily-attached repro.lisp.compile.Compiler (see get_compiler);
+        # the interpreter itself never touches it.
+        self.compiler: Optional[Any] = None
         from repro.lisp.builtins import install_builtins
 
         install_builtins(self)

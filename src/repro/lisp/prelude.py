@@ -43,18 +43,36 @@ PRELUDE = """
 (defmacro rest (l) `(cdr ,l))
 """
 
+# Re-tokenizing and re-reading the prelude text dominates Interpreter
+# construction (the a12_sapp bench case builds interpreters in a loop).
+# The parsed forms are pure data the evaluator never mutates — defmacro
+# stores only the lambda list and body, and macro expansion builds fresh
+# result cells — so one parse can serve every interpreter that shares
+# the default symbol table.
+from repro.perf.cache import LRUCache
+
+_PRELUDE_FORMS = LRUCache("lisp.prelude", maxsize=4)
+
 
 def install_prelude(interp: Any) -> None:
     """Evaluate the prelude macros and define set/eval builtins."""
     from repro.lisp.effects import Tick, VarWrite
     from repro.lisp.errors import WrongType
     from repro.lisp.values import Builtin
-    from repro.sexpr.datum import Symbol
+    from repro.sexpr.datum import DEFAULT_SYMBOLS, Symbol
 
     # Macros: drain the definition effects directly (defmacro only ticks).
     from repro.lisp.interpreter import _drain
 
-    for form in interp.load(PRELUDE):
+    if interp.symbols is DEFAULT_SYMBOLS:
+        forms = _PRELUDE_FORMS.get_or_compute(
+            "prelude", lambda: interp.load(PRELUDE)
+        )
+    else:
+        # Private symbol table: its interned symbols differ, so the
+        # shared parse would leak foreign symbols into this world.
+        forms = interp.load(PRELUDE)
+    for form in forms:
         _drain(interp.eval_gen(form, interp.globals))
 
     def _gb_set(interp_: Any, name: Any, value: Any):

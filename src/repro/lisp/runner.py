@@ -48,10 +48,28 @@ from repro.lisp.values import Future
 
 
 class SequentialRunner:
-    """Drives effect streams serially, accumulating time and a trace."""
+    """Drives effect streams serially, accumulating time and a trace.
 
-    def __init__(self, interp: Interpreter, trace: Optional[Trace] = None):
+    ``eval_mode`` selects how forms become effect generators: the
+    reference ``"interpreter"`` or the closure ``"compiled"`` evaluator
+    (:mod:`repro.lisp.compile`).  Both produce identical effect streams;
+    ``None`` defers to :func:`repro.perf.default_eval_mode`.
+    """
+
+    def __init__(
+        self,
+        interp: Interpreter,
+        trace: Optional[Trace] = None,
+        eval_mode: Optional[str] = None,
+    ):
+        from repro.perf import EVAL_MODES, default_eval_mode
+
+        if eval_mode is None:
+            eval_mode = default_eval_mode()
+        if eval_mode not in EVAL_MODES:
+            raise ValueError(f"unknown eval mode {eval_mode!r}")
         self.interp = interp
+        self.eval_mode = eval_mode
         self.trace = trace if trace is not None else Trace()
         self.time = 0
         self.outputs: list[Any] = []
@@ -60,7 +78,13 @@ class SequentialRunner:
 
     def eval_form(self, form: Any) -> Any:
         """Evaluate one form in the global environment."""
-        return self.run_gen(self.interp.eval_gen(form, self.interp.globals))
+        if self.eval_mode == "compiled":
+            from repro.lisp.compile import compiled_eval_gen
+
+            gen = compiled_eval_gen(self.interp, form, self.interp.globals)
+        else:
+            gen = self.interp.eval_gen(form, self.interp.globals)
+        return self.run_gen(gen)
 
     def eval_text(self, text: str) -> Any:
         """Read and evaluate every form in ``text``; return the last value."""
@@ -72,6 +96,10 @@ class SequentialRunner:
     def call(self, name: str, *args: Any) -> Any:
         """Call a defined Lisp function with Python-level arguments."""
         fn = self.interp.lookup_function(self.interp.intern(name))
+        if self.eval_mode == "compiled":
+            from repro.lisp.compile import compiled_apply_gen
+
+            return self.run_gen(compiled_apply_gen(self.interp, fn, list(args)))
         return self.run_gen(self.interp.apply_gen(fn, list(args)))
 
     # -- effect loop -------------------------------------------------------

@@ -1,0 +1,104 @@
+"""The continuation-passing trampoline behind compiled evaluation.
+
+Compiled code (:mod:`repro.lisp.compile`) is stackless at function-call
+granularity: instead of delegating into a callee's generator with
+``yield from`` — which nests a Python frame per active Lisp call and
+overflows on deep recursion — a compiled call site yields a private
+:class:`Invoke` control object carrying the callee's effect generator.
+The trampoline maintains the call chain as an explicit list, so ten
+thousand pending Lisp frames cost ten thousand list slots, not ten
+thousand Python stack frames (the ``eval_k`` chain-loop idea).
+
+``trampoline(gen)`` wraps an inner generator into an ordinary effect
+generator: every real :class:`~repro.lisp.effects.Effect` is re-yielded
+transparently (driver replies travel back via ``send``, driver
+exceptions via ``throw``), while :class:`Invoke` frames are consumed
+internally.  Drivers cannot tell a trampolined stream from an
+interpreter stream — that invariant is what keeps the race checker,
+flight recorder, and chaos harness oblivious to the evaluation mode.
+
+Nesting is safe: a trampoline inside a trampoline consumes its own
+``Invoke`` frames and re-yields only real effects, so spawn thunks that
+build their own trampolined generators compose without coordination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.lisp.effects import Effect
+
+#: The effect-generator type compiled code and the interpreter share.
+EvalGen = Generator[Any, Any, Any]
+
+__all__ = ["Invoke", "trampoline", "EvalGen"]
+
+
+class Invoke(Effect):
+    """Internal control frame: run ``gen`` to completion, reply its value.
+
+    Only the trampoline may consume this; it must never reach a driver.
+    Compiled call sites yield it instead of ``yield from``-ing the
+    callee so recursion depth is bounded by list growth, not the Python
+    stack.
+    """
+
+    __slots__ = ("gen",)
+
+    def __init__(self, gen: EvalGen) -> None:
+        self.gen = gen
+
+    def __repr__(self) -> str:
+        return "<invoke>"
+
+
+def trampoline(gen: EvalGen) -> EvalGen:
+    """Drive ``gen`` (and every frame it invokes) as one flat generator.
+
+    * ``StopIteration`` values route to the parent frame as the reply to
+      its pending ``Invoke`` — mirroring what ``yield from`` returns.
+    * Exceptions unwind frame by frame via ``generator.throw`` so Lisp
+      code observes them at the same evaluation point as under the
+      interpreter; with no frame left they propagate to the driver.
+    * Driver-side ``throw``/``close`` at a yield point are forwarded to
+      the innermost live frame, matching nested-``yield from`` behavior.
+    """
+    stack: List[EvalGen] = [gen]
+    to_send: Any = None
+    pending: Optional[BaseException] = None
+    while stack:
+        top = stack[-1]
+        try:
+            if pending is not None:
+                exc, pending = pending, None
+                item = top.throw(exc)
+            else:
+                item = top.send(to_send)
+        except StopIteration as stop:
+            stack.pop()
+            to_send = stop.value
+            continue
+        except BaseException as exc:
+            stack.pop()
+            if not stack:
+                raise
+            pending = exc
+            to_send = None
+            continue
+        if type(item) is Invoke:
+            stack.append(item.gen)
+            to_send = None
+            continue
+        try:
+            to_send = yield item
+        except GeneratorExit:
+            # Driver closed us: close the live frames innermost-first.
+            while stack:
+                stack.pop().close()
+            raise
+        except BaseException as exc:
+            # Driver threw (fault injection): deliver to the innermost
+            # frame on the next loop turn, exactly like nested yield from.
+            pending = exc
+            to_send = None
+    return to_send

@@ -17,15 +17,26 @@ if TYPE_CHECKING:
 
 
 class Closure:
-    """A user-defined function: parameter list, body forms, captured env."""
+    """A user-defined function: parameter list, body forms, captured env.
 
-    __slots__ = ("name", "params", "body", "env")
+    ``compiled`` caches the closure's compiled entry point — a callable
+    ``(env, args) -> effect generator`` built by :mod:`repro.lisp.compile`
+    the first time the closure is applied in compiled mode.  ``None``
+    until then; the interpreter never touches it.  ``compiled_site`` is
+    the definition site's shared proto cell (a list, empty until the
+    first application compiles the body), so every closure minted by the
+    same ``defun``/``lambda`` form shares one compiled body.
+    """
+
+    __slots__ = ("name", "params", "body", "env", "compiled", "compiled_site")
 
     def __init__(self, name: str, params: list["Symbol"], body: list[Any], env: "Environment"):
         self.name = name
         self.params = params
         self.body = body
         self.env = env
+        self.compiled: Optional[Callable[..., Any]] = None
+        self.compiled_site: Optional[list[Callable[..., Any]]] = None
 
     def __repr__(self) -> str:
         return f"#<function {self.name or 'lambda'}/{len(self.params)}>"

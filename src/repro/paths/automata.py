@@ -36,6 +36,7 @@ from repro.perf.cache import LRUCache, perf_enabled
 
 _NFA_CACHE = LRUCache("paths.nfa", maxsize=16384)
 _DFA_CACHE = LRUCache("paths.dfa", maxsize=8192)
+_DENSE_CACHE = LRUCache("paths.dense", maxsize=8192)
 _INTERSECT_CACHE = LRUCache("paths.intersect", maxsize=65536)
 
 
@@ -236,7 +237,7 @@ class DFA:
         transitions: "list[dict[str, int]]",
         accepting: "list[bool]",
         start: int = 0,
-    ):
+    ) -> None:
         if len(transitions) != len(accepting):
             raise ValueError("transitions/accepting length mismatch")
         if transitions and not (0 <= start < len(transitions)):
@@ -418,6 +419,84 @@ def dfa_for(regex: Regex) -> DFA:
     )
 
 
+class DenseDFA:
+    """A minimal DFA flattened into a dense transition table.
+
+    The dict-of-dicts :class:`DFA` is the right shape for construction
+    and structural comparison; the hot predicates (prefix tests inside
+    the conflict detector, swept conflict distances) want straight-line
+    lookups.  This compiled form stores transitions in one flat list —
+    ``table[state * nsyms + symbol_index]``, ``-1`` for the implicit
+    dead state — plus the two reach-accept relations the prefix
+    predicates consult:
+
+    * ``reach_accept[s]`` — an accepting state is reachable in 0+ steps
+      (``word ≤ L``: after consuming the word, can the language still
+      complete it?);
+    * ``reach_accept_plus[s]`` — reachable in 1+ steps (a *proper*
+      extension exists: there is a transition ``s → t`` with
+      ``reach_accept[t]``).
+
+    Both are language-level properties, so deriving them from the
+    minimized machine is sound.  Instances are immutable and shared via
+    :func:`dense_for`.
+    """
+
+    __slots__ = ("nsyms", "symbols", "index", "table", "accepting",
+                 "start", "reach_accept", "reach_accept_plus")
+
+    def __init__(self, dfa: DFA) -> None:
+        symbols = sorted(dfa.alphabet())
+        index = {field: i for i, field in enumerate(symbols)}
+        nsyms = len(symbols)
+        n = len(dfa.transitions)
+        table = [-1] * (n * nsyms)
+        for src, row in enumerate(dfa.transitions):
+            base = src * nsyms
+            for field, dst in row.items():
+                table[base + index[field]] = dst
+        reach = list(dfa.can_reach_accept())
+        reach_plus = [False] * n
+        for src, row in enumerate(dfa.transitions):
+            for dst in row.values():
+                if reach[dst]:
+                    reach_plus[src] = True
+                    break
+        self.nsyms = nsyms
+        self.symbols = symbols
+        self.index = index
+        self.table = table
+        self.accepting = list(dfa.accepting)
+        self.start = dfa.start
+        self.reach_accept = reach
+        self.reach_accept_plus = reach_plus
+
+    def run(self, word: Iterable[str]) -> int:
+        """Consume ``word`` from the start state; ``-1`` is dead."""
+        state = self.start
+        index = self.index
+        table = self.table
+        nsyms = self.nsyms
+        for field in word:
+            sym = index.get(field, -1)
+            if sym < 0:
+                return -1
+            state = table[state * nsyms + sym]
+            if state < 0:
+                return -1
+        return state
+
+    def __repr__(self) -> str:
+        return f"<DenseDFA {len(self.accepting)} states x {self.nsyms} syms>"
+
+
+def dense_for(regex: Regex) -> DenseDFA:
+    """Memoized dense compilation of the canonical minimal DFA."""
+    return _DENSE_CACHE.get_or_compute(
+        regex, lambda: DenseDFA(dfa_for(regex))
+    )
+
+
 def _product_empty(a: DFA, b: DFA) -> bool:
     """BFS over the product automaton; empty iff no jointly-accepting
     product state is reachable."""
@@ -460,7 +539,9 @@ def intersection_empty(r1: Union[Regex, DFA], r2: Union[Regex, DFA]) -> bool:
 def matches(regex: Regex, word: Iterable[str]) -> bool:
     """Exact membership: word ∈ L(regex)."""
     if perf_enabled():
-        return dfa_for(regex).accepts(word)
+        dense = dense_for(regex)
+        state = dense.run(word)
+        return state >= 0 and dense.accepting[state]
     nfa = build_nfa(regex)
     return nfa.accepts_in(nfa.run(word))
 
@@ -474,13 +555,9 @@ def prefix_of_language(word: Iterable[str], regex: Regex, nfa: Optional[NFA] = N
     simulates the NFA and consults its can-reach-accept relation.
     """
     if nfa is None and perf_enabled():
-        dfa = dfa_for(regex)
-        state: Optional[int] = dfa.start
-        for field in word:
-            state = dfa.step(state, field)
-            if state is None:
-                return False
-        return dfa.can_reach_accept()[state]
+        dense = dense_for(regex)
+        state = dense.run(word)
+        return state >= 0 and dense.reach_accept[state]
     if nfa is None:
         nfa = build_nfa(regex)
     states = nfa.initial()
@@ -504,15 +581,22 @@ def language_word_is_prefix_of(
     the earlier access's path A1, i.e. t·A2 ≤ A1.
     """
     if nfa is None and perf_enabled():
-        dfa = dfa_for(regex)
-        state: Optional[int] = dfa.start
-        if dfa.accepting[state]:
+        dense = dense_for(regex)
+        accepting = dense.accepting
+        state = dense.start
+        if accepting[state]:
             return True
+        index = dense.index
+        table = dense.table
+        nsyms = dense.nsyms
         for field in word:
-            state = dfa.step(state, field)
-            if state is None:
+            sym = index.get(field, -1)
+            if sym < 0:
                 return False
-            if dfa.accepting[state]:
+            state = table[state * nsyms + sym]
+            if state < 0:
+                return False
+            if accepting[state]:
                 return True
         return False
     if nfa is None:

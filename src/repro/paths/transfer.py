@@ -42,6 +42,11 @@ _MINDIST_CACHE = LRUCache("paths.mindist", maxsize=65536, always_on=True)
 # always-on.
 _SWEEP_CACHE = LRUCache("paths.sweep", maxsize=65536)
 
+# The one-step relation depends only on (A1, τ) — not on A2 — yet every
+# (A1, A2) pair the analyzer visits used to recompute it.  Memoizing it
+# collapses that per-pair NFA simulation to one per accessor/transfer.
+_ONESTEP_CACHE = LRUCache("paths.onestep", maxsize=65536)
+
 
 class TransferFunction:
     """A wrapped accessor regex with composition helpers and caching."""
@@ -160,7 +165,20 @@ def _one_step_relation(a1: Accessor, tau: TransferFunction) -> tuple[dict[int, s
     Overshoot from i means: some word of τ has A1[i:] as a *proper*
     prefix — then A1 itself is a prefix of the τ-chain, a conflict no
     matter what A2 is.
+
+    Memoized on (A1, τ): callers invoke this once per (A1, A2) pair but
+    the relation is independent of A2.  The cached (steps, overshoot)
+    pair is shared — callers must treat it as read-only, which
+    :func:`_position_expand` does.
     """
+    return _ONESTEP_CACHE.get_or_compute(
+        (a1.fields, tau.regex), lambda: _one_step_relation_compute(a1, tau)
+    )
+
+
+def _one_step_relation_compute(
+    a1: Accessor, tau: TransferFunction
+) -> tuple[dict[int, set[int]], set[int]]:
     nfa = tau.nfa
     m = len(a1)
     steps: dict[int, set[int]] = {}

@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.perf.cache import (
+    EventCounter,
     InternTable,
     LRUCache,
     cache_stats,
@@ -38,6 +39,7 @@ from repro.perf.cache import (
 )
 
 __all__ = [
+    "EventCounter",
     "InternTable",
     "LRUCache",
     "cache_stats",
@@ -49,6 +51,9 @@ __all__ = [
     "set_perf_enabled",
     "default_stepper",
     "stepper_override",
+    "default_eval_mode",
+    "eval_mode_override",
+    "EVAL_MODES",
 ]
 
 # Default Machine stepper when the caller does not pass one explicitly.
@@ -86,3 +91,42 @@ def stepper_override(name: str) -> Iterator[None]:
         yield
     finally:
         _STEPPER_OVERRIDE = previous
+
+
+#: The two evaluation strategies for the Lisp substrate.  "interpreter"
+#: is the generator-style reference evaluator; "compiled" is the
+#: closure-emitting compiler (repro.lisp.compile) driven through the CPS
+#: trampoline.  Both produce byte-identical effect streams.
+EVAL_MODES = ("interpreter", "compiled")
+
+_EVAL_MODE_OVERRIDE: "str | None" = None
+
+
+def default_eval_mode() -> str:
+    """Resolve the evaluation mode drivers use when none is requested.
+
+    Honors an active :func:`eval_mode_override`, then the global perf
+    switch (disabled ⇒ the reference interpreter, matching the
+    pre-layer evaluator exactly).
+    """
+    if _EVAL_MODE_OVERRIDE is not None:
+        return _EVAL_MODE_OVERRIDE
+    return "compiled" if perf_enabled() else "interpreter"
+
+
+@contextmanager
+def eval_mode_override(mode: str) -> Iterator[None]:
+    """Force the default evaluation mode within a block.
+
+    The differential tests run the same workload under both evaluators
+    with this, without threading a parameter through every layer.
+    """
+    if mode not in EVAL_MODES:
+        raise ValueError(f"unknown eval mode {mode!r}")
+    global _EVAL_MODE_OVERRIDE
+    previous = _EVAL_MODE_OVERRIDE
+    _EVAL_MODE_OVERRIDE = mode
+    try:
+        yield
+    finally:
+        _EVAL_MODE_OVERRIDE = previous

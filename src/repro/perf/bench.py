@@ -34,8 +34,11 @@ iteration — identical deltas mean iteration N started from the same
 cache state as iteration 1, so process-global warmth cannot skew the
 baseline-vs-optimized ratio.  (Intern tables are exempt by design:
 interned objects are immortal, and the warm-up pass populates them
-before any measured iteration.)  Reported times are the median of
-``repeats`` iterations.
+before any measured iteration.)  Reported times are the *minimum* of
+``repeats`` iterations — the ``timeit`` convention: the minimum is the
+least-noise estimate of the code's intrinsic cost, because scheduler
+preemption and host contention only ever add time.  Both modes use the
+same aggregator, so the ratio stays an apples-to-apples comparison.
 
 The report is JSON (``BENCH_perf.json``).  Regression gating compares
 *normalized* time — ``optimized_ms / baseline_ms`` measured within one
@@ -45,7 +48,7 @@ run — which is stable across machines of different absolute speed; see
 
 from __future__ import annotations
 
-import statistics
+import gc
 import sys
 import time
 from typing import Any, Callable, Dict, Iterable, Optional
@@ -285,7 +288,7 @@ def _iteration_delta(
 
 
 def _measure(fn: Callable[[], None], repeats: int) -> float:
-    """Median wall time of ``repeats`` cold-start iterations, in ms.
+    """Minimum wall time of ``repeats`` cold-start iterations, in ms.
 
     Enforces the cold-start claim at every measured-iteration boundary:
     the caches are cleared *and verified empty* before each iteration,
@@ -296,13 +299,24 @@ def _measure(fn: Callable[[], None], repeats: int) -> float:
     """
     times = []
     deltas = []
+    gc_was_enabled = gc.isenabled()
     for _ in range(repeats):
         clear_caches()
         _assert_cold()
         before = _counter_snapshot()
-        start = time.perf_counter()
-        fn()
-        times.append((time.perf_counter() - start) * 1000.0)
+        # Collect outside the timed region and keep the collector off
+        # inside it: cycle-collection pauses land on random iterations
+        # and would skew the baseline/optimized ratio by luck of the
+        # draw.  Applied identically to both modes.
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            times.append((time.perf_counter() - start) * 1000.0)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         deltas.append(_iteration_delta(before, _counter_snapshot()))
     if deltas[0] != deltas[-1]:
         drifted = sorted(
@@ -315,7 +329,7 @@ def _measure(fn: Callable[[], None], repeats: int) -> float:
             f"(first vs last hit/miss/bypass deltas differ): "
             f"{', '.join(drifted)}"
         )
-    return statistics.median(times)
+    return min(times)
 
 
 def run_suite(
@@ -447,6 +461,74 @@ def compare_reports(
                 f"+{max_regress_pct:.0f}%)"
             )
     return failures
+
+
+def missing_cases(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> list[str]:
+    """Names of baseline cases absent from the current report.
+
+    A missing case is a *configuration* problem (renamed case, filtered
+    run, stale baseline), not a perf regression — the CLI reports it as
+    a distinct exit-2 diagnostic instead of folding it into the
+    regression failures.
+    """
+    current_cases = current.get("cases", {})
+    return [
+        name for name in baseline.get("cases", {}) if name not in current_cases
+    ]
+
+
+def min_speedup_failures(
+    report: Dict[str, Any], floor: float
+) -> list[str]:
+    """Per-case speedup-floor check; returns failure messages.
+
+    Unlike :func:`compare_reports` this needs no baseline file: every
+    case's in-run speedup (``baseline_ms / optimized_ms``) must be at
+    least ``floor``.  The CI gate runs it with ``--min-speedup 1.0`` so
+    the optimized layer can never silently regress below the reference
+    interpreter on any case.
+    """
+    failures: list[str] = []
+    for name, case in report.get("cases", {}).items():
+        speedup = case["baseline_ms"] / case["optimized_ms"]
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.3f}x below floor {floor:.2f}x "
+                f"({case['optimized_ms']:.1f}ms optimized vs "
+                f"{case['baseline_ms']:.1f}ms baseline)"
+            )
+    return failures
+
+
+def markdown_report(report: Dict[str, Any]) -> str:
+    """Per-case results as a GitHub-flavored markdown table.
+
+    Written to ``$GITHUB_STEP_SUMMARY`` by the CI perf job so the
+    numbers appear on the workflow run page without digging into logs.
+    """
+    lines = [
+        "### Perf suite",
+        "",
+        "| case | baseline (ms) | optimized (ms) | speedup |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for name, case in report["cases"].items():
+        lines.append(
+            f"| `{name}` | {case['baseline_ms']:.1f} "
+            f"| {case['optimized_ms']:.1f} | {case['speedup']:.2f}x |"
+        )
+    combined = report.get("combined")
+    if combined:
+        lines.append(
+            f"| **combined ({'+'.join(combined['cases'])})** "
+            f"| {combined['baseline_ms']:.1f} "
+            f"| {combined['optimized_ms']:.1f} "
+            f"| **{combined['speedup']:.2f}x** |"
+        )
+    lines.append("")
+    return "\n".join(lines)
 
 
 def format_report(report: Dict[str, Any]) -> str:

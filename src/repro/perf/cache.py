@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Iterator, Optional
 __all__ = [
     "LRUCache",
     "InternTable",
+    "EventCounter",
     "named_caches",
     "cache_stats",
     "clear_caches",
@@ -50,7 +51,7 @@ __all__ = [
 
 # Registry of every cache/intern table ever created, by name.  Names are
 # hierarchical ("paths.nfa", "paths.conflict", …) and must be unique.
-_REGISTRY: "Dict[str, LRUCache | InternTable]" = {}
+_REGISTRY: "Dict[str, LRUCache | InternTable | EventCounter]" = {}
 
 _ENABLED = True
 
@@ -84,7 +85,7 @@ def perf_disabled() -> Iterator[None]:
         set_perf_enabled(previous)
 
 
-def _register(entry: "LRUCache | InternTable") -> None:
+def _register(entry: "LRUCache | InternTable | EventCounter") -> None:
     existing = _REGISTRY.get(entry.name)
     if existing is not None and existing is not entry:
         raise ValueError(f"duplicate perf cache name: {entry.name!r}")
@@ -129,9 +130,12 @@ class LRUCache:
         value = data.get(key, _MISSING)
         if value is not _MISSING:
             self.hits += 1
-            # Move to most-recently-used position.
-            del data[key]
-            data[key] = value
+            if len(data) >= self.maxsize:
+                # Refresh recency only under eviction pressure: below
+                # capacity the insertion order is never consulted, so the
+                # move-to-end would be pure per-hit overhead.
+                del data[key]
+                data[key] = value
             return value
         self.misses += 1
         value = compute()
@@ -205,7 +209,37 @@ class InternTable:
         }
 
 
-def named_caches() -> "Dict[str, LRUCache | InternTable]":
+class EventCounter:
+    """Named hit/miss counters with no storage behind them.
+
+    Used where the memoized artifact lives on another object (compiled
+    closure entries are cached on the :class:`~repro.lisp.values.Closure`
+    itself) but the activity should still flow through the
+    ``perf.cache.<name>.*`` counter pipeline.  ``hits`` counts reuse of
+    an existing artifact, ``misses`` counts fresh builds.
+    """
+
+    __slots__ = ("name", "hits", "misses")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        _register(self)
+
+    def clear(self) -> None:
+        """Nothing stored here; counters are preserved like the others."""
+
+    def stats(self) -> Dict[str, Any]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+def named_caches() -> "Dict[str, LRUCache | InternTable | EventCounter]":
     """The live registry of caches and intern tables, by name."""
     return dict(_REGISTRY)
 

@@ -25,12 +25,14 @@ Stepping: two steppers produce identical effect traces and statistics.
   Kept verbatim as the differential-testing reference, and used
   automatically whenever a fault plan is attached (fault hooks are
   defined to run every tick).
-* ``"heap"`` (default) — an event-heap scheduler.  Every engaged
-  processor has a known absolute wake time (its remaining busy charge
-  or context-switch overhead); a lazy min-heap of those wake times
-  yields the next interesting instant, and the machine advances the
-  clock in one batch, charging each processor ``delta`` ticks at once
-  and skipping the idle decrement loop in between.  Batches are capped
+* ``"heap"`` (default) — an event scheduler.  Every engaged processor
+  has a known remaining charge (its busy time or context-switch
+  overhead); the minimum over those charges yields the next
+  interesting instant (a direct scan — the cpu count is small enough
+  that a min-heap costs more to maintain than to recompute), and the
+  machine advances the clock in one batch, charging each processor
+  ``delta`` ticks at once and skipping the idle decrement loop in
+  between.  Batches are capped
   by ``max_time`` and by the earliest lock-watchdog deadline so both
   raise at exactly the tick the ticker would.  Per-tick statistics
   (concurrency samples, peak-live, busy counters) are reconstructed
@@ -39,7 +41,6 @@ Stepping: two steppers produce identical effect traces and statistics.
 
 from __future__ import annotations
 
-import heapq
 import random as _random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -145,11 +146,6 @@ class _Cpu:
     overhead: int = 0  # remaining context-switch charge
     last_proc_id: Optional[int] = None
     busy_time: int = 0
-    #: Absolute tick at which this processor next needs attention (its
-    #: busy charge or overhead runs out).  Only maintained by the heap
-    #: stepper; ``None`` while disengaged.  Heap entries are validated
-    #: against this field on pop (lazy invalidation).
-    wake_at: Optional[int] = None
 
 
 @dataclass
@@ -198,6 +194,7 @@ class Machine:
         recorder: Optional[Recorder] = None,
         rng: Optional[_random.Random] = None,
         stepper: Optional[str] = None,
+        eval_mode: Optional[str] = None,
     ):
         if processors < 1:
             raise ValueError("need at least one processor")
@@ -222,6 +219,15 @@ class Machine:
         if stepper not in ("heap", "ticker"):
             raise ValueError(f"unknown stepper {stepper!r}")
         self.stepper = stepper
+        if eval_mode is None:
+            from repro.perf import default_eval_mode
+
+            eval_mode = default_eval_mode()
+        from repro.perf import EVAL_MODES
+
+        if eval_mode not in EVAL_MODES:
+            raise ValueError(f"unknown eval mode {eval_mode!r}")
+        self.eval_mode = eval_mode
 
         self.time = 0
         self.locks = LockTable()
@@ -258,8 +264,6 @@ class Machine:
         self._step: Callable[[], None] = (
             self._step_batched if self._use_heap else self._tick
         )
-        #: Lazy event heap of (wake_at, cpu.index) for engaged cpus.
-        self._wake_heap: list[tuple[int, int]] = []
         #: Incrementally-maintained count of processes not yet done —
         #: replaces the ticker's O(processes) scan per loop iteration.
         self._live = 0
@@ -309,16 +313,31 @@ class Machine:
     def spawn_call(self, fname: str, *args: Any, label: str = "") -> Process:
         """Spawn a process applying a defined function to arguments."""
         fn = self.interp.lookup_function(self.interp.intern(fname))
-        gen = self.interp.apply_gen(fn, list(args))
+        if self.eval_mode == "compiled":
+            from repro.lisp.compile import compiled_apply_gen
+
+            gen = compiled_apply_gen(self.interp, fn, list(args))
+        else:
+            gen = self.interp.apply_gen(fn, list(args))
         return self.spawn(gen, label=label or fname)
 
     def spawn_form(self, form: Any, label: str = "main") -> Process:
-        gen = self.interp.eval_gen(form, self.interp.globals)
+        if self.eval_mode == "compiled":
+            from repro.lisp.compile import compiled_eval_gen
+
+            gen = compiled_eval_gen(self.interp, form, self.interp.globals)
+        else:
+            gen = self.interp.eval_gen(form, self.interp.globals)
         return self.spawn(gen, label=label)
 
     def spawn_text(self, text: str, label: str = "main") -> Process:
         forms = self.interp.load(text)
-        gen = self.interp.eval_sequence(forms, self.interp.globals)
+        if self.eval_mode == "compiled":
+            from repro.lisp.compile import compiled_eval_sequence
+
+            gen = compiled_eval_sequence(self.interp, forms, self.interp.globals)
+        else:
+            gen = self.interp.eval_sequence(forms, self.interp.globals)
         return self.spawn(gen, label=label)
 
     # -- the clock loop ------------------------------------------------------
@@ -329,7 +348,12 @@ class Machine:
             self._assign_cpus()
             if self._live == 0:
                 break
-            if not any(cpu.proc or cpu.overhead for cpu in self.cpus):
+            engaged = False
+            for cpu in self.cpus:
+                if cpu.proc is not None or cpu.overhead > 0:
+                    engaged = True
+                    break
+            if not engaged:
                 blocked = [
                     p for p in self.processes.values() if p.state == "blocked"
                 ]
@@ -389,8 +413,6 @@ class Machine:
             cpu.last_proc_id = proc.proc_id
             if cpu.overhead == 0:
                 self._kick(cpu)
-            if self._use_heap:
-                self._reschedule(cpu)
 
     def _try_quiesce(self, blocked: list[Process]) -> bool:
         """Quiescence termination: if every blocked process is waiting on a
@@ -604,38 +626,29 @@ class Machine:
         live = sum(1 for p in self.processes.values() if p.state != "done")
         self.stats.peak_live_processes = max(self.stats.peak_live_processes, live)
 
-    # -- the event-heap stepper --------------------------------------------
-
-    def _reschedule(self, cpu: _Cpu) -> None:
-        """Refresh a cpu's absolute wake time after (re)engagement.
-
-        Pushes a heap entry; earlier entries for the same cpu become
-        stale and are discarded lazily when they surface at the top.
-        Decrementing a charge never changes the *absolute* wake time, so
-        entries stay valid across batches without updates.
-        """
-        if cpu.overhead > 0:
-            wake = self.time + cpu.overhead
-        elif cpu.proc is not None and cpu.proc.busy_remaining > 0:
-            wake = self.time + cpu.proc.busy_remaining
-        else:
-            cpu.wake_at = None
-            return
-        if cpu.wake_at != wake:
-            cpu.wake_at = wake
-            heapq.heappush(self._wake_heap, (wake, cpu.index))
+    # -- the event stepper -------------------------------------------------
 
     def _next_event_delta(self) -> int:
-        """Ticks until the next engaged cpu runs out of charge (≥ 1)."""
-        heap = self._wake_heap
-        now = self.time
-        while heap:
-            wake, index = heap[0]
-            if self.cpus[index].wake_at != wake:
-                heapq.heappop(heap)  # stale: superseded or disengaged
-                continue
-            return wake - now if wake > now else 1
-        return 1
+        """Ticks until the next engaged cpu runs out of charge (≥ 1).
+
+        A direct scan of the cpus: the machine simulates a handful of
+        processors, so the minimum over engaged charges is cheaper to
+        recompute per batch than to maintain in an event heap (which
+        paid a push per engagement plus stale-entry pops, for the same
+        answer).
+        """
+        best = 0
+        for cpu in self.cpus:
+            if cpu.overhead > 0:
+                remaining = cpu.overhead
+            else:
+                proc = cpu.proc
+                if proc is None:
+                    continue
+                remaining = proc.busy_remaining
+            if remaining > 0 and (best == 0 or remaining < best):
+                best = remaining
+        return best if best > 0 else 1
 
     def _earliest_lock_deadline(self) -> Optional[int]:
         """First tick at which the lock-wait watchdog would fire."""
@@ -654,7 +667,7 @@ class Machine:
         return earliest
 
     def _step_batched(self) -> None:
-        """One event-heap step: advance straight to the next event.
+        """One event step: advance straight to the next event.
 
         The batch is capped so that ``max_time`` and the lock-wait
         watchdog still observe exactly the tick at which the per-tick
@@ -694,7 +707,6 @@ class Machine:
                 busy_count += 1
                 if cpu.overhead == 0 and cpu.proc is not None:
                     self._kick(cpu)
-                    self._reschedule(cpu)
                 continue
             proc = cpu.proc
             if proc is None:
@@ -706,7 +718,6 @@ class Machine:
                 proc.busy_remaining -= delta
             if proc.busy_remaining == 0:
                 self._kick(cpu)
-                self._reschedule(cpu)
         samples = self.stats.concurrency_samples
         if delta == 1:
             samples.append(busy_count)
@@ -731,9 +742,10 @@ class Machine:
             proc.state = "blocked"
             cpu.proc = None
             return
+        send = proc.gen.send
         while True:
             try:
-                effect = proc.gen.send(reply)
+                effect = send(reply)
             except StopIteration as stop:
                 self._finish(proc, stop.value)
                 cpu.proc = None
@@ -745,6 +757,16 @@ class Machine:
                     f"process {proc.proc_id} ({proc.label or 'unnamed'}) "
                     f"failed at t={self.time}: {err}"
                 ) from err
+            # Ticks dominate the effect stream; handle them without the
+            # dispatch chain (same outcome as _handle's Tick arm).
+            if effect.__class__ is Tick:
+                cost = effect.cost
+                if cost > 0:
+                    proc.busy_remaining = cost
+                    proc.pending_reply = None
+                    return
+                reply = None
+                continue
             cost, blocked, reply = self._handle(proc, effect)
             if blocked:
                 proc.state = "blocked"

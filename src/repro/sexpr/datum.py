@@ -28,10 +28,11 @@ class Symbol:
     same name are the same object and ``eq`` is Python ``is``.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str):
         self.name = name
+        self._hash = hash(name)
 
     def __repr__(self) -> str:
         return self.name
@@ -39,9 +40,10 @@ class Symbol:
     def __str__(self) -> str:
         return self.name
 
-    # Symbols are interned: identity hash/eq is correct and fast.
+    # Symbols are interned and immortal; the name hash is precomputed
+    # once at creation (symbols key every environment dict operation).
     def __hash__(self) -> int:
-        return hash(self.name)
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -177,9 +179,28 @@ def from_pylist(items: Iterable[Any]) -> Optional[Cons]:
 def list_to_pylist(lst: Any) -> list[Any]:
     """Convert a proper Lisp list to a Python list.
 
-    Raises ``ValueError`` on dotted or cyclic structure (cycle detection
-    by Brent's algorithm would be overkill; we bound by visited set).
+    Raises ``ValueError`` on dotted or cyclic structure.  The common
+    case is a short acyclic list, so the first pass runs without cycle
+    bookkeeping up to a generous length bound; only suspiciously long
+    lists pay for a visited set.
     """
+    out: list[Any] = []
+    append = out.append
+    node = lst
+    limit = 4096
+    while node is not None:
+        if not isinstance(node, Cons):
+            raise ValueError(f"improper list: dotted tail {node!r}")
+        append(node.car)
+        node = node.cdr
+        limit -= 1
+        if limit == 0:
+            return _list_to_pylist_checked(lst)
+    return out
+
+
+def _list_to_pylist_checked(lst: Any) -> list[Any]:
+    """Slow path with full cycle detection, for very long inputs."""
     out: list[Any] = []
     seen: set[int] = set()
     node = lst

@@ -33,8 +33,17 @@ class ReadError(Exception):
         self.token = token
 
 
+_NUMBER_LEAD = frozenset("0123456789+-.")
+
+
 def _parse_number(text: str) -> Optional[Any]:
-    """Parse ``text`` as an int or float, or return None if not numeric."""
+    """Parse ``text`` as an int or float, or return None if not numeric.
+
+    The leading-character screen lets the overwhelmingly common case — a
+    symbol name — skip the exception-based probes entirely.
+    """
+    if text[0] not in _NUMBER_LEAD:
+        return None
     try:
         return int(text)
     except ValueError:
@@ -62,7 +71,7 @@ class Reader:
 
     def read_all(self, text: str) -> list[Any]:
         """Read every form in ``text`` and return them as a Python list."""
-        tokens = list(tokenize(text))
+        tokens = tokenize(text)
         pos = 0
         forms: list[Any] = []
         while tokens[pos].kind is not TokenKind.EOF:
@@ -98,10 +107,12 @@ class Reader:
         return self._read_atom(tok), pos + 1
 
     def _read_atom(self, tok: Token) -> Any:
-        num = _parse_number(tok.text)
+        text = tok.text
+        num = _parse_number(text)
         if num is not None:
             return num
-        name = tok.text.lower()
+        # Source is almost always already lower-case; skip the copy then.
+        name = text if text.islower() else text.lower()
         if name == "nil":
             return None
         if name == "t":

@@ -7,9 +7,7 @@ read errors point at source.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Iterator
 
 
 class TokenKind(Enum):
@@ -26,15 +24,34 @@ class TokenKind(Enum):
     EOF = auto()
 
 
-@dataclass(frozen=True)
 class Token:
-    kind: TokenKind
-    text: str
-    line: int
-    col: int
+    """A lexical token.  Plain slotted class: the reader allocates one
+    per token and the frozen-dataclass ``object.__setattr__`` detour
+    showed up in read-heavy profiles."""
+
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind: TokenKind, text: str, line: int, col: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
 
     def __repr__(self) -> str:
         return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.kind is other.kind
+            and self.text == other.text
+            and self.line == other.line
+            and self.col == other.col
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.text, self.line, self.col))
 
 
 class TokenizeError(Exception):
@@ -46,112 +63,151 @@ class TokenizeError(Exception):
         self.col = col
 
 
-_DELIMITERS = set("()'`,\" \t\n\r;")
+_DELIMITERS = frozenset("()'`,\" \t\n\r;")
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r"}
 
 
-def tokenize(text: str) -> Iterator[Token]:
-    """Yield tokens from ``text``, ending with a single EOF token.
+def tokenize(text: str) -> "list[Token]":
+    """Tokenize ``text`` into a list ending with a single EOF token.
 
     Comments run from ``;`` to end of line.  ``#|`` ... ``|#`` block
     comments nest, as in Common Lisp.
+
+    The scanner advances by *runs* where a run cannot contain a newline
+    (atoms, line comments): one slice and one column add replace a
+    per-character bookkeeping call, which dominated read time.
     """
+    out: list[Token] = []
+    emit = out.append
     i = 0
     n = len(text)
     line = 1
     col = 1
-
-    def advance(k: int = 1) -> None:
-        nonlocal i, line, col
-        for _ in range(k):
-            if i < n and text[i] == "\n":
-                line += 1
-                col = 1
-            else:
-                col += 1
-            i += 1
+    lparen = TokenKind.LPAREN
+    rparen = TokenKind.RPAREN
+    atom = TokenKind.ATOM
 
     while i < n:
         ch = text[i]
-        if ch in " \t\n\r":
-            advance()
+        if ch == " " or ch == "\t" or ch == "\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch == "(":
+            emit(Token(lparen, "(", line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == ")":
+            emit(Token(rparen, ")", line, col))
+            i += 1
+            col += 1
             continue
         if ch == ";":
-            while i < n and text[i] != "\n":
-                advance()
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            col += j - i
+            i = j
+            continue
+        if ch == "'":
+            emit(Token(TokenKind.QUOTE, "'", line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == "`":
+            emit(Token(TokenKind.QUASIQUOTE, "`", line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == ",":
+            if i + 1 < n and text[i + 1] == "@":
+                emit(Token(TokenKind.UNQUOTE_SPLICING, ",@", line, col))
+                i += 2
+                col += 2
+            else:
+                emit(Token(TokenKind.UNQUOTE, ",", line, col))
+                i += 1
+                col += 1
             continue
         if ch == "#" and i + 1 < n and text[i + 1] == "|":
             start_line, start_col = line, col
             depth = 1
-            advance(2)
+            i += 2
+            col += 2
             while i < n and depth > 0:
-                if text[i] == "#" and i + 1 < n and text[i + 1] == "|":
+                c = text[i]
+                if c == "#" and i + 1 < n and text[i + 1] == "|":
                     depth += 1
-                    advance(2)
-                elif text[i] == "|" and i + 1 < n and text[i + 1] == "#":
+                    i += 2
+                    col += 2
+                elif c == "|" and i + 1 < n and text[i + 1] == "#":
                     depth -= 1
-                    advance(2)
+                    i += 2
+                    col += 2
+                elif c == "\n":
+                    i += 1
+                    line += 1
+                    col = 1
                 else:
-                    advance()
+                    i += 1
+                    col += 1
             if depth > 0:
                 raise TokenizeError("unterminated block comment", start_line, start_col)
             continue
-        if ch == "(":
-            yield Token(TokenKind.LPAREN, "(", line, col)
-            advance()
-            continue
-        if ch == ")":
-            yield Token(TokenKind.RPAREN, ")", line, col)
-            advance()
-            continue
-        if ch == "'":
-            yield Token(TokenKind.QUOTE, "'", line, col)
-            advance()
-            continue
-        if ch == "`":
-            yield Token(TokenKind.QUASIQUOTE, "`", line, col)
-            advance()
-            continue
-        if ch == ",":
-            if i + 1 < n and text[i + 1] == "@":
-                yield Token(TokenKind.UNQUOTE_SPLICING, ",@", line, col)
-                advance(2)
-            else:
-                yield Token(TokenKind.UNQUOTE, ",", line, col)
-                advance()
-            continue
         if ch == "#" and i + 1 < n and text[i + 1] == "'":
-            yield Token(TokenKind.HASH_QUOTE, "#'", line, col)
-            advance(2)
+            emit(Token(TokenKind.HASH_QUOTE, "#'", line, col))
+            i += 2
+            col += 2
             continue
         if ch == '"':
             start_line, start_col = line, col
-            advance()
+            i += 1
+            col += 1
             chars: list[str] = []
             while i < n and text[i] != '"':
-                if text[i] == "\\":
-                    advance()
+                c = text[i]
+                if c == "\\":
+                    i += 1
+                    col += 1
                     if i >= n:
                         break
-                    esc = text[i]
-                    chars.append({"n": "\n", "t": "\t", "r": "\r"}.get(esc, esc))
-                    advance()
+                    c = _ESCAPES.get(text[i], text[i])
+                    chars.append(c)
                 else:
-                    chars.append(text[i])
-                    advance()
+                    chars.append(c)
+                if text[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
             if i >= n:
                 raise TokenizeError("unterminated string", start_line, start_col)
-            advance()  # closing quote
-            yield Token(TokenKind.STRING, "".join(chars), start_line, start_col)
+            i += 1  # closing quote
+            col += 1
+            emit(Token(TokenKind.STRING, "".join(chars), start_line, start_col))
             continue
-        # Atom: read to next delimiter.
-        start_line, start_col = line, col
+        # Atom: read to the next delimiter.  Delimiters include the
+        # newline, so the run is newline-free by construction.
         start = i
-        while i < n and text[i] not in _DELIMITERS:
-            advance()
-        word = text[start:i]
+        j = i + 1
+        while j < n and text[j] not in _DELIMITERS:
+            j += 1
+        word = text[start:j]
+        start_col = col
+        col += j - i
+        i = j
         if word == ".":
-            yield Token(TokenKind.DOT, ".", start_line, start_col)
+            emit(Token(TokenKind.DOT, ".", line, start_col))
         else:
-            yield Token(TokenKind.ATOM, word, start_line, start_col)
+            emit(Token(atom, word, line, start_col))
 
-    yield Token(TokenKind.EOF, "", line, col)
+    emit(Token(TokenKind.EOF, "", line, col))
+    return out

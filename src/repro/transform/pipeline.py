@@ -64,9 +64,30 @@ class CurareResult:
     feedback: Optional[FeedbackReport] = None
     final_form: Any = None
     extra_forms: list[Any] = field(default_factory=list)
-    #: Head/tail partition of the *emitted* function (after hoisting and
-    #: lock insertion) — the numbers the §3.1 concurrency model applies to.
-    post_headtail: Any = None
+    #: The emitted function IR, kept so :attr:`post_headtail` can be
+    #: derived on demand instead of paying a CFG + dominator pass on
+    #: every transform whether or not anyone reads the numbers.
+    _post_headtail_func: Any = None
+    _post_headtail_cache: Any = None
+    _post_headtail_done: bool = False
+
+    @property
+    def post_headtail(self) -> Any:
+        """Head/tail partition of the *emitted* function (after hoisting
+        and lock insertion) — the numbers the §3.1 concurrency model
+        applies to.  Computed lazily on first access."""
+        if not self._post_headtail_done:
+            self._post_headtail_done = True
+            if self._post_headtail_func is not None:
+                try:
+                    from repro.analysis.headtail import partition_head_tail
+
+                    self._post_headtail_cache = partition_head_tail(
+                        self._post_headtail_func
+                    )
+                except Exception:  # informational only; never block
+                    self._post_headtail_cache = None
+        return self._post_headtail_cache
 
     @property
     def lock_count(self) -> int:
@@ -413,12 +434,7 @@ class Curare:
             for form in result.extra_forms:
                 self.runner.eval_form(form)
         result.feedback = explain(working)
-        try:
-            from repro.analysis.headtail import partition_head_tail
-
-            result.post_headtail = partition_head_tail(func)
-        except Exception:  # informational only; never block the transform
-            result.post_headtail = None
+        result._post_headtail_func = func
         return result
 
     # -- sequential fallback (trust-but-verify recovery) -----------------------
