@@ -48,6 +48,9 @@ __all__ = [
     "analyze",
     "canonical_json",
     "content_digest",
+    "engine_fingerprints",
+    "open_cache_store",
+    "open_op_cache",
     "run",
     "strip_wall",
     "sweep",
@@ -108,6 +111,39 @@ def strip_wall(body: Mapping[str, Any]) -> Dict[str, Any]:
     """A result dict minus its ``"wall"`` section — the deterministic
     part two hosting layers must agree on byte-for-byte."""
     return {k: v for k, v in body.items() if k != "wall"}
+
+
+# ---------------------------------------------------------------------------
+# result-cache facade (the serve/fleet layers may not import the engine
+# directly; the cache server and the router open their stores here)
+
+def open_cache_store(root: "str | Any") -> Any:
+    """The on-disk entry store ``repro cache-serve`` hosts: a
+    :class:`repro.scale.cache.ResultCache` (whole-entry ``get_entry`` /
+    ``put_entry`` reads and writes, integrity-verified both ways)."""
+    from repro.scale.cache import ResultCache
+
+    return ResultCache(root)
+
+
+def open_op_cache(server: str, local_dir: Optional[str] = None,
+                  **kwargs: Any) -> Any:
+    """A client for the shared cache keyed at the facade-op level —
+    what serve shards and the router consult before computing.  Never
+    raises from ``get``/``put``; a dead server degrades to local-only
+    (or to a plain miss when ``local_dir`` is None)."""
+    from repro.scale.cacheclient import OpCache
+
+    return OpCache(server, local_root=local_dir, **kwargs)
+
+
+def engine_fingerprints() -> Dict[str, str]:
+    """The per-stage code fingerprints of *this* process's engine
+    (:mod:`repro.scale.fingerprint`) — surfaced in ``stats`` ops so
+    operators can spot mixed code versions across a fleet."""
+    from repro.scale.fingerprint import stage_fingerprints
+
+    return stage_fingerprints()
 
 
 def _num(value: Any) -> Any:
@@ -232,6 +268,10 @@ class SweepOptions:
     workers: int = 0
     job_timeout: Optional[float] = 300.0
     cache_dir: Optional[str] = None
+    #: ``host:port`` of a ``repro cache-serve`` instance; workers read
+    #: and write through it (write-through to ``cache_dir`` when both
+    #: are set).  A dead server degrades to per-machine caching.
+    cache_server: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
@@ -593,11 +633,13 @@ def sweep(
         workers=options.workers,
         job_timeout=options.job_timeout,
         cache_dir=options.cache_dir,
+        cache_server=options.cache_server,
         recorder=recorder,
     )
     total_ms = (time.perf_counter() - start) * 1000.0
     envelope = build_report(grid, outcomes, options.workers,
-                            options.cache_dir, total_ms)
+                            options.cache_dir, total_ms,
+                            cache_server=options.cache_server)
     return SweepReport(grid=grid, workers=options.workers,
                        envelope=envelope, wall_ms=total_ms)
 

@@ -20,10 +20,15 @@ Commands:
   concurrent NDJSON socket service (see :mod:`repro.serve`);
   ``--executor process`` runs engine calls in a respawning
   worker-process farm with crash isolation.
+* ``cache-serve``             — host the fleet-shared result cache
+  (stage-fingerprint keys, integrity-verified entries) that sweep
+  workers, ``serve`` shards (``--cache-server``) and the router share
+  (see :mod:`repro.serve.cacheserver`).
 * ``route``                   — shard-route NDJSON requests across a
   fleet of ``serve`` backends with health probes, retries, circuit
-  breakers, graceful drain and sequential fallback (see
-  :mod:`repro.fleet`).
+  breakers, single-flight request coalescing, graceful drain,
+  automatic rejoin of recovered drained backends, and sequential
+  fallback (see :mod:`repro.fleet`).
 * ``chaos``                   — sweep the paper workloads across the
   seeded fault matrix and assert sequentializability survives every
   plan (exit 1 on any silent wrong answer); ``--out`` writes the
@@ -38,10 +43,11 @@ Commands:
   ``--compare BASELINE.json --max-regress PCT`` gate on regressions
   (exit 1 when any case regresses beyond the threshold).
 * ``sweep``                   — run a parameter-sweep grid (fig06/
-  fig07/fig10 families + analytic-model validation) across
-  ``--workers`` OS processes through the persistent result cache,
-  writing one enveloped JSON report; exit 1 on failed points or (with
-  ``--min-hit-rate``) on a cold cache.
+  fig07/fig10 families + analytic-model validation + analyze-only
+  distance jobs) across ``--workers`` OS processes through the
+  persistent result cache (optionally layered over a shared
+  ``--cache-server``), writing one enveloped JSON report; exit 1 on
+  failed points or (with ``--min-hit-rate``) on a cold cache.
 
 ``analyze``, ``transform``, and ``run`` take ``--json`` to print the
 facade result's deterministic JSON instead of the human rendering.
@@ -188,6 +194,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "delays) in front of real work")
     p_serve.add_argument("--chaos-budget", type=int, default=64,
                          help="max chaos faults injected (default: 64)")
+    p_serve.add_argument("--cache-server", metavar="HOST:PORT", default=None,
+                         help="fleet-shared result cache ('repro "
+                              "cache-serve'); engine results are read from "
+                              "and published to it")
 
     p_route = sub.add_parser(
         "route", parents=[obs_common],
@@ -233,6 +243,30 @@ def _build_parser() -> argparse.ArgumentParser:
                               "blackholes + slow sends) into routing")
     p_route.add_argument("--chaos-budget", type=int, default=64,
                          help="max chaos faults injected (default: 64)")
+    p_route.add_argument("--cache-server", metavar="HOST:PORT", default=None,
+                         help="fleet-shared result cache consulted before "
+                              "routing to a backend")
+    p_route.add_argument("--no-auto-rejoin", action="store_true",
+                         help="do not re-add bled backends that are probed "
+                              "down and then healthy again")
+
+    p_cache_serve = sub.add_parser(
+        "cache-serve", parents=[obs_common],
+        help="host the fleet-shared result cache as an NDJSON service",
+    )
+    p_cache_serve.add_argument("--host", default="127.0.0.1",
+                               help="bind address (default: 127.0.0.1)")
+    p_cache_serve.add_argument("--port", type=int, default=0,
+                               help="bind port (default: 0 = ephemeral; "
+                                    "the bound port is printed on startup)")
+    p_cache_serve.add_argument("--root", metavar="DIR",
+                               default=".repro-cache",
+                               help="backing cache directory "
+                                    "(default: .repro-cache)")
+    p_cache_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                               metavar="SEC",
+                               help="max seconds to wait for in-flight "
+                                    "work on shutdown (default: 30)")
 
     p_chaos = sub.add_parser(
         "chaos", parents=[obs_common],
@@ -320,7 +354,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="persistent result-cache directory "
                               "(default: .repro-cache)")
     p_sweep.add_argument("--no-cache", action="store_true",
-                         help="bypass the persistent result cache")
+                         help="bypass the result cache entirely (both the "
+                              "local directory and any --cache-server)")
+    p_sweep.add_argument("--cache-server", metavar="HOST:PORT", default=None,
+                         help="fleet-shared result cache ('repro "
+                              "cache-serve') layered over --cache-dir")
     p_sweep.add_argument("--job-timeout", type=float, default=300.0,
                          metavar="SEC",
                          help="per-job deadline in seconds; an overdue "
@@ -512,6 +550,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         executor=args.executor,
         chaos=chaos,
+        cache_server=args.cache_server,
         recorder=recorder,
     )
     server = ReproServer(config)
@@ -576,6 +615,8 @@ def cmd_route(args: argparse.Namespace) -> int:
         seed=args.seed,
         fallback=not args.no_fallback,
         cache_size=args.cache_size,
+        cache_server=args.cache_server,
+        auto_rejoin=not args.no_auto_rejoin,
         drain_timeout=args.drain_timeout,
         chaos=chaos,
         recorder=recorder,
@@ -609,6 +650,46 @@ def cmd_route(args: argparse.Namespace) -> int:
           f"{counters.get('fleet.fallback', 0)} fallback(s), "
           f"{counters.get('fleet.cache.hits', 0)} cache hit(s))",
           flush=True)
+    return _finish_observability(recorder, args)
+
+
+def cmd_cache_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import CacheServeConfig, CacheServer
+
+    recorder = _make_recorder(args)
+    config = CacheServeConfig(
+        host=args.host,
+        port=args.port,
+        root=args.root,
+        drain_timeout=args.drain_timeout,
+        recorder=recorder,
+    )
+    server = CacheServer(config)
+    try:
+        host, port = server.start()
+    except OSError as err:
+        print(f";; cache-serve: cannot bind {args.host}:{args.port}: {err}",
+              file=sys.stderr)
+        return 2
+    print(f";; cache-serve: listening on {host}:{port} "
+          f"(root {config.root})", flush=True)
+
+    def _request_drain(_signum, _frame):
+        print(";; cache-serve: drain requested", flush=True)
+        server.request_drain()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _request_drain)
+    server.serve_forever()
+    counters = server.counters()
+    print(f";; cache-serve: drained "
+          f"({counters.get('cache.server.hits', 0)} hit(s), "
+          f"{counters.get('cache.server.misses', 0)} miss(es), "
+          f"{counters.get('cache.server.stores', 0)} store(s), "
+          f"{counters.get('cache.server.rejected_puts', 0)} rejected "
+          f"put(s))", flush=True)
     return _finish_observability(recorder, args)
 
 
@@ -796,11 +877,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"{name:<8} {points} point(s)")
         return 0
     cache_dir = None if args.no_cache else args.cache_dir
+    cache_server = None if args.no_cache else args.cache_server
     recorder = _make_recorder(args)
     options = api.SweepOptions(
         workers=args.workers,
         job_timeout=args.job_timeout,
         cache_dir=cache_dir,
+        cache_server=cache_server,
     )
     try:
         report = api.sweep(args.grid, options, recorder=recorder)
@@ -889,6 +972,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "transform": cmd_transform,
         "run": cmd_run,
         "serve": cmd_serve,
+        "cache-serve": cmd_cache_serve,
         "route": cmd_route,
         "chaos": cmd_chaos,
         "trace": cmd_trace,

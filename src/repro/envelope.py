@@ -50,9 +50,10 @@ KIND_SERVE = "serve-bench"
 KIND_FLEET = "fleet-bench"
 KIND_OBS = "obs-bench"
 KIND_SCALE = "scale-bench"
+KIND_CACHE = "cache-bench"
 
 KNOWN_KINDS = (KIND_PERF, KIND_SWEEP, KIND_ROBUSTNESS, KIND_SERVE,
-               KIND_FLEET, KIND_OBS, KIND_SCALE)
+               KIND_FLEET, KIND_OBS, KIND_SCALE, KIND_CACHE)
 
 
 class EnvelopeError(ValueError):

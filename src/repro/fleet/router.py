@@ -9,18 +9,29 @@ Per request, in order:
    LRU of successful results.  Sound for the same reason single-flight
    coalescing is: facade calls are deterministic modulo ``wall``, so a
    previous answer *is* this answer.
-2. **Ring** — :class:`~repro.fleet.ring.HashRing` maps the digest to a
+2. **Single-flight** — concurrent identical requests coalesce onto one
+   in-flight route: the first arrival (the *leader*) does the work,
+   every other arrival blocks on the flight (bounded by its own
+   deadline) and is answered from the leader's outcome.  Without this,
+   a cold popular key is a stampede: N identical waiters fan out as N
+   backend calls that all compute the same thing.
+3. **Shared cache** — with ``--cache-server`` configured, the flight
+   leader consults the fleet-shared op cache
+   (:class:`~repro.scale.cacheclient.OpCache`, stage-fingerprint keys)
+   before touching a backend, and publishes successful results back so
+   one shard's computation warms every peer.
+4. **Ring** — :class:`~repro.fleet.ring.HashRing` maps the digest to a
    failover itinerary (owner first, then each surviving backend once).
-3. **Breakers** — backends whose circuit breaker refuses admission are
+5. **Breakers** — backends whose circuit breaker refuses admission are
    skipped without a connect attempt.
-4. **Send, retry** — transport failures (connect/timeout/closed) and
+6. **Send, retry** — transport failures (connect/timeout/closed) and
    explicit pressure (``overloaded`` / ``shutting_down``) move to the
    next backend after a jittered backoff
    (:class:`~repro.fleet.retry.RetryPolicy`); definitive outcomes
    (``bad_request``, ``engine_error``, ...) are returned as-is, never
    retried.  Transport failures feed the breaker; pressure responses
    do not (a server that says "overloaded" is alive and correct).
-5. **Fallback** — when no backend could answer, the router degrades to
+7. **Fallback** — when no backend could answer, the router degrades to
    *sequential in-process* execution over :mod:`repro.api` (one at a
    time, under a lock — a limping fleet, not a dead one).  With
    fallback disabled it returns the ``unavailable`` error instead.
@@ -30,6 +41,15 @@ backend out of the ring — membership changes first, then the backend
 itself is asked to drain, so stragglers racing the membership change
 get ``shutting_down`` and retry onto the new owner.  Without
 ``params.backend`` the router itself drains.
+
+Rejoining: with ``auto_rejoin`` (the default) a bled backend stays on
+the health prober's schedule.  Once the prober has seen it *down* and
+then *healthy* again — i.e. the process actually went away and a new
+one answers on that address — the router re-adds it to the ring
+automatically (``fleet.backend.rejoined``).  The down-transition gate
+matters: a backend bled for rebalancing (``stop_backend=False``) keeps
+answering probes, and must not be snapped straight back into the ring
+by its next healthy probe.
 
 The connection front is a single event-loop thread (selector-based),
 not thread-per-connection: cache hits and cheap control ops are
@@ -109,6 +129,8 @@ class RouterConfig:
     probe_max_interval_s: float = 10.0
     fallback: bool = True
     cache_size: int = 256  # successful results; 0 disables
+    cache_server: Optional[str] = None  # fleet-shared "host:port" op cache
+    auto_rejoin: bool = True  # re-ring bled backends seen down → healthy
     io_workers: int = 16  # threads for cache-miss routing
     drain_timeout: float = 30.0
     chaos: Optional[FleetFaultPlan] = None
@@ -126,6 +148,32 @@ class _Backend:
         self.sent = 0
         self.ok = 0
         self.failed = 0
+
+
+class _RouteFlight:
+    """Single-flight state for one in-flight route key.
+
+    The leader stores a *neutral* outcome — ``("ok", result)`` or
+    ``("error", code, message)`` — never a wire response: every waiter
+    builds its own response carrying its own request ``id`` and wall
+    time."""
+
+    __slots__ = ("event", "outcome")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.outcome: Optional[Tuple] = None
+
+
+class _Drained:
+    """A bled backend held for auto-rejoin: still probed, out of the
+    ring until the prober sees it go down and come back healthy."""
+
+    __slots__ = ("backend", "went_down")
+
+    def __init__(self, backend: "_Backend"):
+        self.backend = backend
+        self.went_down = False
 
 
 class _Conn:
@@ -160,6 +208,11 @@ class ShardRouter(NdjsonServer):
         self._tids: Dict[int, int] = {}
         self._cache: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        self._flights: Dict[str, _RouteFlight] = {}
+        self._flights_lock = threading.Lock()
+        self._drained_members: Dict[str, _Drained] = {}
+        self._op_cache = (api.open_op_cache(config.cache_server)
+                          if config.cache_server else None)
         self._fallback_lock = threading.Lock()
         self._started = time.perf_counter()
         for spec in config.backends:
@@ -179,6 +232,13 @@ class ShardRouter(NdjsonServer):
         name, host, port = parse_backend(spec)
         with self._members_lock:
             if name in self._backends:
+                return
+            held = self._drained_members.pop(name, None)
+            if held is not None:
+                # Manual re-add of a bled member: restore the held
+                # backend (its breaker history included) as-is.
+                self._backends[name] = held.backend
+                self._ring.add(name)
                 return
             client = BackendClient(
                 name, host, port,
@@ -201,11 +261,20 @@ class ShardRouter(NdjsonServer):
         Ring first, backend second: requests racing the change get
         ``shutting_down`` from the backend, which is retryable, and
         land on the ring's new owner.
+
+        With ``auto_rejoin`` the bled member is *not* forgotten by the
+        health prober: it is parked in ``_drained``, and once a probe
+        sees it down and a later probe finds it healthy again (a fresh
+        process on the same address), :meth:`_on_health_change` re-adds
+        it to the ring.
         """
         with self._members_lock:
             backend = self._backends.pop(name, None)
             self._ring.remove(name)
-        self._prober.forget(name)
+            if backend is not None and self.config.auto_rejoin:
+                self._drained_members[name] = _Drained(backend)
+        if backend is None or not self.config.auto_rejoin:
+            self._prober.forget(name)
         if backend is None:
             return {"kind": "drain", "status": "unknown-backend",
                     "backend": name, "ring": self.ring_members()}
@@ -244,8 +313,25 @@ class ShardRouter(NdjsonServer):
         return on_transition
 
     def _on_health_change(self, name: str, healthy: bool) -> None:
-        del name
         self._count("fleet.health.up" if healthy else "fleet.health.down")
+        if not self.config.auto_rejoin:
+            return
+        rejoined = False
+        with self._members_lock:
+            held = self._drained_members.get(name)
+            if held is None:
+                return
+            if not healthy:
+                # The bled process actually went away; the next healthy
+                # probe is a *new* process and may rejoin.
+                held.went_down = True
+            elif held.went_down and name not in self._backends:
+                self._drained_members.pop(name, None)
+                self._backends[name] = held.backend
+                self._ring.add(name)
+                rejoined = True
+        if rejoined:
+            self._count("fleet.backend.rejoined")
 
     def _track(self) -> int:
         """Dense per-connection-thread track id for PID_FLEET."""
@@ -448,12 +534,15 @@ class ShardRouter(NdjsonServer):
                 }
                 for name, backend in sorted(self._backends.items())
             }
+        with self._members_lock:
+            drained = sorted(self._drained_members)
         return {
             "kind": "health",
             "role": "router",
             "status": "draining" if self._drain_requested.is_set() else "ok",
             "ring": self.ring_members(),
             "backends": backends,
+            "drained": drained,
         }
 
     def _stats(self) -> Dict[str, Any]:
@@ -471,6 +560,8 @@ class ShardRouter(NdjsonServer):
             }
         with self._cache_lock:
             cache_entries = len(self._cache)
+        with self._members_lock:
+            drained = sorted(self._drained_members)
         body: Dict[str, Any] = {
             "kind": "stats",
             "role": "router",
@@ -482,9 +573,15 @@ class ShardRouter(NdjsonServer):
             "cache": {"size": self.config.cache_size,
                       "entries": cache_entries},
             "backends": backends,
+            "drained": drained,
             "counters": self.counters(),
             "uptime_s": round(time.perf_counter() - self._started, 3),
         }
+        if self._op_cache is not None:
+            body["shared_cache"] = {
+                "server": self.config.cache_server,
+                **self._op_cache.stats(),
+            }
         if self.config.chaos is not None:
             body["chaos"] = self.config.chaos.describe()
         return body
@@ -519,6 +616,95 @@ class ShardRouter(NdjsonServer):
             return (ok_response(request.id, request.op, cached, wall_ms),
                     "cache")
         self._count("fleet.cache.misses")
+        flight, leader = self._join_flight(key)
+        if not leader:
+            return self._await_flight(flight, request, start)
+        # The flight leader: one backend call feeds every concurrent
+        # identical waiter.  The outcome is published (and the flight
+        # retired) even if routing raises — waiters must never hang.
+        outcome: Tuple = ("error", ERR_INTERNAL, "route leader crashed")
+        route = "leader-crash"
+        try:
+            outcome, route = self._leader_route(request, key, start)
+        finally:
+            flight.outcome = outcome
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+        return (self._outcome_response(outcome, request, start), route)
+
+    def _join_flight(self, key: str) -> Tuple[_RouteFlight, bool]:
+        """Join (or open) the in-flight route for ``key``; the second
+        element is True for the leader."""
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return flight, False
+            flight = _RouteFlight()
+            self._flights[key] = flight
+            return flight, True
+
+    def _await_flight(self, flight: _RouteFlight, request: Request,
+                      start: float) -> Tuple[Dict[str, Any], str]:
+        """A coalesced waiter: block — bounded by *this* request's own
+        deadline — for the leader's outcome, then answer with this
+        request's id.  A leader that hits its deadline propagates
+        ``deadline_exceeded`` to its waiters; they were asking the
+        same question and would have met the same fate."""
+        self._count("fleet.request.coalesced")
+        deadline_s = (request.deadline_ms
+                      if request.deadline_ms is not None
+                      else self.config.default_deadline_ms) / 1000.0
+        remaining = start + deadline_s - time.perf_counter()
+        if not flight.event.wait(max(0.0, remaining)):
+            self._count("fleet.request.deadline_exceeded")
+            return (error_response(
+                request.id, ERR_DEADLINE,
+                f"deadline of {deadline_s * 1000.0:.0f}ms exceeded while "
+                "waiting on a coalesced in-flight route",
+                (time.perf_counter() - start) * 1000.0),
+                "coalesced:deadline")
+        outcome = flight.outcome
+        if outcome is None:  # defensive: the leader always publishes
+            outcome = ("error", ERR_INTERNAL,
+                       "coalesced flight lost its outcome")
+        if outcome[0] == "ok":
+            self._count("fleet.request.ok")
+        else:
+            self._count(f"fleet.request.error.{outcome[1]}")
+        route = "coalesced" if outcome[0] == "ok" \
+            else f"coalesced:{outcome[1]}"
+        return (self._outcome_response(outcome, request, start), route)
+
+    @staticmethod
+    def _outcome_response(outcome: Tuple, request: Request,
+                          start: float) -> Dict[str, Any]:
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        if outcome[0] == "ok":
+            return ok_response(request.id, request.op, outcome[1], wall_ms)
+        return error_response(request.id, outcome[1], outcome[2], wall_ms)
+
+    def _leader_route(self, request: Request, key: str,
+                      start: float) -> Tuple[Tuple, str]:
+        """The flight leader's work: fleet-shared cache first (when
+        configured), then the backend itinerary; successful results are
+        published back to the shared cache so one shard's computation
+        warms every peer."""
+        if self._op_cache is not None:
+            result = self._op_cache.get(request.op, dict(request.params))
+            if result is not None:
+                self._count("fleet.shared_cache.hits")
+                self._count("fleet.request.ok")
+                self._cache_put(key, result)
+                return ("ok", result), "shared-cache"
+            self._count("fleet.shared_cache.misses")
+        outcome, route = self._route_backends(request, key, start)
+        if outcome[0] == "ok" and self._op_cache is not None:
+            self._op_cache.put(request.op, dict(request.params), outcome[1])
+        return outcome, route
+
+    def _route_backends(self, request: Request, key: str,
+                        start: float) -> Tuple[Tuple, str]:
         deadline_s = (request.deadline_ms
                       if request.deadline_ms is not None
                       else self.config.default_deadline_ms) / 1000.0
@@ -541,11 +727,11 @@ class ShardRouter(NdjsonServer):
             remaining = deadline_end - time.perf_counter()
             if remaining <= 0:
                 self._count("fleet.request.deadline_exceeded")
-                return (error_response(
-                    request.id, ERR_DEADLINE,
-                    f"deadline of {deadline_s * 1000.0:.0f}ms exceeded "
-                    f"while routing (tried: {'; '.join(failures) or 'none'})",
-                    (time.perf_counter() - start) * 1000.0), "deadline")
+                return (("error", ERR_DEADLINE,
+                         f"deadline of {deadline_s * 1000.0:.0f}ms exceeded "
+                         f"while routing "
+                         f"(tried: {'; '.join(failures) or 'none'})"),
+                        "deadline")
             if position > 0:
                 self._count("fleet.route.failovers")
             outcome = self._send(backend, request, remaining)
@@ -553,16 +739,12 @@ class ShardRouter(NdjsonServer):
             if kind == "ok":
                 self._cache_put(key, outcome[1])
                 self._count("fleet.request.ok")
-                wall_ms = (time.perf_counter() - start) * 1000.0
-                return (ok_response(request.id, request.op, outcome[1],
-                                    wall_ms),
+                return (("ok", outcome[1]),
                         name if position == 0 else f"failover:{name}")
             if kind == "definitive":
                 code, message = outcome[1], outcome[2]
                 self._count(f"fleet.request.error.{code}")
-                return (error_response(
-                    request.id, code, message,
-                    (time.perf_counter() - start) * 1000.0), f"{name}:{code}")
+                return (("error", code, message), f"{name}:{code}")
             # Retryable (transport failure or pressure): back off with
             # jitter before the next backend, budget permitting.
             failures.append(f"{name}: {outcome[1]}")
@@ -639,16 +821,15 @@ class ShardRouter(NdjsonServer):
         return ("definitive", code, f"[{name}] {message}")
 
     def _degrade(self, request: Request, key: str, start: float,
-                 failures: List[str]) -> Tuple[Dict[str, Any], str]:
+                 failures: List[str]) -> Tuple[Tuple, str]:
         """Every backend failed (or none exist): fall back or refuse."""
+        del start
         tried = "; ".join(failures) if failures else "no backends in ring"
         if not self.config.fallback:
             self._count("fleet.request.unavailable")
-            return (error_response(
-                request.id, ERR_UNAVAILABLE,
-                f"no backend available ({tried}) and sequential "
-                "fallback is disabled",
-                (time.perf_counter() - start) * 1000.0), "unavailable")
+            return (("error", ERR_UNAVAILABLE,
+                     f"no backend available ({tried}) and sequential "
+                     "fallback is disabled"), "unavailable")
         self._count("fleet.fallback")
         # Sequential on purpose: the router host is the last line of
         # defense, not a second fleet — one request at a time bounds
@@ -659,28 +840,19 @@ class ShardRouter(NdjsonServer):
             except api.ApiError as err:
                 code = err.code if err.code in ERROR_CODES else ERR_INTERNAL
                 self._count(f"fleet.request.error.{code}")
-                return (error_response(
-                    request.id, code, str(err),
-                    (time.perf_counter() - start) * 1000.0),
-                    f"fallback:{code}")
+                return (("error", code, str(err)), f"fallback:{code}")
             except (TypeError, ValueError) as err:
                 self._count(f"fleet.request.error.{ERR_BAD_REQUEST}")
-                return (error_response(
-                    request.id, ERR_BAD_REQUEST, f"bad params: {err}",
-                    (time.perf_counter() - start) * 1000.0),
-                    "fallback:bad_request")
+                return (("error", ERR_BAD_REQUEST, f"bad params: {err}"),
+                        "fallback:bad_request")
             except Exception as err:  # noqa: BLE001 - the last line of
                 self._count(f"fleet.request.error.{ERR_INTERNAL}")  # defense
-                return (error_response(
-                    request.id, ERR_INTERNAL,
-                    f"{type(err).__name__}: {err}",
-                    (time.perf_counter() - start) * 1000.0),
-                    "fallback:internal")
+                return (("error", ERR_INTERNAL,
+                         f"{type(err).__name__}: {err}"),
+                        "fallback:internal")
         self._cache_put(key, result)
         self._count("fleet.request.ok")
-        return (ok_response(request.id, request.op, result,
-                            (time.perf_counter() - start) * 1000.0),
-                "fallback")
+        return (("ok", result), "fallback")
 
     # -- the response cache ------------------------------------------------
 

@@ -13,13 +13,20 @@ same automata and transforms from scratch.  Three pieces fix that:
   vocabulary, applied to OS processes instead of simulated ones).
 * :mod:`repro.scale.cache` — a content-addressed persistent on-disk
   result cache (key = SHA-256 of program source + declarations +
-  pipeline/cost-model config + code version), shared across worker
-  processes *and* across runs, with payload-hash integrity checks so a
-  corrupted entry is discarded and recomputed, never trusted.
+  pipeline/cost-model config + the job's *stage fingerprint*), shared
+  across worker processes *and* across runs, with payload-hash
+  integrity checks so a corrupted entry is discarded and recomputed,
+  never trusted.
+* :mod:`repro.scale.fingerprint` — per-stage code fingerprints from a
+  module-dependency walk, so editing one transform leaves parse /
+  analysis / distance entries warm instead of orphaning the cache.
+* :mod:`repro.scale.cacheclient` — the fleet-shared tier: a
+  write-through client for ``repro cache-serve`` that degrades to
+  per-machine caching when the server is dead or poisoned.
 * :mod:`repro.scale.grids` / :mod:`repro.scale.jobs` — the sweep
-  families (fig06 / fig07 / fig10 / analytic-model validation) as
-  self-contained, picklable job specs, each fully deterministic on the
-  simulated machine.
+  families (fig06 / fig07 / fig10 / analytic-model validation /
+  analyze-only distance jobs) as self-contained, picklable job specs,
+  each fully deterministic on the simulated machine.
 
 ``repro sweep`` (the CLI) stitches them together and emits one JSON
 report (:mod:`repro.scale.report`) whose deterministic body is
@@ -31,11 +38,26 @@ from repro.scale.cache import (
     ResultCache,
     cache_key,
     canonical_json,
+    check_entry,
     code_version,
+    make_entry,
 )
+from repro.scale.cacheclient import NetworkCache, OpCache
 from repro.scale.driver import JobOutcome, run_jobs
+from repro.scale.fingerprint import (
+    STAGE_ROOTS,
+    STAGES,
+    module_closure,
+    stage_fingerprints,
+)
 from repro.scale.grids import grid_jobs, grid_names
-from repro.scale.jobs import SweepJob, job_key_material, run_job
+from repro.scale.jobs import (
+    SweepJob,
+    job_cache_key,
+    job_key_material,
+    job_stage,
+    run_job,
+)
 from repro.scale.report import (
     build_report,
     dumps_report,
@@ -45,18 +67,28 @@ from repro.scale.report import (
 
 __all__ = [
     "JobOutcome",
+    "NetworkCache",
+    "OpCache",
     "ResultCache",
+    "STAGES",
+    "STAGE_ROOTS",
     "SweepJob",
     "build_report",
     "cache_key",
     "canonical_json",
+    "check_entry",
     "code_version",
     "dumps_report",
     "format_sweep",
     "grid_jobs",
     "grid_names",
+    "job_cache_key",
     "job_key_material",
+    "job_stage",
+    "make_entry",
+    "module_closure",
     "run_job",
     "run_jobs",
+    "stage_fingerprints",
     "strip_wall",
 ]

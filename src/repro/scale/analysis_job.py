@@ -1,0 +1,69 @@
+"""The distance-stage job runner: analyze one function, no transform.
+
+This module exists for two reasons:
+
+* ``repro sweep --grid cache`` needs analyze-only points whose cache
+  keys survive transform edits, so they must be computed by code whose
+  import closure excludes ``repro.transform``.
+* Its own import closure *is* the ``distance`` stage fingerprint
+  (``repro.scale.fingerprint.STAGE_ROOTS["distance"]`` roots here), so
+  "what code can change this payload" and "what code re-keys it" are
+  the same set by construction.
+
+It deliberately mirrors ``Curare.load_program`` + ``Curare.analyze``
+(evaluate forms, absorb declaims, run the §2/§3.1 analysis) without
+going through ``repro.api`` or ``transform.pipeline`` — either would
+drag the transform passes into the closure and re-create exactly the
+over-invalidation the staged cache removes.  ``tests/test_stage_cache``
+pins the payload against ``api.analyze`` field by field so the two
+paths cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+
+def _num(value: Any) -> Any:
+    """JSON-safe number: non-finite floats become their string form."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    return value
+
+
+def run_analysis_job(source: str, function: str,
+                     assume_sapp: bool = True) -> Dict[str, Any]:
+    """Load ``source``, analyze ``function``, return a plain-JSON
+    summary of the §6 feedback report (deterministic, cache-ready)."""
+    from repro.analysis.conflicts import analyze_function
+    from repro.analysis.report import explain
+    from repro.declare.parser import extract_declarations
+    from repro.declare.registry import DeclarationRegistry
+    from repro.lisp.interpreter import Interpreter
+    from repro.lisp.runner import SequentialRunner
+    from repro.sexpr.datum import intern
+
+    interp = Interpreter()
+    runner = SequentialRunner(interp)
+    decls = DeclarationRegistry()
+    forms = interp.load(source)
+    declarations, rest = extract_declarations(forms)
+    decls.extend(declarations)
+    for form in rest:
+        runner.eval_form(form)
+
+    analysis = analyze_function(
+        interp, intern(function), decls=decls, assume_sapp=assume_sapp
+    )
+    feedback = explain(analysis)
+    return {
+        "function": feedback.function,
+        "transformable": bool(feedback.transformable),
+        "concurrency": _num(feedback.concurrency),
+        "lock_bound": _num(feedback.lock_bound),
+        "active_conflicts": len(analysis.active_conflicts()),
+        "dismissed_conflicts": len(analysis.dismissed_conflicts()),
+        "lines": list(feedback.lines),
+        "suggestions": list(feedback.suggestions),
+    }

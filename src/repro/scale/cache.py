@@ -9,10 +9,14 @@ here with byte identity.  Two mechanisms enforce it:
    canonical JSON of the job's full key material: the generated Lisp
    program source (declaim forms included), the pipeline configuration
    (``assume_sapp``, transform mode, …), the cost-model charges, the
-   family + parameters, and :func:`code_version` — a digest of every
-   ``repro`` source file, so editing any analysis or transform code
-   invalidates the whole cache at once.  There is deliberately no
-   finer-grained invalidation: a stale hit is a wrong experiment.
+   family + parameters, and a *per-stage code fingerprint*
+   (:mod:`repro.scale.fingerprint`) — a digest of the import closure of
+   exactly the code that computes the job's stage, so editing a
+   transform invalidates transform-stage entries while parse /
+   analysis / distance entries stay warm.  The invalidation is never
+   finer than a stage closure: a stale hit is a wrong experiment.
+   (:func:`code_version`, the original whole-package digest, remains as
+   provenance recorded in every entry and as the coarse fallback.)
 2. **Entries carry their own integrity hash.**  A cache file stores the
    payload together with ``payload_sha256`` (hash of the payload's
    canonical JSON).  On read, a missing file is a *miss*; an unreadable
@@ -84,6 +88,34 @@ def cache_key(material: dict) -> str:
     return sha256_text(canonical_json(material))
 
 
+def make_entry(key: str, payload: dict) -> dict:
+    """The on-disk/on-wire entry envelope for one cached payload."""
+    return {
+        "format": CACHE_FORMAT,
+        "key": key,
+        "code_version": code_version(),
+        "payload": payload,
+        "payload_sha256": sha256_text(canonical_json(payload)),
+    }
+
+
+def check_entry(entry: Any, key: str) -> bool:
+    """True iff ``entry`` is a well-formed, integrity-clean entry for
+    ``key``.  Shared by the local store, the cache server (both
+    directions of the wire) and the network client — an entry that
+    fails here is treated as corrupt everywhere, never served."""
+    try:
+        payload = entry["payload"]
+        return bool(
+            entry.get("format") == CACHE_FORMAT
+            and entry.get("key") == key
+            and entry.get("payload_sha256")
+            == sha256_text(canonical_json(payload))
+        )
+    except (ValueError, TypeError, KeyError):
+        return False
+
+
 class ResultCache:
     """A directory of content-addressed, integrity-checked JSON entries.
 
@@ -123,34 +155,58 @@ class ResultCache:
             return INVALID, None
         try:
             entry = json.loads(raw)
-            payload = entry["payload"]
-            ok = (
-                entry.get("format") == CACHE_FORMAT
-                and entry.get("key") == key
-                and entry.get("payload_sha256")
-                == sha256_text(canonical_json(payload))
-            )
-        except (ValueError, TypeError, KeyError):
-            ok = False
-            payload = None
-        if not ok:
+        except ValueError:
+            entry = None
+        if not check_entry(entry, key):
             self.invalid += 1
             self._discard(path)
             return INVALID, None
         self.hits += 1
-        return HIT, payload
+        return HIT, entry["payload"]
 
     def put(self, key: str, payload: dict) -> None:
         """Store a payload atomically under its key."""
+        self._write(key, make_entry(key, payload))
+
+    def get_entry(self, key: str) -> Optional[dict]:
+        """Whole-entry read for the cache server: the wire carries the
+        full envelope so clients can re-verify ``payload_sha256``
+        end-to-end.  Invalid entries are deleted and read as misses."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.invalid += 1
+            self._discard(path)
+            return None
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            entry = None
+        if not check_entry(entry, key):
+            self.invalid += 1
+            self._discard(path)
+            return None
+        self.hits += 1
+        return entry
+
+    def put_entry(self, key: str, entry: Any) -> bool:
+        """Whole-entry write for the cache server.  The entry is
+        verified *before* it touches disk — a corrupt or mis-keyed put
+        is refused (False), so one bad client cannot poison the shared
+        store."""
+        if not check_entry(entry, key):
+            self.invalid += 1
+            return False
+        self._write(key, entry)
+        return True
+
+    def _write(self, key: str, entry: dict) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "format": CACHE_FORMAT,
-            "key": key,
-            "code_version": code_version(),
-            "payload": payload,
-            "payload_sha256": sha256_text(canonical_json(payload)),
-        }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(canonical_json(entry) + "\n", encoding="utf-8")
         os.replace(tmp, path)

@@ -1,0 +1,275 @@
+"""The fleet-shared result cache, seen from a worker.
+
+Two layers, both speaking the entry envelope of
+:mod:`repro.scale.cache`:
+
+* :class:`NetworkCache` — a drop-in for :class:`ResultCache` (same
+  ``get``/``put``/``stats`` surface) that fronts an optional local
+  write-through directory with a shared ``repro cache-serve`` server.
+  Reads check local first, then the server; a network hit is
+  re-verified (``check_entry``: format, key, ``payload_sha256``)
+  before it is trusted, then written through to the local store.
+  Writes land locally and are pushed to the server best-effort.
+
+  **The server is an accelerator, never a dependency.**  Any transport
+  failure marks it down for ``retry_after_s`` and the cache degrades
+  to exactly the per-machine behavior it had before the server
+  existed; a *poisoned* server (entries whose integrity hash does not
+  match) degrades the same way per-entry — the bad entry reads as a
+  miss and the caller recomputes.  Correctness never depends on the
+  cache tier.
+
+* :class:`OpCache` — the same two-tier store keyed at the facade-op
+  level (``analyze`` / ``transform`` / ``run`` / ``sweep`` params →
+  result document), used by serve shards and the router so one shard's
+  computation warms every peer.  Op keys carry the op's stage
+  fingerprint (:data:`OP_STAGES`), so ``analyze`` results survive
+  transform edits just like analyze-family sweep jobs.
+
+The wire format is the ``repro serve`` NDJSON protocol
+(:mod:`repro.serve.protocol`), one short-lived connection per call —
+the same failure model as the router's backend transport.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.scale.cache import (
+    HIT,
+    INVALID,
+    MISS,
+    ResultCache,
+    cache_key,
+    check_entry,
+    make_entry,
+)
+
+#: Facade op → pipeline stage for fingerprint selection.  ``analyze``
+#: stops at conflict distances; ``transform`` emits transformed code;
+#: ``run``/``sweep`` depend on the simulated machine and the job
+#: runners respectively.
+OP_STAGES: Dict[str, str] = {
+    "analyze": "distance",
+    "transform": "transform",
+    "run": "machine",
+    "sweep": "sweep",
+}
+
+
+def parse_server(spec: str) -> Tuple[str, int]:
+    """``host:port`` → ``(host, port)``; raises ValueError."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"cache server must be host:port, got {spec!r}")
+    return host, int(port)
+
+
+class CacheTransportError(Exception):
+    """A transport-level failure talking to the cache server."""
+
+
+class _ServerLink:
+    """One-connection-per-call NDJSON transport to the cache server."""
+
+    def __init__(self, spec: str, connect_timeout_s: float = 1.0,
+                 call_timeout_s: float = 5.0):
+        self.spec = spec
+        self.host, self.port = parse_server(spec)
+        self.connect_timeout_s = connect_timeout_s
+        self.call_timeout_s = call_timeout_s
+
+    def call(self, op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.serve.protocol import decode_response, request_line
+
+        line = request_line(op, params, request_id="c1")
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s)
+        except OSError as err:
+            raise CacheTransportError(str(err)) from None
+        try:
+            sock.settimeout(max(0.01, self.call_timeout_s))
+            try:
+                sock.sendall(line)
+                buf = b""
+                while b"\n" not in buf:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        raise CacheTransportError(
+                            "connection closed before a full response")
+                    buf += chunk
+            except socket.timeout:
+                raise CacheTransportError(
+                    f"no response within {self.call_timeout_s:.3f}s"
+                ) from None
+            except OSError as err:
+                raise CacheTransportError(str(err)) from None
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        try:
+            return decode_response(buf.split(b"\n", 1)[0])
+        except ValueError as err:
+            raise CacheTransportError(f"malformed response: {err}") from None
+
+
+class NetworkCache:
+    """Two-tier result cache: optional local directory + shared server.
+
+    ``get``/``put``/``stats`` match :class:`ResultCache`, so the sweep
+    driver (and anything else holding a cache) cannot tell the tiers
+    apart — except that a warm server turns a cold machine's misses
+    into hits.
+    """
+
+    def __init__(self, server: str, local_root: "str | Path | None" = None,
+                 connect_timeout_s: float = 1.0, call_timeout_s: float = 5.0,
+                 retry_after_s: float = 30.0,
+                 clock=time.monotonic):
+        self.local = ResultCache(local_root) if local_root is not None \
+            else None
+        self._link = _ServerLink(server, connect_timeout_s, call_timeout_s)
+        self._retry_after_s = retry_after_s
+        self._clock = clock
+        self._down_until = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.invalid = 0
+        self.stores = 0
+        self.remote_hits = 0
+        self.remote_stores = 0
+        self.remote_invalid = 0
+        self.remote_errors = 0
+
+    # -- server health ------------------------------------------------------
+
+    def server_up(self) -> bool:
+        return self._clock() >= self._down_until
+
+    def _mark_down(self) -> None:
+        self.remote_errors += 1
+        self._down_until = self._clock() + self._retry_after_s
+
+    # -- the ResultCache surface --------------------------------------------
+
+    def get(self, key: str) -> Tuple[str, Optional[dict]]:
+        local_status = None
+        if self.local is not None:
+            local_status, payload = self.local.get(key)
+            if local_status == HIT:
+                self.hits += 1
+                return HIT, payload
+        entry = self._remote_get(key)
+        if entry is not None:
+            self.hits += 1
+            self.remote_hits += 1
+            payload = entry["payload"]
+            if self.local is not None:
+                self.local.put(key, payload)
+            return HIT, payload
+        if local_status == INVALID:
+            self.invalid += 1
+            return INVALID, None
+        self.misses += 1
+        return MISS, None
+
+    def put(self, key: str, payload: dict) -> None:
+        entry = make_entry(key, payload)
+        if self.local is not None:
+            self.local._write(key, entry)
+        self.stores += 1
+        self._remote_put(key, entry)
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalid": self.invalid,
+            "stores": self.stores,
+            "remote_hits": self.remote_hits,
+            "remote_stores": self.remote_stores,
+            "remote_invalid": self.remote_invalid,
+            "remote_errors": self.remote_errors,
+        }
+
+    # -- the wire -----------------------------------------------------------
+
+    def _remote_get(self, key: str) -> Optional[dict]:
+        if not self.server_up():
+            return None
+        try:
+            response = self._link.call("cache-get", {"key": key})
+        except CacheTransportError:
+            self._mark_down()
+            return None
+        if not response.get("ok"):
+            # A typed refusal (draining, bad request) is a server that
+            # answered; do not mark it down, just miss.
+            return None
+        result = response.get("result") or {}
+        if not result.get("found"):
+            return None
+        entry = result.get("entry")
+        if not check_entry(entry, key):
+            # Poisoned or corrupted in transit: never trust it.
+            self.remote_invalid += 1
+            return None
+        return entry
+
+    def _remote_put(self, key: str, entry: dict) -> None:
+        if not self.server_up():
+            return
+        try:
+            response = self._link.call("cache-put",
+                                       {"key": key, "entry": entry})
+        except CacheTransportError:
+            self._mark_down()
+            return
+        if response.get("ok") and (response.get("result") or {}).get(
+                "stored"):
+            self.remote_stores += 1
+
+
+class OpCache:
+    """Facade-op results through the shared cache, for serve shards and
+    the router.  ``get``/``put`` never raise — a sick cache tier must
+    not take the request path down with it."""
+
+    def __init__(self, server: str, local_root: "str | Path | None" = None,
+                 **kwargs: Any):
+        self.cache = NetworkCache(server, local_root, **kwargs)
+
+    def key(self, op: str, params: Dict[str, Any]) -> str:
+        from repro.scale.fingerprint import stage_fingerprints
+
+        stage = OP_STAGES.get(op, "machine")
+        return cache_key({
+            "kind": "op",
+            "stage": stage,
+            "fingerprint": stage_fingerprints()[stage],
+            "op": op,
+            "params": params,
+        })
+
+    def get(self, op: str, params: Dict[str, Any]) -> Optional[dict]:
+        try:
+            status, payload = self.cache.get(self.key(op, params))
+        except Exception:
+            return None
+        return payload if status == HIT else None
+
+    def put(self, op: str, params: Dict[str, Any],
+            result: Dict[str, Any]) -> None:
+        try:
+            self.cache.put(self.key(op, params), result)
+        except Exception:
+            pass
+
+    def stats(self) -> dict:
+        return self.cache.stats()

@@ -5,10 +5,11 @@ parallelism rather than the simulated machine.  The shape is the
 classic work-queue farm, hardened with the trust-but-verify vocabulary
 of the PR-1 robustness runtime:
 
-* each worker process owns a private task queue and loops ``get job →
-  execute (through the persistent cache) → post result``;
+* each worker process owns a private task queue *and* a private result
+  queue, and loops ``get job → execute (through the persistent cache) →
+  post result``;
 * the parent dispatches one job at a time to idle workers, tracks a
-  per-job deadline, and polls a shared result queue;
+  per-job deadline, and polls every worker's result queue;
 * a job that exceeds its deadline gets its worker terminated and is
   marked ``timeout``; a worker that *dies* (hard crash, ``os._exit``)
   marks its in-flight job ``crashed``; in both cases the worker is
@@ -23,14 +24,20 @@ which worker computed a point is deliberately *not* part of the
 outcome.  ``workers=0`` runs the same loop inline (no subprocesses, no
 timeouts) — the reference path the byte-identity tests compare against.
 
-Known hazard (accepted): workers share one ``multiprocessing.Queue``
-for results, and terminating a worker while its queue feeder thread
-holds the shared pipe lock can, per the multiprocessing docs, corrupt
-the queue for the survivors.  The health check narrows the window by
-draining the queue immediately before any termination, and a sweep
-whose queue does break still terminates (every undelivered job is
-reported ``crashed``), but per-worker result pipes would be needed to
-close the window entirely.
+Termination is safe by construction: result pipes are per-worker, so
+``terminate()`` landing while a worker's queue feeder thread holds its
+pipe lock (the ``multiprocessing`` docs' corruption hazard) can only
+ever poison that worker's *own* queue — never a sibling's — and a
+respawn replaces both of the slot's queues, so nothing stale survives
+into the replacement.  The health check still drains the affected
+worker's queue immediately before terminating it, to keep any result
+posted at the deadline instead of discarding it.
+
+With ``cache_server=`` set (``host:port`` of ``repro cache-serve``)
+each worker fronts its local cache directory with the fleet-shared
+store (:class:`repro.scale.cacheclient.NetworkCache`): remote hits are
+verified and written through locally, stores are pushed best-effort,
+and a dead or poisoned server degrades to per-machine caching.
 
 Observability: with a recorder attached the parent emits one
 ``scale.job`` span per job (wall clock, ``pid=PID_SCALE``, one track
@@ -47,8 +54,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
-from repro.scale.cache import HIT, INVALID, MISS, OFF, ResultCache, cache_key
-from repro.scale.jobs import SweepJob, job_key_material, run_job
+from repro.scale.cache import HIT, INVALID, MISS, OFF
+from repro.scale.jobs import SweepJob, job_cache_key, run_job
 
 #: Job outcome statuses (the ``scale.job.*`` counter vocabulary).
 OK = "ok"
@@ -76,11 +83,25 @@ class JobOutcome:
         return self.status == OK
 
 
-def _execute(job: SweepJob, cache: Optional[ResultCache]) -> "tuple[dict, str]":
+def _open_cache(cache_dir: Optional[str], cache_server: Optional[str]):
+    """The cache a worker (or the inline path) computes through: the
+    plain local store, the two-tier network cache, or nothing."""
+    if cache_server:
+        from repro.scale.cacheclient import NetworkCache
+
+        return NetworkCache(cache_server, local_root=cache_dir)
+    if cache_dir:
+        from repro.scale.cache import ResultCache
+
+        return ResultCache(cache_dir)
+    return None
+
+
+def _execute(job: SweepJob, cache) -> "tuple[dict, str]":
     """Run one job through the cache; returns (payload, cache status)."""
     if cache is None:
         return run_job(job), OFF
-    key = cache_key(job_key_material(job))
+    key = job_cache_key(job)
     status, payload = cache.get(key)
     if status == HIT:
         return payload, HIT
@@ -90,13 +111,14 @@ def _execute(job: SweepJob, cache: Optional[ResultCache]) -> "tuple[dict, str]":
 
 
 def _worker_main(worker_id: int, task_q, result_q,
-                 cache_dir: Optional[str]) -> None:
+                 cache_dir: Optional[str],
+                 cache_server: Optional[str]) -> None:
     """Worker loop: execute jobs until the ``None`` sentinel arrives.
 
     Exceptions are converted to ``failed`` messages here — only a hard
     death (crash, kill, timeout termination) leaves a job unanswered.
     """
-    cache = ResultCache(cache_dir) if cache_dir else None
+    cache = _open_cache(cache_dir, cache_server)
     while True:
         item = task_q.get()
         if item is None:
@@ -112,26 +134,33 @@ def _worker_main(worker_id: int, task_q, result_q,
 
 
 class _WorkerHandle:
-    """One worker slot: process + private task queue, respawnable."""
+    """One worker slot: process + private task *and* result queues,
+    respawnable.  Owning both pipes is the queue-poisoning fix: a
+    terminated worker can only ever corrupt its own queues, and
+    :meth:`respawn` replaces them wholesale."""
 
-    def __init__(self, ctx, worker_id: int, result_q,
-                 cache_dir: Optional[str]):
+    def __init__(self, ctx, worker_id: int,
+                 cache_dir: Optional[str],
+                 cache_server: Optional[str] = None):
         self.worker_id = worker_id
         self.ctx = ctx
-        self.result_q = result_q
         self.cache_dir = cache_dir
+        self.cache_server = cache_server
         self.task_q = ctx.Queue()
+        self.result_q = ctx.Queue()
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(worker_id, self.task_q, result_q, cache_dir),
+            args=(worker_id, self.task_q, self.result_q, cache_dir,
+                  cache_server),
             daemon=True,
         )
         self.proc.start()
 
     def respawn(self) -> "_WorkerHandle":
         self.kill()
-        return _WorkerHandle(self.ctx, self.worker_id, self.result_q,
-                             self.cache_dir)
+        self.close_queues()
+        return _WorkerHandle(self.ctx, self.worker_id, self.cache_dir,
+                             self.cache_server)
 
     def kill(self) -> None:
         if self.proc.is_alive():
@@ -149,6 +178,16 @@ class _WorkerHandle:
             pass
         self.proc.join(timeout=2.0)
         self.kill()
+        self.close_queues()
+
+    def close_queues(self) -> None:
+        """Release the slot's pipes; never blocks on the feeder."""
+        for q in (self.task_q, self.result_q):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
 
 
 @dataclass
@@ -168,28 +207,31 @@ def run_jobs(
     workers: int = 1,
     job_timeout: Optional[float] = None,
     cache_dir: Optional[str] = None,
+    cache_server: Optional[str] = None,
     recorder: Any = None,
 ) -> List[JobOutcome]:
     """Execute a grid; returns outcomes in grid order.
 
     ``workers=0`` executes inline in this process (reference path; no
     crash isolation, ``job_timeout`` ignored).  ``workers>=1`` fans out
-    across that many OS worker processes.
+    across that many OS worker processes.  ``cache_server`` fronts the
+    local cache with a shared ``repro cache-serve`` instance.
     """
     if workers < 0:
         raise ValueError("workers must be >= 0")
     if workers == 0:
-        outcomes = _run_inline(jobs, cache_dir, recorder)
+        outcomes = _run_inline(jobs, cache_dir, cache_server, recorder)
     else:
         outcomes = _run_sharded(jobs, workers, job_timeout, cache_dir,
-                                recorder)
+                                cache_server, recorder)
     _record_rollup(recorder, outcomes, workers)
     return outcomes
 
 
 def _run_inline(jobs: List[SweepJob], cache_dir: Optional[str],
+                cache_server: Optional[str],
                 recorder: Any) -> List[JobOutcome]:
-    cache = ResultCache(cache_dir) if cache_dir else None
+    cache = _open_cache(cache_dir, cache_server)
     outcomes: List[JobOutcome] = []
     for job in jobs:
         start = time.perf_counter()
@@ -212,6 +254,7 @@ def _run_sharded(
     workers: int,
     job_timeout: Optional[float],
     cache_dir: Optional[str],
+    cache_server: Optional[str],
     recorder: Any,
 ) -> List[JobOutcome]:
     # fork shares the warmed parent image where available (Linux/macOS
@@ -220,9 +263,8 @@ def _run_sharded(
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platforms
         ctx = multiprocessing.get_context("spawn")
-    result_q = ctx.Queue()
     pool = {
-        wid: _WorkerHandle(ctx, wid, result_q, cache_dir)
+        wid: _WorkerHandle(ctx, wid, cache_dir, cache_server)
         for wid in range(min(workers, max(1, len(jobs))))
     }
     state = _SweepState(outcomes=[None] * len(jobs),
@@ -230,18 +272,32 @@ def _run_sharded(
     try:
         while state.done < len(jobs):
             _dispatch(pool, state, jobs, job_timeout, recorder)
-            try:
-                msg = result_q.get(timeout=_POLL)
-            except queue_mod.Empty:
-                msg = None
-            if msg is not None:
-                _finish(pool, state, jobs, msg, recorder)
-            _check_health(pool, state, jobs, result_q, recorder)
+            progressed = _collect(pool, state, jobs, recorder)
+            _check_health(pool, state, jobs, recorder)
+            if not progressed:
+                time.sleep(_POLL)
     finally:
         for handle in pool.values():
             handle.stop()
     return [o if o is not None else JobOutcome(jobs[i], CRASHED)
             for i, o in enumerate(state.outcomes)]
+
+
+def _collect(pool, state: _SweepState, jobs, recorder) -> bool:
+    """Drain every worker's result queue; True if anything resolved."""
+    progressed = False
+    for wid in list(pool):
+        handle = pool[wid]
+        while True:
+            try:
+                msg = handle.result_q.get_nowait()
+            except queue_mod.Empty:
+                break
+            except (OSError, ValueError):
+                break  # slot's queue is gone; health check handles it
+            _finish(pool, state, jobs, msg, recorder)
+            progressed = True
+    return progressed
 
 
 def _dispatch(pool, state: _SweepState, jobs, job_timeout, recorder) -> None:
@@ -281,12 +337,12 @@ def _finish(pool, state: _SweepState, jobs, msg, recorder) -> None:
     _span_end(recorder, outcome, tid=wid)
 
 
-def _check_health(pool, state: _SweepState, jobs, result_q, recorder) -> None:
+def _check_health(pool, state: _SweepState, jobs, recorder) -> None:
     now = time.monotonic()
     for wid in list(state.busy):
         # Re-read instead of trusting the snapshot: the drain below runs
-        # _finish, which can resolve (and delete) OTHER workers' busy
-        # entries before the loop reaches them.
+        # _finish, which can resolve (and delete) busy entries before
+        # the loop reaches them.
         claimed = state.busy.get(wid)
         if claimed is None:
             continue  # an earlier drain this pass already resolved it
@@ -296,16 +352,14 @@ def _check_health(pool, state: _SweepState, jobs, result_q, recorder) -> None:
         if not (timed_out or dead):
             continue
         # The worker may have posted its result just before dying or
-        # right at its deadline; drain the queue once before giving up
-        # on the job.  For a timed-out worker this also narrows the
-        # window in which terminate() could land while the worker's
-        # queue feeder thread holds the shared result pipe (see the
-        # module docstring).
+        # right at its deadline; drain ITS queue once before giving up
+        # on the job.  Only this worker's queue can be affected by the
+        # termination below — result pipes are per-worker.
         try:
             while True:
-                _finish(pool, state, jobs, result_q.get_nowait(),
-                        recorder)
-        except queue_mod.Empty:
+                _finish(pool, state, jobs,
+                        pool[wid].result_q.get_nowait(), recorder)
+        except (queue_mod.Empty, OSError, ValueError):
             pass
         if wid not in state.busy:
             # The drain resolved this worker's job.  If the process is
@@ -318,7 +372,7 @@ def _check_health(pool, state: _SweepState, jobs, result_q, recorder) -> None:
             jobs[index], status, None,
             "job deadline exceeded; worker terminated" if timed_out
             else "worker process died; job marked failed, worker respawned",
-            MISS if pool[wid].cache_dir else OFF,
+            MISS if (pool[wid].cache_dir or pool[wid].cache_server) else OFF,
         )
         outcome.wall_ms = (now - started) * 1000.0
         state.outcomes[index] = outcome

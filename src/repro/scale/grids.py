@@ -64,6 +64,24 @@ def _smoke_grid() -> List[SweepJob]:
     ]
 
 
+def _cache_grid() -> List[SweepJob]:
+    """The staged-cache demonstration grid (CI ``cache-smoke``, the
+    cache bench): 28 analyze-family points — distance-stage keys,
+    immune to transform edits — plus 2 transform-dependent points.
+    Warm after a one-transform edit, 28 of 30 points must still hit:
+    93.3%, which clears the ``--min-hit-rate 90`` gate exactly when
+    stage keying works and fails when anything leaks transform code
+    into the early-stage fingerprints."""
+    jobs = [
+        _job("analyze", head=h, tail=t)
+        for h in (5, 10, 15, 20, 25, 30, 35)
+        for t in (0, 30, 60, 90)
+    ]
+    jobs.append(_job("fig07", head=20, tail=60, processors=4, depth=12))
+    jobs.append(_job("fig10", depth=16, head=8, tail=40, servers=2))
+    return jobs
+
+
 def _full_grid() -> List[SweepJob]:
     return _fig06_grid() + _fig07_grid() + _fig10_grid() + _model_grid()
 
@@ -74,6 +92,7 @@ _GRIDS: Dict[str, Callable[[], List[SweepJob]]] = {
     "fig07": _fig07_grid,
     "fig10": _fig10_grid,
     "model": _model_grid,
+    "cache": _cache_grid,
     "full": _full_grid,
 }
 

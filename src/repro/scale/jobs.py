@@ -20,9 +20,17 @@ Families:
   analytic T(S) = (⌈d/S⌉−1)(h+t) + (Sh+t).
 * ``model`` — the S* = √(d(h+t)/h) validation: a full server sweep in
   one job, comparing the analytic argmin against the empirical one.
+* ``analyze`` — distance-stage only: load a synthetic program and run
+  the §2/§3.1 analysis (:mod:`repro.scale.analysis_job`), no transform.
+  Its cache keys carry the ``distance`` stage fingerprint, so these
+  points stay warm across transform edits.
 * ``probe`` — a test/chaos fixture (sleep, raise, hard-exit) used by
   the driver tests to exercise timeout handling and crash isolation;
   the same trust-but-verify vocabulary as the PR-1 fault plans.
+
+``job_cache_key`` is the staged-cache entry point: it folds
+``job_stage(job)``'s code fingerprint into the key material, replacing
+the old whole-package ``code_version`` field.
 """
 
 from __future__ import annotations
@@ -183,6 +191,16 @@ def _run_model(params: Dict[str, Any]) -> dict:
     return validate_allocation_model(depth, h_dyn, t_dyn, measured)
 
 
+def _run_analyze(params: Dict[str, Any]) -> dict:
+    from repro.harness.workloads import make_synthetic
+    from repro.scale.analysis_job import run_analysis_job
+
+    work = make_synthetic(params["head"], params["tail"], name="f")
+    return run_analysis_job(
+        work.source, "f", assume_sapp=params.get("assume_sapp", True)
+    )
+
+
 def _run_probe(params: Dict[str, Any]) -> dict:
     behavior = params.get("behavior", "ok")
     if behavior == "raise":
@@ -203,8 +221,19 @@ _FAMILIES: Dict[str, Callable[[Dict[str, Any]], dict]] = {
     "fig07": _run_fig07,
     "fig10": _run_fig10,
     "model": _run_model,
+    "analyze": _run_analyze,
     "probe": _run_probe,
 }
+
+#: Family → pipeline stage, for fingerprint selection.  Families that
+#: run the full transform + simulated machine depend on (nearly) the
+#: whole package, so they key on the ``sweep`` closure; ``analyze``
+#: stops at conflict distances and keys on the ``distance`` closure.
+JOB_STAGES: Dict[str, str] = {"analyze": "distance"}
+
+
+def job_stage(job: SweepJob) -> str:
+    return JOB_STAGES.get(job.family, "sweep")
 
 
 def run_job(job: SweepJob) -> dict:
@@ -222,23 +251,20 @@ def _program_source(job: SweepJob) -> str:
 
     if job.family == "fig06":
         return fig5_source()
-    if job.family in ("fig07", "fig10", "model"):
+    if job.family in ("fig07", "fig10", "model", "analyze"):
         return make_synthetic(job.params["head"], job.params["tail"],
                               name="f").source
     return ""
 
 
 def job_key_material(job: SweepJob) -> dict:
-    """Everything a cached result depends on, as one canonical dict.
-
-    The key covers: the program source (with its ``declaim``
+    """Everything a cached result depends on *except code*, as one
+    canonical dict: the program source (with its ``declaim``
     declarations), the family + grid coordinates, the pipeline
-    configuration, the cost-model charges, the calibration overheads,
-    and the code version of the whole ``repro`` package (see
-    :func:`repro.scale.cache.code_version`).
+    configuration, the cost-model charges, and the calibration
+    overheads.  Code enters the key via :func:`job_cache_key`, which
+    wraps this material with the job's stage fingerprint.
     """
-    from repro.scale.cache import code_version
-
     cost = FREE_SYNC if job.family in ("fig07", "fig10", "model") \
         else CostModel()
     return {
@@ -253,5 +279,23 @@ def job_key_material(job: SweepJob) -> dict:
             "overheads": {"fig07": FIG07_OVERHEAD, "fig10": FIG10_OVERHEAD},
         },
         "cost_model": dataclasses.asdict(cost),
-        "code_version": code_version(),
     }
+
+
+def job_cache_key(job: SweepJob,
+                  fingerprints: "Dict[str, str] | None" = None) -> str:
+    """The staged cache key: stage name + that stage's code fingerprint
+    + the job's key material.  ``fingerprints`` overrides the live
+    package's fingerprints (the differential tests and the cache bench
+    pass fingerprints computed from an edited copy of the tree)."""
+    from repro.scale.cache import cache_key
+    from repro.scale.fingerprint import stage_fingerprints
+
+    stage = job_stage(job)
+    prints = fingerprints if fingerprints is not None \
+        else stage_fingerprints()
+    return cache_key({
+        "stage": stage,
+        "fingerprint": prints[stage],
+        "material": job_key_material(job),
+    })

@@ -27,6 +27,7 @@ def build_report(
     workers: int,
     cache_dir: "str | None",
     total_wall_ms: float,
+    cache_server: "str | None" = None,
 ) -> Dict[str, Any]:
     """Assemble the enveloped report from a sweep's outcomes."""
     points = [
@@ -42,7 +43,7 @@ def build_report(
         for o in outcomes
     ]
     cache = {
-        "enabled": cache_dir is not None,
+        "enabled": cache_dir is not None or cache_server is not None,
         "hits": sum(1 for o in outcomes if o.cache == "hit"),
         "misses": sum(1 for o in outcomes if o.cache == "miss"),
         "invalid": sum(1 for o in outcomes if o.cache == "invalid"),
@@ -61,6 +62,7 @@ def build_report(
                              for o in outcomes},
             "python": sys.version.split()[0],
             "cache_dir": cache_dir,
+            "cache_server": cache_server,
         },
     }
     return wrap(KIND_SWEEP, body)

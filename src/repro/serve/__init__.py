@@ -9,6 +9,7 @@ faults, and graceful drain.  See :mod:`repro.serve.protocol` for the
 wire format and :mod:`repro.serve.server` for the architecture.
 """
 
+from repro.serve.cacheserver import CacheServeConfig, CacheServer
 from repro.serve.chaos import (
     FAULT_BLACKHOLE,
     FAULT_DELAY,
@@ -19,6 +20,7 @@ from repro.serve.chaos import (
     RequestFaultPlan,
 )
 from repro.serve.protocol import (
+    CACHE_OPS,
     CONTROL_OPS,
     ENGINE_OPS,
     ERROR_CODES,
@@ -45,7 +47,10 @@ from repro.serve.server import (
 
 __all__ = [
     "AnalysisService",
+    "CACHE_OPS",
     "CONTROL_OPS",
+    "CacheServeConfig",
+    "CacheServer",
     "ENGINE_OPS",
     "ERROR_CODES",
     "EXECUTOR_PROCESS",

@@ -68,7 +68,14 @@ PROTOCOL_VERSION = 1
 #: Engine ops run on the worker pool; control ops are served inline.
 ENGINE_OPS = ("analyze", "transform", "run", "sweep")
 CONTROL_OPS = ("health", "stats", "drain")
-OPS = ENGINE_OPS + CONTROL_OPS
+#: Cache ops are answered by ``repro cache-serve``
+#: (:mod:`repro.fleet` workers and sweep shards share one result store
+#: through them); an engine server answers them with ``bad_request``.
+#: ``cache-get {key}`` → ``{found, entry}``; ``cache-put {key, entry}``
+#: → ``{stored}``.  Entries travel whole (format/key/payload/
+#: ``payload_sha256``) so both sides re-verify integrity at the wire.
+CACHE_OPS = ("cache-get", "cache-put")
+OPS = ENGINE_OPS + CONTROL_OPS + CACHE_OPS
 
 ERR_BAD_REQUEST = "bad_request"
 ERR_OVERLOADED = "overloaded"

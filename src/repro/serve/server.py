@@ -99,6 +99,11 @@ class ServeConfig:
     executor: str = EXECUTOR_THREAD  # "thread" | "process"
     chaos: Optional[RequestFaultPlan] = None
     recorder: Any = None
+    #: ``host:port`` of a ``repro cache-serve`` instance.  Engine
+    #: results are looked up there before computing and published
+    #: after, so shards sharing one cache server warm each other.  A
+    #: dead or poisoned server silently degrades to computing locally.
+    cache_server: Optional[str] = None
 
 
 class _Flight:
@@ -183,6 +188,9 @@ class AnalysisService:
                 workers=config.workers,
                 on_count=self._count,
             )
+        self._op_cache = None
+        if config.cache_server:
+            self._op_cache = api.open_op_cache(config.cache_server)
         self._slots = threading.Semaphore(config.workers + config.backlog)
         self._flights: Dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
@@ -380,7 +388,7 @@ class AnalysisService:
                            "not executed: request deadline expired "
                            "while queued in admission")
             else:
-                outcome = (True, self._engine_call(flight, params))
+                outcome = (True, self._cached_engine_call(flight, params))
         except api.ApiError as err:
             status = err.code
             code = err.code if err.code in ERROR_CODES else ERR_INTERNAL
@@ -399,6 +407,27 @@ class AnalysisService:
             flight.event.set()
             self._slots.release()
             self._span("E", tid, {"op": flight.op, "status": status})
+
+    def _cached_engine_call(self, flight: _Flight,
+                            params: Dict[str, Any]) -> Dict[str, Any]:
+        """The engine call behind the shared cache (when configured).
+
+        The lookup runs *inside* the flight, after admission — so one
+        network round-trip per coalesced group, and a hit still counts
+        as this shard's computation for coalescing/slot purposes.  The
+        op-cache client never raises; a sick cache tier degrades to
+        computing.
+        """
+        if self._op_cache is not None:
+            result = self._op_cache.get(flight.op, params)
+            if result is not None:
+                self._count("serve.cache.hits")
+                return result
+            self._count("serve.cache.misses")
+        result = self._engine_call(flight, params)
+        if self._op_cache is not None:
+            self._op_cache.put(flight.op, params, result)
+        return result
 
     def _engine_call(self, flight: _Flight,
                      params: Dict[str, Any]) -> Dict[str, Any]:

@@ -46,6 +46,26 @@ from repro.transform.locking import LockingResult, insert_locks
 from repro.transform.reorder import ReorderResult, atomicize_reorderable
 from repro.transform.search import SearchError, SearchResult, to_parallel_search
 
+#: Pipeline span name → cache-invalidation stage
+#: (:data:`repro.scale.fingerprint.STAGES`).  This is the contract the
+#: staged result cache keys against: an edit to a pass's code orphans
+#: exactly the cache entries of its stage and the stages after it.
+#: ``load_program`` is parse-stage work (reader + interpreter +
+#: declarations); ``pass:analyze`` produces the conflict distances; all
+#: the rewrite passes are transform-stage.  Tests pin this mapping so a
+#: new pass must declare its stage here.
+PASS_STAGES: dict[str, str] = {
+    "load_program": "parse",
+    "pass:analyze": "distance",
+    "pass:search": "transform",
+    "pass:iteration": "transform",
+    "pass:dps": "transform",
+    "pass:cri": "transform",
+    "pass:reorder": "transform",
+    "pass:delay": "transform",
+    "pass:locking": "transform",
+}
+
 
 @dataclass
 class CurareResult:

@@ -1,0 +1,269 @@
+"""The fleet-shared cache service and its degradation contract.
+
+One ``repro cache-serve`` process fronts the entry store for sweep
+workers, serve shards and the router.  These tests pin the three
+properties operations relies on (docs/operations.md):
+
+* **Shared**: a second machine (distinct local cache dir) hits over
+  the network on what the first machine computed.
+* **Refusing**: a corrupt ``cache-put`` gets a typed ``bad_request``
+  and never touches the store; engine ops are refused outright.
+* **Optional**: a dead server degrades to per-machine caching, a
+  poisoned server degrades to a miss — correctness never depends on
+  the cache tier.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.scale.cache import HIT, MISS, ResultCache, cache_key, make_entry
+from repro.scale.cacheclient import (
+    CacheTransportError,
+    NetworkCache,
+    OpCache,
+    _ServerLink,
+    parse_server,
+)
+from repro.scale.driver import run_jobs
+from repro.scale.jobs import SweepJob
+from repro.serve.cacheserver import CacheServeConfig, CacheServer
+
+PAYLOAD = {"result": 42, "nested": {"b": 2, "a": 1}}
+
+
+def _probe(pid: str, **params) -> SweepJob:
+    return SweepJob(id=f"probe/{pid}", family="probe", params=params)
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = CacheServer(CacheServeConfig(root=str(tmp_path / "server-root")))
+    srv.start()
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.stop(timeout=10)
+
+
+def _spec(srv: CacheServer) -> str:
+    host, port = srv.address
+    return f"{host}:{port}"
+
+
+class TestWire:
+    def test_parse_server(self):
+        assert parse_server("127.0.0.1:7199") == ("127.0.0.1", 7199)
+        for bad in ("7199", "host:", ":7199", "host:port"):
+            with pytest.raises(ValueError):
+                parse_server(bad)
+
+    def test_put_then_get_round_trip(self, server):
+        link = _ServerLink(_spec(server))
+        key = cache_key({"k": 1})
+        entry = make_entry(key, PAYLOAD)
+        stored = link.call("cache-put", {"key": key, "entry": entry})
+        assert stored["ok"] and stored["result"]["stored"] is True
+        fetched = link.call("cache-get", {"key": key})
+        assert fetched["result"]["found"] is True
+        assert fetched["result"]["entry"]["payload"] == PAYLOAD
+
+    def test_get_unknown_key_misses(self, server):
+        link = _ServerLink(_spec(server))
+        response = link.call("cache-get", {"key": "0" * 64})
+        assert response["ok"] and response["result"]["found"] is False
+
+    def test_corrupt_put_refused_and_store_untouched(self, server):
+        link = _ServerLink(_spec(server))
+        key = cache_key({"k": "poison"})
+        entry = make_entry(key, PAYLOAD)
+        entry["payload"] = {"result": 43}  # hash no longer matches
+        refused = link.call("cache-put", {"key": key, "entry": entry})
+        assert refused["ok"] is False
+        assert refused["error"]["code"] == "bad_request"
+        assert server.counters()["cache.server.rejected_puts"] == 1
+        assert link.call("cache-get",
+                         {"key": key})["result"]["found"] is False
+
+    def test_bad_key_refused(self, server):
+        link = _ServerLink(_spec(server))
+        for bad in ("short", 7, None, "Z" * 64):
+            response = link.call("cache-put", {"key": bad, "entry": {}})
+            assert response["error"]["code"] == "bad_request"
+
+    def test_engine_ops_refused(self, server):
+        link = _ServerLink(_spec(server))
+        response = link.call("analyze", {"source": "(defun f (x) x)",
+                                         "function": "f"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        assert "cache server" in response["error"]["message"]
+
+    def test_stats_carry_fingerprints(self, server):
+        stats = _ServerLink(_spec(server)).call("stats", {})["result"]
+        assert stats["role"] == "cache"
+        assert set(stats["fingerprints"]) == {
+            "parse", "analysis", "distance", "transform", "machine",
+            "sweep"}
+
+
+class TestTwoTier:
+    def test_second_machine_hits_over_the_network(self, server, tmp_path):
+        spec = _spec(server)
+        machine_a = NetworkCache(spec, tmp_path / "a")
+        machine_b = NetworkCache(spec, tmp_path / "b")
+        key = cache_key({"k": "shared"})
+        machine_a.put(key, PAYLOAD)
+        status, payload = machine_b.get(key)
+        assert (status, payload) == (HIT, PAYLOAD)
+        assert machine_b.remote_hits == 1
+        # The hit wrote through: next read is local, no network.
+        assert machine_b.local.get(key) == (HIT, PAYLOAD)
+
+    def test_no_local_tier_still_works(self, server):
+        cache = NetworkCache(_spec(server))
+        key = cache_key({"k": "serveronly"})
+        assert cache.get(key) == (MISS, None)
+        cache.put(key, PAYLOAD)
+        assert cache.get(key) == (HIT, PAYLOAD)
+
+    def test_dead_server_degrades_to_local(self, tmp_path):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        cache = NetworkCache(f"127.0.0.1:{dead_port}", tmp_path / "local",
+                             connect_timeout_s=0.2)
+        key = cache_key({"k": "offline"})
+        assert cache.get(key) == (MISS, None)
+        assert cache.server_up() is False  # marked down, in cooldown
+        cache.put(key, PAYLOAD)
+        assert cache.get(key) == (HIT, PAYLOAD)  # pure local behavior
+        assert cache.remote_errors >= 1
+        assert cache.remote_hits == 0
+
+    def test_down_cooldown_skips_the_network(self, tmp_path):
+        now = [0.0]
+        cache = NetworkCache("127.0.0.1:1", tmp_path / "local",
+                             connect_timeout_s=0.2, retry_after_s=30.0,
+                             clock=lambda: now[0])
+        cache._mark_down()
+        calls = []
+        cache._link.call = lambda *a, **k: calls.append(a) or (_ for _ in
+                                                              ()).throw(
+            CacheTransportError("x"))
+        cache.get(cache_key({"k": 1}))
+        assert calls == []  # cooldown: no connect attempted
+        now[0] = 31.0
+        cache.get(cache_key({"k": 1}))
+        assert len(calls) == 1  # cooldown over: retried once
+
+    def test_poisoned_server_reads_as_miss(self, tmp_path):
+        # A fake cache server that answers every get "found" with a
+        # tampered entry: the client must re-verify and refuse it.
+        key = cache_key({"k": "poisoned"})
+        entry = make_entry(key, PAYLOAD)
+        entry["payload"] = {"result": 666}
+
+        import json
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+
+        def poisoned():
+            listener.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                with conn:
+                    conn.makefile("rb").readline()
+                    conn.sendall((json.dumps(
+                        {"v": 1, "id": "c1", "ok": True,
+                         "result": {"found": True, "entry": entry}})
+                        + "\n").encode())
+        thread = threading.Thread(target=poisoned, daemon=True)
+        thread.start()
+        try:
+            cache = NetworkCache(f"127.0.0.1:{port}", tmp_path / "local")
+            status, payload = cache.get(key)
+            assert (status, payload) == (MISS, None)
+            assert cache.remote_invalid == 1
+            assert cache.server_up() is True  # answered; not marked down
+            # Nothing poisoned wrote through to the local tier.
+            assert cache.local.get(key) == (MISS, None)
+        finally:
+            stop.set()
+            thread.join(timeout=2)
+            listener.close()
+
+
+class TestOpCache:
+    def test_round_trip_and_stage_keying(self, server):
+        ops = OpCache(_spec(server))
+        params = {"source": "(defun f (x) x)", "function": "f"}
+        assert ops.get("analyze", params) is None
+        ops.put("analyze", params, PAYLOAD)
+        assert ops.get("analyze", params) == PAYLOAD
+        # Same params, different op → different stage key space.
+        assert ops.get("transform", params) is None
+
+    def test_never_raises_on_dead_server(self):
+        ops = OpCache("127.0.0.1:1", connect_timeout_s=0.2)
+        assert ops.get("analyze", {"x": 1}) is None
+        ops.put("analyze", {"x": 1}, PAYLOAD)  # must not raise
+        assert ops.stats()["remote_errors"] >= 1
+
+
+class TestDriverThroughServer:
+    def test_second_cold_machine_sweeps_all_hits(self, server, tmp_path):
+        spec = _spec(server)
+        jobs = [_probe(f"j{i}", value=i) for i in range(4)]
+        cold = run_jobs(jobs, workers=0, cache_dir=tmp_path / "m1",
+                        cache_server=spec)
+        assert [o.cache for o in cold] == ["miss"] * 4
+        warm = run_jobs(jobs, workers=0, cache_dir=tmp_path / "m2",
+                        cache_server=spec)
+        assert [o.cache for o in warm] == ["hit"] * 4
+        assert [o.payload for o in warm] == [o.payload for o in cold]
+
+    def test_dead_server_sweep_still_completes(self, tmp_path):
+        jobs = [_probe("a", value=1)]
+        outcomes = run_jobs(jobs, workers=0, cache_dir=tmp_path / "m",
+                            cache_server="127.0.0.1:1")
+        assert outcomes[0].ok
+        assert outcomes[0].cache == "miss"
+
+
+class TestServeShardSharing:
+    def test_two_shards_share_one_computation(self, server):
+        from repro.serve import AnalysisService, Request, ServeConfig
+
+        spec = _spec(server)
+        params = {"source": "(defun f (x) x)", "function": "f"}
+
+        def shard():
+            return AnalysisService(ServeConfig(workers=1,
+                                               cache_server=spec))
+        first = shard()
+        try:
+            a = first.handle(Request(id="a", op="analyze", params=params,
+                                     deadline_ms=None))
+            assert a["ok"]
+            assert first.counters()["serve.cache.misses"] == 1
+        finally:
+            first.close()
+        second = shard()
+        try:
+            b = second.handle(Request(id="b", op="analyze", params=params,
+                                      deadline_ms=None))
+            assert b["ok"]
+            assert second.counters()["serve.cache.hits"] == 1
+            assert b["result"] == a["result"]
+        finally:
+            second.close()

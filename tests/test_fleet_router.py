@@ -1,18 +1,26 @@
 """The shard router end-to-end (in-process backends): routing parity,
-the response cache, failover around a dead backend, circuit breaking,
-sequential fallback, graceful backend bleed, and blackhole chaos."""
+the response cache, single-flight stampede coalescing, failover around
+a dead backend, circuit breaking, sequential fallback, graceful
+backend bleed with automatic rejoin, the fleet-shared cache, and
+blackhole chaos."""
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 
 import pytest
 
 from repro import api
 from repro.fleet.client import BackendClient, BackendError
-from repro.fleet.router import RouterConfig, ShardRouter, parse_backend
-from repro.serve import FleetFaultPlan, ReproServer, ServeConfig
+from repro.fleet.router import (
+    RouterConfig,
+    ShardRouter,
+    _RouteFlight,
+    parse_backend,
+)
+from repro.serve import FleetFaultPlan, ReproServer, Request, ServeConfig
 from repro.serve.server import engine_call
 
 FIG5 = """
@@ -269,6 +277,210 @@ class TestControlOps:
         assert body["counters"].get("fleet.request.ok") == 1
         assert body["cache"]["entries"] == 1
         assert set(body["backends"]) == set(body["ring"])
+
+
+class TestSingleFlight:
+    """Stampede coalescing: one backend call feeds all identical
+    concurrent waiters."""
+
+    def test_waiter_answers_with_its_own_id(self):
+        # Deterministic replay of the waiter path: a flight is already
+        # open for the key; the waiter blocks until the leader
+        # publishes, then builds its own response.
+        router = ShardRouter(RouterConfig(backends=()))
+        flight = _RouteFlight()
+        router._flights["k" * 64] = flight
+        out = {}
+
+        def waiter():
+            out["reply"] = router._await_flight(
+                flight,
+                Request(id="w1", op="analyze", params={},
+                        deadline_ms=5_000.0),
+                time.perf_counter())
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert "reply" not in out  # genuinely blocked on the flight
+        flight.outcome = ("ok", {"kind": "feedback"})
+        flight.event.set()
+        thread.join(timeout=5)
+        response, route = out["reply"]
+        assert response["ok"] is True
+        assert response["id"] == "w1"
+        assert route == "coalesced"
+        assert router.counters()["fleet.request.coalesced"] == 1
+
+    def test_waiter_deadline_is_its_own(self):
+        router = ShardRouter(RouterConfig(backends=()))
+        flight = _RouteFlight()  # never published
+        response, route = router._await_flight(
+            flight, Request(id="w2", op="analyze", params={},
+                            deadline_ms=50.0),
+            time.perf_counter())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "deadline_exceeded"
+        assert route == "coalesced:deadline"
+
+    def test_leader_error_propagates_to_waiters(self):
+        router = ShardRouter(RouterConfig(backends=()))
+        flight = _RouteFlight()
+        flight.outcome = ("error", "engine_error", "boom")
+        flight.event.set()
+        response, route = router._await_flight(
+            flight, Request(id="w3", op="analyze", params={},
+                            deadline_ms=1_000.0),
+            time.perf_counter())
+        assert response["error"]["code"] == "engine_error"
+        assert route == "coalesced:engine_error"
+
+    def test_stampede_costs_one_backend_call(self):
+        # Four identical concurrent requests against a slow op: exactly
+        # one engine computation runs; everyone gets the same answer.
+        f = Fleet(backends=2)
+        try:
+            params = {"source": "(defun spin (n) (let ((i 0)) "
+                                "(while (< i n) (setq i (1+ i))) i))",
+                      "expr": "(spin 6000)", "processors": 1}
+            barrier = threading.Barrier(4)
+            replies = [None] * 4
+
+            def storm(slot):
+                barrier.wait()
+                replies[slot] = f.call("run", dict(params))
+
+            threads = [threading.Thread(target=storm, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert all(r["ok"] for r in replies), replies
+            bodies = {api.canonical_json(api.strip_wall(r["result"]))
+                      for r in replies}
+            assert len(bodies) == 1
+            backend_calls = sum(b["ok"] for b in
+                                f.router._stats()["backends"].values())
+            assert backend_calls == 1
+            counters = f.router.counters()
+            assert counters.get("fleet.request.coalesced", 0) \
+                + counters.get("fleet.cache.hits", 0) == 3
+        finally:
+            f.close()
+
+
+class TestAutoRejoin:
+    def test_rejoin_requires_a_down_transition(self):
+        # Deterministic drive of the health-change hook: a bled member
+        # that never went down (a rebalance, not a crash) must not
+        # rejoin on its next healthy probe.
+        spec = "127.0.0.1:1"
+        router = ShardRouter(RouterConfig(backends=(spec,)))
+        router.bleed_backend(spec, stop_backend=False)
+        assert router.ring_members() == []
+        assert router._health()["drained"] == [spec]
+        router._on_health_change(spec, healthy=True)
+        assert router.ring_members() == []  # still healthy, still out
+        router._on_health_change(spec, healthy=False)
+        router._on_health_change(spec, healthy=True)
+        assert router.ring_members() == [spec]  # died, came back: rejoin
+        assert router._health()["drained"] == []
+        assert router.counters()["fleet.backend.rejoined"] == 1
+
+    def test_no_auto_rejoin_forgets_the_backend(self):
+        spec = "127.0.0.1:1"
+        router = ShardRouter(RouterConfig(backends=(spec,),
+                                          auto_rejoin=False))
+        router.bleed_backend(spec, stop_backend=False)
+        assert router._health()["drained"] == []
+        router._on_health_change(spec, healthy=False)
+        router._on_health_change(spec, healthy=True)
+        assert router.ring_members() == []  # stays bled
+
+    def test_restarted_backend_rejoins_the_ring(self):
+        # End-to-end: bleed (and stop) a live backend, restart a fresh
+        # server on the same port, and watch the prober re-ring it.
+        f = Fleet(backends=2, probe_interval_s=0.05,
+                  probe_max_interval_s=0.2)
+        replacement = None
+        replacement_thread = None
+        try:
+            victim = f.router.ring_members()[0]
+            response = f.call("drain", {"backend": victim})
+            assert response["ok"] is True
+            assert victim not in f.router.ring_members()
+            assert f.router._health()["drained"] == [victim]
+            # Wait for the prober to notice the death...
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if f.router._drained_members[victim].went_down:
+                    break
+                time.sleep(0.02)
+            assert f.router._drained_members[victim].went_down
+            # ...then resurrect the address with a fresh process.
+            port = int(victim.rsplit(":", 1)[1])
+            replacement = ReproServer(ServeConfig(port=port, workers=2))
+            replacement.start()
+            replacement_thread = threading.Thread(
+                target=replacement.serve_forever, daemon=True)
+            replacement_thread.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if victim in f.router.ring_members():
+                    break
+                time.sleep(0.02)
+            assert victim in f.router.ring_members()
+            assert f.router.counters()["fleet.backend.rejoined"] == 1
+            assert f.router._health()["drained"] == []
+            # The rejoined backend carries traffic again.
+            for variant in range(4):
+                assert f.call("analyze",
+                              analyze_params(variant))["ok"] is True
+        finally:
+            f.close()
+            if replacement is not None:
+                replacement.stop(timeout=5.0)
+            if replacement_thread is not None:
+                replacement_thread.join(timeout=5.0)
+
+
+class TestSharedCache:
+    def test_second_router_hits_the_shared_cache(self, tmp_path):
+        from repro.serve.cacheserver import CacheServeConfig, CacheServer
+
+        cache_srv = CacheServer(CacheServeConfig(root=str(tmp_path)))
+        cache_srv.start()
+        cache_thread = threading.Thread(target=cache_srv.serve_forever,
+                                        daemon=True)
+        cache_thread.start()
+        spec = "%s:%d" % cache_srv.address
+        params = analyze_params()
+        first = Fleet(backends=1, cache_server=spec)
+        try:
+            a = first.call("analyze", dict(params))
+            assert a["ok"] is True
+            counters = first.router.counters()
+            assert counters.get("fleet.shared_cache.misses") == 1
+        finally:
+            first.close()
+        second = Fleet(backends=1, cache_server=spec)
+        try:
+            b = second.call("analyze", dict(params))
+            assert b["ok"] is True
+            counters = second.router.counters()
+            assert counters.get("fleet.shared_cache.hits") == 1
+            # Served from the shared tier: no backend was consulted.
+            backend_calls = sum(s["ok"] for s in
+                                second.router._stats()["backends"].values())
+            assert backend_calls == 0
+            assert api.canonical_json(api.strip_wall(b["result"])) == \
+                api.canonical_json(api.strip_wall(a["result"]))
+            stats = second.router._stats()
+            assert stats["shared_cache"]["server"] == spec
+        finally:
+            second.close()
+            cache_srv.stop(timeout=10)
 
 
 class TestChaosBlackhole:

@@ -16,7 +16,7 @@ from repro.scale.cache import (
     sha256_text,
 )
 from repro.scale.grids import grid_jobs
-from repro.scale.jobs import SweepJob, job_key_material, run_job
+from repro.scale.jobs import SweepJob, job_cache_key, job_key_material, run_job
 
 PAYLOAD = {"result": 42, "nested": {"b": 2, "a": 1}}
 
@@ -35,13 +35,19 @@ class TestKeys:
             changed = dict(base, **{field: value})
             assert cache_key(changed) != cache_key(base), field
 
-    def test_job_material_covers_program_and_code_version(self):
+    def test_job_material_covers_program_not_code_version(self):
+        # Whole-package code_version() is no longer part of the key
+        # material: invalidation moved to per-stage fingerprints
+        # (job_cache_key), so an edit to one transform does not orphan
+        # every entry.
         job = SweepJob(id="fig06/size=6", family="fig06",
                        params={"size": 6})
         material = job_key_material(job)
         assert material["program"], "fig06 jobs must hash their source"
-        assert material["code_version"] == code_version()
+        assert "code_version" not in material
         assert len(cache_key(material)) == 64  # hex SHA-256
+        key = job_cache_key(job)
+        assert len(key) == 64 and key != cache_key(material)
 
     def test_code_version_is_stable_within_process(self):
         assert code_version() == code_version()

@@ -22,6 +22,7 @@ from repro.scale.driver import (
     TIMEOUT,
     JobOutcome,
     _check_health,
+    _collect,
     _dispatch,
     _SweepState,
     run_jobs,
@@ -108,11 +109,13 @@ class _FakeTaskQ:
 class _FakeHandle:
     """Stands in for _WorkerHandle so queue races replay deterministically."""
 
-    def __init__(self, worker_id: int, alive: bool):
+    def __init__(self, worker_id: int, alive: bool, results=()):
         self.worker_id = worker_id
         self.proc = _FakeProc(alive)
         self.task_q = _FakeTaskQ()
+        self.result_q = _FakeResultQ(results)
         self.cache_dir = None
+        self.cache_server = None
 
     def respawn(self) -> "_FakeHandle":
         return _FakeHandle(self.worker_id, alive=True)
@@ -131,39 +134,45 @@ class _FakeResultQ:
 class TestHealthCheckRaces:
     """Replays of interleavings real processes can't hit on demand."""
 
-    def test_drain_resolving_other_worker_does_not_keyerror(self):
+    def test_dead_worker_cannot_touch_peer_results(self):
         # Worker 0 died without answering; worker 1 posted its result
-        # between the parent's poll and the health check.  Draining on
-        # worker 0's behalf resolves worker 1's busy entry mid-loop, so
-        # the loop must tolerate worker 1 vanishing from state.busy.
+        # on its own queue in the same window.  Result pipes are
+        # per-worker, so worker 0's termination and respawn can only
+        # drain worker 0's queue: worker 1's posted result stays
+        # untouched for the ordinary collect pass — the shared-queue
+        # poisoning hazard is gone by construction.
         jobs = [_probe("a", value=1), _probe("b", value=2)]
         pool = {0: _FakeHandle(0, alive=False),
-                1: _FakeHandle(1, alive=True)}
+                1: _FakeHandle(1, alive=True,
+                               results=[(1, 1, OK, {"value": 2}, "",
+                                         "off")])}
         now = time.monotonic()
         state = _SweepState(outcomes=[None, None],
                             busy={0: (0, None, now), 1: (1, None, now)},
                             next_job=2)
-        result_q = _FakeResultQ([(1, 1, OK, {"value": 2}, "", "off")])
-        _check_health(pool, state, jobs, result_q, recorder=None)
+        _check_health(pool, state, jobs, recorder=None)
         assert state.outcomes[0].status == CRASHED
+        assert state.outcomes[1] is None  # not resolved by the health pass
+        assert 1 in state.busy
+        assert state.respawns == 1  # only the dead worker
+        assert _collect(pool, state, jobs, recorder=None)
         assert state.outcomes[1].status == OK
         assert state.outcomes[1].payload == {"value": 2}
         assert state.done == 2
         assert state.busy == {}
-        assert state.respawns == 1  # only the dead worker
 
     def test_dispatch_respawns_dead_idle_worker(self):
         # A dead worker whose final result the drain recovered goes
         # back on the idle list; the next dispatch must respawn it
         # rather than strand a job on a task queue nothing reads.
         jobs = [_probe("a", value=1), _probe("b", value=2)]
-        dead = _FakeHandle(0, alive=False)
+        dead = _FakeHandle(0, alive=False,
+                           results=[(0, 0, OK, {"value": 1}, "", "off")])
         pool = {0: dead}
         now = time.monotonic()
         state = _SweepState(outcomes=[None, None],
                             busy={0: (0, None, now)}, next_job=1)
-        result_q = _FakeResultQ([(0, 0, OK, {"value": 1}, "", "off")])
-        _check_health(pool, state, jobs, result_q, recorder=None)
+        _check_health(pool, state, jobs, recorder=None)
         assert state.outcomes[0].status == OK  # drain won, no crash record
         assert state.idle == [0]
         _dispatch(pool, state, jobs, job_timeout=None, recorder=None)
@@ -177,14 +186,14 @@ class TestHealthCheckRaces:
         # The result arrived right at the deadline: the drain must win
         # and the (alive) worker must survive untouched.
         jobs = [_probe("a", value=1)]
-        handle = _FakeHandle(0, alive=True)
+        handle = _FakeHandle(0, alive=True,
+                             results=[(0, 0, OK, {"value": 1}, "", "off")])
         pool = {0: handle}
         started = time.monotonic() - 10.0
         state = _SweepState(outcomes=[None],
                             busy={0: (0, started + 1.0, started)},
                             next_job=1)
-        result_q = _FakeResultQ([(0, 0, OK, {"value": 1}, "", "off")])
-        _check_health(pool, state, jobs, result_q, recorder=None)
+        _check_health(pool, state, jobs, recorder=None)
         assert state.outcomes[0].status == OK
         assert state.respawns == 0
         assert pool[0] is handle

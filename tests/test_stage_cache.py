@@ -1,0 +1,168 @@
+"""The staged cache's invalidation contract.
+
+The tentpole property, pinned differentially: copy the package, edit
+exactly one transform module on disk, recompute the per-stage
+fingerprints — the parse / analysis / distance fingerprints must hold
+still (their cache entries stay warm) while the transform / machine /
+sweep fingerprints change (their entries are orphaned).  Any import
+leak from the front of the pipeline into ``repro.transform`` breaks
+these tests before it silently breaks cache correctness.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.harness.workloads import make_synthetic
+from repro.scale.analysis_job import run_analysis_job
+from repro.scale.fingerprint import (
+    STAGE_ROOTS,
+    STAGES,
+    fingerprint,
+    module_closure,
+    stage_fingerprints,
+)
+from repro.scale.grids import grid_jobs
+from repro.scale.jobs import job_cache_key, job_stage, run_job
+from repro.transform.pipeline import PASS_STAGES
+
+_HEX = set("0123456789abcdef")
+
+
+def _copy_package(tmp_path: Path) -> Path:
+    src = Path(api.__file__).parent
+    dst = tmp_path / "repro"
+    shutil.copytree(src, dst,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    return dst
+
+
+def _edit_transform(root: Path) -> None:
+    target = root / "transform" / "locking.py"
+    target.write_text(
+        target.read_text(encoding="utf-8") + "\n# staged-cache probe\n",
+        encoding="utf-8")
+
+
+class TestFingerprints:
+    def test_every_stage_has_a_64_hex_fingerprint(self):
+        prints = stage_fingerprints()
+        assert set(prints) == set(STAGES)
+        for stage, value in prints.items():
+            assert len(value) == 64 and set(value) <= _HEX, stage
+
+    def test_memoized_and_stable(self):
+        assert stage_fingerprints() == stage_fingerprints()
+
+    def test_stage_closures_are_cumulative(self):
+        parse = set(module_closure(STAGE_ROOTS["parse"]))
+        analysis = set(module_closure(STAGE_ROOTS["analysis"]))
+        distance = set(module_closure(STAGE_ROOTS["distance"]))
+        transform = set(module_closure(STAGE_ROOTS["transform"]))
+        assert parse <= analysis <= distance <= transform
+
+    def test_early_closures_exclude_transform_code(self):
+        # Soundness fact 1: the front of the pipeline never imports the
+        # back.  If anyone adds such an import, the distance fingerprint
+        # would silently start covering transform code and the staged
+        # cache's warm-across-transform-edits guarantee would be a lie —
+        # fail here instead.
+        for stage in ("parse", "analysis", "distance"):
+            closure = module_closure(STAGE_ROOTS[stage])
+            leaked = [name for name in closure
+                      if name.startswith(("repro.transform",
+                                          "repro.runtime",
+                                          "repro.model",
+                                          "repro.harness"))]
+            assert leaked == [], f"{stage} closure leaked: {leaked}"
+
+    def test_transform_closure_includes_the_passes(self):
+        closure = module_closure(STAGE_ROOTS["transform"])
+        assert "repro.transform.locking" in closure
+        assert "repro.transform.cri" in closure
+
+
+class TestTransformEditDifferential:
+    """The tentpole: one transform edit, early stages stay warm."""
+
+    def test_unedited_copy_reproduces_identical_fingerprints(self, tmp_path):
+        copy = _copy_package(tmp_path)
+        assert stage_fingerprints(copy) == stage_fingerprints()
+
+    def test_one_transform_edit_spares_early_stages(self, tmp_path):
+        copy = _copy_package(tmp_path)
+        _edit_transform(copy)
+        live = stage_fingerprints()
+        edited = stage_fingerprints(copy)
+        unchanged = {s for s in STAGES if live[s] == edited[s]}
+        changed = set(STAGES) - unchanged
+        assert unchanged == {"parse", "analysis", "distance"}
+        assert changed == {"transform", "machine", "sweep"}
+
+    def test_analyze_job_keys_survive_a_transform_edit(self, tmp_path):
+        copy = _copy_package(tmp_path)
+        _edit_transform(copy)
+        edited = stage_fingerprints(copy)
+        for job in grid_jobs("cache"):
+            before = job_cache_key(job)
+            after = job_cache_key(job, fingerprints=edited)
+            if job.family == "analyze":
+                assert before == after, job.id
+            else:
+                assert before != after, job.id
+
+
+class TestStageAssignment:
+    def test_analyze_jobs_key_on_the_distance_stage(self):
+        jobs = grid_jobs("cache")
+        assert {job_stage(j) for j in jobs if j.family == "analyze"} \
+            == {"distance"}
+        assert {job_stage(j) for j in jobs if j.family != "analyze"} \
+            == {"sweep"}
+
+    def test_pass_stages_cover_every_pipeline_span(self):
+        # Soundness fact 2's visible edge: every timed pipeline pass
+        # declares its invalidation stage.  A new pass must add itself
+        # here (and to the right fingerprint root) before it ships.
+        assert set(PASS_STAGES.values()) <= set(STAGES)
+        assert PASS_STAGES["load_program"] == "parse"
+        assert PASS_STAGES["pass:analyze"] == "distance"
+        rewrites = {name for name, stage in PASS_STAGES.items()
+                    if stage == "transform"}
+        assert rewrites == {"pass:search", "pass:iteration", "pass:dps",
+                            "pass:cri", "pass:reorder", "pass:delay",
+                            "pass:locking"}
+
+
+class TestAnalysisJob:
+    """The distance-stage job runner stays honest against the facade."""
+
+    def test_deterministic(self):
+        work = make_synthetic(10, 30, name="f")
+        assert run_analysis_job(work.source, "f") \
+            == run_analysis_job(work.source, "f")
+
+    def test_matches_facade_analysis(self):
+        work = make_synthetic(10, 30, name="f")
+        job = run_analysis_job(work.source, "f", assume_sapp=True)
+        facade = api.analyze(work.source, "f", assume_sapp=True)
+        assert job["function"] == facade.function
+        assert job["transformable"] == facade.transformable
+        assert job["concurrency"] == facade.concurrency
+        assert job["lock_bound"] == facade.lock_bound
+        assert job["lines"] == list(facade.lines)
+        assert job["suggestions"] == list(facade.suggestions)
+
+    def test_runs_as_a_sweep_job(self):
+        job = next(j for j in grid_jobs("cache") if j.family == "analyze")
+        payload = run_job(job)
+        assert payload["function"] == "f"
+        assert payload["transformable"] is True
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(Exception):
+            run_analysis_job("(defun f (x) x)", "nope")
